@@ -1,0 +1,164 @@
+// Package asmp is the public API of this reproduction of
+// "The Impact of Performance Asymmetry in Emerging Multicore
+// Architectures" (Balakrishnan, Rajwar, Upton, Lai — ISCA 2005).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - machine configurations in the paper's nf-ms/scale notation,
+//   - the two kernel scheduling policies (stock and asymmetry-aware),
+//   - the eight workload models by name (plus the multiprog extension),
+//   - the experiment framework (repeated runs, predictability and
+//     scalability analysis, Table-1 classification), and
+//   - the figure registry that regenerates every table and figure of
+//     the paper's evaluation, plus the extension experiments.
+//
+// Quick start:
+//
+//	w, _ := asmp.NewWorkload("specjbb")
+//	out := asmp.Experiment{Workload: w, Runs: 5}.Run()
+//	fmt.Println(asmp.FormatOutcome(out))
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory.
+package asmp
+
+import (
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/figures"
+	"asmp/internal/report"
+	"asmp/internal/sched"
+	"asmp/internal/workload"
+
+	// Register all workload models.
+	_ "asmp/internal/workload/h264"
+	_ "asmp/internal/workload/jappserver"
+	_ "asmp/internal/workload/jbb"
+	_ "asmp/internal/workload/multiprog"
+	_ "asmp/internal/workload/omp"
+	_ "asmp/internal/workload/pmake"
+	_ "asmp/internal/workload/tpch"
+	_ "asmp/internal/workload/web"
+)
+
+// Config is a machine configuration: Fast full-speed cores plus Slow
+// cores at 1/Scale speed ("2f-2s/8").
+type Config = cpu.Config
+
+// ParseConfig parses the paper's nf-ms/scale notation ("4f-0s",
+// "2f-2s/8").
+func ParseConfig(s string) (Config, error) { return cpu.ParseConfig(s) }
+
+// MustParseConfig is ParseConfig for known-good literals.
+func MustParseConfig(s string) Config { return cpu.MustParseConfig(s) }
+
+// StandardConfigs returns the paper's nine machine configurations in
+// figure order.
+func StandardConfigs() []Config {
+	return append([]Config(nil), cpu.StandardConfigs...)
+}
+
+// Policy selects the OS scheduler model.
+type Policy = sched.Policy
+
+// The scheduling policies: the study's two, plus the rank-only
+// extension that tests the paper's point-4 conjecture.
+const (
+	// PolicyNaive is the stock, asymmetry-agnostic kernel scheduler.
+	PolicyNaive = sched.PolicyNaive
+	// PolicyAsymmetryAware is the paper's modified kernel: fast cores
+	// never idle while slower cores have work.
+	PolicyAsymmetryAware = sched.PolicyAsymmetryAware
+	// PolicyRankAware knows only the ordering of core speeds, not their
+	// magnitudes (the paper's point-4 conjecture).
+	PolicyRankAware = sched.PolicyRankAware
+)
+
+// SchedOptions configures the scheduler model (timeslice, balance
+// interval, migration cost, ...).
+type SchedOptions = sched.Options
+
+// SchedDefaults returns the standard scheduler options for a policy.
+func SchedDefaults(p Policy) SchedOptions { return sched.Defaults(p) }
+
+// Workload is a runnable benchmark description.
+type Workload = workload.Workload
+
+// Result is the outcome of one workload run.
+type Result = workload.Result
+
+// Workloads lists the registered workload names: apache, h264,
+// multiprog, omp-<bench>, pmake, specjappserver, specjbb, tpch, zeus.
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload instantiates a registered workload with its study-default
+// parameters. For custom parameters use the internal/workload/...
+// constructors through your own fork, or the asmp-sweep tool.
+func NewWorkload(name string) (Workload, error) { return workload.New(name) }
+
+// RunSpec describes a single run.
+type RunSpec = core.RunSpec
+
+// Run executes one workload run on a fresh simulated platform.
+func Run(spec RunSpec) Result { return core.Execute(spec) }
+
+// Experiment sweeps a workload over machine configurations with
+// repetitions; see core.Experiment.
+type Experiment = core.Experiment
+
+// Outcome is a completed experiment.
+type Outcome = core.Outcome
+
+// Classification is a row of the paper's Table 1 (predictable?
+// scalable?).
+type Classification = core.Classification
+
+// Classify derives the Table-1 judgement for an experiment outcome.
+func Classify(o *Outcome) Classification { return core.Classify(o) }
+
+// FormatOutcome renders an experiment as an aligned text table.
+func FormatOutcome(o *Outcome) string { return report.OutcomeTable(o).String() }
+
+// FigureInfo describes one regenerable figure or table of the paper.
+type FigureInfo struct {
+	// ID is the paper's label ("1a" .. "10", "table1", "micro").
+	ID string
+	// Title is a short name.
+	Title string
+	// Paper describes what the original shows.
+	Paper string
+}
+
+// Figures lists every regenerable element of the paper's evaluation.
+func Figures() []FigureInfo {
+	var out []FigureInfo
+	for _, f := range figures.All() {
+		out = append(out, FigureInfo{ID: f.ID, Title: f.Title, Paper: f.Paper})
+	}
+	return out
+}
+
+// RunFigure regenerates a figure by id and returns its rendered tables.
+// With quick set, repetitions are reduced (shapes are preserved).
+func RunFigure(id string, quick bool) ([]string, error) {
+	f, ok := figures.Get(id)
+	if !ok {
+		return nil, &UnknownFigureError{ID: id}
+	}
+	var out []string
+	for _, t := range f.Run(figures.Options{Quick: quick}) {
+		out = append(out, t.String())
+	}
+	return out, nil
+}
+
+// UnknownFigureError reports a figure id that is not in the registry.
+type UnknownFigureError struct {
+	// ID is the unknown identifier.
+	ID string
+}
+
+// Error implements error.
+func (e *UnknownFigureError) Error() string {
+	return "asmp: unknown figure " + e.ID + " (see Figures())"
+}

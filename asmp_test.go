@@ -1,0 +1,127 @@
+package asmp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"asmp"
+)
+
+func TestStandardConfigs(t *testing.T) {
+	cfgs := asmp.StandardConfigs()
+	if len(cfgs) != 9 {
+		t.Fatalf("expected 9 standard configs, got %d", len(cfgs))
+	}
+	if cfgs[0].String() != "4f-0s" || cfgs[8].String() != "0f-4s/8" {
+		t.Fatalf("config order wrong: %v ... %v", cfgs[0], cfgs[8])
+	}
+	// Returned slice must be a copy.
+	cfgs[0] = asmp.Config{Fast: 9}
+	if asmp.StandardConfigs()[0].Fast == 9 {
+		t.Fatal("StandardConfigs aliases package state")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	c, err := asmp.ParseConfig("2f-2s/8")
+	if err != nil || c.ComputePower() != 2.25 {
+		t.Fatalf("ParseConfig: %v %v", c, err)
+	}
+	if _, err := asmp.ParseConfig("bogus"); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestWorkloadsRegistered(t *testing.T) {
+	names := asmp.Workloads()
+	want := []string{"apache", "h264", "multiprog", "pmake", "specjappserver", "specjbb",
+		"tpch", "zeus", "omp-swim", "omp-ammp"}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("workload %q not registered (have %v)", w, names)
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	w, err := asmp.NewWorkload("pmake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := asmp.Run(asmp.RunSpec{
+		Workload: w,
+		Config:   asmp.MustParseConfig("2f-2s/4"),
+		Sched:    asmp.SchedDefaults(asmp.PolicyNaive),
+		Seed:     1,
+	})
+	if res.Value <= 0 || res.Metric == "" {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestExperimentAndClassify(t *testing.T) {
+	w, err := asmp.NewWorkload("h264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := asmp.Experiment{Workload: w, Runs: 2}.Run()
+	cl := asmp.Classify(out)
+	if !cl.Predictable || !cl.Scalable {
+		t.Fatalf("H.264 must classify predictable+scalable: %+v", cl)
+	}
+	if s := asmp.FormatOutcome(out); !strings.Contains(s, "2f-2s/8") {
+		t.Fatalf("formatted outcome missing configs:\n%s", s)
+	}
+}
+
+func TestFiguresRegistry(t *testing.T) {
+	figs := asmp.Figures()
+	if len(figs) < 19 {
+		t.Fatalf("expected at least 19 figures, got %d", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+		if f.Title == "" || f.Paper == "" {
+			t.Errorf("figure %s missing metadata", f.ID)
+		}
+	}
+	for _, id := range []string{"1a", "1b", "2a", "2b", "3a", "3b", "4a", "4b",
+		"5a", "5b", "6a", "6b", "7a", "7b", "8a", "8b", "9a", "9b", "10", "table1", "micro"} {
+		if !ids[id] {
+			t.Errorf("figure %s not registered", id)
+		}
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	tables, err := asmp.RunFigure("micro", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || !strings.Contains(tables[0], "duty") {
+		t.Fatalf("unexpected micro output: %v", tables)
+	}
+	if _, err := asmp.RunFigure("nope", true); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+// Example demonstrates the five-line quick start from the package docs.
+func Example() {
+	w, _ := asmp.NewWorkload("h264")
+	out := asmp.Experiment{
+		Workload: w,
+		Configs:  []asmp.Config{asmp.MustParseConfig("4f-0s"), asmp.MustParseConfig("0f-4s/8")},
+		Runs:     2,
+	}.Run()
+	fast := out.PerConfig[0].Summary.Mean
+	slow := out.PerConfig[1].Summary.Mean
+	fmt.Println("faster machine wins:", fast < slow)
+	// Output: faster machine wins: true
+}

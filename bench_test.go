@@ -1,0 +1,434 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out.
+//
+// Each figure benchmark regenerates its figure once per iteration (in
+// quick mode, which halves repetitions but preserves every shape) and
+// reports the shape-critical quantities — predictability scores, key
+// ratios — as custom benchmark metrics, so a single
+//
+//	go test -bench=. -benchmem
+//
+// run yields both the cost of regeneration and the reproduced numbers.
+// The full-resolution tables come from `go run ./cmd/asmp-run -all`.
+package asmp_test
+
+import (
+	"strings"
+	"testing"
+
+	"asmp"
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/figures"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+	"asmp/internal/workload/gc"
+	"asmp/internal/workload/jappserver"
+	"asmp/internal/workload/jbb"
+	"asmp/internal/workload/omp"
+	"asmp/internal/workload/pmake"
+	"asmp/internal/workload/web"
+)
+
+// benchFigure regenerates one registered figure per iteration.
+func benchFigure(b *testing.B, id string) {
+	f, ok := figures.Get(id)
+	if !ok {
+		b.Fatalf("figure %s not registered", id)
+	}
+	var lines int
+	for i := 0; i < b.N; i++ {
+		tables := f.Run(figures.Options{Quick: true, Seed: uint64(1 + i)})
+		lines = 0
+		for _, t := range tables {
+			lines += strings.Count(t.String(), "\n")
+		}
+	}
+	b.ReportMetric(float64(lines), "table-lines")
+}
+
+// experiment sweeps a workload over the nine configurations with the
+// given policy and run count.
+func experiment(w workload.Workload, policy sched.Policy, runs int, seed uint64) *core.Outcome {
+	return core.Experiment{
+		Workload: w,
+		Runs:     runs,
+		Sched:    sched.Defaults(policy),
+		BaseSeed: seed,
+	}.Run()
+}
+
+// covOn returns a sample of the workload's metric on one configuration.
+func covOn(w workload.Workload, cfg string, opt sched.Options, runs int, seed uint64) *stats.Sample {
+	s := &stats.Sample{}
+	c := cpu.MustParseConfig(cfg)
+	for i := 0; i < runs; i++ {
+		res := core.Execute(core.RunSpec{Workload: w, Config: c, Sched: opt, Seed: core.RunSeed(seed, 0, i)})
+		s.Add(res.Value)
+	}
+	return s
+}
+
+// --- Figure benchmarks -------------------------------------------------
+
+func BenchmarkFig01a(b *testing.B) { benchFigure(b, "1a") }
+func BenchmarkFig01b(b *testing.B) { benchFigure(b, "1b") }
+
+func BenchmarkFig02a(b *testing.B) {
+	w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+	for i := 0; i < b.N; i++ {
+		out := experiment(w, sched.PolicyNaive, 5, uint64(1+i))
+		b.ReportMetric(out.MaxCoV(true), "asym-CoV")
+		b.ReportMetric(out.SymmetricMaxCoV(), "sym-CoV")
+	}
+}
+
+func BenchmarkFig02b(b *testing.B) {
+	w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+	for i := 0; i < b.N; i++ {
+		out := experiment(w, sched.PolicyAsymmetryAware, 4, uint64(1+i))
+		b.ReportMetric(out.MaxCoV(true), "asym-CoV-aware")
+	}
+}
+
+func BenchmarkFig03a(b *testing.B) {
+	w := jappserver.New(jappserver.Options{})
+	for i := 0; i < b.N; i++ {
+		out := experiment(w, sched.PolicyNaive, 3, uint64(1+i))
+		b.ReportMetric(out.MaxCoV(true), "asym-CoV")
+		b.ReportMetric(out.ScalabilityRank(), "scal-rank")
+	}
+}
+
+func BenchmarkFig03b(b *testing.B) { benchFigure(b, "3b") }
+
+func BenchmarkFig04a(b *testing.B) { benchFigure(b, "4a") }
+func BenchmarkFig04b(b *testing.B) { benchFigure(b, "4b") }
+func BenchmarkFig05a(b *testing.B) { benchFigure(b, "5a") }
+func BenchmarkFig05b(b *testing.B) { benchFigure(b, "5b") }
+
+func BenchmarkFig06a(b *testing.B) {
+	light := web.New(web.Options{Server: web.Apache, Load: web.LightLoad})
+	heavy := web.New(web.Options{Server: web.Apache, Load: web.HeavyLoad})
+	for i := 0; i < b.N; i++ {
+		lo := experiment(light, sched.PolicyNaive, 3, uint64(1+i))
+		ho := experiment(heavy, sched.PolicyNaive, 3, uint64(1+i))
+		b.ReportMetric(lo.MaxCoV(true), "light-asym-CoV")
+		b.ReportMetric(ho.MaxCoV(true), "heavy-asym-CoV")
+	}
+}
+
+func BenchmarkFig06b(b *testing.B) { benchFigure(b, "6b") }
+func BenchmarkFig07a(b *testing.B) { benchFigure(b, "7a") }
+func BenchmarkFig07b(b *testing.B) { benchFigure(b, "7b") }
+
+func BenchmarkFig08a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := omp.New(omp.Options{Benchmark: "swim"})
+		asym := covOn(w, "2f-2s/8", sched.Defaults(sched.PolicyNaive), 2, uint64(1+i)).Mean()
+		slow := covOn(w, "0f-4s/8", sched.Defaults(sched.PolicyNaive), 1, uint64(1+i)).Mean()
+		b.ReportMetric(asym/slow, "2f2s8-over-0f4s8")
+	}
+}
+
+func BenchmarkFig08b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := omp.New(omp.Options{Benchmark: "swim", ForceDynamic: true})
+		asym := covOn(w, "2f-2s/8", sched.Defaults(sched.PolicyNaive), 2, uint64(1+i)).Mean()
+		fast := covOn(w, "4f-0s", sched.Defaults(sched.PolicyNaive), 1, uint64(1+i)).Mean()
+		b.ReportMetric(asym/fast, "2f2s8-over-4f0s")
+	}
+}
+
+func BenchmarkFig09a(b *testing.B) { benchFigure(b, "9a") }
+func BenchmarkFig09b(b *testing.B) { benchFigure(b, "9b") }
+func BenchmarkFig10(b *testing.B)  { benchFigure(b, "10") }
+
+func BenchmarkTable1(b *testing.B) { benchFigure(b, "table1") }
+
+func BenchmarkMicroValidation(b *testing.B) { benchFigure(b, "micro") }
+
+// --- Ablation benchmarks (DESIGN.md §5) --------------------------------
+
+// AblationBalanceInterval: the naive balancer's period barely changes
+// the Apache light-load instability — lightly loaded cores never build
+// the load average a speed-blind balancer acts on, so rebalancing more
+// often does not help. (The fix has to be placement-side: see the aware
+// policy.)
+func BenchmarkAblationBalanceInterval(b *testing.B) {
+	w := web.New(web.Options{Server: web.Apache, Load: web.LightLoad})
+	for _, ms := range []float64{25, 100, 400} {
+		name := map[float64]string{25: "25ms", 100: "100ms", 400: "400ms"}[ms]
+		b.Run(name, func(b *testing.B) {
+			opt := sched.Defaults(sched.PolicyNaive)
+			opt.BalanceInterval = simtime.Duration(ms / 1000)
+			for i := 0; i < b.N; i++ {
+				s := covOn(w, "2f-2s/8", opt, 5, uint64(1+i))
+				b.ReportMetric(s.CoV(), "CoV")
+				b.ReportMetric(s.Mean(), "req/s")
+			}
+		})
+	}
+}
+
+// AblationWakeupRandomness: deterministic first placement removes the
+// run-to-run variance without changing mean behaviour much — the
+// instability really is placement lottery.
+func BenchmarkAblationWakeupRandomness(b *testing.B) {
+	w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+	for _, random := range []bool{true, false} {
+		name := "random"
+		if !random {
+			name = "deterministic"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := sched.Defaults(sched.PolicyNaive)
+			opt.RandomWakeups = random
+			for i := 0; i < b.N; i++ {
+				s := covOn(w, "2f-2s/8", opt, 5, uint64(1+i))
+				b.ReportMetric(s.CoV(), "CoV")
+			}
+		})
+	}
+}
+
+// AblationForcedMigration: the aware policy's preemptive slow-to-fast
+// migration of RUNNING tasks. For workloads whose threads block often,
+// aware wakeup placement alone fixes everything (each wake re-places the
+// thread on the best core); the explicit migration is the backstop for a
+// long uninterrupted burst that started on a slow core while the fast
+// cores were briefly busy — which this bench constructs directly: a
+// short task occupies the fast core at spawn time, a 1-second burst
+// lands on the 1/8-speed core, and the fast core then goes idle.
+func BenchmarkAblationForcedMigration(b *testing.B) {
+	for _, forced := range []bool{true, false} {
+		name := "with-migration"
+		if !forced {
+			name = "without-migration"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := sched.Defaults(sched.PolicyAsymmetryAware)
+			opt.NoForcedMigration = !forced
+			opt.RandomWakeups = false
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv(uint64(3 + i))
+				sched.New(env, cpu.NewMachine(1.0, 0.125), opt)
+				var done simtime.Time
+				env.Go("short", func(p *sim.Proc) { p.Compute(0.1 * cpu.BaseHz) })
+				env.Go("long", func(p *sim.Proc) {
+					p.Compute(1.0 * cpu.BaseHz)
+					done = p.Now()
+				})
+				env.Run()
+				env.Close()
+				b.ReportMetric(float64(done), "long-task-s")
+			}
+		})
+	}
+}
+
+// AblationGCPinning: the two faces of the placement coin, pinned by hand.
+func BenchmarkAblationGCPinning(b *testing.B) {
+	for _, pin := range []struct {
+		name string
+		core int
+	}{{"fast-core", 0}, {"slow-core", 3}} {
+		b.Run(pin.name, func(b *testing.B) {
+			hc := gc.DefaultConfig(gc.ConcurrentGenerational)
+			hc.PinToCore = pin.core
+			w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational, Heap: &hc})
+			for i := 0; i < b.N; i++ {
+				s := covOn(w, "2f-2s/8", sched.Defaults(sched.PolicyNaive), 2, uint64(1+i))
+				b.ReportMetric(s.Mean(), "txn/s")
+			}
+		})
+	}
+}
+
+// AblationChunkSize: dynamic OpenMP scheduling with too-small chunks
+// drowns in dispatch overhead; too-large chunks re-create the static
+// imbalance. (The paper chose large chunks for long loops.)
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, chunk := range []int{1, 16, 128} {
+		name := map[int]string{1: "chunk1", 16: "chunk16", 128: "chunk128"}[chunk]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := omp.New(omp.Options{Benchmark: "swim", ForceDynamic: true, ForcedChunk: chunk})
+				s := covOn(w, "2f-2s/8", sched.Defaults(sched.PolicyNaive), 1, uint64(1+i))
+				b.ReportMetric(s.Mean(), "runtime-s")
+			}
+		})
+	}
+}
+
+// AblationSerialFraction: the Amdahl benefit of one fast core grows with
+// the serial share of the build.
+func BenchmarkAblationSerialFraction(b *testing.B) {
+	for _, link := range []struct {
+		name   string
+		cycles float64
+	}{{"short-link", 0.2e9}, {"long-link", 4e9}} {
+		b.Run(link.name, func(b *testing.B) {
+			w := pmake.New(pmake.Options{LinkCycles: link.cycles, SerialMemFraction: 0.05})
+			for i := 0; i < b.N; i++ {
+				opt := sched.Defaults(sched.PolicyAsymmetryAware)
+				one := covOn(w, "1f-3s/8", opt, 1, uint64(1+i)).Mean()
+				all := covOn(w, "0f-4s/4", opt, 1, uint64(1+i)).Mean()
+				b.ReportMetric(all/one, "1fast-advantage")
+			}
+		})
+	}
+}
+
+// AblationFeedback: SPECjAppServer with the conformance feedback loop
+// disabled drowns on weak machines — the mechanism behind its stability.
+func BenchmarkAblationFeedback(b *testing.B) {
+	for _, fb := range []bool{true, false} {
+		name := "with-feedback"
+		if !fb {
+			name = "without-feedback"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := jappserver.New(jappserver.Options{DisableFeedback: !fb})
+			for i := 0; i < b.N; i++ {
+				res := core.Execute(core.RunSpec{
+					Workload: w,
+					Config:   cpu.MustParseConfig("0f-4s/8"),
+					Sched:    sched.Defaults(sched.PolicyNaive),
+					Seed:     uint64(1 + i),
+				})
+				b.ReportMetric(res.Extra("resp_max_ms"), "max-resp-ms")
+			}
+		})
+	}
+}
+
+// AblationConnectionAffinity: Apache's instability needs the keep-alive
+// connection affinity; a shared accept queue spills work across the pool
+// and averages the placement lottery away.
+func BenchmarkAblationConnectionAffinity(b *testing.B) {
+	for _, shared := range []bool{false, true} {
+		name := "keepalive-affinity"
+		if shared {
+			name = "shared-accept-queue"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := web.New(web.Options{Server: web.Apache, Load: web.LightLoad, SharedAcceptQueue: shared})
+			for i := 0; i < b.N; i++ {
+				s := covOn(w, "2f-2s/8", sched.Defaults(sched.PolicyNaive), 5, uint64(1+i))
+				b.ReportMetric(s.CoV(), "CoV")
+			}
+		})
+	}
+}
+
+// BenchmarkEngine measures the raw simulator: events per second for a
+// saturated 4-core machine, the fundamental cost driver of every
+// experiment above.
+func BenchmarkEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, _ := asmp.NewWorkload("specjbb")
+		core.Execute(core.RunSpec{
+			Workload: w,
+			Config:   cpu.MustParseConfig("2f-2s/8"),
+			Sched:    sched.Defaults(sched.PolicyNaive),
+			Seed:     uint64(1 + i),
+		})
+	}
+}
+
+// --- Extension benchmarks (beyond the paper) ---------------------------
+
+// ExtensionAwareApplication: the weighted-static OpenMP rewrite built on
+// the relative-speed interface (paper point 4) against the paper's
+// Figure 8(b) dynamic rewrite.
+func BenchmarkExtensionAwareApplication(b *testing.B) {
+	for _, mode := range []string{"static", "dynamic", "aware"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			o := omp.Options{Benchmark: "swim"}
+			switch mode {
+			case "dynamic":
+				o.ForceDynamic = true
+			case "aware":
+				o.AsymmetryAware = true
+			}
+			w := omp.New(o)
+			for i := 0; i < b.N; i++ {
+				s := covOn(w, "2f-2s/8", sched.Defaults(sched.PolicyNaive), 1, uint64(1+i))
+				b.ReportMetric(s.Mean(), "runtime-s")
+			}
+		})
+	}
+}
+
+// ExtensionThermalEvent: a symmetric machine develops a thermal problem
+// mid-run (asymmetry appearing at runtime); the aware kernel bounds the
+// damage, the stock kernel's depends on who was stranded.
+func BenchmarkExtensionThermalEvent(b *testing.B) {
+	for _, pol := range []struct {
+		name   string
+		policy sched.Policy
+	}{{"stock", sched.PolicyNaive}, {"aware", sched.PolicyAsymmetryAware}} {
+		pol := pol
+		b.Run(pol.name, func(b *testing.B) {
+			w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational,
+				RampUp: 2 * simtime.Second, Window: 4 * simtime.Second})
+			worst := 1e18
+			for i := 0; i < b.N; i++ {
+				s := stats.Sample{}
+				for r := 0; r < 4; r++ {
+					pl := workload.NewPlatform(cpu.MustParseConfig("4f-0s"),
+						sched.Defaults(pol.policy), core.RunSeed(uint64(1+i), 7, r))
+					pl.Env.After(2*simtime.Second, func() { pl.Sched.SetDuty(0, 0.125) })
+					s.Add(w.Run(pl).Value)
+					pl.Close()
+				}
+				if s.Min() < worst {
+					worst = s.Min()
+				}
+				b.ReportMetric(s.Mean(), "txn/s")
+				b.ReportMetric(s.CoV(), "CoV")
+			}
+			b.ReportMetric(worst, "worst-run-txn/s")
+		})
+	}
+}
+
+// ExtensionEnergy: ops/joule for the nine configurations under both
+// power regimes (see the "energy" figure).
+func BenchmarkExtensionEnergy(b *testing.B) { benchFigure(b, "energy") }
+
+// ExtensionConjecture: the §6 fast-core-fraction conjecture sweep.
+func BenchmarkExtensionConjecture(b *testing.B) { benchFigure(b, "conj") }
+
+// ExtensionRankOnlyScheduler: the paper's point 4 — "exposing the
+// relative performance of processors ... may be sufficient, and absolute
+// information ... may not be necessary" — tested on the study's flagship
+// unstable workload. The rank-only scheduler knows which core is faster
+// but not by how much; it should recover essentially all of the aware
+// kernel's benefit.
+func BenchmarkExtensionRankOnlyScheduler(b *testing.B) {
+	w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+	for _, pol := range []struct {
+		name   string
+		policy sched.Policy
+	}{
+		{"naive", sched.PolicyNaive},
+		{"rank-only", sched.PolicyRankAware},
+		{"full-info", sched.PolicyAsymmetryAware},
+	} {
+		pol := pol
+		b.Run(pol.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := covOn(w, "2f-2s/8", sched.Defaults(pol.policy), 5, uint64(1+i))
+				b.ReportMetric(s.Mean(), "txn/s")
+				b.ReportMetric(s.CoV(), "CoV")
+			}
+		})
+	}
+}

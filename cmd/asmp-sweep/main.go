@@ -1,0 +1,109 @@
+// Command asmp-sweep runs one workload over machine configurations and
+// scheduling policies — the free-form counterpart to asmp-run's fixed
+// figure registry. It is the quickest way to ask "what would workload X
+// do on machine Y under scheduler Z?".
+//
+// Usage:
+//
+//	asmp-sweep -list
+//	asmp-sweep -workload specjbb -runs 5
+//	asmp-sweep -workload zeus -configs 4f-0s,2f-2s/8 -policy aware
+//	asmp-sweep -workload tpch -runs 8 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/report"
+	"asmp/internal/sched"
+	"asmp/internal/workload"
+	_ "asmp/internal/workload/h264"
+	_ "asmp/internal/workload/jappserver"
+	_ "asmp/internal/workload/jbb"
+	_ "asmp/internal/workload/multiprog"
+	_ "asmp/internal/workload/omp"
+	_ "asmp/internal/workload/pmake"
+	_ "asmp/internal/workload/tpch"
+	_ "asmp/internal/workload/web"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "", "registered workload name (see -list)")
+		list    = flag.Bool("list", false, "list registered workloads")
+		configs = flag.String("configs", "", "comma-separated nf-ms/scale configs (default: the paper's nine)")
+		runs    = flag.Int("runs", 3, "repetitions per configuration")
+		policy  = flag.String("policy", "naive", "scheduler policy: naive, aware or rank")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workload.New(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmp-sweep:", err)
+		os.Exit(2)
+	}
+
+	var pol sched.Policy
+	switch *policy {
+	case "naive":
+		pol = sched.PolicyNaive
+	case "aware":
+		pol = sched.PolicyAsymmetryAware
+	case "rank":
+		pol = sched.PolicyRankAware
+	default:
+		fmt.Fprintf(os.Stderr, "asmp-sweep: unknown policy %q (naive|aware|rank)\n", *policy)
+		os.Exit(2)
+	}
+
+	var cfgs []cpu.Config
+	if *configs != "" {
+		for _, s := range strings.Split(*configs, ",") {
+			c, err := cpu.ParseConfig(s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asmp-sweep:", err)
+				os.Exit(2)
+			}
+			cfgs = append(cfgs, c)
+		}
+	}
+
+	out := core.Experiment{
+		Name:     fmt.Sprintf("%s (%s scheduler, %d runs)", w.Name(), pol, *runs),
+		Workload: w,
+		Configs:  cfgs,
+		Runs:     *runs,
+		Sched:    sched.Defaults(pol),
+		BaseSeed: *seed,
+	}.Run()
+
+	t := report.OutcomeTable(out)
+	t.AddNote("max asymmetric CoV = %s, symmetric noise floor = %s",
+		report.F(out.MaxCoV(true)), report.F(out.SymmetricMaxCoV()))
+	if len(out.PerConfig) >= 2 {
+		fit := out.ScalabilityFit()
+		t.AddNote("scalability fit R² = %.3f", fit.R2)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}

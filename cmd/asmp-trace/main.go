@@ -1,0 +1,132 @@
+// Command asmp-trace runs one workload with scheduler tracing enabled
+// and prints what the kernel actually did: migrations, steals, forced
+// migrations, and a per-core dispatch timeline. It is the microscope for
+// the placement effects the figures measure in aggregate.
+//
+// Usage:
+//
+//	asmp-trace -workload specjbb -config 2f-2s/8
+//	asmp-trace -workload apache -config 2f-2s/8 -policy aware -events
+//	asmp-trace -workload tpch -config 1f-3s/8 -kind migrate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/trace"
+	"asmp/internal/workload"
+	_ "asmp/internal/workload/h264"
+	_ "asmp/internal/workload/jappserver"
+	_ "asmp/internal/workload/jbb"
+	_ "asmp/internal/workload/multiprog"
+	_ "asmp/internal/workload/omp"
+	_ "asmp/internal/workload/pmake"
+	_ "asmp/internal/workload/tpch"
+	_ "asmp/internal/workload/web"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "specjbb", "registered workload name")
+		cfgName = flag.String("config", "2f-2s/8", "machine configuration (nf-ms/scale)")
+		policy  = flag.String("policy", "naive", "scheduler policy: naive, aware or rank")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		events  = flag.Bool("events", false, "print the raw event log (last -buffer events)")
+		kindSel = flag.String("kind", "", "with -events: only this kind (migrate, steal, forced-migrate, ...)")
+		bufCap  = flag.Int("buffer", 100000, "trace ring-buffer capacity")
+	)
+	flag.Parse()
+
+	w, err := workload.New(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmp-trace:", err)
+		os.Exit(2)
+	}
+	cfg, err := cpu.ParseConfig(*cfgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmp-trace:", err)
+		os.Exit(2)
+	}
+	var pol sched.Policy
+	switch *policy {
+	case "naive":
+		pol = sched.PolicyNaive
+	case "aware":
+		pol = sched.PolicyAsymmetryAware
+	case "rank":
+		pol = sched.PolicyRankAware
+	default:
+		fmt.Fprintf(os.Stderr, "asmp-trace: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	pl := workload.NewPlatform(cfg, sched.Defaults(pol), *seed)
+	defer pl.Close()
+	buf := trace.New(*bufCap)
+	pl.Sched.SetTracer(buf)
+
+	res := w.Run(pl)
+
+	fmt.Printf("workload %s on %s under the %v scheduler (seed %d)\n", w.Name(), cfg, pol, *seed)
+	fmt.Printf("result: %s = %.4g\n\n", res.Metric, res.Value)
+
+	st := pl.Sched.Stats()
+	fmt.Printf("scheduler activity: %d dispatches, %d preemptions, %d migrations (%d steals, %d forced)\n",
+		st.Dispatches, st.Preemptions, st.Migrations, st.Steals, st.ForcedMigrations)
+	fmt.Printf("per-core busy seconds:")
+	for i, b := range st.BusySeconds {
+		fmt.Printf("  core%d(duty %.3g)=%.2f", i, pl.Sched.Machine().Cores[i].Duty, b)
+	}
+	fmt.Println()
+	if st.FastIdleSlowBusy > 0 {
+		fmt.Printf("fast-idle-while-slow-queued: %.3fs (the aware policy keeps this at zero)\n", st.FastIdleSlowBusy)
+	}
+
+	fmt.Println("\nper-core dispatch timeline (who ran where):")
+	tl := buf.CoreTimeline()
+	var cores []int
+	for c := range tl {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		type pc struct {
+			name string
+			n    int
+		}
+		var ps []pc
+		for name, n := range tl[c] {
+			ps = append(ps, pc{name, n})
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].n > ps[j].n })
+		var parts []string
+		for i, p := range ps {
+			if i == 6 {
+				parts = append(parts, fmt.Sprintf("… %d more", len(ps)-i))
+				break
+			}
+			parts = append(parts, fmt.Sprintf("%s×%d", p.name, p.n))
+		}
+		fmt.Printf("  core%d: %s\n", c, strings.Join(parts, ", "))
+	}
+
+	if *events {
+		fmt.Println("\nevent log:")
+		es := buf.Events()
+		for _, e := range es {
+			if *kindSel != "" && e.Kind.String() != *kindSel {
+				continue
+			}
+			fmt.Println(" ", e)
+		}
+		if buf.Total() > buf.Len() {
+			fmt.Printf("  (%d earlier events evicted; raise -buffer to keep more)\n", buf.Total()-buf.Len())
+		}
+	}
+}

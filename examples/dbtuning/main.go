@@ -1,0 +1,58 @@
+// Dbtuning: the DBA's view of §3.3 — tuning a database server for an
+// asymmetric machine.
+//
+// The kernel cannot help TPC-H (the server binds its own processes), so
+// the knobs that matter are the database's own: the intra-query
+// parallelization degree and the optimizer level. We sweep both on
+// 2f-2s/8 and reproduce the paper's trade-off: aggressive plans are fast
+// but erratic; de-tuned plans are slow but repeatable.
+//
+// Run with:
+//
+//	go run ./examples/dbtuning
+package main
+
+import (
+	"fmt"
+
+	"asmp"
+	"asmp/internal/core"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload/tpch"
+)
+
+func main() {
+	cfg := asmp.MustParseConfig("2f-2s/8")
+	const runs = 6
+
+	fmt.Printf("TPC-H power run on %s (%d runs per cell)\n\n", cfg, runs)
+	fmt.Printf("%-6s %-6s %12s %14s %8s\n", "par", "opt", "mean (s)", "min..max", "CoV")
+	for _, par := range []int{1, 4, 8} {
+		for _, opt := range []int{2, 5, 7} {
+			b := tpch.New(tpch.Options{Parallelization: par, Optimization: opt})
+			s := &stats.Sample{}
+			for i := 0; i < runs; i++ {
+				res := core.Execute(core.RunSpec{
+					Workload: b,
+					Config:   cfg,
+					Sched:    sched.Defaults(sched.PolicyNaive),
+					Seed:     core.RunSeed(11, par*10+opt, i),
+				})
+				s.Add(res.Value)
+			}
+			fmt.Printf("%-6d %-6d %12.1f %6.1f..%-6.1f %8.4f\n",
+				par, opt, s.Mean(), s.Min(), s.Max(), s.CoV())
+		}
+	}
+
+	fmt.Println(`
+Reading the table:
+  - Optimization degree 7 is fastest on average but the spread between
+    the best and worst run grows with the parallelization degree: the
+    plan's big fused fragments land on fast or slow cores by accident.
+  - Degree 2 plans do more total work, yet their many uniform fragments
+    make runtimes repeatable — the paper's "application change" fix.
+  - par=1 turns each query into a coin flip between a fast-core and a
+    slow-core execution (§3.3.1's bimodal observation).`)
+}

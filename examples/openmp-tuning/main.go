@@ -1,0 +1,73 @@
+// Openmp-tuning: the HPC developer's view of §3.5 — how loop-scheduling
+// directives interact with performance asymmetry.
+//
+// For each SPEC OMP benchmark we compare the unmodified (mostly static)
+// sources against the paper's dynamic rewrite on three machines. Static
+// scheduling wastes an asymmetric machine — the barrier waits for the
+// slowest core — while dynamic scheduling recovers most of the machine's
+// nominal compute power at a modest constant cost.
+//
+// Run with:
+//
+//	go run ./examples/openmp-tuning
+package main
+
+import (
+	"fmt"
+
+	"asmp"
+	"asmp/internal/core"
+	"asmp/internal/sched"
+	"asmp/internal/workload/omp"
+)
+
+func run(bench string, o omp.Options, cfg asmp.Config) float64 {
+	o.Benchmark = bench
+	return core.Execute(core.RunSpec{
+		Workload: omp.New(o),
+		Config:   cfg,
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     13,
+	}).Value
+}
+
+func main() {
+	fast := asmp.MustParseConfig("4f-0s")
+	asym := asmp.MustParseConfig("2f-2s/8")
+	slow := asmp.MustParseConfig("0f-4s/8")
+
+	fmt.Println("SPEC OMP: runtime (s) under three loop-scheduling strategies")
+	fmt.Println()
+	fmt.Printf("%-10s | %21s | %21s | %21s |\n",
+		"", "unmodified (static)", "dynamic directives", "asymmetry-aware app")
+	fmt.Printf("%-10s | %6s %7s %6s | %6s %7s %6s | %6s %7s %6s |\n",
+		"benchmark", "4f-0s", "2f2s/8", "0f4s/8", "4f-0s", "2f2s/8", "0f4s/8", "4f-0s", "2f2s/8", "0f4s/8")
+	for _, bench := range omp.Benchmarks() {
+		s4 := run(bench, omp.Options{}, fast)
+		sa := run(bench, omp.Options{}, asym)
+		s8 := run(bench, omp.Options{}, slow)
+		d4 := run(bench, omp.Options{ForceDynamic: true}, fast)
+		da := run(bench, omp.Options{ForceDynamic: true}, asym)
+		d8 := run(bench, omp.Options{ForceDynamic: true}, slow)
+		w4 := run(bench, omp.Options{AsymmetryAware: true}, fast)
+		wa := run(bench, omp.Options{AsymmetryAware: true}, asym)
+		w8 := run(bench, omp.Options{AsymmetryAware: true}, slow)
+		fmt.Printf("%-10s | %6.1f %7.1f %6.1f | %6.1f %7.1f %6.1f | %6.1f %7.1f %6.1f |\n",
+			bench, s4, sa, s8, d4, da, d8, w4, wa, w8)
+	}
+
+	fmt.Println(`
+Reading the table:
+  - Unmodified, 2f-2s/8 runs almost as slowly as 0f-4s/8 despite having
+    4.5x its compute power: equal static shares mean every barrier waits
+    for a 1/8-speed core.
+  - With dynamic directives the same machine lands near 4f-0s, because
+    fast cores simply grab more chunks. The rewrite costs a little
+    everywhere (chunk dispatch + lost locality) — the paper's authors
+    saw the same, having tuned for stability rather than speed.
+  - The asymmetry-aware application (an extension beyond the paper's
+    Figure 8(b)) queries the platform's relative core speeds — the
+    hardware/software interface the paper's point 4 calls for — and
+    sizes each pinned thread's share to its core: no dispatch overhead,
+    no locality loss, and the best asymmetric runtimes of all three.`)
+}

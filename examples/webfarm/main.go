@@ -1,0 +1,81 @@
+// Webfarm: an operator's view of §3.4 — would your web tier behave on an
+// asymmetric box?
+//
+// We compare Apache (pre-fork, kernel-scheduled workers) and Zeus
+// (event loops the server binds to cores itself) on a 2f-2s/8 machine
+// under light load, then try the paper's two remedies: the
+// asymmetry-aware kernel (fixes Apache, cannot touch Zeus) and
+// fine-grained threading (stabilises Apache at a steep throughput
+// price).
+//
+// Run with:
+//
+//	go run ./examples/webfarm
+package main
+
+import (
+	"fmt"
+
+	"asmp"
+	"asmp/internal/core"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+	"asmp/internal/workload/web"
+)
+
+// measure runs a web server variant several times on one machine and
+// returns the throughput sample.
+func measure(w workload.Workload, cfg asmp.Config, policy asmp.Policy, runs int) *stats.Sample {
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		res := core.Execute(core.RunSpec{
+			Workload: w,
+			Config:   cfg,
+			Sched:    sched.Defaults(policy),
+			Seed:     core.RunSeed(7, 0, i),
+		})
+		s.Add(res.Value)
+	}
+	return s
+}
+
+func main() {
+	cfg := asmp.MustParseConfig("2f-2s/8")
+	const runs = 6
+
+	apache := web.New(web.Options{Server: web.Apache, Load: web.LightLoad})
+	apacheFine := web.New(web.Options{Server: web.Apache, Load: web.LightLoad, MaxRequestsPerChild: 50})
+	zeus := web.New(web.Options{Server: web.Zeus, Load: web.LightLoad})
+
+	rows := []struct {
+		label  string
+		w      workload.Workload
+		policy asmp.Policy
+	}{
+		{"Apache, stock kernel", apache, asmp.PolicyNaive},
+		{"Apache, aware kernel", apache, asmp.PolicyAsymmetryAware},
+		{"Apache, fine-grained threads", apacheFine, asmp.PolicyNaive},
+		{"Zeus, stock kernel", zeus, asmp.PolicyNaive},
+		{"Zeus, aware kernel", zeus, asmp.PolicyAsymmetryAware},
+	}
+
+	fmt.Printf("Light-load web serving on %s (%d runs each):\n\n", cfg, runs)
+	fmt.Printf("%-30s %10s %10s %8s\n", "setup", "mean req/s", "min..max", "CoV")
+	for _, r := range rows {
+		s := measure(r.w, cfg, r.policy, runs)
+		fmt.Printf("%-30s %10.0f %5.0f..%-5.0f %8.4f\n",
+			r.label, s.Mean(), s.Min(), s.Max(), s.CoV())
+	}
+
+	fmt.Println(`
+Reading the table:
+  - Apache under the stock kernel is unpredictable: its keep-alive
+    connections are pinned to workers whose (random, sticky) placement
+    decides each run.
+  - The aware kernel migrates those workers to fast cores: stable AND
+    faster. Zeus binds its own processes, so the same kernel changes
+    nothing — the application itself must become asymmetry-aware.
+  - Fine-grained threading stabilises Apache by statistics (many
+    short-lived workers), but the re-fork path caps throughput.`)
+}

@@ -1,0 +1,3 @@
+module asmp
+
+go 1.22

@@ -1,0 +1,323 @@
+// Package core is the study framework — the reproduction's primary
+// contribution. It runs workload models across machine configurations
+// and scheduling policies, repeats runs with independent seeds, and
+// quantifies the two properties the paper is about:
+//
+//   - predictability: how much the metric varies across repeated runs of
+//     the same configuration (coefficient of variation of the sample);
+//   - scalability: how faithfully the metric tracks the machine's total
+//     compute power across configurations.
+//
+// The paper's experimental design maps directly onto these types: an
+// Experiment is one panel of one figure (a workload swept over the nine
+// standard configurations with n repetitions), and Classify reproduces
+// the qualitative judgements of Table 1.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+)
+
+// RunSpec describes a single workload execution.
+type RunSpec struct {
+	// Workload is the benchmark description to run.
+	Workload workload.Workload
+	// Config is the machine configuration.
+	Config cpu.Config
+	// Sched configures the OS scheduler model (policy, timeslice, ...).
+	Sched sched.Options
+	// Seed determines every random choice in the run.
+	Seed uint64
+}
+
+// Execute performs one run on a fresh platform and returns its result.
+func Execute(spec RunSpec) workload.Result {
+	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
+	defer pl.Close()
+	return spec.Workload.Run(pl)
+}
+
+// RunSeed derives the seed for a (base, config, run) cell. It mixes the
+// indices through SplitMix64 so adjacent cells get uncorrelated streams.
+func RunSeed(base uint64, configIdx, runIdx int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(1+configIdx) + 0xbf58476d1ce4e5b9*uint64(1+runIdx)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Experiment sweeps one workload over a set of machine configurations,
+// repeating each cell Runs times with independent seeds.
+type Experiment struct {
+	// Name labels the experiment (e.g. "fig2a: SPECjbb scalability").
+	Name string
+	// Workload is the benchmark description; it is shared across runs and
+	// must be stateless (every model in this repository is).
+	Workload workload.Workload
+	// Configs are the machine configurations to sweep. Defaults to the
+	// paper's nine standard configurations.
+	Configs []cpu.Config
+	// Runs is the repetition count per configuration (default 3).
+	Runs int
+	// Sched configures the scheduler; zero value means the naive policy
+	// with default parameters.
+	Sched sched.Options
+	// BaseSeed anchors the seed derivation (default 1).
+	BaseSeed uint64
+	// Sequential disables parallel execution across runs (used by tests
+	// that need strict run ordering; results are identical either way).
+	Sequential bool
+}
+
+// ConfigResult holds all runs of one configuration.
+type ConfigResult struct {
+	// Config is the machine configuration of this cell.
+	Config cpu.Config
+	// Results are the per-run outcomes, in run order.
+	Results []workload.Result
+	// Values are the per-run primary metric values, in run order.
+	Values []float64
+	// Summary summarises Values.
+	Summary stats.Summary
+}
+
+// Outcome is a completed experiment.
+type Outcome struct {
+	// Name echoes the experiment name.
+	Name string
+	// Metric is the primary metric's name.
+	Metric string
+	// HigherIsBetter is the primary metric's direction.
+	HigherIsBetter bool
+	// PerConfig holds one entry per configuration, in sweep order.
+	PerConfig []ConfigResult
+}
+
+// Run executes the experiment. Cells run in parallel on real CPUs; the
+// simulation itself stays fully deterministic because every run has its
+// own environment and derived seed.
+func (e Experiment) Run() *Outcome {
+	if e.Workload == nil {
+		panic("core: experiment without workload")
+	}
+	configs := e.Configs
+	if len(configs) == 0 {
+		configs = cpu.StandardConfigs
+	}
+	runs := e.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	base := e.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+
+	type cell struct{ cfg, run int }
+	cells := make([]cell, 0, len(configs)*runs)
+	for c := range configs {
+		for r := 0; r < runs; r++ {
+			cells = append(cells, cell{c, r})
+		}
+	}
+	results := make([]workload.Result, len(cells))
+
+	workers := runtime.GOMAXPROCS(0)
+	if e.Sequential || workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cl := cells[i]
+				results[i] = Execute(RunSpec{
+					Workload: e.Workload,
+					Config:   configs[cl.cfg],
+					Sched:    e.Sched,
+					Seed:     RunSeed(base, cl.cfg, cl.run),
+				})
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	out := &Outcome{Name: e.Name}
+	for c, cfg := range configs {
+		cr := ConfigResult{Config: cfg}
+		sample := &stats.Sample{}
+		for r := 0; r < runs; r++ {
+			res := results[c*runs+r]
+			cr.Results = append(cr.Results, res)
+			cr.Values = append(cr.Values, res.Value)
+			sample.Add(res.Value)
+			if out.Metric == "" {
+				out.Metric = res.Metric
+				out.HigherIsBetter = res.HigherIsBetter
+			}
+		}
+		cr.Summary = sample.Summarize()
+		out.PerConfig = append(out.PerConfig, cr)
+	}
+	return out
+}
+
+// Find returns the cell for a configuration, or nil if absent.
+func (o *Outcome) Find(cfg cpu.Config) *ConfigResult {
+	for i := range o.PerConfig {
+		if o.PerConfig[i].Config == cfg {
+			return &o.PerConfig[i]
+		}
+	}
+	return nil
+}
+
+// MaxCoV returns the largest run-to-run coefficient of variation across
+// the experiment's configurations, optionally restricted to asymmetric
+// ones. This is the study's headline predictability score.
+func (o *Outcome) MaxCoV(onlyAsymmetric bool) float64 {
+	max := 0.0
+	for _, cr := range o.PerConfig {
+		if onlyAsymmetric && cr.Config.Symmetric() {
+			continue
+		}
+		if cr.Summary.CoV > max {
+			max = cr.Summary.CoV
+		}
+	}
+	return max
+}
+
+// SymmetricMaxCoV returns the largest CoV among symmetric configurations
+// (the noise floor against which asymmetric variance is judged).
+func (o *Outcome) SymmetricMaxCoV() float64 {
+	max := 0.0
+	for _, cr := range o.PerConfig {
+		if !cr.Config.Symmetric() {
+			continue
+		}
+		if cr.Summary.CoV > max {
+			max = cr.Summary.CoV
+		}
+	}
+	return max
+}
+
+// ScalabilityFit regresses the mean metric against total compute power.
+// For runtime-like metrics the regression uses 1/power, so a positive
+// slope and high R² mean "scales with compute power" in both cases.
+func (o *Outcome) ScalabilityFit() stats.LinearFit {
+	if len(o.PerConfig) < 2 {
+		panic("core: scalability fit needs at least two configurations")
+	}
+	var xs, ys []float64
+	for _, cr := range o.PerConfig {
+		p := cr.Config.ComputePower()
+		if !o.HigherIsBetter {
+			p = 1 / p
+		}
+		xs = append(xs, p)
+		ys = append(ys, cr.Summary.Mean)
+	}
+	return stats.FitLinear(xs, ys)
+}
+
+// Speedups returns per-configuration speedup samples relative to the
+// mean of the baseline configuration (the paper normalises Figure 10 to
+// 0f-4s/8). Each sample holds one speedup per run, so error bars carry
+// over.
+func (o *Outcome) Speedups(baseline cpu.Config) ([]stats.Summary, error) {
+	base := o.Find(baseline)
+	if base == nil {
+		return nil, fmt.Errorf("core: baseline %v not in experiment", baseline)
+	}
+	baseMean := base.Summary.Mean
+	if baseMean == 0 {
+		return nil, fmt.Errorf("core: baseline %v has zero mean", baseline)
+	}
+	out := make([]stats.Summary, len(o.PerConfig))
+	for i, cr := range o.PerConfig {
+		s := &stats.Sample{}
+		for _, v := range cr.Values {
+			s.Add(stats.Speedup(baseMean, v, o.HigherIsBetter))
+		}
+		out[i] = s.Summarize()
+	}
+	return out, nil
+}
+
+// ScalabilityRank returns the Spearman rank correlation between the
+// configurations' compute power and their mean performance (metric for
+// throughput, 1/metric for runtime). A value near 1 means "more compute
+// power reliably means better performance" — the paper's operational
+// notion of predictable scalability, which tolerates saturation and mild
+// non-linearity but flags slowest-core-gated workloads whose asymmetric
+// points fall out of order.
+func (o *Outcome) ScalabilityRank() float64 {
+	var xs, ys []float64
+	for _, cr := range o.PerConfig {
+		xs = append(xs, cr.Config.ComputePower())
+		v := cr.Summary.Mean
+		if !o.HigherIsBetter {
+			if v == 0 {
+				continue
+			}
+			v = 1 / v
+		}
+		ys = append(ys, v)
+	}
+	return stats.Spearman(xs, ys)
+}
+
+// Classification is a row of the paper's Table 1.
+type Classification struct {
+	// Predictable reports whether asymmetric-configuration variance stays
+	// within threshold of the symmetric noise floor.
+	Predictable bool
+	// Scalable reports whether the metric tracks compute power.
+	Scalable bool
+	// MaxAsymmetricCoV and MaxSymmetricCoV are the underlying scores.
+	MaxAsymmetricCoV float64
+	MaxSymmetricCoV  float64
+	// ScalabilityRank is the power-vs-performance rank correlation
+	// underlying Scalable.
+	ScalabilityRank float64
+	// ScalabilityR2 is the linear-fit quality, reported for reference.
+	ScalabilityR2 float64
+}
+
+// DefaultPredictabilityThreshold is the CoV above which a workload is
+// judged unpredictable. The paper's unstable workloads show CoVs an
+// order of magnitude above this; its stable ones sit well below.
+const DefaultPredictabilityThreshold = 0.05
+
+// DefaultScalabilityRank is the minimum power-to-performance rank
+// correlation for "scales predictably with compute power".
+const DefaultScalabilityRank = 0.80
+
+// Classify derives the Table-1 judgement for an experiment.
+func Classify(o *Outcome) Classification {
+	cl := Classification{
+		MaxAsymmetricCoV: o.MaxCoV(true),
+		MaxSymmetricCoV:  o.SymmetricMaxCoV(),
+	}
+	cl.Predictable = cl.MaxAsymmetricCoV <= DefaultPredictabilityThreshold
+	cl.ScalabilityRank = o.ScalabilityRank()
+	cl.ScalabilityR2 = o.ScalabilityFit().R2
+	cl.Scalable = cl.ScalabilityRank >= DefaultScalabilityRank
+	return cl
+}

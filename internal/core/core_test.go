@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+	_ "asmp/internal/workload/jbb" // register specjbb
+)
+
+// powerProbe is a workload whose throughput is exactly the machine's
+// compute power, plus (optionally) seed-dependent noise on asymmetric
+// configurations — a controllable stand-in for the real benchmarks.
+type powerProbe struct {
+	asymNoise float64 // relative noise amplitude on asymmetric configs
+	runtime   bool    // report runtime (1/power) instead of throughput
+}
+
+func (w powerProbe) Name() string { return "power-probe" }
+
+func (w powerProbe) Run(pl *workload.Platform) workload.Result {
+	// Exercise the simulator for realism: one proc computes a fixed
+	// amount of work; but the metric is derived analytically so tests
+	// can make exact assertions.
+	pl.Env.Go("probe", func(p *sim.Proc) { p.Compute(1e6) })
+	pl.Env.Run()
+	v := pl.Config.ComputePower()
+	if w.asymNoise > 0 && !pl.Config.Symmetric() {
+		// Deterministic per-seed perturbation.
+		v *= 1 + w.asymNoise*(pl.Env.Rand().Float64()-0.5)*2
+	}
+	if w.runtime {
+		return workload.Result{Metric: "runtime (s)", Value: 1 / v, HigherIsBetter: false}
+	}
+	return workload.Result{Metric: "throughput", Value: v, HigherIsBetter: true}
+}
+
+func TestExecuteRunsWorkload(t *testing.T) {
+	res := Execute(RunSpec{
+		Workload: powerProbe{},
+		Config:   cpu.MustParseConfig("2f-2s/8"),
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     1,
+	})
+	if res.Value != 2.25 {
+		t.Fatalf("value = %v, want 2.25", res.Value)
+	}
+}
+
+func TestRunSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for c := 0; c < 9; c++ {
+		for r := 0; r < 20; r++ {
+			s := RunSeed(1, c, r)
+			if seen[s] {
+				t.Fatalf("duplicate seed for cell (%d,%d)", c, r)
+			}
+			seen[s] = true
+		}
+	}
+	if RunSeed(1, 0, 0) == RunSeed(2, 0, 0) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestExperimentDefaults(t *testing.T) {
+	o := Experiment{Workload: powerProbe{}}.Run()
+	if len(o.PerConfig) != 9 {
+		t.Fatalf("default configs = %d, want 9", len(o.PerConfig))
+	}
+	for _, cr := range o.PerConfig {
+		if len(cr.Values) != 3 {
+			t.Fatalf("default runs = %d, want 3", len(cr.Values))
+		}
+	}
+	if o.Metric != "throughput" || !o.HigherIsBetter {
+		t.Fatal("metric metadata lost")
+	}
+}
+
+func TestExperimentParallelMatchesSequential(t *testing.T) {
+	par := Experiment{Workload: powerProbe{asymNoise: 0.3}, Runs: 4, BaseSeed: 7}.Run()
+	seq := Experiment{Workload: powerProbe{asymNoise: 0.3}, Runs: 4, BaseSeed: 7, Sequential: true}.Run()
+	for i := range par.PerConfig {
+		for j := range par.PerConfig[i].Values {
+			if par.PerConfig[i].Values[j] != seq.PerConfig[i].Values[j] {
+				t.Fatal("parallel and sequential execution disagree")
+			}
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	o := Experiment{Workload: powerProbe{}, Runs: 1}.Run()
+	cfg := cpu.MustParseConfig("1f-3s/8")
+	cr := o.Find(cfg)
+	if cr == nil || cr.Config != cfg {
+		t.Fatal("Find failed")
+	}
+	if o.Find(cpu.Config{Fast: 9, Slow: 9, Scale: 2}) != nil {
+		t.Fatal("Find invented a config")
+	}
+}
+
+func TestMaxCoV(t *testing.T) {
+	o := Experiment{Workload: powerProbe{asymNoise: 0.4}, Runs: 6}.Run()
+	if cov := o.MaxCoV(true); cov <= 0.01 {
+		t.Fatalf("asymmetric CoV = %v, want noise visible", cov)
+	}
+	if cov := o.SymmetricMaxCoV(); cov != 0 {
+		t.Fatalf("symmetric CoV = %v, want 0 for analytic probe", cov)
+	}
+	// Restricting to asymmetric must never report less than the overall
+	// maximum when only asymmetric configs are noisy.
+	if o.MaxCoV(false) != o.MaxCoV(true) {
+		t.Fatal("overall max should equal asymmetric max here")
+	}
+}
+
+func TestScalabilityFitThroughput(t *testing.T) {
+	o := Experiment{Workload: powerProbe{}, Runs: 2}.Run()
+	fit := o.ScalabilityFit()
+	if fit.Slope < 0.99 || fit.Slope > 1.01 || fit.R2 < 0.999 {
+		t.Fatalf("perfectly scalable probe fit = %+v", fit)
+	}
+}
+
+func TestScalabilityFitRuntime(t *testing.T) {
+	o := Experiment{Workload: powerProbe{runtime: true}, Runs: 2}.Run()
+	fit := o.ScalabilityFit()
+	// runtime = 1/power, regressed against 1/power: slope 1, R² 1.
+	if fit.Slope < 0.99 || fit.Slope > 1.01 || fit.R2 < 0.999 {
+		t.Fatalf("runtime fit = %+v", fit)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	o := Experiment{Workload: powerProbe{}, Runs: 2}.Run()
+	base := cpu.MustParseConfig("0f-4s/8")
+	sp, err := o.Speedups(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4f-0s has 8x the power of 0f-4s/8.
+	if got := sp[0].Mean; got < 7.9 || got > 8.1 {
+		t.Fatalf("4f-0s speedup = %v, want 8", got)
+	}
+	// Baseline speedup is 1.
+	if got := sp[len(sp)-1].Mean; got < 0.99 || got > 1.01 {
+		t.Fatalf("baseline speedup = %v, want 1", got)
+	}
+	if _, err := o.Speedups(cpu.Config{Fast: 7}); err == nil {
+		t.Fatal("missing baseline did not error")
+	}
+}
+
+func TestSpeedupsRuntimeDirection(t *testing.T) {
+	o := Experiment{Workload: powerProbe{runtime: true}, Runs: 2}.Run()
+	sp, err := o.Speedups(cpu.MustParseConfig("0f-4s/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower runtime on 4f-0s must still read as ~8x speedup.
+	if got := sp[0].Mean; got < 7.9 || got > 8.1 {
+		t.Fatalf("runtime speedup = %v, want 8", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	stable := Classify(Experiment{Workload: powerProbe{}, Runs: 4}.Run())
+	if !stable.Predictable || !stable.Scalable {
+		t.Fatalf("analytic probe should classify predictable+scalable: %+v", stable)
+	}
+	noisy := Classify(Experiment{Workload: powerProbe{asymNoise: 0.5}, Runs: 8}.Run())
+	if noisy.Predictable {
+		t.Fatalf("noisy probe should classify unpredictable: %+v", noisy)
+	}
+}
+
+func TestExperimentPanicsWithoutWorkload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Experiment{}.Run()
+}
+
+func TestRealWorkloadIntegration(t *testing.T) {
+	// End-to-end: the registered SPECjbb model through the framework on
+	// two configs.
+	w, err := workload.New("specjbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Experiment{
+		Workload: w,
+		Configs:  []cpu.Config{cpu.MustParseConfig("4f-0s"), cpu.MustParseConfig("0f-4s/8")},
+		Runs:     2,
+	}.Run()
+	if o.PerConfig[0].Summary.Mean <= o.PerConfig[1].Summary.Mean {
+		t.Fatal("4f-0s should beat 0f-4s/8")
+	}
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+)
+
+// speedProbe reports the machine's compute power as its "throughput": a
+// perfectly scalable, perfectly predictable workload.
+type speedProbe struct{}
+
+func (speedProbe) Name() string { return "speed-probe" }
+func (speedProbe) Run(pl *workload.Platform) workload.Result {
+	pl.Env.Go("probe", func(p *sim.Proc) { p.Compute(1e6) })
+	pl.Env.Run()
+	return workload.Result{Metric: "power", Value: pl.Config.ComputePower(), HigherIsBetter: true}
+}
+
+// Example runs the study framework end to end: sweep, summarize,
+// classify.
+func Example() {
+	out := core.Experiment{
+		Name:     "probe",
+		Workload: speedProbe{},
+		Configs: []cpu.Config{
+			cpu.MustParseConfig("4f-0s"),
+			cpu.MustParseConfig("2f-2s/8"),
+			cpu.MustParseConfig("0f-4s/8"),
+		},
+		Runs:  3,
+		Sched: sched.Defaults(sched.PolicyNaive),
+	}.Run()
+
+	for _, cr := range out.PerConfig {
+		fmt.Printf("%-8s mean %.2f CoV %.3f\n", cr.Config, cr.Summary.Mean, cr.Summary.CoV)
+	}
+	cl := core.Classify(out)
+	fmt.Printf("predictable=%v scalable=%v\n", cl.Predictable, cl.Scalable)
+	// Output:
+	// 4f-0s    mean 4.00 CoV 0.000
+	// 2f-2s/8  mean 2.25 CoV 0.000
+	// 0f-4s/8  mean 0.50 CoV 0.000
+	// predictable=true scalable=true
+}

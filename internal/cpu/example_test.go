@@ -1,0 +1,49 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+)
+
+// Example parses the paper's configuration notation and computes the
+// quantity its x-axes are ordered by.
+func Example() {
+	cfg := cpu.MustParseConfig("2f-2s/8")
+	fmt.Println("cores:", cfg.Machine().NumCores())
+	fmt.Println("compute power:", cfg.ComputePower())
+	fmt.Println("symmetric:", cfg.Symmetric())
+	// Output:
+	// cores: 4
+	// compute power: 2.25
+	// symmetric: false
+}
+
+// ExampleConfigNames lists the nine standard configurations of the study
+// in figure order (decreasing total compute power).
+func ExampleConfigNames() {
+	for _, n := range cpu.ConfigNames() {
+		fmt.Println(n)
+	}
+	// Output:
+	// 4f-0s
+	// 3f-1s/4
+	// 3f-1s/8
+	// 2f-2s/4
+	// 2f-2s/8
+	// 1f-3s/4
+	// 1f-3s/8
+	// 0f-4s/4
+	// 0f-4s/8
+}
+
+// ExampleCore_TimeFor shows the duty-cycle arithmetic: the same work
+// takes 1/duty times longer on a modulated core.
+func ExampleCore_TimeFor() {
+	fast := cpu.Core{ID: 0, Duty: 1.0}
+	slow := cpu.Core{ID: 1, Duty: 0.125}
+	work := cpu.BaseHz // one fast-core second
+	fmt.Printf("fast: %.0fs  slow: %.0fs\n", fast.TimeFor(work), slow.TimeFor(work))
+	// Output:
+	// fast: 1s  slow: 8s
+}

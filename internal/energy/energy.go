@@ -1,0 +1,143 @@
+// Package energy adds the power-and-energy accounting that motivates
+// asymmetric multicores in the first place (the paper's introduction and
+// its Kumar/Grochowski/Morad related work). It computes per-core and
+// whole-machine energy from a scheduler's activity statistics under a
+// configurable power model.
+//
+// Two regimes matter:
+//
+//   - α = 1 models the paper's duty-cycle clock modulation: dynamic
+//     power gates linearly with duty, so slowing a core saves exactly as
+//     much power as it costs performance — never an efficiency win once
+//     static power is counted.
+//
+//   - α ≈ 3 models voltage–frequency scaling or genuinely smaller cores:
+//     dynamic power falls superlinearly with speed, which is why "many
+//     simple cores plus a few complex ones" wins performance per watt —
+//     the architectural premise the paper examines the software costs of.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+)
+
+// Model is a per-core power model.
+type Model struct {
+	// StaticWatts is per-core leakage plus the core's uncore share,
+	// burned whenever the machine is on.
+	StaticWatts float64
+	// DynamicWatts is the per-core dynamic power at full duty and full
+	// utilization.
+	DynamicWatts float64
+	// IdleActivity is the fraction of scaled dynamic power a core burns
+	// while idle but clocked (2005-era processors without deep sleep).
+	IdleActivity float64
+	// Alpha is the exponent relating core speed to dynamic power:
+	// P_dyn ∝ speed^Alpha. 1 = duty-cycle gating; ~3 = DVFS/smaller
+	// cores.
+	Alpha float64
+}
+
+// DutyCycleModel returns the model matching the paper's platform:
+// clock modulation, linear power-in-duty.
+func DutyCycleModel() Model {
+	return Model{StaticWatts: 18, DynamicWatts: 60, IdleActivity: 0.3, Alpha: 1}
+}
+
+// DVFSModel returns a voltage-scaling model (P ∝ f·V², V ∝ f): the
+// regime in which asymmetric machines win efficiency.
+func DVFSModel() Model {
+	return Model{StaticWatts: 18, DynamicWatts: 60, IdleActivity: 0.3, Alpha: 3}
+}
+
+// validate panics on nonsensical parameters.
+func (m Model) validate() {
+	if m.StaticWatts < 0 || m.DynamicWatts < 0 {
+		panic("energy: negative power")
+	}
+	if m.IdleActivity < 0 || m.IdleActivity > 1 {
+		panic("energy: IdleActivity must be in [0, 1]")
+	}
+	if m.Alpha <= 0 {
+		panic("energy: Alpha must be positive")
+	}
+}
+
+// CorePower returns a core's power draw in watts at the given speed
+// (duty or frequency fraction, in (0, 1]) and utilization (busy
+// fraction, in [0, 1]).
+func (m Model) CorePower(speed, utilization float64) float64 {
+	m.validate()
+	if speed <= 0 || speed > 1 {
+		panic(fmt.Sprintf("energy: speed %v out of (0, 1]", speed))
+	}
+	if utilization < 0 || utilization > 1 {
+		panic(fmt.Sprintf("energy: utilization %v out of [0, 1]", utilization))
+	}
+	dyn := m.DynamicWatts * math.Pow(speed, m.Alpha)
+	activity := m.IdleActivity + (1-m.IdleActivity)*utilization
+	return m.StaticWatts + dyn*activity
+}
+
+// Report is the energy accounting of one run.
+type Report struct {
+	// Joules is the machine's total energy over the run.
+	Joules float64
+	// AvgWatts is Joules divided by the elapsed simulated time.
+	AvgWatts float64
+	// PerCoreJoules breaks Joules down by core.
+	PerCoreJoules []float64
+	// ElapsedSeconds is the accounted wall-clock span.
+	ElapsedSeconds float64
+}
+
+// Measure computes the energy a machine burned during a run, given the
+// scheduler's per-core busy time, the machine's (current) duty cycles
+// and the elapsed simulated seconds.
+func (m Model) Measure(st sched.Stats, machine cpu.Machine, elapsed float64) Report {
+	m.validate()
+	if elapsed < 0 {
+		panic("energy: negative elapsed time")
+	}
+	r := Report{ElapsedSeconds: elapsed, PerCoreJoules: make([]float64, machine.NumCores())}
+	for i, c := range machine.Cores {
+		busy := 0.0
+		if i < len(st.BusySeconds) {
+			busy = st.BusySeconds[i]
+		}
+		if busy > elapsed {
+			busy = elapsed
+		}
+		idle := elapsed - busy
+		j := busy*m.CorePower(c.Duty, 1) + idle*m.CorePower(c.Duty, 0)
+		r.PerCoreJoules[i] = j
+		r.Joules += j
+	}
+	if elapsed > 0 {
+		r.AvgWatts = r.Joules / elapsed
+	}
+	return r
+}
+
+// Efficiency returns performance per watt: work per joule for
+// throughput-like metrics (metric × elapsed / joules reduces to
+// metric/avg-watts) or inverse energy-delay for runtimes. The caller
+// supplies the metric value and its direction.
+func Efficiency(metricValue float64, higherIsBetter bool, r Report) float64 {
+	if r.Joules == 0 {
+		return 0
+	}
+	if higherIsBetter {
+		// Operations per joule.
+		return metricValue * r.ElapsedSeconds / r.Joules
+	}
+	// 1 / energy-delay product (bigger is better).
+	if metricValue == 0 {
+		return 0
+	}
+	return 1 / (r.Joules * metricValue)
+}

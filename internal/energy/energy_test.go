@@ -1,0 +1,150 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCorePowerEndpoints(t *testing.T) {
+	m := Model{StaticWatts: 10, DynamicWatts: 40, IdleActivity: 0.25, Alpha: 1}
+	// Full speed, fully busy: static + all dynamic.
+	if got := m.CorePower(1, 1); !approx(got, 50, 1e-12) {
+		t.Fatalf("busy full-speed power = %v, want 50", got)
+	}
+	// Full speed, idle: static + idle share of dynamic.
+	if got := m.CorePower(1, 0); !approx(got, 20, 1e-12) {
+		t.Fatalf("idle full-speed power = %v, want 20", got)
+	}
+	// Half duty, busy, alpha 1: static + half dynamic.
+	if got := m.CorePower(0.5, 1); !approx(got, 30, 1e-12) {
+		t.Fatalf("busy half-duty power = %v, want 30", got)
+	}
+}
+
+func TestAlphaCubeLaw(t *testing.T) {
+	m := DVFSModel()
+	full := m.CorePower(1, 1) - m.StaticWatts
+	half := m.CorePower(0.5, 1) - m.StaticWatts
+	// Dynamic power at half speed must be 1/8 under the cube law, up to
+	// the idle-activity floor folded into utilization=1 (none here).
+	if ratio := full / half; !approx(ratio, 8, 1e-9) {
+		t.Fatalf("cube-law ratio = %v, want 8", ratio)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Model{
+		{StaticWatts: -1, DynamicWatts: 1, IdleActivity: 0, Alpha: 1},
+		{StaticWatts: 1, DynamicWatts: 1, IdleActivity: 2, Alpha: 1},
+		{StaticWatts: 1, DynamicWatts: 1, IdleActivity: 0, Alpha: 0},
+	}
+	for i, m := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("model %d did not panic", i)
+				}
+			}()
+			m.CorePower(1, 1)
+		}()
+	}
+	m := DutyCycleModel()
+	for _, c := range []struct{ s, u float64 }{{0, 0.5}, {1.5, 0.5}, {0.5, -0.1}, {0.5, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CorePower(%v, %v) did not panic", c.s, c.u)
+				}
+			}()
+			m.CorePower(c.s, c.u)
+		}()
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	m := Model{StaticWatts: 10, DynamicWatts: 40, IdleActivity: 0.25, Alpha: 1}
+	machine := cpu.NewMachine(1.0, 0.5)
+	st := sched.Stats{BusySeconds: []float64{10, 4}}
+	r := m.Measure(st, machine, 10)
+	// Core 0: 10s busy at 50W = 500 J.
+	// Core 1: 4s busy at (10 + 20) = 30W, 6s idle at (10 + 20*0.25) = 15W
+	//         -> 120 + 90 = 210 J.
+	if !approx(r.PerCoreJoules[0], 500, 1e-9) || !approx(r.PerCoreJoules[1], 210, 1e-9) {
+		t.Fatalf("per-core joules = %v", r.PerCoreJoules)
+	}
+	if !approx(r.Joules, 710, 1e-9) || !approx(r.AvgWatts, 71, 1e-9) {
+		t.Fatalf("total %v avg %v", r.Joules, r.AvgWatts)
+	}
+}
+
+func TestMeasureClampsBusy(t *testing.T) {
+	m := DutyCycleModel()
+	machine := cpu.NewMachine(1.0)
+	// Busy reported slightly above elapsed (in-flight accounting): clamp.
+	st := sched.Stats{BusySeconds: []float64{10.5}}
+	r := m.Measure(st, machine, 10)
+	if r.Joules > 10*m.CorePower(1, 1)+1e-9 {
+		t.Fatalf("joules %v exceed physical maximum", r.Joules)
+	}
+}
+
+func TestEfficiencyDirections(t *testing.T) {
+	r := Report{Joules: 1000, ElapsedSeconds: 10}
+	// Throughput 500 ops/s for 10 s = 5000 ops on 1000 J = 5 ops/J.
+	if got := Efficiency(500, true, r); !approx(got, 5, 1e-12) {
+		t.Fatalf("ops/J = %v, want 5", got)
+	}
+	// Runtime metric: inverse EDP.
+	if got := Efficiency(10, false, r); !approx(got, 1.0/10000, 1e-15) {
+		t.Fatalf("1/EDP = %v", got)
+	}
+	if Efficiency(1, true, Report{}) != 0 {
+		t.Fatal("zero-energy efficiency should be 0")
+	}
+}
+
+// Property: power is monotone in both speed and utilization, and energy
+// scales linearly with elapsed time at fixed utilization.
+func TestMonotonicityProperty(t *testing.T) {
+	m := DutyCycleModel()
+	f := func(s1Raw, s2Raw, uRaw uint8) bool {
+		s1 := (float64(s1Raw%8) + 1) / 8
+		s2 := (float64(s2Raw%8) + 1) / 8
+		u := float64(uRaw%101) / 100
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		if m.CorePower(s1, u) > m.CorePower(s2, u)+1e-12 {
+			return false
+		}
+		return m.CorePower(s1, 0) <= m.CorePower(s1, u)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline economics: under duty-cycle gating (alpha 1) a slow core
+// is never more efficient than a fast one once static power counts;
+// under the cube law (alpha 3) it always is. This is why the
+// asymmetric-multicore proposals the paper cites assume DVFS or smaller
+// cores, not clock modulation.
+func TestEfficiencyRegimes(t *testing.T) {
+	perfPerWatt := func(m Model, speed float64) float64 {
+		return speed / m.CorePower(speed, 1)
+	}
+	duty := DutyCycleModel()
+	if perfPerWatt(duty, 0.25) >= perfPerWatt(duty, 1.0) {
+		t.Fatal("under duty gating, slow cores should not win perf/W")
+	}
+	dvfs := DVFSModel()
+	if perfPerWatt(dvfs, 0.25) <= perfPerWatt(dvfs, 1.0) {
+		t.Fatal("under the cube law, slow cores should win perf/W")
+	}
+}

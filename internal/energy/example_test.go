@@ -1,0 +1,26 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"asmp/internal/energy"
+)
+
+// Example contrasts the two power regimes on a half-speed core: under
+// the paper's duty-cycle gating, slowing a core saves power only
+// linearly; under voltage scaling it saves cubically — the economics
+// that make asymmetric multicores attractive in the first place.
+func Example() {
+	duty := energy.DutyCycleModel()
+	dvfs := energy.DVFSModel()
+	perfPerWatt := func(m energy.Model, speed float64) float64 {
+		return speed / m.CorePower(speed, 1) * 100
+	}
+	fmt.Printf("duty gating: full %.2f, half-speed %.2f (perf per 100W)\n",
+		perfPerWatt(duty, 1), perfPerWatt(duty, 0.5))
+	fmt.Printf("dvfs:        full %.2f, half-speed %.2f\n",
+		perfPerWatt(dvfs, 1), perfPerWatt(dvfs, 0.5))
+	// Output:
+	// duty gating: full 1.28, half-speed 1.04 (perf per 100W)
+	// dvfs:        full 1.28, half-speed 1.96
+}

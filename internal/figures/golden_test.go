@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// goldenPath locates the committed full-resolution artifact.
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "results", "figures-full.txt")
+}
+
+// TestGoldenArtifact regenerates a fast subset of the figures at full
+// resolution and requires byte-identical tables to the committed
+// artifact. Every run is a pure function of the seed, so any difference
+// means the model changed — in which case results/figures-full.txt and
+// EXPERIMENTS.md must be regenerated deliberately, not drift silently:
+//
+//	go run ./cmd/asmp-run -all > results/figures-full.txt
+func TestGoldenArtifact(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath(t))
+	if err != nil {
+		t.Skipf("golden artifact not available: %v", err)
+	}
+	golden := string(raw)
+	for _, id := range []string{"micro", "4a", "4b", "5b", "9b", "8a"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			f, ok := Get(id)
+			if !ok {
+				t.Fatalf("figure %s missing", id)
+			}
+			for ti, tb := range f.Run(Options{Seed: 1}) {
+				s := tb.String()
+				if !strings.Contains(golden, s) {
+					t.Errorf("figure %s table %d diverged from results/figures-full.txt;\n"+
+						"if the model change is intentional, regenerate the artifact and EXPERIMENTS.md\n"+
+						"regenerated:\n%s", id, ti, s)
+				}
+			}
+		})
+	}
+}

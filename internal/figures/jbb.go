@@ -1,0 +1,162 @@
+package figures
+
+import (
+	"fmt"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/report"
+	"asmp/internal/sched"
+	"asmp/internal/workload/gc"
+	"asmp/internal/workload/jbb"
+)
+
+// warehousePoints returns the Figure-1 x axis (1..20 warehouses), thinned
+// in quick mode.
+func warehousePoints(o Options) []int {
+	if o.Quick {
+		return []int{1, 2, 4, 8, 12, 16, 20}
+	}
+	pts := make([]int, 20)
+	for i := range pts {
+		pts[i] = i + 1
+	}
+	return pts
+}
+
+// jbbSweep measures throughput for every (warehouse, run) cell of one
+// SPECjbb variant on one configuration.
+func jbbSweep(o Options, cfg cpu.Config, jvm jbb.JVM, kind gc.Kind, policy sched.Policy, runs int, seedLane int) map[int][]float64 {
+	pts := warehousePoints(o)
+	type cell struct{ wi, run int }
+	var cells []cell
+	for wi := range pts {
+		for r := 0; r < runs; r++ {
+			cells = append(cells, cell{wi, r})
+		}
+	}
+	vals := make([]float64, len(cells))
+	pmap(len(cells), func(i int) {
+		c := cells[i]
+		w := jbb.New(jbb.Options{Warehouses: pts[c.wi], JVM: jvm, GC: kind})
+		seed := core.RunSeed(o.seed(), seedLane*1000+c.wi, c.run)
+		vals[i] = runCell(w, cfg, policy, seed).Value
+	})
+	out := map[int][]float64{}
+	for _, w := range pts {
+		out[w] = make([]float64, runs)
+	}
+	for i, c := range cells {
+		out[pts[c.wi]][c.run] = vals[i]
+	}
+	return out
+}
+
+// sweepTable renders warehouse sweeps side by side.
+func sweepTable(title string, pts []int, panels []struct {
+	label string
+	data  map[int][]float64
+}) *report.Table {
+	t := &report.Table{Title: title, Columns: []string{"warehouses"}}
+	for _, p := range panels {
+		runs := 0
+		for _, vs := range p.data {
+			if len(vs) > runs {
+				runs = len(vs)
+			}
+		}
+		for r := 0; r < runs; r++ {
+			t.Columns = append(t.Columns, fmt.Sprintf("%s r%d", p.label, r+1))
+		}
+	}
+	for _, w := range pts {
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, p := range panels {
+			for _, v := range p.data[w] {
+				row = append(row, report.F(v))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("throughput in transactions/second")
+	return t
+}
+
+func init() {
+	register(Figure{
+		ID:    "1a",
+		Title: "SPECjbb predictability: two JVMs on 2f-2s/8",
+		Paper: "Throughput vs warehouses for BEA JRockit (parallel GC) and Sun HotSpot (generational concurrent GC) on 2f-2s/8, 3 runs each: HotSpot shows higher absolute variance, JRockit minor instability.",
+		Run: func(o Options) []*report.Table {
+			cfg := cpu.MustParseConfig("2f-2s/8")
+			runs := o.runs(3)
+			jrockit := jbbSweep(o, cfg, jbb.JRockit, gc.ParallelSTW, sched.PolicyNaive, runs, 1)
+			hotspot := jbbSweep(o, cfg, jbb.HotSpot, gc.ConcurrentGenerational, sched.PolicyNaive, runs, 2)
+			t := sweepTable("Figure 1(a): SPECjbb throughput on 2f-2s/8, two JVMs", warehousePoints(o),
+				[]struct {
+					label string
+					data  map[int][]float64
+				}{
+					{"jrockit/parGC", jrockit},
+					{"hotspot/concGC", hotspot},
+				})
+			return []*report.Table{t}
+		},
+	})
+
+	register(Figure{
+		ID:    "1b",
+		Title: "SPECjbb predictability: concurrent GC, symmetric vs asymmetric",
+		Paper: "JRockit with the generational concurrent collector: stable on 4f-0s (2 runs), severely unstable on 2f-2s/8 (4 runs), worse with more warehouses.",
+		Run: func(o Options) []*report.Table {
+			sym := jbbSweep(o, cpu.MustParseConfig("4f-0s"), jbb.JRockit, gc.ConcurrentGenerational, sched.PolicyNaive, o.runs(2), 3)
+			asym := jbbSweep(o, cpu.MustParseConfig("2f-2s/8"), jbb.JRockit, gc.ConcurrentGenerational, sched.PolicyNaive, o.runs(4), 4)
+			t := sweepTable("Figure 1(b): SPECjbb, JRockit generational concurrent GC", warehousePoints(o),
+				[]struct {
+					label string
+					data  map[int][]float64
+				}{
+					{"4f-0s", sym},
+					{"2f-2s/8", asym},
+				})
+			return []*report.Table{t}
+		},
+	})
+
+	register(Figure{
+		ID:    "2a",
+		Title: "SPECjbb scalability and predictability across configurations",
+		Paper: "Average throughput with error bars over the nine configurations: symmetric points scale linearly and tightly; asymmetric points scale but with large variability.",
+		Run: func(o Options) []*report.Table {
+			w := jbb.New(jbb.Options{Warehouses: 12, JVM: jbb.JRockit, GC: gc.ConcurrentGenerational})
+			out := standardExperiment("Figure 2(a): SPECjbb across configurations (12 warehouses, concurrent GC)",
+				w, o.runs(5), sched.PolicyNaive, o.seed())
+			bars := make([]report.Bar, len(out.PerConfig))
+			for i, cr := range out.PerConfig {
+				bars[i] = report.Bar{Label: cr.Config.String(), Value: cr.Summary.Mean, Err: cr.Summary.ErrorBar()}
+			}
+			chart := report.BarChart("Figure 2(a) as bars (throughput, '~' = run-to-run spread)", bars, 44)
+			return []*report.Table{report.OutcomeTable(out), chart}
+		},
+	})
+
+	register(Figure{
+		ID:    "2b",
+		Title: "SPECjbb with the asymmetry-aware kernel scheduler",
+		Paper: "The modified kernel (fast cores never idle before slow ones) eliminates the 2f-2s/8 instability of Figure 1.",
+		Run: func(o Options) []*report.Table {
+			cfg := cpu.MustParseConfig("2f-2s/8")
+			aware := jbbSweep(o, cfg, jbb.JRockit, gc.ConcurrentGenerational, sched.PolicyAsymmetryAware, o.runs(4), 5)
+			naive := jbbSweep(o, cfg, jbb.JRockit, gc.ConcurrentGenerational, sched.PolicyNaive, o.runs(4), 6)
+			t := sweepTable("Figure 2(b): SPECjbb on 2f-2s/8, asymmetry-aware vs stock kernel", warehousePoints(o),
+				[]struct {
+					label string
+					data  map[int][]float64
+				}{
+					{"aware", aware},
+					{"stock", naive},
+				})
+			return []*report.Table{t}
+		},
+	})
+}

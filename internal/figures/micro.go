@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/report"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+)
+
+// microbench is the §2 validation workload: a single computationally
+// intensive thread whose runtime must scale exactly with the inverse of
+// the duty cycle, plus a memory-bound twin whose runtime must not.
+type microbench struct {
+	cycles float64
+	mem    simtime.Duration
+}
+
+// Name implements workload.Workload.
+func (m microbench) Name() string { return "microbench" }
+
+// Run implements workload.Workload.
+func (m microbench) Run(pl *workload.Platform) workload.Result {
+	var finish simtime.Time
+	pl.Env.Go("micro", func(p *sim.Proc) {
+		p.ComputeMem(m.cycles, m.mem)
+		finish = p.Now()
+	})
+	pl.Env.Run()
+	return workload.Result{Metric: "runtime (s)", Value: float64(finish), HigherIsBetter: false}
+}
+
+func init() {
+	register(Figure{
+		ID:    "micro",
+		Title: "Methodology validation: duty-cycle modulation",
+		Paper: "§2: performance asymmetry was validated using runtimes of computationally intensive micro benchmarks. A compute-bound thread slows by exactly 1/duty; duty-cycle modulation leaves the memory system untouched, so a memory-bound thread does not slow at all.",
+		Run: func(o Options) []*report.Table {
+			t := &report.Table{
+				Title:   "Duty-cycle validation on a single core",
+				Columns: []string{"duty", "compute-bound (s)", "slowdown", "memory-bound (s)", "slowdown"},
+			}
+			const work = 2.8e9 // one second at full speed
+			base := map[bool]float64{}
+			for i := len(cpu.DutySteps) - 1; i >= 0; i-- {
+				duty := cpu.DutySteps[i]
+				machine := cpu.NewMachine(duty)
+				run := func(m microbench) float64 {
+					env := sim.NewEnv(o.seed())
+					sched.New(env, machine, sched.Defaults(sched.PolicyNaive))
+					pl := &workload.Platform{Env: env, Config: cpu.Config{Fast: 0, Slow: 1, Scale: 1}}
+					defer env.Close()
+					return m.Run(pl).Value
+				}
+				cb := run(microbench{cycles: work})
+				mb := run(microbench{mem: simtime.Duration(1)})
+				if duty == 1.0 {
+					base[true] = cb
+					base[false] = mb
+				}
+				t.AddRow(fmt.Sprintf("%.1f%%", duty*100),
+					report.F(cb), report.F(cb/base[true]),
+					report.F(mb), report.F(mb/base[false]))
+			}
+			t.AddNote("compute-bound slowdown must equal 1/duty exactly; memory-bound must stay 1.0")
+			return []*report.Table{t}
+		},
+	})
+}

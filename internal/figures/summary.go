@@ -1,0 +1,220 @@
+package figures
+
+import (
+	"fmt"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/report"
+	"asmp/internal/sched"
+	"asmp/internal/workload"
+	"asmp/internal/workload/gc"
+	"asmp/internal/workload/h264"
+	"asmp/internal/workload/jappserver"
+	"asmp/internal/workload/jbb"
+	"asmp/internal/workload/omp"
+	"asmp/internal/workload/pmake"
+	"asmp/internal/workload/tpch"
+	"asmp/internal/workload/web"
+)
+
+func mustCfg(s string) cpu.Config { return cpu.MustParseConfig(s) }
+
+// summaryEntry is one benchmark of Figure 10 / Table 1.
+type summaryEntry struct {
+	label string
+	build func() workload.Workload
+	// fix describes the paper's remedy and builds the fixed variant (nil
+	// when no fix is needed, i.e. the workload is already predictable).
+	fixLabel  string
+	fixPolicy sched.Policy
+	fixBuild  func() workload.Workload
+	class     string
+}
+
+// summaryEntries lists the eight benchmarks in the paper's Figure-10
+// order.
+func summaryEntries() []summaryEntry {
+	return []summaryEntry{
+		{
+			label: "jAppServer", class: "MRTE",
+			build: func() workload.Workload { return jappserver.New(jappserver.Options{}) },
+		},
+		{
+			label: "jbb", class: "MRTE",
+			build: func() workload.Workload {
+				return jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+			},
+			fixLabel:  "asymmetry-aware kernel",
+			fixPolicy: sched.PolicyAsymmetryAware,
+			fixBuild: func() workload.Workload {
+				return jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+			},
+		},
+		{
+			label: "Apache", class: "Web server",
+			build: func() workload.Workload {
+				return web.New(web.Options{Server: web.Apache, Load: web.LightLoad})
+			},
+			fixLabel:  "asymmetry-aware kernel",
+			fixPolicy: sched.PolicyAsymmetryAware,
+			fixBuild: func() workload.Workload {
+				return web.New(web.Options{Server: web.Apache, Load: web.LightLoad})
+			},
+		},
+		{
+			label: "Zeus", class: "Web server",
+			build: func() workload.Workload {
+				return web.New(web.Options{Server: web.Zeus, Load: web.LightLoad})
+			},
+			fixLabel:  "asymmetry-aware kernel (ineffective)",
+			fixPolicy: sched.PolicyAsymmetryAware,
+			fixBuild: func() workload.Workload {
+				return web.New(web.Options{Server: web.Zeus, Load: web.LightLoad})
+			},
+		},
+		{
+			label: "TPC-H", class: "Database",
+			build:     func() workload.Workload { return tpch.New(tpch.Options{}) },
+			fixLabel:  "application change (optimization degree 2)",
+			fixPolicy: sched.PolicyNaive,
+			fixBuild:  func() workload.Workload { return tpch.New(tpch.Options{Optimization: 2}) },
+		},
+		{
+			label: "H.264", class: "Multimedia",
+			build: func() workload.Workload { return h264.New(h264.Options{}) },
+		},
+		{
+			label: "OMP", class: "Scientific",
+			build:     func() workload.Workload { return omp.New(omp.Options{Benchmark: "swim"}) },
+			fixLabel:  "application change (dynamic directives)",
+			fixPolicy: sched.PolicyNaive,
+			fixBuild: func() workload.Workload {
+				return omp.New(omp.Options{Benchmark: "swim", ForceDynamic: true})
+			},
+		},
+		{
+			label: "PMAKE", class: "Development",
+			build: func() workload.Workload { return pmake.New(pmake.Options{}) },
+		},
+	}
+}
+
+func init() {
+	register(Figure{
+		ID:    "10",
+		Title: "Predictability and scalability summary for all benchmarks",
+		Paper: "Speedup over 0f-4s/8 for all eight benchmarks across the nine configurations with error bars: symmetric bars are tight; SPECjbb, Apache (light), Zeus (light) and TPC-H show large asymmetric error bars; SPEC OMP and H.264 are limited by the slowest core.",
+		Run: func(o Options) []*report.Table {
+			entries := summaryEntries()
+			runs := o.runs(3)
+			outs := make([]*core.Outcome, len(entries))
+			pmap(len(entries), func(i int) {
+				outs[i] = standardExperiment(entries[i].label, entries[i].build(), runs,
+					sched.PolicyNaive, o.seed()+uint64(i))
+			})
+			t := &report.Table{
+				Title:   "Figure 10: speedups over 0f-4s/8 (error bars = half min-max spread)",
+				Columns: []string{"config"},
+			}
+			for _, e := range entries {
+				t.Columns = append(t.Columns, e.label, "±")
+			}
+			speedups := make([][]string, len(cpu.StandardConfigs))
+			for i := range speedups {
+				speedups[i] = []string{cpu.StandardConfigs[i].String()}
+			}
+			for _, out := range outs {
+				sp, err := out.Speedups(baseline)
+				if err != nil {
+					panic(err)
+				}
+				for c := range cpu.StandardConfigs {
+					speedups[c] = append(speedups[c], report.F(sp[c].Mean), report.F(sp[c].ErrorBar()))
+				}
+			}
+			for _, row := range speedups {
+				t.AddRow(row...)
+			}
+			t.AddNote("OMP column uses swim as the suite representative (see figure 8 for the full suite)")
+
+			// Bar renditions for the two extreme stories: SPECjbb's
+			// instability bars and OMP's slowest-core-gated plateau.
+			tables := []*report.Table{t}
+			for _, pick := range []int{1, 6} { // jbb, OMP
+				out := outs[pick]
+				sp, err := out.Speedups(baseline)
+				if err != nil {
+					panic(err)
+				}
+				bars := make([]report.Bar, len(out.PerConfig))
+				for c, cr := range out.PerConfig {
+					bars[c] = report.Bar{Label: cr.Config.String(), Value: sp[c].Mean, Err: sp[c].ErrorBar()}
+				}
+				tables = append(tables, report.BarChart(
+					fmt.Sprintf("Figure 10, %s panel (speedup over 0f-4s/8; '~' = spread)", entries[pick].label),
+					bars, 44))
+			}
+			return tables
+		},
+	})
+
+	register(Figure{
+		ID:    "table1",
+		Title: "Table 1: results summary",
+		Paper: "Qualitative classification per workload: is performance predictable, is scalability predictable, and which remedy (kernel or application change) restores predictability.",
+		Run: func(o Options) []*report.Table {
+			entries := summaryEntries()
+			// Classification needs a minimum sample size to estimate
+			// variance, even in quick mode.
+			runs := o.runs(5)
+			if runs < 4 {
+				runs = 4
+			}
+			t := &report.Table{
+				Title: "Table 1: results summary (measured)",
+				Columns: []string{"application", "class", "predictable?", "asym CoV",
+					"with fix", "fixed CoV", "scalable?", "rank-corr", "fixed scalable?"},
+			}
+			type rowData struct {
+				base  core.Classification
+				fixed *core.Classification
+			}
+			rows := make([]rowData, len(entries))
+			pmap(len(entries), func(i int) {
+				e := entries[i]
+				out := standardExperiment(e.label, e.build(), runs, sched.PolicyNaive, o.seed()+uint64(i))
+				rows[i].base = core.Classify(out)
+				if e.fixBuild != nil {
+					fixedOut := standardExperiment(e.label+"+fix", e.fixBuild(), runs, e.fixPolicy, o.seed()+uint64(i))
+					cl := core.Classify(fixedOut)
+					rows[i].fixed = &cl
+				}
+			})
+			yn := func(b bool) string {
+				if b {
+					return "yes"
+				}
+				return "NO"
+			}
+			for i, e := range entries {
+				r := rows[i]
+				fixLabel, fixedCoV, fixedScal := "—", "—", "—"
+				if r.fixed != nil {
+					fixLabel = e.fixLabel
+					fixedCoV = report.F(r.fixed.MaxAsymmetricCoV)
+					fixedScal = yn(r.fixed.Scalable)
+				}
+				t.AddRow(e.label, e.class,
+					yn(r.base.Predictable), report.F(r.base.MaxAsymmetricCoV),
+					fixLabel, fixedCoV,
+					yn(r.base.Scalable), fmt.Sprintf("%.3f", r.base.ScalabilityRank),
+					fixedScal)
+			}
+			t.AddNote("predictable = max asymmetric CoV <= %s; scalable = power-to-performance rank correlation >= %.2f",
+				report.F(core.DefaultPredictabilityThreshold), core.DefaultScalabilityRank)
+			t.AddNote("the paper marks OMP 'sometimes' predictable: the suite's coarse-iteration member (ammp) is mapping-sensitive while swim (this row) is stable — see figure 8a")
+			return []*report.Table{t}
+		},
+	})
+}

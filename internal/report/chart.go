@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one bar of a BarChart: a labelled value with an optional error
+// half-width, mirroring the paper's bar-plus-error-bar figures.
+type Bar struct {
+	// Label names the bar (e.g. a configuration).
+	Label string
+	// Value is the bar's height.
+	Value float64
+	// Err is the half-width of the error bar (0 for none).
+	Err float64
+}
+
+// BarChart renders horizontal ASCII bars with error whiskers — the text
+// rendition of the paper's bar figures. Bars scale to width characters
+// at the maximum of Value+Err.
+//
+//	4f-0s    |#################################          | 7.16
+//	3f-1s/4  |###################~~~~~~~~~~~             | 4.22 ±1.26
+//
+// '#' is the value, '~' marks the error-bar span above the value.
+func BarChart(title string, bars []Bar, width int) *Table {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, b := range bars {
+		if v := b.Value + b.Err; v > max {
+			max = v
+		}
+	}
+	t := &Table{Title: title}
+	if max == 0 {
+		for _, b := range bars {
+			t.AddRow(b.Label, "|", F(b.Value))
+		}
+		return t
+	}
+	scale := float64(width) / max
+	for _, b := range bars {
+		full := int(b.Value*scale + 0.5)
+		if full > width {
+			full = width
+		}
+		errHi := int((b.Value+b.Err)*scale + 0.5)
+		if errHi > width {
+			errHi = width
+		}
+		var sb strings.Builder
+		sb.WriteByte('|')
+		sb.WriteString(strings.Repeat("#", full))
+		if errHi > full {
+			sb.WriteString(strings.Repeat("~", errHi-full))
+		}
+		sb.WriteString(strings.Repeat(" ", width-maxInt(full, errHi)))
+		sb.WriteByte('|')
+		val := F(b.Value)
+		if b.Err > 0 {
+			val += fmt.Sprintf(" ±%s", F(b.Err))
+		}
+		t.AddRow(b.Label, sb.String(), val)
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OutcomeBars renders an experiment's per-configuration means as a bar
+// chart with the paper's error bars.
+func OutcomeBars(title string, labels []string, means, errs []float64, width int) *Table {
+	bars := make([]Bar, len(labels))
+	for i := range labels {
+		bars[i] = Bar{Label: labels[i], Value: means[i]}
+		if i < len(errs) {
+			bars[i].Err = errs[i]
+		}
+	}
+	return BarChart(title, bars, width)
+}

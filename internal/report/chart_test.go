@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartScales(t *testing.T) {
+	tb := BarChart("demo", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "b", Value: 5},
+		{Label: "c", Value: 0},
+	}, 20)
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	var aBar, bBar string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "a ") {
+			aBar = ln
+		}
+		if strings.HasPrefix(ln, "b ") {
+			bBar = ln
+		}
+	}
+	if strings.Count(aBar, "#") != 20 {
+		t.Fatalf("max bar should fill width: %q", aBar)
+	}
+	if got := strings.Count(bBar, "#"); got != 10 {
+		t.Fatalf("half bar = %d hashes: %q", got, bBar)
+	}
+}
+
+func TestBarChartErrorWhiskers(t *testing.T) {
+	tb := BarChart("demo", []Bar{
+		{Label: "x", Value: 8, Err: 2},
+		{Label: "y", Value: 10},
+	}, 20)
+	s := tb.String()
+	if !strings.Contains(s, "~") {
+		t.Fatalf("no whisker rendered:\n%s", s)
+	}
+	if !strings.Contains(s, "±2") {
+		t.Fatalf("no numeric error shown:\n%s", s)
+	}
+	// x: value 8 of max 10 -> 16 hashes, whisker to 20.
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.HasPrefix(ln, "x ") {
+			if strings.Count(ln, "#") != 16 || strings.Count(ln, "~") != 4 {
+				t.Fatalf("bad whisker geometry: %q", ln)
+			}
+		}
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	tb := BarChart("demo", []Bar{{Label: "z", Value: 0}}, 10)
+	if tb.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestBarChartDefaultWidth(t *testing.T) {
+	tb := BarChart("demo", []Bar{{Label: "a", Value: 1}}, 0)
+	if !strings.Contains(tb.String(), strings.Repeat("#", 40)) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestOutcomeBars(t *testing.T) {
+	tb := OutcomeBars("speedups", []string{"4f-0s", "0f-4s/8"}, []float64{8, 1}, []float64{0.1, 0}, 16)
+	s := tb.String()
+	if !strings.Contains(s, "4f-0s") || !strings.Contains(s, "0f-4s/8") {
+		t.Fatalf("labels missing:\n%s", s)
+	}
+}

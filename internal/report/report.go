@@ -1,0 +1,196 @@
+// Package report renders experiment results as aligned text tables and
+// CSV, the forms in which this reproduction regenerates every figure and
+// table of the paper.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+)
+
+// Table is a titled grid of cells with optional footnotes.
+type Table struct {
+	// Title names the table (e.g. "Figure 4(a): TPC-H power run").
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the cells, row-major; short rows are padded blank.
+	Rows [][]string
+	// Notes are appended underneath, one line each.
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned ASCII text.
+func (t *Table) String() string {
+	ncols := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	measure(t.Columns)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i], i != 0))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Columns) > 0 {
+		writeRow(t.Columns)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// pad left- or right-aligns a cell to width (measured in runes, so
+// cells containing ± or — align correctly).
+func pad(s string, width int, rightAlign bool) string {
+	n := utf8.RuneCountInString(s)
+	if n >= width {
+		return s
+	}
+	fill := strings.Repeat(" ", width-n)
+	if rightAlign {
+		return fill + s
+	}
+	return s + fill
+}
+
+// CSV renders the table as comma-separated values (quoted as needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Columns) > 0 {
+		writeRow(t.Columns)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// OutcomeTable renders a core experiment as a per-configuration table:
+// one row per configuration with every run value, the mean, the error
+// bar (half of min-to-max, matching the paper's figures) and the
+// coefficient of variation.
+func OutcomeTable(o *core.Outcome) *Table {
+	t := &Table{Title: o.Name}
+	maxRuns := 0
+	for _, cr := range o.PerConfig {
+		if len(cr.Values) > maxRuns {
+			maxRuns = len(cr.Values)
+		}
+	}
+	t.Columns = []string{"config", "power"}
+	for i := 0; i < maxRuns; i++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("run%d", i+1))
+	}
+	t.Columns = append(t.Columns, "mean", "±err", "CoV")
+	for _, cr := range o.PerConfig {
+		row := []string{cr.Config.String(), F(cr.Config.ComputePower())}
+		for i := 0; i < maxRuns; i++ {
+			if i < len(cr.Values) {
+				row = append(row, F(cr.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		row = append(row, F(cr.Summary.Mean), F(cr.Summary.ErrorBar()), F(cr.Summary.CoV))
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("metric: %s", o.Metric)
+	return t
+}
+
+// SpeedupTable renders per-configuration speedups over a baseline, the
+// form of the paper's Figure 10.
+func SpeedupTable(o *core.Outcome, baseline cpu.Config) (*Table, error) {
+	sp, err := o.Speedups(baseline)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: o.Name, Columns: []string{"config", "speedup", "±err"}}
+	for i, cr := range o.PerConfig {
+		t.AddRow(cr.Config.String(), F(sp[i].Mean), F(sp[i].ErrorBar()))
+	}
+	t.AddNote("speedups normalised to %s", baseline)
+	return t, nil
+}

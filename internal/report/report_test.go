@@ -1,0 +1,140 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+)
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Columns: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long", "22")
+	tb.AddNote("a note with %d parts", 2)
+	s := tb.String()
+	if !strings.Contains(s, "Demo\n====") {
+		t.Fatalf("missing title underline:\n%s", s)
+	}
+	if !strings.Contains(s, "beta-long") || !strings.Contains(s, "note: a note with 2 parts") {
+		t.Fatalf("missing content:\n%s", s)
+	}
+	// Columns must align: every data line has the same prefix width for
+	// column 2.
+	lines := strings.Split(s, "\n")
+	var dataCols []int
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "alpha") || strings.HasPrefix(ln, "beta") {
+			dataCols = append(dataCols, strings.Index(ln, strings.Fields(ln)[1]))
+		}
+	}
+	if len(dataCols) != 2 || dataCols[0] == -1 {
+		t.Fatalf("could not locate data rows:\n%s", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b", "c"}}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3", "4") // wider than header
+	if s := tb.String(); s == "" {
+		t.Fatal("ragged table failed to render")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow(`va"l`, "x,y")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"va""l"`) || !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("CSV quoting broken: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("CSV header broken: %q", csv)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{123.4, "123.4"},
+		{12.34, "12.34"},
+		{0.1234, "0.1234"},
+	}
+	for _, c := range cases {
+		if got := F(c.in); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// probe produces value = compute power so table contents are exact.
+type probe struct{}
+
+func (probe) Name() string { return "probe" }
+func (probe) Run(pl *workload.Platform) workload.Result {
+	pl.Env.Go("x", func(p *sim.Proc) { p.Compute(1) })
+	pl.Env.Run()
+	return workload.Result{Metric: "tput", Value: pl.Config.ComputePower(), HigherIsBetter: true}
+}
+
+func TestOutcomeTable(t *testing.T) {
+	out := core.Experiment{Name: "probe sweep", Workload: probe{}, Runs: 2}.Run()
+	tb := OutcomeTable(out)
+	s := tb.String()
+	for _, cfg := range cpu.ConfigNames() {
+		if !strings.Contains(s, cfg) {
+			t.Errorf("missing config %s:\n%s", cfg, s)
+		}
+	}
+	if !strings.Contains(s, "run1") || !strings.Contains(s, "run2") || !strings.Contains(s, "CoV") {
+		t.Fatalf("missing columns:\n%s", s)
+	}
+	if !strings.Contains(s, "metric: tput") {
+		t.Fatalf("missing metric note:\n%s", s)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	out := core.Experiment{Name: "probe sweep", Workload: probe{}, Runs: 2}.Run()
+	base := cpu.MustParseConfig("0f-4s/8")
+	tb, err := SpeedupTable(out, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.String()
+	// 4f-0s has exactly 8x the baseline power.
+	if !strings.Contains(s, "8.00") {
+		t.Fatalf("expected 8x speedup row:\n%s", s)
+	}
+	if _, err := SpeedupTable(out, cpu.Config{Fast: 9}); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+func TestUnicodeAlignment(t *testing.T) {
+	tb := &Table{Columns: []string{"name", "val"}}
+	tb.AddRow("±err", "1")
+	tb.AddRow("plain", "22")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// Rendered lines must have equal rune width for the value column to
+	// align; compare the column position of the last field.
+	var ends []int
+	for _, ln := range lines[2:] {
+		runes := []rune(ln)
+		ends = append(ends, len(runes))
+	}
+	if len(ends) == 2 && ends[0] != ends[1] {
+		t.Fatalf("unicode rows misaligned: %q", lines)
+	}
+}

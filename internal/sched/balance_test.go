@@ -1,0 +1,34 @@
+package sched
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+)
+
+// A CPU-bound pile-up on one core (forced via a brief affinity pin) must
+// be spread out by the periodic balance pass even though wakeups are
+// purely sticky.
+func TestBalancerSpreadsCPUBoundPileup(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+	for i := 0; i < 2; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			p.SetAffinity(sim.Single(0))
+			p.Compute(0.001 * cpu.BaseHz)
+			p.SetAffinity(0)
+			for j := 0; j < 100; j++ {
+				p.Compute(0.05 * cpu.BaseHz)
+			}
+		})
+	}
+	env.Run()
+	st := s.Stats()
+	env.Close()
+	if st.BusySeconds[1] < 1.0 {
+		t.Fatalf("balancer never moved work to core 1")
+	}
+}

@@ -1,0 +1,69 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+)
+
+// Example contrasts the study's two kernel policies on the scenario at
+// the heart of the paper: a long-running thread that happened to start
+// on a slow core while the fast core was briefly busy.
+func Example() {
+	run := func(policy sched.Policy) float64 {
+		env := sim.NewEnv(3)
+		opt := sched.Defaults(policy)
+		opt.MigrationCost = 0
+		opt.RandomWakeups = false
+		sched.New(env, cpu.NewMachine(1.0, 0.125), opt)
+		defer env.Close()
+		var done float64
+		env.Go("short", func(p *sim.Proc) { p.Compute(0.1 * cpu.BaseHz) })
+		env.Go("long", func(p *sim.Proc) {
+			p.Compute(1.0 * cpu.BaseHz)
+			done = float64(p.Now())
+		})
+		env.Run()
+		return done
+	}
+	fmt.Printf("naive kernel: long task finishes at %.3fs (stranded on the 1/8 core)\n",
+		run(sched.PolicyNaive))
+	fmt.Printf("aware kernel: long task finishes at %.3fs (migrated when the fast core idled)\n",
+		run(sched.PolicyAsymmetryAware))
+	// Output:
+	// naive kernel: long task finishes at 8.000s (stranded on the 1/8 core)
+	// aware kernel: long task finishes at 1.088s (migrated when the fast core idled)
+}
+
+// ExampleScheduler_SetDuty shows runtime duty-cycle changes — the
+// thermal-throttling mechanism of the paper's platform.
+func ExampleScheduler_SetDuty() {
+	env := sim.NewEnv(1)
+	opt := sched.Defaults(sched.PolicyNaive)
+	opt.RandomWakeups = false
+	s := sched.New(env, cpu.NewMachine(1.0), opt)
+	defer env.Close()
+	env.Go("w", func(p *sim.Proc) {
+		p.Compute(1.0 * cpu.BaseHz)
+		fmt.Printf("finished at %v\n", p.Now())
+	})
+	env.After(0.5, func() { s.SetDuty(0, 0.25) }) // thermal event mid-burst
+	env.Run()
+	// Half the work at full speed, the other half at quarter speed.
+	// Output:
+	// finished at 2.500s
+}
+
+// ExampleScheduler_RelativeSpeeds shows the hardware-to-software
+// interface the paper's point 4 proposes; the OpenMP model's
+// weighted-static mode partitions loops with it.
+func ExampleScheduler_RelativeSpeeds() {
+	env := sim.NewEnv(1)
+	s := sched.New(env, cpu.MustParseConfig("2f-2s/8").Machine(), sched.Defaults(sched.PolicyNaive))
+	defer env.Close()
+	fmt.Println(s.RelativeSpeeds())
+	// Output:
+	// [1 1 0.125 0.125]
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+)
+
+func TestRankPolicyString(t *testing.T) {
+	if PolicyRankAware.String() != "rank-aware" {
+		t.Fatal("name")
+	}
+}
+
+func TestRankPlacesOnFastestIdle(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		env := sim.NewEnv(seed)
+		opt := Defaults(PolicyRankAware)
+		opt.MigrationCost = 0
+		New(env, cpu.NewMachine(0.125, 1.0), opt)
+		var done simtime.Time
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(cpu.BaseHz)
+			done = p.Now()
+		})
+		env.Run()
+		env.Close()
+		if float64(done) > 1.001 {
+			t.Fatalf("seed %d: rank policy placed on the slow core (done %v)", seed, done)
+		}
+	}
+}
+
+func TestRankForcedMigration(t *testing.T) {
+	env := sim.NewEnv(3)
+	opt := Defaults(PolicyRankAware)
+	opt.MigrationCost = 0
+	s := New(env, cpu.NewMachine(1.0, 0.125), opt)
+	var longDone simtime.Time
+	env.Go("short", func(p *sim.Proc) { p.Compute(0.1 * cpu.BaseHz) })
+	env.Go("long", func(p *sim.Proc) {
+		p.Compute(1.0 * cpu.BaseHz)
+		longDone = p.Now()
+	})
+	env.Run()
+	env.Close()
+	if float64(longDone) > 2 {
+		t.Fatalf("rank policy failed to migrate a stranded burst: %v", longDone)
+	}
+	if s.Stats().ForcedMigrations == 0 {
+		t.Fatal("no forced migration")
+	}
+}
+
+// TestRankMatchesAwareOnTheStudy is the point of the policy: across the
+// unstable workload that motivated the paper's kernel fix, knowing only
+// the speed ORDERING recovers essentially all of the benefit of knowing
+// magnitudes — evidence for the paper's point 4 ("absolute information
+// of each processor's performance may not be necessary").
+func TestRankMatchesAwareOnTheStudy(t *testing.T) {
+	// Use the engine-level scenario rather than a workload import (this
+	// package cannot depend on the workload tree): a churny mixture of
+	// long and short tasks on 2f-2s/8.
+	run := func(policy Policy, seed uint64) float64 {
+		env := sim.NewEnv(seed)
+		opt := Defaults(policy)
+		New(env, cpu.MustParseConfig("2f-2s/8").Machine(), opt)
+		var last simtime.Time
+		for i := 0; i < 10; i++ {
+			env.Go("w", func(p *sim.Proc) {
+				for j := 0; j < 20; j++ {
+					p.Compute(p.Rand().Range(0.005, 0.05) * cpu.BaseHz)
+					p.Sleep(simtime.Duration(p.Rand().Range(0.001, 0.01)))
+				}
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		env.Run()
+		env.Close()
+		return float64(last)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		aware := run(PolicyAsymmetryAware, seed)
+		rank := run(PolicyRankAware, seed)
+		if rank > aware*1.15 {
+			t.Fatalf("seed %d: rank-only makespan %.3f should be within 15%% of full-info %.3f",
+				seed, rank, aware)
+		}
+	}
+}
+
+func TestRankInvariantHolds(t *testing.T) {
+	// Rank-aware must also keep fast cores from idling while slower
+	// cores queue work.
+	env := sim.NewEnv(5)
+	opt := Defaults(PolicyRankAware)
+	s := New(env, cpu.NewMachine(1.0, 1.0, 0.125, 0.125), opt)
+	for i := 0; i < 8; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			for j := 0; j < 50; j++ {
+				p.Compute(p.Rand().Range(0.001, 0.02) * cpu.BaseHz)
+				p.Sleep(simtime.Duration(p.Rand().Range(0.001, 0.01)))
+			}
+		})
+	}
+	env.Run()
+	if v := s.Stats().FastIdleSlowBusy; v > 1e-9 {
+		t.Fatalf("rank policy violated fast-never-idle for %v seconds", v)
+	}
+	env.Close()
+}

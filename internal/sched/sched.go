@@ -1,0 +1,1034 @@
+// Package sched models the operating-system CPU scheduler of the study.
+// It implements sim.Executor on top of a cpu.Machine: per-core FIFO run
+// queues with timeslice rotation, sticky wakeup placement, idle work
+// stealing and periodic load balancing.
+//
+// Two policies are provided, matching the paper:
+//
+//   - PolicyNaive mirrors a stock Linux 2.4/2.6 scheduler. It balances
+//     queue *lengths* and is agnostic to core speed: a runnable thread
+//     can land on a slow core while a faster core idles, and initial
+//     placement is sticky. This is the mechanism the paper identifies as
+//     the primary source of run-to-run performance instability on
+//     asymmetric machines.
+//
+//   - PolicyAsymmetryAware is the paper's modified kernel (§3.1.1,
+//     derived from Bender & Rabin's work): faster cores never idle while
+//     slower cores have work, wakeups prefer the fastest idle core, and a
+//     thread running on a slow core is explicitly migrated to a faster
+//     core that would otherwise go idle.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/trace"
+	"asmp/internal/xrand"
+)
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+const (
+	// PolicyNaive is an asymmetry-agnostic queue-length balancer.
+	PolicyNaive Policy = iota
+	// PolicyAsymmetryAware is the paper's asymmetry-aware scheduler.
+	PolicyAsymmetryAware
+	// PolicyRankAware is the paper's point-4 conjecture made concrete:
+	// a scheduler that knows only the *ordering* of core speeds (which
+	// core is faster), never their magnitudes. It keeps the aware
+	// policy's structure — fastest-idle wakeups, slowest-victim
+	// stealing, forced slow-to-fast migration — but its no-idle-core
+	// placement and balancing use plain runnable counts with a
+	// faster-rank tie-break instead of speed-normalised pressure.
+	PolicyRankAware
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNaive:
+		return "naive"
+	case PolicyAsymmetryAware:
+		return "asymmetry-aware"
+	case PolicyRankAware:
+		return "rank-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options configures a Scheduler. The zero value is usable; Defaults fill
+// in the standard values used across the study.
+type Options struct {
+	// Policy is the scheduling algorithm.
+	Policy Policy
+	// Timeslice is the round-robin quantum for a core with more than one
+	// runnable task.
+	Timeslice simtime.Duration
+	// BalanceInterval is the period of the load-balancing pass.
+	BalanceInterval simtime.Duration
+	// MigrationCost is the cycle penalty (cache refill) charged when a
+	// task starts on a different core than it last ran on.
+	MigrationCost float64
+	// RandomWakeups, when true (the naive default), picks uniformly among
+	// idle cores on wakeup; when false the lowest-numbered eligible core
+	// is used. Exists so the ablation benches can isolate the
+	// instability source.
+	RandomWakeups bool
+	// StealThreshold is the minimum number of waiting tasks a victim
+	// core must have before an idle core pulls from it. The naive policy
+	// uses 2 (kernels of the era only balanced visible imbalance, which
+	// is why load stuck to slow cores); the aware policy uses 1.
+	StealThreshold int
+	// NoForcedMigration disables the aware policy's preemptive
+	// slow-to-fast migration of running tasks, leaving only its wakeup
+	// placement and stealing. Exists for the ablation bench that
+	// isolates how much of the paper's kernel fix comes from explicit
+	// migration.
+	NoForcedMigration bool
+}
+
+// Defaults returns the standard options for the given policy.
+func Defaults(p Policy) Options {
+	st := 2
+	if p == PolicyAsymmetryAware || p == PolicyRankAware {
+		st = 1
+	}
+	return Options{
+		Policy:          p,
+		Timeslice:       20 * simtime.Millisecond,
+		BalanceInterval: 100 * simtime.Millisecond,
+		MigrationCost:   50e3,
+		RandomWakeups:   true,
+		StealThreshold:  st,
+	}
+}
+
+// Stats aggregates scheduler activity over a run.
+type Stats struct {
+	// Dispatches counts task-starts on a core.
+	Dispatches int
+	// Preemptions counts timeslice rotations.
+	Preemptions int
+	// Migrations counts task moves between cores (wakeup on a new core,
+	// steal, balance or explicit slow-to-fast migration).
+	Migrations int
+	// Steals counts idle-pull migrations specifically.
+	Steals int
+	// ForcedMigrations counts the asymmetry-aware policy's preemptive
+	// slow-to-fast moves of running tasks.
+	ForcedMigrations int
+	// BusySeconds is the per-core busy time.
+	BusySeconds []float64
+	// RetiredCycles is the per-core retired work.
+	RetiredCycles []float64
+	// FastIdleSlowBusy accumulates seconds during which some core idled
+	// while a strictly slower core had waiting (not running) work — the
+	// invariant the aware policy is meant to keep at zero.
+	FastIdleSlowBusy float64
+}
+
+// Scheduler is the OS scheduler model. Create one with New; it registers
+// its balancing tick on the environment and serves as the sim Executor.
+type Scheduler struct {
+	env     *sim.Env
+	machine cpu.Machine
+	opt     Options
+	rng     *xrand.Rand
+	cores   []*coreState
+	stats   Stats
+
+	lastInvariantCheck simtime.Time
+	invariantViolated  bool
+	balanceEv          *simtime.Event
+	tracer             *trace.Buffer
+}
+
+// coreState is the per-core scheduler state.
+type coreState struct {
+	core    cpu.Core
+	running *task
+	runq    []*task
+
+	// loadAvg is the exponentially decayed runnable count (time constant
+	// loadAvgTau), mirroring the decayed cpu_load a 2.6-era balancer
+	// consulted. Briefly-runnable tasks barely register here, which is
+	// why a lightly loaded server process is never balanced away from a
+	// slow core.
+	loadAvg float64
+
+	// Event for the running task: either its completion or its slice end.
+	ev         *simtime.Event
+	runStart   simtime.Time // when the running task last started/was accounted
+	sliceStart simtime.Time // when the current timeslice began
+}
+
+// task is the per-proc scheduling state, stored in Proc.SchedState.
+type task struct {
+	p         *sim.Proc
+	remaining float64 // cycles left in the current burst
+	remMem    float64 // memory-stall seconds left (duty-cycle independent)
+	done      func()
+	inflight  bool
+	lastCore  int // core the task last ran on; -1 if never ran
+	queuedOn  int // core whose runq holds the task; -1 if running or not queued
+}
+
+// New builds a scheduler for machine inside env and installs it as the
+// environment's executor.
+func New(env *sim.Env, machine cpu.Machine, opt Options) *Scheduler {
+	if machine.NumCores() == 0 {
+		panic("sched: machine with no cores")
+	}
+	if machine.NumCores() > 64 {
+		panic("sched: more than 64 cores not supported by CPUSet")
+	}
+	if opt.Timeslice <= 0 {
+		opt.Timeslice = Defaults(opt.Policy).Timeslice
+	}
+	if opt.BalanceInterval <= 0 {
+		opt.BalanceInterval = Defaults(opt.Policy).BalanceInterval
+	}
+	if opt.StealThreshold <= 0 {
+		opt.StealThreshold = Defaults(opt.Policy).StealThreshold
+	}
+	s := &Scheduler{
+		env:     env,
+		machine: machine,
+		opt:     opt,
+		rng:     env.Rand().Split(),
+	}
+	s.cores = make([]*coreState, machine.NumCores())
+	for i, c := range machine.Cores {
+		s.cores[i] = &coreState{core: c}
+	}
+	s.stats.BusySeconds = make([]float64, machine.NumCores())
+	s.stats.RetiredCycles = make([]float64, machine.NumCores())
+	env.SetExecutor(s)
+	return s
+}
+
+// SetTracer attaches a trace buffer that will receive every scheduling
+// event (dispatches, preemptions, migrations, steals, idles). Pass nil
+// to detach.
+func (s *Scheduler) SetTracer(b *trace.Buffer) { s.tracer = b }
+
+// emit records a scheduler event when tracing is on.
+func (s *Scheduler) emit(kind trace.Kind, core, from int, t *task) {
+	if s.tracer == nil {
+		return
+	}
+	e := trace.Event{At: s.env.Now(), Kind: kind, Core: core, From: from}
+	if t != nil {
+		e.Proc = t.p.ID()
+		e.ProcName = t.p.Name()
+	}
+	s.tracer.Record(e)
+}
+
+// Machine returns the machine being scheduled.
+func (s *Scheduler) Machine() cpu.Machine { return s.machine }
+
+// SetDuty changes a core's clock duty cycle at runtime — the thermal
+// throttling mechanism the paper's platform used (§2). An in-flight
+// burst on that core is accounted at the old rate up to now and
+// continues at the new rate; queued work is unaffected. This is how a
+// symmetric machine *becomes* asymmetric mid-run (a thermal event), the
+// scenario big.LITTLE-era schedulers would later face continuously.
+func (s *Scheduler) SetDuty(core int, duty float64) {
+	if core < 0 || core >= len(s.cores) {
+		panic(fmt.Sprintf("sched: SetDuty on unknown core %d", core))
+	}
+	if duty <= 0 || duty > 1 {
+		panic(fmt.Sprintf("sched: duty cycle %v out of (0, 1]", duty))
+	}
+	c := s.cores[core]
+	// Fold the piecewise-constant interval at the old speed into the
+	// stats and the task's remaining work before the rate changes.
+	s.observeInvariant()
+	if c.running != nil {
+		s.cancelCoreEvent(c)
+		s.accountRunning(c)
+	}
+	c.core.Duty = duty
+	s.machine.Cores[core].Duty = duty
+	if c.running != nil {
+		s.scheduleCoreEvent(c)
+	}
+}
+
+// Duty returns a core's current clock duty cycle.
+func (s *Scheduler) Duty(core int) float64 { return s.cores[core].core.Duty }
+
+// RelativeSpeeds returns each core's speed relative to the fastest core,
+// in core order. This is the hardware-to-software interface the paper's
+// point 4 calls for: "exposing the relative performance of processors in
+// a system to the operating system and software scheduler may be
+// sufficient, and absolute information of each processor's performance
+// may not be necessary." Asymmetry-aware applications (see the OpenMP
+// model's weighted-static mode) partition their work with it.
+func (s *Scheduler) RelativeSpeeds() []float64 {
+	max := s.machine.MaxDuty()
+	out := make([]float64, len(s.cores))
+	for i, c := range s.cores {
+		out[i] = c.core.Duty / max
+	}
+	return out
+}
+
+// Options returns the active options.
+func (s *Scheduler) Options() Options { return s.opt }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (s *Scheduler) Stats() Stats {
+	st := s.stats
+	st.BusySeconds = append([]float64(nil), s.stats.BusySeconds...)
+	st.RetiredCycles = append([]float64(nil), s.stats.RetiredCycles...)
+	return st
+}
+
+// CoreOf returns the core the proc is running or queued on, or -1.
+func (s *Scheduler) CoreOf(p *sim.Proc) int {
+	t, ok := p.SchedState.(*task)
+	if !ok || t == nil {
+		return -1
+	}
+	if t.queuedOn >= 0 {
+		return t.queuedOn
+	}
+	if t.inflight {
+		return t.lastCore
+	}
+	return -1
+}
+
+// taskOf returns (creating if needed) the scheduling state for p.
+func (s *Scheduler) taskOf(p *sim.Proc) *task {
+	if t, ok := p.SchedState.(*task); ok && t != nil {
+		return t
+	}
+	t := &task{p: p, lastCore: -1, queuedOn: -1}
+	p.SchedState = t
+	return t
+}
+
+// Compute implements sim.Executor.
+func (s *Scheduler) Compute(p *sim.Proc, cycles, memSeconds float64, done func()) {
+	t := s.taskOf(p)
+	if t.inflight {
+		panic(fmt.Sprintf("sched: %v issued overlapping compute", p))
+	}
+	t.remaining = cycles
+	t.remMem = memSeconds
+	t.done = done
+	t.inflight = true
+	s.observeInvariant()
+	s.place(t)
+	s.armBalance()
+}
+
+// Cancel implements sim.Executor.
+func (s *Scheduler) Cancel(p *sim.Proc) {
+	t, ok := p.SchedState.(*task)
+	if !ok || t == nil || !t.inflight {
+		return
+	}
+	s.observeInvariant()
+	if t.queuedOn >= 0 {
+		c := s.cores[t.queuedOn]
+		c.runq = removeTask(c.runq, t)
+		t.queuedOn = -1
+	} else if t.lastCore >= 0 && s.cores[t.lastCore].running == t {
+		c := s.cores[t.lastCore]
+		s.accountRunning(c)
+		c.running = nil
+		s.cancelCoreEvent(c)
+		s.dispatch(c)
+		s.onIdle(c)
+	}
+	t.inflight = false
+	t.done = nil
+}
+
+// ProcExit implements sim.Executor.
+func (s *Scheduler) ProcExit(p *sim.Proc) {
+	s.Cancel(p)
+	p.SchedState = nil
+}
+
+// allowed reports whether t may run on core id.
+func (t *task) allowed(id int) bool { return t.p.Affinity().Has(id) }
+
+// place chooses a core for a newly runnable task and enqueues it there.
+func (s *Scheduler) place(t *task) {
+	target := s.chooseCore(t)
+	if target < 0 {
+		panic(fmt.Sprintf("sched: %v has affinity matching no core", t.p))
+	}
+	s.emit(trace.Wake, target, t.lastCore, t)
+	s.enqueue(s.cores[target], t)
+}
+
+// chooseCore implements wakeup placement for the active policy.
+func (s *Scheduler) chooseCore(t *task) int {
+	switch s.opt.Policy {
+	case PolicyAsymmetryAware:
+		return s.chooseCoreAware(t)
+	case PolicyRankAware:
+		return s.chooseCoreRank(t)
+	default:
+		return s.chooseCoreNaive(t)
+	}
+}
+
+// chooseCoreNaive mimics stock-kernel placement: a waking task goes back
+// to the core it last ran on — even if that core is busy — unless doing
+// so would create a visible imbalance; only then does it fall to a random
+// idle core or the shortest queue, still ignoring core speed. The strong
+// stickiness is what makes placement persist for a whole run and differ
+// between runs.
+func (s *Scheduler) chooseCoreNaive(t *task) int {
+	// First-ever placement: uniformly random among allowed cores,
+	// regardless of speed or load. A freshly forked process starts
+	// wherever fork and the first wakeup happened to leave it; for
+	// CPU-bound tasks the balance tick repairs clumps quickly, but a
+	// mostly-sleeping server process keeps this arbitrary home for the
+	// whole run.
+	if t.lastCore < 0 && s.opt.RandomWakeups {
+		var allowed []int
+		for i := range s.cores {
+			if t.allowed(i) {
+				allowed = append(allowed, i)
+			}
+		}
+		if len(allowed) > 0 {
+			return allowed[s.rng.Intn(len(allowed))]
+		}
+	}
+	// Waking tasks return to the core they last ran on, unconditionally —
+	// the O(1)-era wakeup path only ever considered the previous CPU.
+	// Idle cores pick work up later through stealing and the balance
+	// tick, both of which need a *visible* queue imbalance; a briefly
+	// runnable server process rarely shows one, so its placement
+	// persists for the whole run. This is the paper's instability
+	// mechanism in one line.
+	if t.lastCore >= 0 && t.allowed(t.lastCore) {
+		return t.lastCore
+	}
+	var idle []int
+	for i, c := range s.cores {
+		if t.allowed(i) && c.idle() {
+			idle = append(idle, i)
+		}
+	}
+	if len(idle) > 0 {
+		if s.opt.RandomWakeups {
+			return idle[s.rng.Intn(len(idle))]
+		}
+		return idle[0]
+	}
+	// No idle core: shortest runnable count, random tie-break.
+	best, bestLoad := -1, math.MaxInt
+	var ties []int
+	for i, c := range s.cores {
+		if !t.allowed(i) {
+			continue
+		}
+		load := c.runnable()
+		if load < bestLoad {
+			best, bestLoad = i, load
+			ties = ties[:0]
+			ties = append(ties, i)
+		} else if load == bestLoad {
+			ties = append(ties, i)
+		}
+	}
+	if len(ties) > 1 && s.opt.RandomWakeups {
+		return ties[s.rng.Intn(len(ties))]
+	}
+	return best
+}
+
+// chooseCoreAware places on the fastest idle core; with none idle it
+// minimises queue pressure normalised by core speed.
+func (s *Scheduler) chooseCoreAware(t *task) int {
+	best := -1
+	for i, c := range s.cores {
+		if !t.allowed(i) || !c.idle() {
+			continue
+		}
+		if best < 0 || c.core.Duty > s.cores[best].core.Duty {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	bestScore := math.Inf(1)
+	for i, c := range s.cores {
+		if !t.allowed(i) {
+			continue
+		}
+		score := float64(c.runnable()+1) / c.core.Rate()
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// chooseCoreRank places like the aware policy but without speed
+// magnitudes: fastest idle core by rank; with none idle, the smallest
+// runnable count, ties broken toward the faster core.
+func (s *Scheduler) chooseCoreRank(t *task) int {
+	best := -1
+	for i, c := range s.cores {
+		if !t.allowed(i) || !c.idle() {
+			continue
+		}
+		if best < 0 || c.core.Duty > s.cores[best].core.Duty {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	bestLoad := math.MaxInt
+	for i, c := range s.cores {
+		if !t.allowed(i) {
+			continue
+		}
+		load := c.runnable()
+		if load < bestLoad ||
+			(load == bestLoad && best >= 0 && c.core.Duty > s.cores[best].core.Duty) {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// idle reports whether the core has nothing running and nothing queued.
+func (c *coreState) idle() bool { return c.running == nil && len(c.runq) == 0 }
+
+// runnable returns the number of runnable tasks on the core, counting the
+// running one.
+func (c *coreState) runnable() int {
+	n := len(c.runq)
+	if c.running != nil {
+		n++
+	}
+	return n
+}
+
+// enqueue appends t to the core's run queue and kicks dispatch. If the
+// core is running a long burst with an effectively infinite slice (it was
+// alone), the burst is re-sliced so the newcomer is not starved.
+func (s *Scheduler) enqueue(c *coreState, t *task) {
+	s.observeInvariant()
+	t.queuedOn = coreID(s, c)
+	c.runq = append(c.runq, t)
+	if c.running == nil {
+		s.dispatch(c)
+		return
+	}
+	// Re-slice the running task so the queue rotates within a quantum.
+	s.reschedule(c)
+}
+
+func coreID(s *Scheduler, c *coreState) int {
+	return c.core.ID
+}
+
+// dispatch starts the head of the run queue if the core is free.
+func (s *Scheduler) dispatch(c *coreState) {
+	s.observeInvariant()
+	if c.running != nil || len(c.runq) == 0 {
+		return
+	}
+	t := c.runq[0]
+	c.runq = c.runq[1:]
+	t.queuedOn = -1
+	id := c.core.ID
+	if t.lastCore != id {
+		if t.lastCore >= 0 {
+			s.stats.Migrations++
+			t.remaining += s.opt.MigrationCost
+			s.emit(trace.Migrate, id, t.lastCore, t)
+		}
+		t.lastCore = id
+	}
+	s.emit(trace.Dispatch, id, -1, t)
+	c.running = t
+	c.runStart = s.env.Now()
+	c.sliceStart = s.env.Now()
+	s.stats.Dispatches++
+	s.scheduleCoreEvent(c)
+}
+
+// scheduleCoreEvent arms the completion-or-slice event for the running
+// task.
+func (s *Scheduler) scheduleCoreEvent(c *coreState) {
+	t := c.running
+	finish := simtime.Duration(t.remaining/c.core.Rate() + t.remMem)
+	slice := c.sliceStart + s.opt.Timeslice - s.env.Now()
+	d := finish
+	if len(c.runq) > 0 && slice < d {
+		d = slice
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.ev = s.env.After(d, func() { s.coreEvent(c) })
+}
+
+func (s *Scheduler) cancelCoreEvent(c *coreState) {
+	if c.ev != nil {
+		s.env.CancelEvent(c.ev)
+		c.ev = nil
+	}
+}
+
+// accountRunning charges the running task for work done since runStart
+// and updates busy statistics. Compute cycles retire first (at the
+// core's duty-scaled rate), then memory-stall time elapses at wall-clock
+// rate. Safe to call when nothing runs.
+func (s *Scheduler) accountRunning(c *coreState) {
+	t := c.running
+	if t == nil {
+		return
+	}
+	dt := float64(s.env.Now() - c.runStart)
+	if dt < 0 {
+		dt = 0
+	}
+	id := c.core.ID
+	s.stats.BusySeconds[id] += dt
+	cycleTime := t.remaining / c.core.Rate()
+	if dt < cycleTime {
+		retired := dt * c.core.Rate()
+		t.remaining -= retired
+		s.stats.RetiredCycles[id] += retired
+	} else {
+		s.stats.RetiredCycles[id] += t.remaining
+		t.remaining = 0
+		memUsed := dt - cycleTime
+		if memUsed > t.remMem {
+			memUsed = t.remMem
+		}
+		t.remMem -= memUsed
+	}
+	c.runStart = s.env.Now()
+}
+
+// coreEvent fires when the running task completes its burst or exhausts
+// its timeslice.
+func (s *Scheduler) coreEvent(c *coreState) {
+	// Attribute the elapsed interval to the pre-event state before any
+	// of it is torn down (load averages and the idle-invariant integral
+	// both depend on exact piecewise-constant attribution).
+	s.observeInvariant()
+	c.ev = nil
+	s.accountRunning(c)
+	t := c.running
+	if t == nil {
+		s.dispatch(c)
+		return
+	}
+	if t.remaining <= 0.5 && t.remMem <= 1e-12 { // sub-cycle residue is float noise
+		c.running = nil
+		t.inflight = false
+		s.emit(trace.Complete, c.core.ID, -1, t)
+		done := t.done
+		t.done = nil
+		s.observeInvariant()
+		if done != nil {
+			// May synchronously resume the proc, which may issue its next
+			// burst and re-enter the scheduler; dispatch below tolerates
+			// that.
+			done()
+		}
+		s.dispatch(c)
+		s.onIdle(c)
+		return
+	}
+	// Timeslice expiry: rotate if anyone is waiting.
+	if len(c.runq) > 0 {
+		s.stats.Preemptions++
+		s.emit(trace.Preempt, c.core.ID, -1, t)
+		c.running = nil
+		s.enqueue(c, t)
+		s.dispatch(c)
+		return
+	}
+	c.sliceStart = s.env.Now()
+	s.scheduleCoreEvent(c)
+}
+
+// reschedule re-arms the running task's event after queue changes,
+// accounting progress so far.
+func (s *Scheduler) reschedule(c *coreState) {
+	if c.running == nil {
+		return
+	}
+	s.cancelCoreEvent(c)
+	s.accountRunning(c)
+	s.scheduleCoreEvent(c)
+}
+
+// onIdle runs when a core may have gone idle: it tries to pull work.
+func (s *Scheduler) onIdle(c *coreState) {
+	if !c.idle() {
+		return
+	}
+	s.emit(trace.Idle, c.core.ID, -1, nil)
+	if s.stealWaiting(c) {
+		return
+	}
+	if (s.opt.Policy == PolicyAsymmetryAware || s.opt.Policy == PolicyRankAware) &&
+		!s.opt.NoForcedMigration {
+		s.migrateRunningFromSlower(c)
+	}
+}
+
+// stealWaiting pulls one waiting task from the most loaded other core.
+// Both policies do this — an idle CPU taking queued work is standard.
+// The naive policy picks the victim by queue length alone; the aware
+// policy prefers stealing from the slowest core.
+func (s *Scheduler) stealWaiting(c *coreState) bool {
+	id := c.core.ID
+	var victim *coreState
+	for _, v := range s.cores {
+		if v == c || len(v.runq) < s.opt.StealThreshold {
+			continue
+		}
+		if !s.hasStealable(v, id) {
+			continue
+		}
+		if victim == nil {
+			victim = v
+			continue
+		}
+		switch s.opt.Policy {
+		case PolicyAsymmetryAware, PolicyRankAware:
+			// Prefer relieving the slowest, most loaded core. Ordering
+			// needs only ranks, so the rank policy shares this path.
+			if v.core.Duty < victim.core.Duty ||
+				(v.core.Duty == victim.core.Duty && len(v.runq) > len(victim.runq)) {
+				victim = v
+			}
+		default:
+			if len(v.runq) > len(victim.runq) {
+				victim = v
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	t := s.takeStealable(victim, id)
+	if t == nil {
+		return false
+	}
+	s.stats.Steals++
+	s.emit(trace.Steal, id, victim.core.ID, t)
+	s.enqueue(c, t)
+	return true
+}
+
+func (s *Scheduler) hasStealable(v *coreState, dst int) bool {
+	for _, t := range v.runq {
+		if t.allowed(dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// takeStealable removes the oldest waiting task on v that may run on dst.
+func (s *Scheduler) takeStealable(v *coreState, dst int) *task {
+	for i, t := range v.runq {
+		if t.allowed(dst) {
+			v.runq = append(v.runq[:i], v.runq[i+1:]...)
+			t.queuedOn = -1
+			s.reschedule(v)
+			return t
+		}
+	}
+	return nil
+}
+
+// migrateRunningFromSlower preempts the running task of the slowest
+// strictly-slower busy core and moves it to the idle core c. This is the
+// paper's "a process is explicitly migrated from a slow core to an idle
+// fast core".
+func (s *Scheduler) migrateRunningFromSlower(c *coreState) {
+	id := c.core.ID
+	var victim *coreState
+	for _, v := range s.cores {
+		if v == c || v.running == nil {
+			continue
+		}
+		if v.core.Duty >= c.core.Duty {
+			continue
+		}
+		if !v.running.allowed(id) {
+			continue
+		}
+		if victim == nil || v.core.Duty < victim.core.Duty {
+			victim = v
+		}
+	}
+	if victim == nil {
+		return
+	}
+	s.cancelCoreEvent(victim)
+	s.accountRunning(victim)
+	t := victim.running
+	victim.running = nil
+	s.stats.ForcedMigrations++
+	s.emit(trace.ForcedMigrate, id, victim.core.ID, t)
+	s.enqueue(c, t)
+	s.dispatch(victim)
+	// The victim core may now be idle and slower than everyone else;
+	// let it try to pull waiting work (never a running task from a
+	// faster core, so this cannot ping-pong).
+	s.onIdle(victim)
+}
+
+// armBalance schedules the next balancing pass if one is not already
+// pending. The tick self-suspends when the machine drains so that
+// simulations terminate; Compute re-arms it.
+func (s *Scheduler) armBalance() {
+	if s.balanceEv == nil {
+		s.balanceEv = s.env.After(s.opt.BalanceInterval, s.balanceTick)
+	}
+}
+
+// anyWork reports whether any core has running or queued tasks.
+func (s *Scheduler) anyWork() bool {
+	for _, c := range s.cores {
+		if c.running != nil || len(c.runq) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// balanceTick is the periodic load-balancing pass.
+func (s *Scheduler) balanceTick() {
+	s.balanceEv = nil
+	s.observeInvariant()
+	switch s.opt.Policy {
+	case PolicyAsymmetryAware:
+		s.balanceAware()
+	case PolicyRankAware:
+		s.balanceRank()
+	default:
+		s.balanceNaive()
+	}
+	if s.anyWork() {
+		s.armBalance()
+	}
+}
+
+// balanceNaive equalises *decayed* load averages exactly like a
+// speed-agnostic kernel: tasks move from the highest-average core to the
+// lowest only when the averaged imbalance is a good task-and-a-half
+// wide. CPU-bound pile-ups register quickly and get spread out;
+// mostly-sleeping server processes never accumulate enough average load
+// to be moved, so their (speed-blind) placement persists. Destination
+// choice ignores core speed, which on an asymmetric machine is precisely
+// what causes unstable placement.
+func (s *Scheduler) balanceNaive() {
+	type slot struct {
+		c   *coreState
+		avg float64
+	}
+	slots := make([]slot, len(s.cores))
+	for i, c := range s.cores {
+		slots[i] = slot{c, c.loadAvg}
+	}
+	for iter := 0; iter < 64; iter++ {
+		lo, hi := &slots[0], &slots[0]
+		for i := range slots {
+			if slots[i].avg < lo.avg {
+				lo = &slots[i]
+			}
+			if slots[i].avg > hi.avg {
+				hi = &slots[i]
+			}
+		}
+		if hi.avg-lo.avg < 1.5 || len(hi.c.runq) == 0 {
+			return
+		}
+		t := s.takeStealable(hi.c, lo.c.core.ID)
+		if t == nil {
+			return
+		}
+		s.stats.Steals++
+		s.enqueue(lo.c, t)
+		hi.avg--
+		lo.avg++
+	}
+}
+
+// balanceAware drains waiting work onto idle cores fastest-first and
+// keeps queue pressure proportional to core speed.
+func (s *Scheduler) balanceAware() {
+	// Fastest idle cores pull first.
+	order := make([]*coreState, len(s.cores))
+	copy(order, s.cores)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].core.Duty > order[j].core.Duty })
+	for _, c := range order {
+		if c.idle() {
+			s.onIdle(c)
+		}
+	}
+	// Pressure balancing: move waiting tasks from over- to under-pressure
+	// cores, where pressure is runnable count divided by speed.
+	for iter := 0; iter < 64; iter++ {
+		var lo, hi *coreState
+		var loP, hiP float64
+		for _, c := range s.cores {
+			p := float64(c.runnable()) / c.core.Duty
+			if lo == nil || p < loP {
+				lo, loP = c, p
+			}
+			if hi == nil || p > hiP {
+				hi, hiP = c, p
+			}
+		}
+		if hi == lo || len(hi.runq) == 0 {
+			return
+		}
+		// Only move if it strictly reduces the maximum pressure.
+		after := float64(lo.runnable()+1) / lo.core.Duty
+		if after >= hiP {
+			return
+		}
+		t := s.takeStealable(hi, lo.core.ID)
+		if t == nil {
+			return
+		}
+		s.stats.Steals++
+		s.enqueue(lo, t)
+	}
+}
+
+// loadAvgTau is the decay time constant of the per-core load average.
+const loadAvgTau = 50 * simtime.Millisecond
+
+// updateLoadAvgs folds the elapsed interval (during which scheduler state
+// was constant) into each core's decayed load average.
+func (s *Scheduler) updateLoadAvgs(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	decay := math.Exp(-dt / float64(loadAvgTau))
+	for _, c := range s.cores {
+		c.loadAvg = c.loadAvg*decay + float64(c.runnable())*(1-decay)
+	}
+}
+
+// balanceRank levels runnable counts toward faster cores using only the
+// speed ordering: it repeatedly moves a waiting task from the
+// most-loaded core to the least-loaded one, preferring faster
+// destinations on count ties, and additionally never leaves a strictly
+// faster core with a shorter queue than a slower one.
+func (s *Scheduler) balanceRank() {
+	for iter := 0; iter < 64; iter++ {
+		var lo, hi *coreState
+		for _, c := range s.cores {
+			if lo == nil || c.runnable() < lo.runnable() ||
+				(c.runnable() == lo.runnable() && c.core.Duty > lo.core.Duty) {
+				lo = c
+			}
+			if hi == nil || c.runnable() > hi.runnable() ||
+				(c.runnable() == hi.runnable() && c.core.Duty < hi.core.Duty) {
+				hi = c
+			}
+		}
+		// Move on a count imbalance, or on equal counts when the
+		// destination is strictly faster (shift load up the ranking).
+		countGap := hi.runnable() - lo.runnable()
+		rankGap := lo.core.Duty > hi.core.Duty
+		if len(hi.runq) == 0 || (countGap < 2 && !(countGap >= 1 && rankGap)) {
+			return
+		}
+		t := s.takeStealable(hi, lo.core.ID)
+		if t == nil {
+			return
+		}
+		s.stats.Steals++
+		s.emit(trace.Steal, lo.core.ID, hi.core.ID, t)
+		s.enqueue(lo, t)
+	}
+}
+
+// observeInvariant integrates the time during which some idle core
+// coexists with a strictly slower core that has *waiting* work — the
+// condition the asymmetry-aware policy must prevent. The scheduler's
+// state is piecewise constant between the points where this is called,
+// so attributing the elapsed interval to the previously observed state is
+// exact.
+func (s *Scheduler) observeInvariant() {
+	now := s.env.Now()
+	dt := float64(now - s.lastInvariantCheck)
+	s.lastInvariantCheck = now
+	// NOTE: state has not changed since the last call, so folding the
+	// *current* runnable counts over dt is exact for the load averages
+	// too (they are computed from the same piecewise-constant signal).
+	s.updateLoadAvgs(dt)
+	if dt > 0 && s.invariantViolated {
+		s.stats.FastIdleSlowBusy += dt
+	}
+	violated := false
+outer:
+	for _, c := range s.cores {
+		if !c.idle() {
+			continue
+		}
+		for _, v := range s.cores {
+			if v.core.Duty < c.core.Duty && len(v.runq) > 0 {
+				violated = true
+				break outer
+			}
+		}
+	}
+	s.invariantViolated = violated
+}
+
+// removeTask deletes t from q preserving order.
+func removeTask(q []*task, t *task) []*task {
+	for i, x := range q {
+		if x == t {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// Utilization returns each core's busy fraction over the elapsed
+// simulated time (0 when no time has passed).
+func (s *Scheduler) Utilization() []float64 {
+	out := make([]float64, len(s.cores))
+	total := float64(s.env.Now())
+	if total <= 0 {
+		return out
+	}
+	for i := range s.cores {
+		// Include the in-progress burst.
+		busy := s.stats.BusySeconds[i]
+		if c := s.cores[i]; c.running != nil {
+			busy += float64(s.env.Now() - c.runStart)
+		}
+		out[i] = busy / total
+	}
+	return out
+}

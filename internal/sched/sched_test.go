@@ -1,0 +1,571 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+)
+
+// newRig builds an env + scheduler for the given duty cycles.
+func newRig(t *testing.T, seed uint64, policy Policy, duties ...float64) (*sim.Env, *Scheduler) {
+	t.Helper()
+	env := sim.NewEnv(seed)
+	opt := Defaults(policy)
+	opt.MigrationCost = 0 // exact arithmetic in unit tests
+	s := New(env, cpu.NewMachine(duties...), opt)
+	t.Cleanup(env.Close)
+	return env, s
+}
+
+func TestSingleProcFastCore(t *testing.T) {
+	env, _ := newRig(t, 1, PolicyNaive, 1.0)
+	var done simtime.Time
+	env.Go("w", func(p *sim.Proc) {
+		p.Compute(cpu.BaseHz) // one second of work at full speed
+		done = p.Now()
+	})
+	env.Run()
+	if math.Abs(float64(done)-1) > 1e-9 {
+		t.Fatalf("finished at %v, want 1s", done)
+	}
+}
+
+func TestSingleProcSlowCore(t *testing.T) {
+	env, _ := newRig(t, 1, PolicyNaive, 0.125)
+	var done simtime.Time
+	env.Go("w", func(p *sim.Proc) {
+		p.Compute(cpu.BaseHz)
+		done = p.Now()
+	})
+	env.Run()
+	if math.Abs(float64(done)-8) > 1e-9 {
+		t.Fatalf("finished at %v, want 8s on a 1/8-speed core", done)
+	}
+}
+
+func TestTwoProcsShareOneCore(t *testing.T) {
+	env, _ := newRig(t, 1, PolicyNaive, 1.0)
+	var finish []simtime.Time
+	for i := 0; i < 2; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(cpu.BaseHz)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	if len(finish) != 2 {
+		t.Fatal("not all procs finished")
+	}
+	last := float64(finish[1])
+	if math.Abs(last-2) > 1e-6 {
+		t.Fatalf("last finish %v, want 2s for 2s of work on one core", last)
+	}
+	// Round-robin means the first finisher cannot finish much before the
+	// second: both should complete within one timeslice of each other.
+	if float64(finish[1]-finish[0]) > float64(Defaults(PolicyNaive).Timeslice)+1e-9 {
+		t.Fatalf("timeslicing not fair: finishes %v", finish)
+	}
+}
+
+func TestParallelismAcrossCores(t *testing.T) {
+	// Deterministic placement: four tasks spread over four cores.
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	opt.RandomWakeups = false
+	New(env, cpu.NewMachine(1.0, 1.0, 1.0, 1.0), opt)
+	t.Cleanup(env.Close)
+	var latest simtime.Time
+	for i := 0; i < 4; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(cpu.BaseHz)
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+	}
+	env.Run()
+	if math.Abs(float64(latest)-1) > 1e-6 {
+		t.Fatalf("4 procs on 4 cores took %v, want ~1s", latest)
+	}
+}
+
+func TestAffinityPinsToCore(t *testing.T) {
+	env, s := newRig(t, 1, PolicyNaive, 1.0, 0.125)
+	var done simtime.Time
+	env.Go("pinned", func(p *sim.Proc) {
+		p.SetAffinity(sim.Single(1)) // the slow core
+		p.Compute(cpu.BaseHz)
+		done = p.Now()
+	})
+	env.Run()
+	if math.Abs(float64(done)-8) > 1e-6 {
+		t.Fatalf("pinned proc finished at %v, want 8s (slow core)", done)
+	}
+	st := s.Stats()
+	if st.RetiredCycles[0] != 0 {
+		t.Fatalf("fast core retired %v cycles for a slow-pinned proc", st.RetiredCycles[0])
+	}
+}
+
+func TestAffinityNoCorePanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	New(env, cpu.NewMachine(1.0), Defaults(PolicyNaive))
+	env.Go("bad", func(p *sim.Proc) {
+		p.SetAffinity(sim.Single(5)) // machine has one core
+		p.Compute(1)
+	})
+	defer func() {
+		recover()
+		env.Close()
+	}()
+	env.Run()
+	t.Fatal("expected panic for unsatisfiable affinity")
+}
+
+func TestAwarePlacesOnFastCore(t *testing.T) {
+	// One task, one fast and one slow core: the aware policy must always
+	// choose the fast core regardless of seed.
+	for seed := uint64(0); seed < 20; seed++ {
+		env := sim.NewEnv(seed)
+		opt := Defaults(PolicyAsymmetryAware)
+		opt.MigrationCost = 0
+		New(env, cpu.NewMachine(0.125, 1.0), opt)
+		var done simtime.Time
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(cpu.BaseHz)
+			done = p.Now()
+		})
+		env.Run()
+		env.Close()
+		if math.Abs(float64(done)-1) > 1e-6 {
+			t.Fatalf("seed %d: aware policy finished at %v, want 1s", seed, done)
+		}
+	}
+}
+
+func TestNaiveCanPlaceOnSlowCore(t *testing.T) {
+	// Same scenario under the naive policy: across seeds, some runs land
+	// on the slow core. This is the paper's instability mechanism.
+	slow, fast := 0, 0
+	for seed := uint64(0); seed < 40; seed++ {
+		env := sim.NewEnv(seed)
+		opt := Defaults(PolicyNaive)
+		opt.MigrationCost = 0
+		New(env, cpu.NewMachine(0.125, 1.0), opt)
+		var done simtime.Time
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(cpu.BaseHz)
+			done = p.Now()
+		})
+		env.Run()
+		env.Close()
+		switch {
+		case math.Abs(float64(done)-1) < 1e-6:
+			fast++
+		case math.Abs(float64(done)-8) < 1e-6:
+			slow++
+		default:
+			t.Fatalf("seed %d: unexpected finish %v", seed, done)
+		}
+	}
+	if slow == 0 || fast == 0 {
+		t.Fatalf("naive placement not random: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestAwareMigratesRunningFromSlowToIdleFast(t *testing.T) {
+	// Start a long task; force it onto the slow core by keeping the fast
+	// core busy at spawn time, then let the fast core go idle. The aware
+	// policy must migrate the running slow task to the fast core.
+	env := sim.NewEnv(3)
+	opt := Defaults(PolicyAsymmetryAware)
+	opt.MigrationCost = 0
+	s := New(env, cpu.NewMachine(1.0, 0.125), opt)
+	var longDone simtime.Time
+	env.Go("short", func(p *sim.Proc) {
+		p.Compute(0.1 * cpu.BaseHz) // occupies the fast core for 0.1s
+	})
+	env.Go("long", func(p *sim.Proc) {
+		p.Compute(1.0 * cpu.BaseHz)
+		longDone = p.Now()
+	})
+	env.Run()
+	// Slow-only execution would take 8s. With migration at ~0.1s the long
+	// task does 0.1s at 1/8 speed then the rest at full speed:
+	// 0.1 + (1 - 0.1*0.125) ≈ 1.0875s.
+	if float64(longDone) > 2 {
+		t.Fatalf("long task finished at %v; aware policy failed to migrate", longDone)
+	}
+	if s.Stats().ForcedMigrations == 0 {
+		t.Fatal("no forced migration recorded")
+	}
+	env.Close()
+}
+
+func TestAwareInvariantHolds(t *testing.T) {
+	// Under the aware policy, fast-idle-while-slow-has-waiting-work time
+	// must stay (essentially) zero in a churny workload.
+	env := sim.NewEnv(5)
+	opt := Defaults(PolicyAsymmetryAware)
+	s := New(env, cpu.NewMachine(1.0, 1.0, 0.125, 0.125), opt)
+	for i := 0; i < 8; i++ {
+		env.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			for j := 0; j < 50; j++ {
+				p.Compute(p.Rand().Range(0.001, 0.02) * cpu.BaseHz)
+				p.Sleep(simtime.Duration(p.Rand().Range(0.001, 0.01)))
+			}
+		})
+	}
+	env.Run()
+	st := s.Stats()
+	if st.FastIdleSlowBusy > 1e-9 {
+		t.Fatalf("aware policy violated fast-never-idle for %v seconds", st.FastIdleSlowBusy)
+	}
+	env.Close()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		env := sim.NewEnv(seed)
+		New(env, cpu.MustParseConfig("2f-2s/8").Machine(), Defaults(PolicyNaive))
+		var out []float64
+		for i := 0; i < 6; i++ {
+			env.Go("w", func(p *sim.Proc) {
+				for j := 0; j < 10; j++ {
+					p.Compute(p.Rand().Range(0.01, 0.1) * cpu.BaseHz)
+					p.Sleep(simtime.Duration(p.Rand().Range(0.001, 0.01)))
+				}
+				out = append(out, float64(p.Now()))
+			})
+		}
+		env.Run()
+		env.Close()
+		return out
+	}
+	a, b := run(11), run(11)
+	if len(a) != len(b) {
+		t.Fatal("different completion counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Total retired cycles must equal total requested cycles.
+	env := sim.NewEnv(7)
+	s := New(env, cpu.MustParseConfig("2f-2s/4").Machine(), Defaults(PolicyNaive))
+	const perProc = 0.5 * cpu.BaseHz
+	const n = 10
+	for i := 0; i < n; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			for j := 0; j < 4; j++ {
+				p.Compute(perProc / 4)
+			}
+		})
+	}
+	env.Run()
+	st := s.Stats()
+	total := 0.0
+	for _, c := range st.RetiredCycles {
+		total += c
+	}
+	want := float64(n) * perProc
+	// Migration cost adds work; allow for it.
+	if total < want-1 || total > want*1.01 {
+		t.Fatalf("retired %v cycles, want ≈ %v", total, want)
+	}
+	env.Close()
+}
+
+func TestMakespanBounds(t *testing.T) {
+	// n identical independent tasks: the makespan can never beat
+	// total-work / total-capacity. The asymmetry-aware policy should land
+	// within ~2.5x of that bound everywhere; the naive policy only on
+	// symmetric machines — on asymmetric ones it balances task *counts*,
+	// not capacity, and legitimately does worse (the paper's point).
+	run := func(cfg cpu.Config, policy Policy) float64 {
+		env := sim.NewEnv(13)
+		opt := Defaults(policy)
+		opt.MigrationCost = 0
+		New(env, cfg.Machine(), opt)
+		var last simtime.Time
+		const n = 16
+		for i := 0; i < n; i++ {
+			env.Go("w", func(p *sim.Proc) {
+				p.Compute(0.25 * cpu.BaseHz)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		env.Run()
+		env.Close()
+		return float64(last)
+	}
+	cases := []struct {
+		cfg    string
+		policy Policy
+	}{
+		{"4f-0s", PolicyNaive},
+		{"0f-4s/4", PolicyNaive},
+		{"4f-0s", PolicyAsymmetryAware},
+		{"2f-2s/8", PolicyAsymmetryAware},
+		{"0f-4s/4", PolicyAsymmetryAware},
+	}
+	for _, c := range cases {
+		cfg := cpu.MustParseConfig(c.cfg)
+		last := run(cfg, c.policy)
+		lower := 16 * 0.25 / cfg.ComputePower()
+		if last < lower-1e-6 {
+			t.Fatalf("%s/%v: makespan %v beats physics (min %v)", c.cfg, c.policy, last, lower)
+		}
+		if last > 2.5*lower {
+			t.Fatalf("%s/%v: makespan %v is badly unbalanced (min %v)", c.cfg, c.policy, last, lower)
+		}
+	}
+	// And the headline comparison: on the asymmetric machine the aware
+	// policy must beat the naive one.
+	cfg := cpu.MustParseConfig("2f-2s/8")
+	if aware, naive := run(cfg, PolicyAsymmetryAware), run(cfg, PolicyNaive); aware >= naive {
+		t.Fatalf("aware makespan %v should beat naive %v on 2f-2s/8", aware, naive)
+	}
+}
+
+func TestMigrationCostCharged(t *testing.T) {
+	// A task forced to migrate pays the cost: compare total retired
+	// cycles with and without migration cost under the aware policy's
+	// forced migration.
+	run := func(cost float64) float64 {
+		env := sim.NewEnv(3)
+		opt := Defaults(PolicyAsymmetryAware)
+		opt.MigrationCost = cost
+		s := New(env, cpu.NewMachine(1.0, 0.125), opt)
+		env.Go("short", func(p *sim.Proc) { p.Compute(0.1 * cpu.BaseHz) })
+		env.Go("long", func(p *sim.Proc) { p.Compute(1.0 * cpu.BaseHz) })
+		env.Run()
+		env.Close()
+		st := s.Stats()
+		return st.RetiredCycles[0] + st.RetiredCycles[1]
+	}
+	base := run(0)
+	withCost := run(1e6)
+	if withCost <= base {
+		t.Fatalf("migration cost not charged: %v vs %v", withCost, base)
+	}
+}
+
+func TestKillMidComputeFreesCore(t *testing.T) {
+	env, _ := newRig(t, 1, PolicyNaive, 1.0)
+	victim := env.Go("victim", func(p *sim.Proc) {
+		p.Compute(100 * cpu.BaseHz)
+	})
+	var done simtime.Time
+	env.Go("next", func(p *sim.Proc) {
+		p.Sleep(1)
+		p.Compute(1 * cpu.BaseHz)
+		done = p.Now()
+	})
+	env.After(2, func() { env.Kill(victim) })
+	env.Run()
+	// victim killed at t=2; next needs 1s of CPU; with round-robin from
+	// t=1 to t=2 it got ~0.5s, then finishes by ~2.5s.
+	if float64(done) > 3 {
+		t.Fatalf("core not freed by kill: next finished at %v", done)
+	}
+}
+
+func TestUtilizationSaturated(t *testing.T) {
+	// Deterministic placement (RandomWakeups off) spreads the four tasks
+	// evenly, so both cores should be busy essentially the whole time.
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	opt.RandomWakeups = false
+	s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+	t.Cleanup(env.Close)
+	for i := 0; i < 4; i++ {
+		env.Go("w", func(p *sim.Proc) { p.Compute(cpu.BaseHz) })
+	}
+	env.Run()
+	for i, u := range s.Utilization() {
+		if u < 0.95 || u > 1.0+1e-9 {
+			t.Fatalf("core %d utilization %v, want ~1", i, u)
+		}
+	}
+}
+
+func TestStatsSnapshotIsolated(t *testing.T) {
+	env, s := newRig(t, 1, PolicyNaive, 1.0)
+	env.Go("w", func(p *sim.Proc) { p.Compute(cpu.BaseHz) })
+	env.Run()
+	st := s.Stats()
+	st.BusySeconds[0] = -1
+	if s.Stats().BusySeconds[0] == -1 {
+		t.Fatal("Stats aliases internal state")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyNaive.String() != "naive" || PolicyAsymmetryAware.String() != "asymmetry-aware" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy has empty name")
+	}
+}
+
+func TestCoreOf(t *testing.T) {
+	env, s := newRig(t, 1, PolicyNaive, 1.0)
+	worker := env.Go("w", func(p *sim.Proc) {
+		p.Compute(0.1 * cpu.BaseHz)
+	})
+	probe := env.Go("probe", func(p *sim.Proc) {})
+	env.RunUntil(0.05)
+	if got := s.CoreOf(worker); got != 0 {
+		t.Fatalf("CoreOf(computing) = %d, want 0", got)
+	}
+	env.Run()
+	if got := s.CoreOf(probe); got != -1 {
+		t.Fatalf("CoreOf(finished) = %d, want -1", got)
+	}
+}
+
+func TestTimeslicePreemptionCounted(t *testing.T) {
+	env, s := newRig(t, 1, PolicyNaive, 1.0)
+	for i := 0; i < 2; i++ {
+		env.Go("w", func(p *sim.Proc) { p.Compute(cpu.BaseHz) })
+	}
+	env.Run()
+	if s.Stats().Preemptions == 0 {
+		t.Fatal("two CPU-bound procs on one core never preempted each other")
+	}
+}
+
+func TestNaiveStickyPlacement(t *testing.T) {
+	// A proc alternating compute and sleep on an otherwise busy machine
+	// should mostly stay on one core (stickiness), so its migration count
+	// stays far below its wakeup count.
+	env := sim.NewEnv(21)
+	s := New(env, cpu.MustParseConfig("2f-2s/8").Machine(), Defaults(PolicyNaive))
+	// Fill all cores with background load.
+	for i := 0; i < 4; i++ {
+		env.Go("bg", func(p *sim.Proc) {
+			for j := 0; j < 10000; j++ {
+				p.Compute(0.01 * cpu.BaseHz)
+			}
+		})
+	}
+	const wakeups = 200
+	env.Go("sleeper", func(p *sim.Proc) {
+		for j := 0; j < wakeups; j++ {
+			p.Compute(0.001 * cpu.BaseHz)
+			p.Sleep(5 * simtime.Millisecond)
+		}
+	})
+	env.RunUntil(20)
+	st := s.Stats()
+	if st.Migrations > wakeups/2 {
+		t.Fatalf("placement not sticky: %d migrations for %d wakeups", st.Migrations, wakeups)
+	}
+	env.Close()
+}
+
+func TestSetDutyChangesRate(t *testing.T) {
+	env, s := newRig(t, 1, PolicyNaive, 1.0)
+	var done simtime.Time
+	env.Go("w", func(p *sim.Proc) {
+		p.Compute(cpu.BaseHz) // 1s at full speed
+		done = p.Now()
+	})
+	// Throttle to half speed at t=0.5: half the work remains, now at
+	// half rate -> finishes at 0.5 + 1.0 = 1.5s.
+	env.After(0.5, func() { s.SetDuty(0, 0.5) })
+	env.Run()
+	if math.Abs(float64(done)-1.5) > 1e-9 {
+		t.Fatalf("finished at %v, want 1.5s", done)
+	}
+	if s.Duty(0) != 0.5 {
+		t.Fatalf("Duty = %v", s.Duty(0))
+	}
+	if s.Machine().Cores[0].Duty != 0.5 {
+		t.Fatal("machine snapshot not updated")
+	}
+}
+
+func TestSetDutyIdleCore(t *testing.T) {
+	env, s := newRig(t, 1, PolicyNaive, 1.0, 1.0)
+	env.After(0.1, func() { s.SetDuty(1, 0.25) })
+	var done simtime.Time
+	env.Go("late", func(p *sim.Proc) {
+		p.SetAffinity(sim.Single(1))
+		p.Sleep(0.2)
+		p.Compute(0.25 * cpu.BaseHz)
+		done = p.Now()
+	})
+	env.Run()
+	// 0.2s sleep + 0.25 fast-seconds at quarter speed = 1.0s more.
+	if math.Abs(float64(done)-1.2) > 1e-9 {
+		t.Fatalf("finished at %v, want 1.2s", done)
+	}
+}
+
+func TestSetDutyValidates(t *testing.T) {
+	env, s := newRig(t, 1, PolicyNaive, 1.0)
+	_ = env
+	for _, bad := range []struct {
+		core int
+		duty float64
+	}{{5, 0.5}, {0, 0}, {0, 1.5}, {-1, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetDuty(%d, %v) did not panic", bad.core, bad.duty)
+				}
+			}()
+			s.SetDuty(bad.core, bad.duty)
+		}()
+	}
+}
+
+func TestThermalEventAwareAdapts(t *testing.T) {
+	// A symmetric machine develops a thermal problem: core 0 throttles
+	// to 1/8 speed mid-run. The aware scheduler must keep long-running
+	// work off the throttled core; the naive one leaves it stranded.
+	run := func(policy Policy) simtime.Time {
+		env := sim.NewEnv(5)
+		opt := Defaults(policy)
+		opt.MigrationCost = 0
+		opt.RandomWakeups = false
+		s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+		var done simtime.Time
+		env.Go("victim", func(p *sim.Proc) {
+			p.Compute(2.0 * cpu.BaseHz)
+			if p.Now() > done {
+				done = p.Now()
+			}
+		})
+		env.Go("other", func(p *sim.Proc) {
+			p.Compute(0.5 * cpu.BaseHz)
+			if p.Now() > done {
+				done = p.Now()
+			}
+		})
+		env.After(0.25, func() { s.SetDuty(0, 0.125) })
+		env.Run()
+		env.Close()
+		return done
+	}
+	naive := run(PolicyNaive)
+	aware := run(PolicyAsymmetryAware)
+	if float64(aware) >= float64(naive)*0.6 {
+		t.Fatalf("aware (%v) should clearly beat naive (%v) after the thermal event", aware, naive)
+	}
+}

@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/xrand"
+)
+
+// TestRandomSoup throws randomized mixtures of computing, sleeping,
+// affinity-changing and dying procs at both policies on random machines,
+// with mid-run kills injected, and checks the global invariants:
+// no deadlock, exact work conservation, physically possible busy time.
+func TestRandomSoup(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := xrand.New(seed)
+			ncores := 1 + rng.Intn(6)
+			duties := make([]float64, ncores)
+			for i := range duties {
+				duties[i] = []float64{0.125, 0.25, 0.5, 1.0}[rng.Intn(4)]
+			}
+			policy := PolicyNaive
+			if rng.Bool(0.5) {
+				policy = PolicyAsymmetryAware
+			}
+			env := sim.NewEnv(seed)
+			opt := Defaults(policy)
+			opt.MigrationCost = 0
+			s := New(env, cpu.NewMachine(duties...), opt)
+			defer env.Close()
+
+			requested := 0.0
+			nprocs := 2 + rng.Intn(10)
+			var victims []*sim.Proc
+			for i := 0; i < nprocs; i++ {
+				bursts := 1 + rng.Intn(8)
+				var myWork float64
+				plan := make([]float64, bursts)
+				for j := range plan {
+					plan[j] = rng.Range(0.001, 0.05) * cpu.BaseHz
+					myWork += plan[j]
+				}
+				killable := rng.Bool(0.3)
+				p := env.Go(fmt.Sprintf("soup-%d", i), func(p *sim.Proc) {
+					if r := p.Rand(); r.Bool(0.3) {
+						p.SetAffinity(sim.Single(r.Intn(ncores)))
+					}
+					for _, c := range plan {
+						p.Compute(c)
+						if p.Rand().Bool(0.4) {
+							p.Sleep(simtime.Duration(p.Rand().Range(0.001, 0.02)))
+						}
+					}
+				})
+				if killable {
+					victims = append(victims, p)
+				} else {
+					requested += myWork
+				}
+			}
+			// Kill the victims mid-run; their retired work is excluded
+			// from the conservation check (they may finish early or not).
+			for _, v := range victims {
+				v := v
+				env.After(simtime.Duration(rng.Range(0.01, 0.2)), func() { env.Kill(v) })
+			}
+
+			env.Run()
+			st := s.Stats()
+			total := 0.0
+			busy := 0.0
+			for i := range st.RetiredCycles {
+				total += st.RetiredCycles[i]
+				busy += st.BusySeconds[i]
+				// Busy time cannot exceed elapsed time per core.
+				if st.BusySeconds[i] > float64(env.Now())+1e-9 {
+					t.Fatalf("core %d busy %v > elapsed %v", i, st.BusySeconds[i], env.Now())
+				}
+			}
+			// All non-victim work must have been retired; victims may add
+			// extra, so total >= requested.
+			if total < requested-1 {
+				t.Fatalf("retired %v < requested %v", total, requested)
+			}
+			if env.NumLive() != 0 {
+				t.Fatalf("%d procs leaked", env.NumLive())
+			}
+		})
+	}
+}
+
+// Property: for any set of equal pure-compute tasks on any machine, the
+// makespan is bounded below by both total-work/total-capacity and
+// work-per-task/fastest-core, under either policy.
+func TestMakespanLowerBoundProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, coresRaw uint8, aware bool) bool {
+		n := int(nRaw%12) + 1
+		ncores := int(coresRaw%4) + 1
+		duties := make([]float64, ncores)
+		rng := xrand.New(seed)
+		for i := range duties {
+			duties[i] = []float64{0.125, 0.25, 0.5, 1.0}[rng.Intn(4)]
+		}
+		m := cpu.NewMachine(duties...)
+		policy := PolicyNaive
+		if aware {
+			policy = PolicyAsymmetryAware
+		}
+		env := sim.NewEnv(seed)
+		opt := Defaults(policy)
+		opt.MigrationCost = 0
+		New(env, m, opt)
+		defer env.Close()
+		const work = 0.05 * cpu.BaseHz
+		var last simtime.Time
+		for i := 0; i < n; i++ {
+			env.Go("w", func(p *sim.Proc) {
+				p.Compute(work)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		env.Run()
+		lbCapacity := float64(n) * work / (m.ComputePower() * cpu.BaseHz)
+		lbSingle := work / (m.MaxDuty() * cpu.BaseHz)
+		lb := math.Max(lbCapacity, lbSingle)
+		return float64(last) >= lb-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: memory-stall time is duty-independent — a pure-memory burst
+// takes identical wall-clock time on any single-core machine.
+func TestMemoryStallDutyIndependenceProperty(t *testing.T) {
+	f := func(dutyRaw uint8, memRaw uint16) bool {
+		duty := (float64(dutyRaw%8) + 1) / 8
+		mem := float64(memRaw%1000+1) / 1000 // up to 1s
+		env := sim.NewEnv(1)
+		New(env, cpu.NewMachine(duty), Defaults(PolicyNaive))
+		defer env.Close()
+		var done simtime.Time
+		env.Go("m", func(p *sim.Proc) {
+			p.ComputeMem(0, simtime.Duration(mem))
+			done = p.Now()
+		})
+		env.Run()
+		return math.Abs(float64(done)-mem) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed bursts decompose exactly: cycles/rate + mem.
+func TestMixedBurstTimingProperty(t *testing.T) {
+	f := func(dutyRaw uint8, cycRaw, memRaw uint16) bool {
+		duty := (float64(dutyRaw%8) + 1) / 8
+		cycles := float64(cycRaw%1000+1) * 1e6
+		mem := float64(memRaw%200) / 1000
+		env := sim.NewEnv(1)
+		opt := Defaults(PolicyNaive)
+		opt.MigrationCost = 0
+		New(env, cpu.NewMachine(duty), opt)
+		defer env.Close()
+		var done simtime.Time
+		env.Go("m", func(p *sim.Proc) {
+			p.ComputeMem(cycles, simtime.Duration(mem))
+			done = p.Now()
+		})
+		env.Run()
+		want := cycles/(duty*cpu.BaseHz) + mem
+		return math.Abs(float64(done)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDutyFlappingUnderLoad changes core speeds repeatedly while a
+// saturated workload runs; the accounting must stay exact.
+func TestDutyFlappingUnderLoad(t *testing.T) {
+	env := sim.NewEnv(9)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+	defer env.Close()
+
+	const perProc = 0.5 * cpu.BaseHz
+	done := 0
+	for i := 0; i < 4; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			for j := 0; j < 10; j++ {
+				p.Compute(perProc / 10)
+			}
+			done++
+		})
+	}
+	// Flap core 0 between full and 1/8 speed every 50 ms.
+	var flap func(step int)
+	flap = func(step int) {
+		if done == 4 || step > 200 {
+			return
+		}
+		if step%2 == 0 {
+			s.SetDuty(0, 0.125)
+		} else {
+			s.SetDuty(0, 1.0)
+		}
+		env.After(0.05, func() { flap(step + 1) })
+	}
+	env.After(0.05, func() { flap(0) })
+	env.Run()
+
+	if done != 4 {
+		t.Fatalf("only %d/4 procs finished", done)
+	}
+	st := s.Stats()
+	total := st.RetiredCycles[0] + st.RetiredCycles[1]
+	if math.Abs(total-4*perProc) > 1 {
+		t.Fatalf("retired %v cycles, want %v — duty flapping corrupted accounting", total, 4*perProc)
+	}
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/trace"
+)
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+	buf := trace.New(4096)
+	s.SetTracer(buf)
+	t.Cleanup(env.Close)
+
+	for i := 0; i < 3; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			for j := 0; j < 5; j++ {
+				p.Compute(0.05 * cpu.BaseHz)
+			}
+		})
+	}
+	env.Run()
+
+	if buf.Count(trace.Dispatch) == 0 {
+		t.Fatal("no dispatches recorded")
+	}
+	if buf.Count(trace.Complete) != 15 {
+		t.Fatalf("completes = %d, want 15", buf.Count(trace.Complete))
+	}
+	if buf.Count(trace.Wake) != 15 {
+		t.Fatalf("wakes = %d, want 15 (one per burst)", buf.Count(trace.Wake))
+	}
+	// Three CPU-bound tasks on two cores must rotate at least once.
+	if buf.Count(trace.Preempt) == 0 {
+		t.Fatal("no preemptions recorded")
+	}
+	// Events must be time-ordered.
+	es := buf.Events()
+	for i := 1; i < len(es); i++ {
+		if es[i].At < es[i-1].At {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+	// Timeline covers both cores.
+	tl := buf.CoreTimeline()
+	if len(tl) != 2 {
+		t.Fatalf("timeline cores = %d, want 2", len(tl))
+	}
+}
+
+func TestTracerRecordsForcedMigration(t *testing.T) {
+	env := sim.NewEnv(3)
+	opt := Defaults(PolicyAsymmetryAware)
+	opt.MigrationCost = 0
+	s := New(env, cpu.NewMachine(1.0, 0.125), opt)
+	buf := trace.New(1024)
+	s.SetTracer(buf)
+	t.Cleanup(env.Close)
+
+	env.Go("short", func(p *sim.Proc) { p.Compute(0.1 * cpu.BaseHz) })
+	env.Go("long", func(p *sim.Proc) { p.Compute(1.0 * cpu.BaseHz) })
+	env.Run()
+
+	fm := buf.Filter(func(e trace.Event) bool { return e.Kind == trace.ForcedMigrate })
+	if len(fm) == 0 {
+		t.Fatal("no forced migration recorded")
+	}
+	if fm[0].From != 1 || fm[0].Core != 0 {
+		t.Fatalf("forced migration direction wrong: %+v", fm[0])
+	}
+	if fm[0].ProcName != "long" {
+		t.Fatalf("wrong victim: %+v", fm[0])
+	}
+}
+
+func TestTracerDetachable(t *testing.T) {
+	env := sim.NewEnv(1)
+	s := New(env, cpu.NewMachine(1.0), Defaults(PolicyNaive))
+	buf := trace.New(16)
+	s.SetTracer(buf)
+	t.Cleanup(env.Close)
+	env.Go("a", func(p *sim.Proc) { p.Compute(1e6) })
+	env.Run()
+	n := buf.Total()
+	if n == 0 {
+		t.Fatal("nothing recorded while attached")
+	}
+	s.SetTracer(nil)
+	env.Go("b", func(p *sim.Proc) { p.Compute(1e6) })
+	env.Run()
+	if buf.Total() != n {
+		t.Fatal("events recorded after detach")
+	}
+}

@@ -1,0 +1,280 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine. Simulated threads ("procs") are written as ordinary
+// Go functions; they run on real goroutines but the engine enforces a
+// strict one-at-a-time handoff between the kernel loop and the active
+// proc, so a simulation is a pure function of its inputs and seed.
+//
+// The engine itself knows nothing about CPUs. Compute requests are
+// delegated to an Executor — the OS-scheduler model in internal/sched —
+// which decides where and when the requested cycles retire. Everything
+// else (sleeping, locks, condition variables, barriers, queues) is
+// handled inside this package.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"asmp/internal/simtime"
+	"asmp/internal/xrand"
+)
+
+// CPUSet is a bitmask of core IDs a proc may run on. The zero value means
+// "any core".
+type CPUSet uint64
+
+// Set returns s with core id added.
+func (s CPUSet) Set(id int) CPUSet { return s | 1<<uint(id) }
+
+// Has reports whether core id is in the set. An empty set contains every
+// core.
+func (s CPUSet) Has(id int) bool { return s == 0 || s&(1<<uint(id)) != 0 }
+
+// Count returns the number of explicitly set cores (0 for "any").
+func (s CPUSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Single returns a set containing only core id.
+func Single(id int) CPUSet { return CPUSet(1) << uint(id) }
+
+// Executor models CPU execution for the engine. Implementations must be
+// single-threaded (they are only invoked from the kernel context or the
+// active proc's context, never concurrently) and must invoke the done
+// callback from a scheduled event, never synchronously from Compute.
+type Executor interface {
+	// Compute retires cycles of work for p, honouring p's affinity, and
+	// calls done at the simulated time the work completes. memSeconds is
+	// additional memory-stall time that occupies the core for a fixed
+	// wall-clock duration regardless of the core's clock duty cycle —
+	// the paper's stop-clock mechanism slows the processor but not the
+	// memory system.
+	Compute(p *Proc, cycles, memSeconds float64, done func())
+	// Cancel aborts an in-flight Compute for p; done must not be called
+	// afterwards. Cancelling a proc with no in-flight compute is a no-op.
+	Cancel(p *Proc)
+	// ProcExit tells the executor p has exited and will never compute
+	// again, so any per-proc state can be released.
+	ProcExit(p *Proc)
+}
+
+// Env is a simulation environment: the event queue, the proc table and
+// the executor. Create one with NewEnv, attach an executor, spawn procs
+// with Go, and drive it with Run or RunUntil.
+type Env struct {
+	queue simtime.Queue
+	rand  *xrand.Rand
+	exec  Executor
+
+	nextPID  int
+	live     map[int]*Proc
+	running  *Proc
+	panicVal any
+	closed   bool
+}
+
+// NewEnv returns an environment whose randomness derives entirely from
+// seed.
+func NewEnv(seed uint64) *Env {
+	return &Env{
+		rand: xrand.New(seed),
+		live: map[int]*Proc{},
+	}
+}
+
+// SetExecutor installs the CPU model. It must be called before any proc
+// issues a Compute.
+func (e *Env) SetExecutor(x Executor) { e.exec = x }
+
+// Executor returns the installed CPU model (nil if none).
+func (e *Env) Executor() Executor { return e.exec }
+
+// Now returns the current simulated time.
+func (e *Env) Now() simtime.Time { return e.queue.Now() }
+
+// Rand returns the environment's root random stream. Prefer per-proc
+// streams (Proc.Rand) inside workload code.
+func (e *Env) Rand() *xrand.Rand { return e.rand }
+
+// After schedules fn to run in kernel context d from now.
+func (e *Env) After(d simtime.Duration, fn func()) *simtime.Event {
+	return e.queue.After(d, fn)
+}
+
+// At schedules fn to run in kernel context at time t.
+func (e *Env) At(t simtime.Time, fn func()) *simtime.Event {
+	return e.queue.Schedule(t, fn)
+}
+
+// CancelEvent cancels a pending event scheduled with After or At.
+func (e *Env) CancelEvent(ev *simtime.Event) { e.queue.Cancel(ev) }
+
+// NumLive returns the number of procs that have been spawned and have not
+// yet exited.
+func (e *Env) NumLive() int { return len(e.live) }
+
+// Go spawns a new proc running fn. The proc starts at the current
+// simulated time, after the caller yields control. Go may be called from
+// kernel context or from a running proc.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Go on closed Env")
+	}
+	e.nextPID++
+	p := &Proc{
+		env:      e,
+		id:       e.nextPID,
+		name:     name,
+		fn:       fn,
+		rand:     e.rand.Split(),
+		toProc:   make(chan struct{}),
+		toKernel: make(chan struct{}),
+	}
+	e.live[p.id] = p
+	e.queue.After(0, func() { e.start(p) })
+	return p
+}
+
+// start launches p's goroutine and gives it its first slice of control.
+func (e *Env) start(p *Proc) {
+	if p.done || p.killed {
+		// Killed before it ever ran: just retire it.
+		p.done = true
+		e.finish(p)
+		return
+	}
+	go func() {
+		<-p.toProc
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); !ok {
+					// A genuine bug in workload code: surface it in the
+					// kernel so tests fail loudly instead of deadlocking.
+					p.env.panicVal = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			p.toKernel <- struct{}{}
+		}()
+		if !p.killed {
+			p.fn(p)
+		}
+	}()
+	p.launched = true
+	p.waiting = true
+	e.resume(p)
+}
+
+// resume transfers control to p until its next yield. Kernel context only.
+func (e *Env) resume(p *Proc) {
+	if p.done || !p.launched || !p.waiting {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.waiting = false
+	p.toProc <- struct{}{}
+	<-p.toKernel
+	e.running = prev
+	if p.done {
+		e.finish(p)
+	}
+	if e.panicVal != nil {
+		v := e.panicVal
+		e.panicVal = nil
+		panic(v)
+	}
+}
+
+// finish retires an exited proc.
+func (e *Env) finish(p *Proc) {
+	if _, ok := e.live[p.id]; !ok {
+		return
+	}
+	delete(e.live, p.id)
+	if e.exec != nil {
+		e.exec.ProcExit(p)
+	}
+	for _, fn := range p.exitHooks {
+		fn()
+	}
+	p.exitHooks = nil
+}
+
+// wake schedules p to be resumed at the current time, after the active
+// context yields. It is the only correct way to unblock a proc.
+func (e *Env) wake(p *Proc) {
+	if p.done {
+		return
+	}
+	e.queue.After(0, func() { e.resume(p) })
+}
+
+// Wake schedules a proc parked with Proc.Block to resume at the current
+// time, after the active context yields. Waking a proc that is not
+// parked, or is dead, is a no-op at resume time, but spurious wakeups of
+// procs parked on *other* conditions corrupt primitives — only wake procs
+// you parked.
+func (e *Env) Wake(p *Proc) { e.wake(p) }
+
+// Kill requests that p terminate the next time it would run. Any pending
+// compute or sleep is cancelled. Kill is intended for teardown: a killed
+// proc blocked inside a synchronization primitive unwinds immediately and
+// may leave that primitive held (see package comment on sync.go).
+func (e *Env) Kill(p *Proc) {
+	if p == nil || p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if p == e.running {
+		// Self-kill: unwinds at the proc's next yield, or immediately if
+		// it calls Exit. Nothing else to do here.
+		return
+	}
+	if p.sleepEv != nil {
+		e.queue.Cancel(p.sleepEv)
+		p.sleepEv = nil
+	}
+	if e.exec != nil {
+		e.exec.Cancel(p)
+	}
+	e.wake(p)
+}
+
+// KillAll kills every live proc. Call Run afterwards (or let the caller's
+// Run continue) to let them unwind.
+func (e *Env) KillAll() {
+	for _, p := range e.live {
+		if p != e.running {
+			e.Kill(p)
+		}
+	}
+}
+
+// Run dispatches events until none remain. It returns the number of
+// events fired. Live procs may remain blocked when Run returns (e.g. a
+// server waiting for requests that will never come); use Close to reap
+// them.
+func (e *Env) Run() int { return e.queue.Run() }
+
+// RunUntil dispatches events until the queue is empty or the next event
+// would fire after the deadline, then advances the clock to the deadline.
+func (e *Env) RunUntil(deadline simtime.Time) int { return e.queue.RunUntil(deadline) }
+
+// Close kills all remaining procs and drains the queue so no goroutines
+// leak. The environment must not be used afterwards.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	// Repeated rounds: unwinding procs can spawn wakeups for others.
+	for i := 0; i < 1000 && len(e.live) > 0; i++ {
+		e.KillAll()
+		e.queue.Run()
+	}
+	e.closed = true
+	if len(e.live) > 0 {
+		panic(fmt.Sprintf("sim: %d procs failed to terminate on Close", len(e.live)))
+	}
+}
+
+// killSignal is the panic value used to unwind killed procs.
+type killSignal struct{}

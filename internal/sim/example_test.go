@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+)
+
+// Example shows the engine's programming model: simulated threads are
+// ordinary Go functions that compute, sleep and synchronize; the
+// scheduler decides how long computes take on which core.
+func Example() {
+	env := sim.NewEnv(1)
+	opt := sched.Defaults(sched.PolicyNaive)
+	opt.RandomWakeups = false // deterministic placement for the example
+	sched.New(env, cpu.NewMachine(1.0, 0.25), opt)
+	defer env.Close()
+
+	var mu sim.Mutex
+	shared := 0
+
+	for i := 0; i < 2; i++ {
+		env.Go(fmt.Sprintf("worker-%d", i), func(p *sim.Proc) {
+			p.Compute(0.5 * cpu.BaseHz) // half a second of work at full speed
+			mu.Lock(p)
+			shared++
+			mu.Unlock(p)
+			fmt.Printf("%s done at %v\n", p.Name(), p.Now())
+		})
+	}
+	env.Run()
+	fmt.Println("shared =", shared)
+	// Output:
+	// worker-0 done at 500.000ms
+	// worker-1 done at 2.000s
+	// shared = 2
+}
+
+// ExampleQueue shows the producer/consumer backbone every request-driven
+// workload model is built on: kernel-context events inject work, procs
+// serve it.
+func ExampleQueue() {
+	env := sim.NewEnv(1)
+	opt := sched.Defaults(sched.PolicyNaive)
+	opt.RandomWakeups = false
+	sched.New(env, cpu.NewMachine(1.0), opt)
+	defer env.Close()
+
+	requests := sim.NewQueue[int](env)
+	env.Go("server", func(p *sim.Proc) {
+		for {
+			req, ok := requests.Get(p)
+			if !ok {
+				return
+			}
+			p.Compute(0.1 * cpu.BaseHz)
+			fmt.Printf("request %d served at %v\n", req, p.Now())
+		}
+	})
+	// A load generator running as kernel events.
+	for i := 0; i < 2; i++ {
+		i := i
+		env.At(simtime.Time(i)*0.5, func() { requests.Put(i) })
+	}
+	env.After(2, func() { requests.Close() })
+	env.Run()
+	// Output:
+	// request 0 served at 100.000ms
+	// request 1 served at 600.000ms
+}
+
+// ExampleBarrier shows the OpenMP-style synchronization the SPEC OMP
+// model uses: all parties leave together, gated by the slowest.
+func ExampleBarrier() {
+	env := sim.NewEnv(1)
+	opt := sched.Defaults(sched.PolicyNaive)
+	opt.RandomWakeups = false
+	sched.New(env, cpu.NewMachine(1.0, 0.5), opt)
+	defer env.Close()
+
+	b := sim.NewBarrier(2)
+	for i := 0; i < 2; i++ {
+		env.Go(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+			p.Compute(0.5 * cpu.BaseHz)
+			b.Wait(p) // the 1.0-speed thread waits for the 0.5-speed one
+			fmt.Printf("%s past barrier at %v\n", p.Name(), p.Now())
+		})
+	}
+	env.Run()
+	// Output:
+	// t1 past barrier at 1.000s
+	// t0 past barrier at 1.000s
+}

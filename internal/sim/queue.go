@@ -1,0 +1,110 @@
+package sim
+
+// Queue is an unbounded FIFO channel between simulated procs (and the
+// kernel). Producers never block; consumers block until an item or until
+// the queue closes. Load generators running as kernel events use Put to
+// inject work into server procs, which is the backbone of every
+// request-driven workload model in this repository.
+type Queue[T any] struct {
+	env      *Env
+	items    []T
+	getters  []*Proc
+	closed   bool
+	lifoWake bool
+}
+
+// NewQueue returns an empty open queue bound to e. Waiting consumers are
+// woken FIFO (longest-waiting first).
+func NewQueue[T any](e *Env) *Queue[T] { return &Queue[T]{env: e} }
+
+// NewAcceptQueue returns a queue that wakes the most recently parked
+// consumer first (LIFO). This models UNIX accept() semantics, where the
+// most recently idle server process tends to win the race for the next
+// connection — the reason a lightly loaded pre-fork server concentrates
+// its work on a small, placement-persistent subset of workers.
+func NewAcceptQueue[T any](e *Env) *Queue[T] { return &Queue[T]{env: e, lifoWake: true} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put enqueues v and wakes one waiting consumer. It may be called from
+// any context and panics if the queue is closed.
+func (q *Queue[T]) Put(v T) {
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// Close marks the queue closed and wakes all waiting consumers, which
+// observe ok == false once the backlog drains.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	gs := q.getters
+	q.getters = nil
+	for _, p := range gs {
+		if !p.done {
+			q.env.wake(p)
+		}
+	}
+}
+
+// Get dequeues the oldest item, blocking while the queue is empty. It
+// returns ok == false only when the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	p.checkContext()
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.getters = append(q.getters, p)
+		p.block()
+	}
+	v = q.items[0]
+	// Avoid retaining the element in the backing array.
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryGet dequeues without blocking, reporting whether an item was
+// available.
+func (q *Queue[T]) TryGet(p *Proc) (v T, ok bool) {
+	p.checkContext()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// wakeOne wakes one live consumer: the longest-waiting one by default,
+// or the most recently parked one for accept queues.
+func (q *Queue[T]) wakeOne() {
+	for len(q.getters) > 0 {
+		var p *Proc
+		if q.lifoWake {
+			p = q.getters[len(q.getters)-1]
+			q.getters = q.getters[:len(q.getters)-1]
+		} else {
+			p = q.getters[0]
+			q.getters = q.getters[1:]
+		}
+		if p.done {
+			continue
+		}
+		q.env.wake(p)
+		return
+	}
+}

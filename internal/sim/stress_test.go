@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"asmp/internal/simtime"
+	"asmp/internal/xrand"
+)
+
+// TestPrimitiveChaos exercises every synchronization primitive under a
+// randomized mixture of procs with mid-run kills, then verifies that
+// teardown reaps everything. Kills are documented as best-effort
+// teardown (they may strand a primitive a dead proc held), so the
+// assertions here are about robustness — no panic, no leak — not about
+// the primitives' liveness after a kill.
+func TestPrimitiveChaos(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := xrand.New(seed ^ 0xc0ffee)
+			env := NewEnv(seed)
+			newUnitExec(env)
+
+			var mu Mutex
+			cond := NewCond(&mu)
+			sem := NewSemaphore(2)
+			queue := NewQueue[int](env)
+			wg := NewWaitGroup(env)
+			produced := 0
+			consumed := 0
+
+			nprocs := 4 + rng.Intn(12)
+			var killable []*Proc
+			for i := 0; i < nprocs; i++ {
+				role := rng.Intn(4)
+				p := env.Go(fmt.Sprintf("chaos-%d-%d", role, i), func(p *Proc) {
+					switch role {
+					case 0: // lock-heavy worker
+						for j := 0; j < 20; j++ {
+							mu.Lock(p)
+							p.Compute(p.Rand().Range(0.1, 2))
+							mu.Unlock(p)
+							p.Sleep(simtime.Duration(p.Rand().Range(0.1, 1)))
+						}
+					case 1: // producer
+						for j := 0; j < 15; j++ {
+							p.Compute(1)
+							if queue.Closed() {
+								return
+							}
+							queue.Put(j)
+							produced++
+							sem.Release(p.Env(), 1)
+							sem.Acquire(p, 1)
+						}
+					case 2: // consumer
+						for {
+							v, ok := queue.Get(p)
+							if !ok {
+								return
+							}
+							_ = v
+							consumed++
+							p.Compute(0.5)
+						}
+					case 3: // cond waiter/signaller
+						for j := 0; j < 10; j++ {
+							mu.Lock(p)
+							if p.Rand().Bool(0.5) {
+								cond.Signal(p.Env())
+							} else {
+								cond.Broadcast(p.Env())
+							}
+							mu.Unlock(p)
+							p.Sleep(simtime.Duration(p.Rand().Range(0.1, 0.5)))
+						}
+					}
+				})
+				if rng.Bool(0.25) {
+					killable = append(killable, p)
+				}
+			}
+			wg.Add(1) // never released: a permanently-parked waiter
+			env.Go("parked", func(p *Proc) { wg.Wait(p) })
+			for _, v := range killable {
+				v := v
+				env.After(simtime.Duration(rng.Range(1, 20)), func() { env.Kill(v) })
+			}
+			env.After(simtime.Duration(rng.Range(5, 30)), func() { queue.Close() })
+
+			env.RunUntil(500)
+			if consumed > produced {
+				t.Fatalf("consumed %d > produced %d", consumed, produced)
+			}
+			env.Close()
+			if env.NumLive() != 0 {
+				t.Fatalf("%d procs leaked through Close", env.NumLive())
+			}
+		})
+	}
+}
+
+// TestDeterministicChaos re-runs one chaotic soup twice and requires an
+// identical event count and final clock — the engine's determinism
+// guarantee under its full feature surface.
+func TestDeterministicChaos(t *testing.T) {
+	run := func() (int, simtime.Time) {
+		env := NewEnv(7)
+		newUnitExec(env)
+		var mu Mutex
+		b := NewBarrier(3)
+		for i := 0; i < 3; i++ {
+			env.Go("p", func(p *Proc) {
+				for j := 0; j < 30; j++ {
+					p.Compute(p.Rand().Range(0.5, 2))
+					mu.Lock(p)
+					p.Compute(0.1)
+					mu.Unlock(p)
+					b.Wait(p)
+				}
+			})
+		}
+		n := env.Run()
+		now := env.Now()
+		env.Close()
+		return n, now
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if n1 != n2 || t1 != t2 {
+		t.Fatalf("chaos not deterministic: (%d, %v) vs (%d, %v)", n1, t1, n2, t2)
+	}
+}

@@ -1,0 +1,279 @@
+package sim
+
+// This file provides the synchronization primitives simulated threads
+// use: Mutex, Cond, Barrier, WaitGroup and Semaphore. All of them follow
+// the engine's conventions:
+//
+//   - Blocking methods take the calling proc explicitly and must be
+//     invoked from that proc's own context.
+//   - Wakeups are FIFO and deterministic.
+//   - Procs killed while parked on a primitive unwind immediately; their
+//     stale wait-list entries are skipped when the primitive next hands
+//     out a wakeup. A killed proc that *owned* a mutex leaves it held —
+//     Kill is a teardown mechanism, not a cancellation mechanism.
+
+// Mutex is a FIFO mutual-exclusion lock between simulated procs. The zero
+// value is an unlocked mutex.
+type Mutex struct {
+	owner   *Proc
+	waiters []*Proc
+}
+
+// Lock acquires m, blocking in simulated time while another proc holds it.
+func (m *Mutex) Lock(p *Proc) {
+	p.checkContext()
+	if m.owner == nil {
+		m.owner = p
+		return
+	}
+	if m.owner == p {
+		panic("sim: recursive Mutex.Lock")
+	}
+	m.waiters = append(m.waiters, p)
+	p.block()
+}
+
+// TryLock acquires m if it is free, reporting whether it did.
+func (m *Mutex) TryLock(p *Proc) bool {
+	p.checkContext()
+	if m.owner == nil {
+		m.owner = p
+		return true
+	}
+	return false
+}
+
+// Unlock releases m, handing ownership to the longest-waiting live proc.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.owner != p {
+		panic("sim: Unlock of mutex not held by caller")
+	}
+	for len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if next.done {
+			continue
+		}
+		m.owner = next
+		p.env.wake(next)
+		return
+	}
+	m.owner = nil
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Cond is a condition variable tied to a Mutex, mirroring sync.Cond.
+type Cond struct {
+	L       *Mutex
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable using l for its critical section.
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+
+// Wait atomically releases c.L, parks the proc until a Signal or
+// Broadcast, then reacquires c.L before returning. As with sync.Cond,
+// callers must re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	p.checkContext()
+	if c.L.owner != p {
+		panic("sim: Cond.Wait without holding the lock")
+	}
+	c.waiters = append(c.waiters, p)
+	c.L.Unlock(p)
+	p.block()
+	c.L.Lock(p)
+}
+
+// Signal wakes the longest-waiting live proc, if any. It may be called
+// from any context (a proc or the kernel).
+func (c *Cond) Signal(e *Env) {
+	for len(c.waiters) > 0 {
+		next := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if next.done {
+			continue
+		}
+		e.wake(next)
+		return
+	}
+}
+
+// Broadcast wakes all parked procs.
+func (c *Cond) Broadcast(e *Env) {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if !w.done {
+			e.wake(w)
+		}
+	}
+}
+
+// NumWaiters returns the number of parked procs (including any that have
+// since been killed).
+func (c *Cond) NumWaiters() int { return len(c.waiters) }
+
+// Barrier synchronizes a fixed party of procs: each Wait blocks until all
+// parties have arrived, then every proc proceeds and the barrier resets
+// for the next round. This models the implicit barrier at the end of an
+// OpenMP work-sharing region.
+type Barrier struct {
+	parties int
+	arrived int
+	waiters []*Proc
+	rounds  int
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic("sim: barrier needs at least one party")
+	}
+	return &Barrier{parties: parties}
+}
+
+// Parties returns the barrier's party count.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Rounds returns how many times the barrier has tripped.
+func (b *Barrier) Rounds() int { return b.rounds }
+
+// Wait blocks until all parties have called Wait for the current round.
+// The last arriving proc does not block.
+func (b *Barrier) Wait(p *Proc) {
+	p.checkContext()
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.rounds++
+		ws := b.waiters
+		b.waiters = nil
+		for _, w := range ws {
+			if !w.done {
+				p.env.wake(w)
+			}
+		}
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.block()
+}
+
+// WaitGroup counts outstanding work, like sync.WaitGroup. Add and Done
+// may be called from any context; Wait must be called from a proc.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+	env     *Env
+}
+
+// NewWaitGroup returns a wait group bound to e (needed so Done can issue
+// wakeups from kernel context).
+func NewWaitGroup(e *Env) *WaitGroup { return &WaitGroup{env: e} }
+
+// Add adjusts the counter by delta. It panics if the counter goes
+// negative.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		ws := w.waiters
+		w.waiters = nil
+		for _, p := range ws {
+			if !p.done {
+				w.env.wake(p)
+			}
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current counter value.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait blocks the proc until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	p.checkContext()
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.block()
+}
+
+// Semaphore is a counting semaphore with FIFO granting.
+type Semaphore struct {
+	permits int
+	waiters []semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore returns a semaphore with the given initial permits.
+func NewSemaphore(permits int) *Semaphore {
+	if permits < 0 {
+		panic("sim: negative semaphore permits")
+	}
+	return &Semaphore{permits: permits}
+}
+
+// Permits returns the currently available permits.
+func (s *Semaphore) Permits() int { return s.permits }
+
+// Acquire takes n permits, blocking until they are available. Grants are
+// strictly FIFO: a large request blocks later small ones, preventing
+// starvation.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	p.checkContext()
+	if n <= 0 {
+		panic("sim: non-positive semaphore acquire")
+	}
+	if len(s.waiters) == 0 && s.permits >= n {
+		s.permits -= n
+		return
+	}
+	s.waiters = append(s.waiters, semWaiter{p, n})
+	p.block()
+}
+
+// TryAcquire takes n permits if immediately available.
+func (s *Semaphore) TryAcquire(p *Proc, n int) bool {
+	p.checkContext()
+	if len(s.waiters) == 0 && s.permits >= n {
+		s.permits -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes any waiters that can now be
+// satisfied, in FIFO order. It may be called from any context.
+func (s *Semaphore) Release(e *Env, n int) {
+	if n <= 0 {
+		panic("sim: non-positive semaphore release")
+	}
+	s.permits += n
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if w.p.done {
+			s.waiters = s.waiters[1:]
+			continue
+		}
+		if s.permits < w.n {
+			return
+		}
+		s.permits -= w.n
+		s.waiters = s.waiters[1:]
+		e.wake(w.p)
+	}
+}

@@ -1,0 +1,201 @@
+// Package simtime provides the virtual-time foundation of the simulator:
+// a Time type measured in seconds of simulated wall-clock time, and an
+// event queue ordered by time with stable FIFO tie-breaking so that
+// simulations are fully deterministic.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since the start of the
+// simulation. Negative times are invalid except for the sentinel Never.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration = Time
+
+// Common durations, for readability at call sites.
+const (
+	Nanosecond  Duration = 1e-9
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+)
+
+// Never is a sentinel meaning "no scheduled time". It sorts after every
+// valid time.
+const Never Time = Time(math.MaxFloat64)
+
+// String renders the time with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t == Never:
+		return "never"
+	case t >= Minute:
+		return fmt.Sprintf("%.3fmin", float64(t/Minute))
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t/Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t/Microsecond))
+	default:
+		return fmt.Sprintf("%.3fns", float64(t/Nanosecond))
+	}
+}
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Event is a callback scheduled to fire at a specific simulated time.
+type Event struct {
+	at   Time
+	seq  uint64
+	fire func()
+
+	index int // heap index; -1 when not queued
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending in a queue.
+func (e *Event) Scheduled() bool { return e.index >= 0 }
+
+// Queue is a time-ordered event queue. Events at equal times fire in the
+// order they were scheduled (FIFO), which keeps simulations deterministic.
+// The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	now Time
+}
+
+// Now returns the current simulated time: the fire time of the most
+// recently dispatched event (0 before any event fires).
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at time at. It panics if at precedes the
+// current time, since causality violations indicate a simulation bug.
+func (q *Queue) Schedule(at Time, fn func()) *Event {
+	if at < q.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, q.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event function")
+	}
+	q.seq++
+	e := &Event{at: at, seq: q.seq, fire: fn, index: -1}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After enqueues fn to run d seconds from the current time.
+func (q *Queue) After(d Duration, fn func()) *Event {
+	return q.Schedule(q.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired
+// or was already cancelled is a no-op. It returns whether the event was
+// pending.
+func (q *Queue) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+	e.fire = nil
+	return true
+}
+
+// Step dispatches the single earliest event, advancing the clock to its
+// fire time. It returns false if the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+	q.now = e.at
+	fn := e.fire
+	e.fire = nil
+	fn()
+	return true
+}
+
+// RunUntil dispatches events until the queue is empty or the next event
+// would fire after the deadline. It returns the number of events fired.
+// Events scheduled exactly at the deadline do fire.
+func (q *Queue) RunUntil(deadline Time) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].at <= deadline {
+		q.Step()
+		n++
+	}
+	if q.now < deadline && deadline != Never {
+		q.now = deadline
+	}
+	return n
+}
+
+// Run dispatches events until the queue drains, returning the count.
+func (q *Queue) Run() int {
+	n := 0
+	for q.Step() {
+		n++
+	}
+	return n
+}
+
+// PeekTime returns the fire time of the earliest pending event, or Never
+// if the queue is empty.
+func (q *Queue) PeekTime() Time {
+	if len(q.h) == 0 {
+		return Never
+	}
+	return q.h[0].at
+}
+
+// eventHeap implements heap.Interface ordered by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,42 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"asmp/internal/stats"
+)
+
+// Example computes the study's predictability score — the coefficient of
+// variation of repeated runs — for a stable and an unstable series.
+func Example() {
+	stable := stats.NewSample(100, 101, 99, 100)
+	unstable := stats.NewSample(100, 45, 98, 44)
+	fmt.Printf("stable CoV:   %.3f\n", stable.CoV())
+	fmt.Printf("unstable CoV: %.3f\n", unstable.CoV())
+	// Output:
+	// stable CoV:   0.008
+	// unstable CoV: 0.439
+}
+
+// ExampleSpearman scores scalability the way the study's Table-1
+// classifier does: does more compute power reliably mean more
+// performance?
+func ExampleSpearman() {
+	power := []float64{4, 3.25, 2.25, 1, 0.5}
+	throughputScales := []float64{400, 330, 220, 100, 50}
+	throughputGated := []float64{400, 330, 60, 100, 90} // slowest-core-gated outliers
+	fmt.Printf("scales: %.2f\n", stats.Spearman(power, throughputScales))
+	fmt.Printf("gated:  %.2f\n", stats.Spearman(power, throughputGated))
+	// Output:
+	// scales: 1.00
+	// gated:  0.70
+}
+
+// ExampleSummary_ErrorBar reproduces the paper's error bars: half the
+// min-to-max spread of repeated runs.
+func ExampleSummary_ErrorBar() {
+	runs := stats.NewSample(2250, 5470, 5465, 2260)
+	fmt.Printf("mean %.0f ± %.0f\n", runs.Mean(), runs.Summarize().ErrorBar())
+	// Output:
+	// mean 3861 ± 1610
+}

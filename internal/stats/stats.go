@@ -1,0 +1,321 @@
+// Package stats provides the sample statistics the study is built on:
+// summaries of repeated runs (mean, spread, percentiles), the
+// coefficient-of-variation measure used to score predictability, and
+// scalability fits of performance against machine compute power.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations and answers summary queries. The zero
+// value is an empty sample.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a sample pre-loaded with xs (copied).
+func NewSample(xs ...float64) *Sample {
+	s := &Sample{}
+	s.AddAll(xs)
+	return s
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends all observations.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations. Order is not guaranteed once
+// percentile queries have run; callers should treat the result as an
+// unordered multiset.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Var returns the unbiased sample variance (n-1 denominator), or 0 when
+// fewer than two observations exist.
+func (s *Sample) Var() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stdev returns the sample standard deviation.
+func (s *Sample) Stdev() float64 { return math.Sqrt(s.Var()) }
+
+// CoV returns the coefficient of variation (stdev/mean), the study's
+// predictability score. It returns 0 for an empty sample and +Inf when
+// the mean is zero but spread is not.
+func (s *Sample) CoV() float64 {
+	m := s.Mean()
+	sd := s.Stdev()
+	if sd == 0 {
+		return 0
+	}
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return sd / math.Abs(m)
+}
+
+// Min returns the smallest observation, or +Inf for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.Inf(1)
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or -Inf for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.Inf(-1)
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Range returns Max - Min, or 0 for an empty sample.
+func (s *Sample) Range() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.Max() - s.Min()
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It panics on an empty sample or
+// out-of-range p.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if len(s.xs) == 1 {
+		return s.xs[0]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Summary is a compact, serialisable description of a sample, suitable
+// for figure rows and error bars.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stdev  float64
+	CoV    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func (s *Sample) Summarize() Summary {
+	if len(s.xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Stdev:  s.Stdev(),
+		CoV:    s.CoV(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		Median: s.Median(),
+		P90:    s.Percentile(90),
+	}
+}
+
+// String renders the summary as "mean ± stdev [min, max] (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean, s.Stdev, s.Min, s.Max, s.N)
+}
+
+// ErrorBar returns the half-width of the error bar used throughout the
+// figures: half the min-to-max spread, matching the paper's "performance
+// variation over multiple runs" bars.
+func (s Summary) ErrorBar() float64 { return (s.Max - s.Min) / 2 }
+
+// LinearFit is a least-squares fit y = Slope*x + Intercept with the
+// coefficient of determination R2.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLinear fits y against x by ordinary least squares. It panics when
+// the slices differ in length or hold fewer than two points.
+func FitLinear(x, y []float64) LinearFit {
+	if len(x) != len(y) {
+		panic("stats: FitLinear length mismatch")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		panic("stats: FitLinear needs at least two points")
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		panic("stats: FitLinear with constant x")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+	// R^2 = 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Spearman returns the Spearman rank-correlation coefficient between x
+// and y, with ties assigned average ranks. It panics on mismatched or
+// sub-2-length inputs. The result is in [-1, 1]: 1 means y is a
+// monotonically increasing function of x.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Spearman length mismatch")
+	}
+	if len(x) < 2 {
+		panic("stats: Spearman needs at least two points")
+	}
+	rx, ry := ranks(x), ranks(y)
+	// Pearson correlation of the ranks handles ties correctly.
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range rx {
+		sx += rx[i]
+		sy += ry[i]
+		sxx += rx[i] * rx[i]
+		syy += ry[i] * ry[i]
+		sxy += rx[i] * ry[i]
+	}
+	cov := sxy - sx*sy/n
+	vx := sxx - sx*sx/n
+	vy := syy - sy*sy/n
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ranks returns average ranks (1-based) of xs.
+func ranks(xs []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	order := make([]iv, len(xs))
+	for i, v := range xs {
+		order[i] = iv{i, v}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].v < order[b].v })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(order); {
+		j := i
+		for j < len(order) && order[j].v == order[i].v {
+			j++
+		}
+		avg := (float64(i+1) + float64(j)) / 2
+		for k := i; k < j; k++ {
+			out[order[k].i] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+// Speedup returns new/old for throughput-like metrics or old/new for
+// runtime-like metrics, selected by higherIsBetter. A zero denominator
+// yields +Inf.
+func Speedup(baseline, measured float64, higherIsBetter bool) float64 {
+	var num, den float64
+	if higherIsBetter {
+		num, den = measured, baseline
+	} else {
+		num, den = baseline, measured
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}

@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEmptySample(t *testing.T) {
+	s := NewSample()
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.Stdev() != 0 || s.CoV() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty Min/Max sentinels wrong")
+	}
+	if s.Range() != 0 {
+		t.Fatal("empty Range != 0")
+	}
+	sum := s.Summarize()
+	if sum.N != 0 || sum.Mean != 0 {
+		t.Fatal("empty Summarize not zero")
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	s := NewSample(2, 4, 4, 4, 5, 5, 7, 9)
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !approx(s.Var(), 32.0/7, 1e-12) {
+		t.Fatalf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if !approx(s.Stdev(), math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("Stdev = %v", s.Stdev())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	s := NewSample(42)
+	if s.Var() != 0 || s.Stdev() != 0 || s.CoV() != 0 {
+		t.Fatal("single observation should have zero spread")
+	}
+	if s.Percentile(0) != 42 || s.Percentile(50) != 42 || s.Percentile(100) != 42 {
+		t.Fatal("single observation percentiles wrong")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	s := NewSample(10, 10, 10)
+	if s.CoV() != 0 {
+		t.Fatalf("constant sample CoV = %v, want 0", s.CoV())
+	}
+	s2 := NewSample(90, 110)
+	want := s2.Stdev() / 100
+	if !approx(s2.CoV(), want, 1e-12) {
+		t.Fatalf("CoV = %v, want %v", s2.CoV(), want)
+	}
+	s3 := NewSample(-1, 1)
+	if !math.IsInf(s3.CoV(), 1) {
+		t.Fatalf("zero-mean CoV = %v, want +Inf", s3.CoV())
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	s := NewSample(3, -1, 7, 2)
+	if s.Min() != -1 || s.Max() != 7 || s.Range() != 8 {
+		t.Fatalf("Min/Max/Range = %v/%v/%v", s.Min(), s.Max(), s.Range())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := NewSample(10, 20, 30, 40)
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 40 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := s.Median(); !approx(got, 25, 1e-12) {
+		t.Fatalf("median = %v, want 25", got)
+	}
+	// Rank for P90 over n=4 is 0.9*3 = 2.7 → 30 + 0.7*(40-30) = 37.
+	if got := s.Percentile(90); !approx(got, 37, 1e-12) {
+		t.Fatalf("P90 = %v, want 37", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			NewSample(1, 2).Percentile(p)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Percentile of empty sample did not panic")
+			}
+		}()
+		NewSample().Percentile(50)
+	}()
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	s := NewSample(3, 1, 2)
+	_ = s.Median()
+	s.Add(0)
+	if s.Min() != 0 || s.N() != 4 {
+		t.Fatal("Add after Percentile lost data")
+	}
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("P0 after Add = %v", got)
+	}
+}
+
+func TestValuesCopies(t *testing.T) {
+	s := NewSample(1, 2, 3)
+	v := s.Values()
+	v[0] = 99
+	if s.Min() == 99 {
+		t.Fatal("Values aliases internal storage")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := NewSample(1, 2, 3, 4, 5)
+	sum := s.Summarize()
+	if sum.N != 5 || sum.Mean != 3 || sum.Min != 1 || sum.Max != 5 || sum.Median != 3 {
+		t.Fatalf("bad summary %+v", sum)
+	}
+	if sum.ErrorBar() != 2 {
+		t.Fatalf("ErrorBar = %v, want 2", sum.ErrorBar())
+	}
+	if sum.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := FitLinear(x, y)
+	if !approx(f.Slope, 2, 1e-9) || !approx(f.Intercept, 3, 1e-9) || !approx(f.R2, 1, 1e-9) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestFitLinearNoise(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 4.9}
+	f := FitLinear(x, y)
+	if f.Slope < 0.9 || f.Slope > 1.1 {
+		t.Fatalf("slope = %v", f.Slope)
+	}
+	if f.R2 < 0.98 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestFitLinearPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+	}{
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"short", []float64{1}, []float64{1}},
+		{"constant-x", []float64{2, 2, 2}, []float64{1, 2, 3}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FitLinear %s did not panic", c.name)
+				}
+			}()
+			FitLinear(c.x, c.y)
+		}()
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 200, true); got != 2 {
+		t.Fatalf("throughput speedup = %v, want 2", got)
+	}
+	if got := Speedup(100, 200, false); got != 0.5 {
+		t.Fatalf("runtime speedup = %v, want 0.5", got)
+	}
+	if got := Speedup(10, 5, false); got != 2 {
+		t.Fatalf("runtime halved speedup = %v, want 2", got)
+	}
+	if !math.IsInf(Speedup(0, 1, true), 1) {
+		t.Fatal("zero baseline throughput should give +Inf")
+	}
+}
+
+// Property: mean is bounded by min and max; stdev is non-negative;
+// percentiles are monotone.
+func TestSampleInvariantsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := &Sample{}
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		if s.Stdev() < 0 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := s.Percentile(p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting all observations by c shifts the mean by c and
+// leaves the standard deviation unchanged.
+func TestShiftInvarianceProperty(t *testing.T) {
+	f := func(raw []int8, shift int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		a, b := &Sample{}, &Sample{}
+		for _, v := range raw {
+			a.Add(float64(v))
+			b.Add(float64(v) + float64(shift))
+		}
+		if !approx(b.Mean(), a.Mean()+float64(shift), 1e-9) {
+			return false
+		}
+		return approx(b.Stdev(), a.Stdev(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package trace records structured scheduler events — dispatches,
+// preemptions, migrations, steals, idle transitions — into a bounded
+// ring buffer for tests, debugging and the asmp-trace tool. Tracing is
+// opt-in per scheduler and adds one branch per event when disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"asmp/internal/simtime"
+)
+
+// Kind classifies a scheduler event.
+type Kind int
+
+const (
+	// Dispatch: a task started running on a core.
+	Dispatch Kind = iota
+	// Preempt: a timeslice expired and the task was requeued.
+	Preempt
+	// Migrate: a task moved between cores (any cause).
+	Migrate
+	// Steal: an idle core pulled waiting work from a victim core.
+	Steal
+	// ForcedMigrate: the aware policy preempted a running task on a
+	// slow core to run it on a faster idle one.
+	ForcedMigrate
+	// Idle: a core ran out of runnable work.
+	Idle
+	// Wake: a task became runnable and was placed on a core.
+	Wake
+	// Complete: a task finished its compute burst.
+	Complete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Dispatch:
+		return "dispatch"
+	case Preempt:
+		return "preempt"
+	case Migrate:
+		return "migrate"
+	case Steal:
+		return "steal"
+	case ForcedMigrate:
+		return "forced-migrate"
+	case Idle:
+		return "idle"
+	case Wake:
+		return "wake"
+	case Complete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded scheduler action.
+type Event struct {
+	// At is the simulated time of the event.
+	At simtime.Time
+	// Kind classifies the event.
+	Kind Kind
+	// Core is the core the event happened on (the destination core for
+	// migrations and steals).
+	Core int
+	// From is the source core for migrations/steals, -1 otherwise.
+	From int
+	// Proc is the subject proc's id (0 when not applicable).
+	Proc int
+	// ProcName is the subject proc's name.
+	ProcName string
+}
+
+// String renders the event as a single log line.
+func (e Event) String() string {
+	switch e.Kind {
+	case Migrate, Steal, ForcedMigrate:
+		return fmt.Sprintf("%-12v %-14s core%d<-core%d %s(%d)", e.At, e.Kind, e.Core, e.From, e.ProcName, e.Proc)
+	case Idle:
+		return fmt.Sprintf("%-12v %-14s core%d", e.At, e.Kind, e.Core)
+	default:
+		return fmt.Sprintf("%-12v %-14s core%d %s(%d)", e.At, e.Kind, e.Core, e.ProcName, e.Proc)
+	}
+}
+
+// Buffer is a bounded ring of events. The zero value is unusable; create
+// with New. Buffer is not safe for concurrent use (the simulator is
+// single-threaded).
+type Buffer struct {
+	events []Event
+	next   int
+	filled bool
+	total  int
+}
+
+// New returns a ring buffer holding up to capacity events.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Buffer{events: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (b *Buffer) Record(e Event) {
+	b.events[b.next] = e
+	b.next++
+	b.total++
+	if b.next == len(b.events) {
+		b.next = 0
+		b.filled = true
+	}
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	if b.filled {
+		return len(b.events)
+	}
+	return b.next
+}
+
+// Total returns the number of events ever recorded (retained or
+// evicted).
+func (b *Buffer) Total() int { return b.total }
+
+// Events returns the retained events oldest-first.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, 0, b.Len())
+	if b.filled {
+		out = append(out, b.events[b.next:]...)
+	}
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Count returns how many retained events have the given kind.
+func (b *Buffer) Count(kind Kind) int {
+	n := 0
+	for _, e := range b.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter returns the retained events matching pred, oldest-first.
+func (b *Buffer) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, e := range b.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CoreTimeline summarises, per core, how many dispatches each proc had —
+// a quick view of placement persistence.
+func (b *Buffer) CoreTimeline() map[int]map[string]int {
+	out := map[int]map[string]int{}
+	for _, e := range b.Events() {
+		if e.Kind != Dispatch {
+			continue
+		}
+		m := out[e.Core]
+		if m == nil {
+			m = map[string]int{}
+			out[e.Core] = m
+		}
+		m[e.ProcName]++
+	}
+	return out
+}

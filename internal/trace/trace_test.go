@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"asmp/internal/simtime"
+)
+
+func ev(at float64, k Kind, core int) Event {
+	return Event{At: simtime.Time(at), Kind: k, Core: core, From: -1, Proc: 1, ProcName: "w"}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{Dispatch, Preempt, Migrate, Steal, ForcedMigrate, Idle, Wake, Complete}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 3; i++ {
+		b.Record(ev(float64(i), Dispatch, i))
+	}
+	if b.Len() != 3 || b.Total() != 3 {
+		t.Fatalf("Len=%d Total=%d", b.Len(), b.Total())
+	}
+	es := b.Events()
+	for i, e := range es {
+		if e.Core != i {
+			t.Fatalf("order broken: %v", es)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 7; i++ {
+		b.Record(ev(float64(i), Dispatch, i))
+	}
+	if b.Len() != 3 || b.Total() != 7 {
+		t.Fatalf("Len=%d Total=%d", b.Len(), b.Total())
+	}
+	es := b.Events()
+	if es[0].Core != 4 || es[2].Core != 6 {
+		t.Fatalf("eviction kept wrong events: %v", es)
+	}
+}
+
+func TestCountAndFilter(t *testing.T) {
+	b := New(10)
+	b.Record(ev(0, Dispatch, 0))
+	b.Record(ev(1, Steal, 1))
+	b.Record(ev(2, Dispatch, 2))
+	if b.Count(Dispatch) != 2 || b.Count(Steal) != 1 || b.Count(Idle) != 0 {
+		t.Fatal("Count wrong")
+	}
+	f := b.Filter(func(e Event) bool { return e.Core >= 1 })
+	if len(f) != 2 {
+		t.Fatalf("Filter returned %d", len(f))
+	}
+}
+
+func TestDumpAndString(t *testing.T) {
+	b := New(10)
+	b.Record(Event{At: 1, Kind: Migrate, Core: 0, From: 3, Proc: 7, ProcName: "gc"})
+	b.Record(Event{At: 2, Kind: Idle, Core: 2, From: -1})
+	d := b.Dump()
+	if !strings.Contains(d, "migrate") || !strings.Contains(d, "core0<-core3") {
+		t.Fatalf("dump missing migrate line: %q", d)
+	}
+	if !strings.Contains(d, "idle") {
+		t.Fatalf("dump missing idle line: %q", d)
+	}
+}
+
+func TestCoreTimeline(t *testing.T) {
+	b := New(10)
+	b.Record(Event{At: 0, Kind: Dispatch, Core: 0, ProcName: "a"})
+	b.Record(Event{At: 1, Kind: Dispatch, Core: 0, ProcName: "a"})
+	b.Record(Event{At: 2, Kind: Dispatch, Core: 1, ProcName: "b"})
+	b.Record(Event{At: 3, Kind: Steal, Core: 1, ProcName: "a"}) // not a dispatch
+	tl := b.CoreTimeline()
+	if tl[0]["a"] != 2 || tl[1]["b"] != 1 || tl[1]["a"] != 0 {
+		t.Fatalf("timeline wrong: %v", tl)
+	}
+}
+
+// Property: for any sequence of records, Events() returns min(n, cap)
+// events, oldest-first, and Total counts everything.
+func TestRingProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		b := New(capacity)
+		total := int(n)
+		for i := 0; i < total; i++ {
+			b.Record(ev(float64(i), Dispatch, i))
+		}
+		if b.Total() != total {
+			return false
+		}
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		es := b.Events()
+		if len(es) != want {
+			return false
+		}
+		for i, e := range es {
+			if e.Core != total-want+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package gc models the garbage collectors whose interaction with
+// performance asymmetry drives the SPECjbb results in the paper
+// (§3.1): a parallel stop-the-world collector and a generational
+// concurrent collector running as an ordinary thread.
+//
+// The model captures exactly the mechanisms the paper identifies:
+//
+//   - The parallel collector pauses the application (threads block at
+//     their next allocation) and splits collection work dynamically
+//     across per-core helper threads, so its pause time tracks total
+//     machine capacity and is largely placement-insensitive.
+//
+//   - The concurrent collector is a single thread scheduled like any
+//     other. Where the OS happens to place it determines how fast it
+//     reclaims memory; if it falls behind the application's allocation
+//     rate the heap fills and allocators stall. On an asymmetric machine
+//     this makes whole-run throughput depend on one placement decision,
+//     which is the instability amplifier the paper observes.
+package gc
+
+import (
+	"fmt"
+
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+)
+
+// Kind selects a collector.
+type Kind int
+
+const (
+	// None disables collection; Alloc never stalls.
+	None Kind = iota
+	// ParallelSTW is the stop-the-world parallel collector ("parallel GC"
+	// in the paper's JRockit runs).
+	ParallelSTW
+	// ConcurrentGenerational is the single-threaded concurrent collector
+	// ("generational concurrent GC" in the paper).
+	ConcurrentGenerational
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case ParallelSTW:
+		return "parallel"
+	case ConcurrentGenerational:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterises a heap and its collector.
+type Config struct {
+	// Kind selects the collector.
+	Kind Kind
+	// HeapBytes is the heap capacity.
+	HeapBytes float64
+	// TriggerFraction starts a collection when used exceeds this fraction
+	// of capacity.
+	TriggerFraction float64
+	// LiveFraction is the fraction of examined bytes that survive a
+	// collection (the rest are reclaimed).
+	LiveFraction float64
+	// CyclesPerByte is the collection work per examined byte.
+	CyclesPerByte float64
+	// ParallelChunks is the number of work chunks a stop-the-world
+	// collection is split into for dynamic distribution (ParallelSTW
+	// only).
+	ParallelChunks int
+	// PinToCore, when >= 0, binds the concurrent collector thread to
+	// that core. The default (-1, set by DefaultConfig) leaves placement
+	// to the OS scheduler — which is the whole story of §3.1. Pinning
+	// exists for ablation studies that make the placement lottery
+	// explicit.
+	PinToCore int
+}
+
+// DefaultConfig returns the tuning used by the SPECjbb model: a 512 MB
+// heap, collection triggered at 60% occupancy, 30% survivors, and 2
+// cycles of collector work per examined byte.
+func DefaultConfig(kind Kind) Config {
+	return Config{
+		Kind:            kind,
+		HeapBytes:       512e6,
+		TriggerFraction: 0.6,
+		LiveFraction:    0.3,
+		CyclesPerByte:   2.0,
+		ParallelChunks:  16,
+		PinToCore:       -1,
+	}
+}
+
+// Stats reports collector activity for a run.
+type Stats struct {
+	// Collections is the number of completed collections.
+	Collections int
+	// ReclaimedBytes is the total memory freed.
+	ReclaimedBytes float64
+	// StallEvents counts allocations that had to wait for the collector.
+	StallEvents int
+	// StallSeconds is the total simulated time allocators spent waiting.
+	StallSeconds float64
+}
+
+// Heap is a simulated garbage-collected heap shared by the threads of
+// one application.
+type Heap struct {
+	pl  *workload.Platform
+	cfg Config
+
+	used       float64
+	collecting bool
+	stats      Stats
+
+	// Allocators stalled for space (or for the STW pause to end).
+	stallers []*sim.Proc
+	stallAt  map[*sim.Proc]float64
+
+	// Concurrent collector wakeup.
+	gcIdle  bool
+	gcProcs []*sim.Proc
+	gcKick  *sim.Queue[struct{}]
+
+	// ParallelSTW work distribution.
+	chunks     *sim.Queue[float64]
+	chunksLeft int
+}
+
+// NewHeap builds a heap and spawns its collector threads on the
+// platform. The collector threads run until the platform is closed.
+func NewHeap(pl *workload.Platform, cfg Config) *Heap {
+	if cfg.Kind != None {
+		if cfg.HeapBytes <= 0 || cfg.TriggerFraction <= 0 || cfg.TriggerFraction >= 1 {
+			panic("gc: bad heap geometry")
+		}
+		if cfg.LiveFraction < 0 || cfg.LiveFraction >= 1 {
+			panic("gc: LiveFraction must be in [0, 1)")
+		}
+		if cfg.CyclesPerByte <= 0 {
+			panic("gc: CyclesPerByte must be positive")
+		}
+	}
+	h := &Heap{pl: pl, cfg: cfg, stallAt: map[*sim.Proc]float64{}}
+	switch cfg.Kind {
+	case None:
+	case ParallelSTW:
+		if cfg.ParallelChunks <= 0 {
+			cfg.ParallelChunks = 16
+			h.cfg = cfg
+		}
+		h.chunks = sim.NewQueue[float64](pl.Env)
+		n := pl.Config.Fast + pl.Config.Slow
+		for i := 0; i < n; i++ {
+			core := i
+			p := pl.Env.Go(fmt.Sprintf("gc-helper-%d", i), func(p *sim.Proc) {
+				p.SetAffinity(sim.Single(core))
+				h.runParallelHelper(p)
+			})
+			h.gcProcs = append(h.gcProcs, p)
+		}
+	case ConcurrentGenerational:
+		h.gcKick = sim.NewQueue[struct{}](pl.Env)
+		p := pl.Env.Go("gc-concurrent", func(p *sim.Proc) {
+			if cfg.PinToCore >= 0 {
+				p.SetAffinity(sim.Single(cfg.PinToCore))
+			}
+			h.runConcurrent(p)
+		})
+		h.gcProcs = append(h.gcProcs, p)
+	default:
+		panic(fmt.Sprintf("gc: unknown kind %v", cfg.Kind))
+	}
+	return h
+}
+
+// Used returns the current heap occupancy in bytes.
+func (h *Heap) Used() float64 { return h.used }
+
+// Stats returns a snapshot of collector activity.
+func (h *Heap) Stats() Stats { return h.stats }
+
+// Collecting reports whether a collection is in progress.
+func (h *Heap) Collecting() bool { return h.collecting }
+
+// Alloc allocates bytes from the heap on behalf of p, stalling p until
+// the collector makes room (or, for the stop-the-world collector, until
+// the pause ends). With Kind None it never stalls.
+func (h *Heap) Alloc(p *sim.Proc, bytes float64) {
+	if bytes < 0 {
+		panic("gc: negative allocation")
+	}
+	if h.cfg.Kind == None {
+		h.used += bytes
+		return
+	}
+	for h.mustStall(bytes) {
+		h.stall(p)
+	}
+	h.used += bytes
+	h.maybeTrigger()
+}
+
+// mustStall reports whether an allocation of the given size has to wait.
+func (h *Heap) mustStall(bytes float64) bool {
+	if h.used+bytes > h.cfg.HeapBytes {
+		return true
+	}
+	// The stop-the-world collector pauses allocators at their next
+	// allocation (the safepoint) for the whole collection.
+	return h.cfg.Kind == ParallelSTW && h.collecting
+}
+
+// stall parks p until the current collection completes.
+func (h *Heap) stall(p *sim.Proc) {
+	h.stats.StallEvents++
+	h.stallAt[p] = float64(h.pl.Env.Now())
+	h.stallers = append(h.stallers, p)
+	if !h.collecting {
+		// The heap is full but occupancy never crossed the trigger (a
+		// single huge allocation): force a collection so we cannot
+		// deadlock.
+		h.startCollection()
+	}
+	p.Block()
+}
+
+// releaseStallers wakes every stalled allocator.
+func (h *Heap) releaseStallers() {
+	ss := h.stallers
+	h.stallers = nil
+	now := float64(h.pl.Env.Now())
+	for _, p := range ss {
+		if start, ok := h.stallAt[p]; ok {
+			h.stats.StallSeconds += now - start
+			delete(h.stallAt, p)
+		}
+		if !p.Done() {
+			h.pl.Env.Wake(p)
+		}
+	}
+}
+
+// maybeTrigger starts a collection if occupancy crossed the trigger.
+func (h *Heap) maybeTrigger() {
+	if h.collecting || h.used < h.cfg.TriggerFraction*h.cfg.HeapBytes {
+		return
+	}
+	h.startCollection()
+}
+
+// startCollection kicks the configured collector.
+func (h *Heap) startCollection() {
+	if h.collecting {
+		return
+	}
+	h.collecting = true
+	switch h.cfg.Kind {
+	case ParallelSTW:
+		work := h.used * h.cfg.CyclesPerByte
+		n := h.cfg.ParallelChunks
+		h.chunksLeft = n
+		for i := 0; i < n; i++ {
+			h.chunks.Put(work / float64(n))
+		}
+	case ConcurrentGenerational:
+		h.gcKick.Put(struct{}{})
+	}
+}
+
+// finishCollection reclaims garbage and releases stalled allocators.
+func (h *Heap) finishCollection(examined float64) {
+	freed := (1 - h.cfg.LiveFraction) * examined
+	if freed > h.used {
+		freed = h.used
+	}
+	h.used -= freed
+	h.stats.ReclaimedBytes += freed
+	h.stats.Collections++
+	h.collecting = false
+	h.releaseStallers()
+	// Allocation may already be above the trigger again (concurrent
+	// collector racing a fast allocator); restart immediately if so.
+	h.maybeTrigger()
+}
+
+// runParallelHelper is the body of one stop-the-world GC worker, pinned
+// to its core. Workers grab work chunks on demand, which is what makes
+// parallel collection pause time track total machine capacity.
+func (h *Heap) runParallelHelper(p *sim.Proc) {
+	for {
+		chunk, ok := h.chunks.Get(p)
+		if !ok {
+			return
+		}
+		p.Compute(chunk)
+		h.chunksLeft--
+		if h.chunksLeft == 0 {
+			h.finishCollection(h.used)
+		}
+	}
+}
+
+// runConcurrent is the body of the concurrent collector thread. It is
+// scheduled like any application thread — its placement is the whole
+// point of the model.
+func (h *Heap) runConcurrent(p *sim.Proc) {
+	for {
+		_, ok := h.gcKick.Get(p)
+		if !ok {
+			return
+		}
+		examined := h.used
+		p.Compute(examined * h.cfg.CyclesPerByte)
+		h.finishCollection(examined)
+	}
+}

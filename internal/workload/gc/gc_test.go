@@ -1,0 +1,233 @@
+package gc
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+)
+
+func newPlatform(t *testing.T, cfgName string, seed uint64) *workload.Platform {
+	t.Helper()
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(sched.PolicyNaive), seed)
+	t.Cleanup(pl.Close)
+	return pl
+}
+
+func TestKindString(t *testing.T) {
+	if None.String() != "none" || ParallelSTW.String() != "parallel" ||
+		ConcurrentGenerational.String() != "concurrent" || Kind(42).String() == "" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := DefaultConfig(ParallelSTW)
+	if c.HeapBytes <= 0 || c.TriggerFraction <= 0 || c.TriggerFraction >= 1 ||
+		c.LiveFraction < 0 || c.LiveFraction >= 1 || c.CyclesPerByte <= 0 || c.ParallelChunks <= 0 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+}
+
+func TestNoneNeverStalls(t *testing.T) {
+	pl := newPlatform(t, "4f-0s", 1)
+	h := NewHeap(pl, Config{Kind: None})
+	pl.Env.Go("alloc", func(p *sim.Proc) {
+		for i := 0; i < 1000; i++ {
+			h.Alloc(p, 1e9) // way beyond any capacity
+		}
+	})
+	pl.Env.Run()
+	if h.Stats().StallEvents != 0 {
+		t.Fatal("None collector stalled an allocation")
+	}
+	if h.Used() != 1000*1e9 {
+		t.Fatalf("used = %v", h.Used())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	pl := newPlatform(t, "4f-0s", 1)
+	bad := []Config{
+		{Kind: ParallelSTW, HeapBytes: 0, TriggerFraction: 0.5, LiveFraction: 0.3, CyclesPerByte: 1},
+		{Kind: ParallelSTW, HeapBytes: 1e6, TriggerFraction: 1.5, LiveFraction: 0.3, CyclesPerByte: 1},
+		{Kind: ParallelSTW, HeapBytes: 1e6, TriggerFraction: 0.5, LiveFraction: 1.0, CyclesPerByte: 1},
+		{Kind: ParallelSTW, HeapBytes: 1e6, TriggerFraction: 0.5, LiveFraction: 0.3, CyclesPerByte: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewHeap(pl, cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative allocation did not panic")
+			}
+		}()
+		h := NewHeap(pl, Config{Kind: None})
+		h.Alloc(nil, -1)
+	}()
+}
+
+func TestParallelSTWCollects(t *testing.T) {
+	pl := newPlatform(t, "4f-0s", 1)
+	cfg := DefaultConfig(ParallelSTW)
+	cfg.HeapBytes = 10e6
+	h := NewHeap(pl, cfg)
+	done := false
+	pl.Env.Go("alloc", func(p *sim.Proc) {
+		for i := 0; i < 2000; i++ {
+			p.Compute(1e4)
+			h.Alloc(p, 10e3) // 20 MB total through a 10 MB heap
+		}
+		done = true
+	})
+	pl.Env.RunUntil(60 * simtime.Second)
+	if !done {
+		t.Fatal("allocator did not finish (collector deadlock?)")
+	}
+	st := h.Stats()
+	if st.Collections == 0 {
+		t.Fatal("no collections happened")
+	}
+	if st.ReclaimedBytes <= 0 {
+		t.Fatal("nothing reclaimed")
+	}
+	if h.Used() > cfg.HeapBytes {
+		t.Fatalf("heap over capacity: %v", h.Used())
+	}
+}
+
+func TestConcurrentCollects(t *testing.T) {
+	pl := newPlatform(t, "4f-0s", 1)
+	cfg := DefaultConfig(ConcurrentGenerational)
+	cfg.HeapBytes = 10e6
+	h := NewHeap(pl, cfg)
+	done := false
+	pl.Env.Go("alloc", func(p *sim.Proc) {
+		for i := 0; i < 2000; i++ {
+			p.Compute(1e4)
+			h.Alloc(p, 10e3)
+		}
+		done = true
+	})
+	pl.Env.RunUntil(60 * simtime.Second)
+	if !done {
+		t.Fatal("allocator did not finish")
+	}
+	if h.Stats().Collections == 0 {
+		t.Fatal("no collections")
+	}
+}
+
+func TestSTWPausesAllAllocators(t *testing.T) {
+	// During a stop-the-world collection every allocating thread must
+	// stall at its next allocation.
+	pl := newPlatform(t, "4f-0s", 1)
+	cfg := DefaultConfig(ParallelSTW)
+	cfg.HeapBytes = 50e6
+	h := NewHeap(pl, cfg)
+	for i := 0; i < 4; i++ {
+		pl.Env.Go("alloc", func(p *sim.Proc) {
+			for j := 0; j < 3000; j++ {
+				p.Compute(1e4)
+				h.Alloc(p, 10e3)
+			}
+		})
+	}
+	pl.Env.RunUntil(60 * simtime.Second)
+	st := h.Stats()
+	if st.Collections == 0 {
+		t.Fatal("no collections")
+	}
+	// 4 allocators × collections: nearly every collection should stall
+	// several allocators.
+	if st.StallEvents < st.Collections {
+		t.Fatalf("stall events %d too low for %d collections", st.StallEvents, st.Collections)
+	}
+	if st.StallSeconds <= 0 {
+		t.Fatal("no stall time recorded")
+	}
+}
+
+func TestConcurrentCollectorPlacementMatters(t *testing.T) {
+	// The core mechanism of the paper's SPECjbb instability: pin the
+	// concurrent collector to a fast vs a slow core and observe a large
+	// difference in allocator progress.
+	run := func(gcCore int) int {
+		pl := workload.NewPlatform(cpu.MustParseConfig("2f-2s/8"), sched.Defaults(sched.PolicyNaive), 7)
+		defer pl.Close()
+		cfg := DefaultConfig(ConcurrentGenerational)
+		h := NewHeap(pl, cfg)
+		h.gcProcs[0].SetAffinity(sim.Single(gcCore))
+		count := 0
+		for i := 0; i < 8; i++ {
+			pl.Env.Go("alloc", func(p *sim.Proc) {
+				for {
+					p.Compute(1e6)
+					h.Alloc(p, 50e3)
+					count++
+				}
+			})
+		}
+		pl.Env.RunUntil(5 * simtime.Second)
+		return count
+	}
+	fast := run(0) // core 0 is fast in 2f-2s/8
+	slow := run(3) // core 3 is 1/8 speed
+	if float64(fast) < 1.5*float64(slow) {
+		t.Fatalf("GC placement should matter: fast-pinned %d vs slow-pinned %d", fast, slow)
+	}
+}
+
+func TestForcedCollectionOnHugeAllocation(t *testing.T) {
+	// A single allocation larger than the remaining space but below the
+	// trigger must still force a collection rather than deadlock.
+	pl := newPlatform(t, "4f-0s", 1)
+	cfg := DefaultConfig(ParallelSTW)
+	cfg.HeapBytes = 10e6
+	cfg.TriggerFraction = 0.9
+	h := NewHeap(pl, cfg)
+	ok := false
+	pl.Env.Go("big", func(p *sim.Proc) {
+		h.Alloc(p, 6e6)
+		h.Alloc(p, 6e6) // 12 MB > capacity, but used (6MB) < trigger (9MB)
+		ok = true
+	})
+	pl.Env.RunUntil(60 * simtime.Second)
+	if !ok {
+		t.Fatal("huge allocation deadlocked")
+	}
+}
+
+func TestCollectingFlag(t *testing.T) {
+	pl := newPlatform(t, "4f-0s", 1)
+	cfg := DefaultConfig(ConcurrentGenerational)
+	cfg.HeapBytes = 1e6
+	h := NewHeap(pl, cfg)
+	if h.Collecting() {
+		t.Fatal("fresh heap collecting")
+	}
+	pl.Env.Go("a", func(p *sim.Proc) {
+		h.Alloc(p, 0.7e6) // crosses 60% trigger
+		if !h.Collecting() {
+			t.Error("collection not started after crossing trigger")
+		}
+	})
+	pl.Env.RunUntil(1 * simtime.Second)
+	if h.Collecting() {
+		t.Fatal("collection never finished")
+	}
+	if h.Stats().Collections != 1 {
+		t.Fatalf("collections = %d, want 1", h.Stats().Collections)
+	}
+}

@@ -1,0 +1,94 @@
+package gc
+
+import (
+	"fmt"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+	"asmp/internal/xrand"
+)
+
+// TestHeapInvariantsProperty drives randomized allocation patterns
+// through both collectors on random machines and checks the heap's
+// global invariants at completion:
+//
+//   - occupancy never exceeds capacity (checked continuously by a probe),
+//   - reclaimed bytes never exceed allocated bytes,
+//   - every allocator finishes (no lost wakeups / deadlocks),
+//   - stall accounting is non-negative and bounded by elapsed time.
+func TestHeapInvariantsProperty(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := xrand.New(seed ^ 0xfeed)
+			kind := ParallelSTW
+			if rng.Bool(0.5) {
+				kind = ConcurrentGenerational
+			}
+			cfgName := []string{"4f-0s", "2f-2s/8", "0f-4s/4", "1f-3s/8"}[rng.Intn(4)]
+			pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(sched.PolicyNaive), seed)
+			defer pl.Close()
+
+			cfg := DefaultConfig(kind)
+			cfg.HeapBytes = rng.Range(5e6, 50e6)
+			cfg.TriggerFraction = rng.Range(0.3, 0.8)
+			cfg.LiveFraction = rng.Range(0.05, 0.6)
+			h := NewHeap(pl, cfg)
+
+			allocated := 0.0
+			finished := 0
+			nallocs := 3 + rng.Intn(5)
+			perAlloc := 200 + rng.Intn(2000)
+			for i := 0; i < nallocs; i++ {
+				pl.Env.Go(fmt.Sprintf("alloc-%d", i), func(p *sim.Proc) {
+					for j := 0; j < perAlloc; j++ {
+						p.Compute(p.Rand().Range(1e3, 1e5))
+						size := p.Rand().Range(1e3, cfg.HeapBytes/20)
+						h.Alloc(p, size)
+						allocated += size
+					}
+					finished++
+				})
+			}
+			// Continuous occupancy probe.
+			var probe func()
+			violations := 0
+			probe = func() {
+				if h.Used() > cfg.HeapBytes+1e-6 {
+					violations++
+				}
+				if finished < nallocs {
+					pl.Env.After(simtime.Duration(0.01), probe)
+				}
+			}
+			pl.Env.After(0, probe)
+
+			pl.Env.RunUntil(10_000 * simtime.Second)
+			if finished != nallocs {
+				t.Fatalf("%d/%d allocators finished (deadlock?)", finished, nallocs)
+			}
+			if violations > 0 {
+				t.Fatalf("heap exceeded capacity %d times", violations)
+			}
+			st := h.Stats()
+			if st.ReclaimedBytes > allocated*(1+1e-9) {
+				t.Fatalf("reclaimed %v > allocated %v", st.ReclaimedBytes, allocated)
+			}
+			if st.StallSeconds < 0 || st.StallSeconds > float64(pl.Env.Now())*float64(nallocs) {
+				t.Fatalf("stall seconds %v out of range", st.StallSeconds)
+			}
+			// Heap accounting closes: used = allocated - reclaimed (up to
+			// float summation drift over thousands of operations).
+			want := allocated - st.ReclaimedBytes
+			tol := 1e-9 * (allocated + 1)
+			if want < h.Used()-tol || want > h.Used()+tol {
+				t.Fatalf("used %v != allocated-reclaimed %v", h.Used(), want)
+			}
+		})
+	}
+}

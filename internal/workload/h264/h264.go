@@ -1,0 +1,251 @@
+// Package h264 models the multithreaded H.264 encoder of §3.6: a main
+// thread doing serial pre- and post-processing (2–5% of the cycles) and
+// a team of encoder threads processing macro-blocks. Within a frame,
+// macro-blocks form a wavefront — a block is ready once the blocks above
+// and above-right of it are encoded — and across frames the encoder
+// exploits temporal parallelism by keeping a small window of frames in
+// flight.
+//
+// Because encoder threads self-schedule ready macro-blocks from a shared
+// pool, fast cores automatically take more blocks: the workload is
+// stable and predictably scalable under asymmetry, and a single fast
+// core visibly helps the serial portions — the paper's example of
+// asymmetry being *good* for performance.
+package h264
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+	"asmp/internal/xrand"
+)
+
+// Options parameterises an encoding run.
+type Options struct {
+	// Frames is the number of video frames to encode.
+	Frames int
+	// MBCols and MBRows give the macro-block grid per frame.
+	MBCols, MBRows int
+	// MBCycles is the mean encoding cost per macro-block.
+	MBCycles float64
+	// MBCV is the content-driven spread of block cost. Costs are a
+	// deterministic property of the (synthetic) video, not of the run.
+	MBCV float64
+	// PreCycles and PostCycles are the main thread's serial work per
+	// frame.
+	PreCycles, PostCycles float64
+	// EncoderThreads is the worker-team size (the paper's encoder uses
+	// four encoding threads plus the main thread).
+	EncoderThreads int
+	// FramesInFlight bounds temporal parallelism.
+	FramesInFlight int
+	// MemFraction is the share of block time stalled on memory.
+	MemFraction float64
+	// PrePostMemFraction is the share of the main thread's serial work
+	// stalled on memory and I/O (reading raw frames, writing the
+	// bitstream) — dominant in practice, which is why the main thread's
+	// placement barely matters.
+	PrePostMemFraction float64
+	// ContentSeed selects the synthetic video content (fixed per study,
+	// so block costs are identical across runs and machines).
+	ContentSeed uint64
+}
+
+// withDefaults fills unset fields with the study's standard values.
+func (o Options) withDefaults() Options {
+	if o.Frames == 0 {
+		o.Frames = 40
+	}
+	if o.MBCols == 0 {
+		o.MBCols = 11
+	}
+	if o.MBRows == 0 {
+		o.MBRows = 9
+	}
+	if o.MBCycles == 0 {
+		o.MBCycles = 6e6
+	}
+	if o.MBCV == 0 {
+		o.MBCV = 0.25
+	}
+	if o.PreCycles == 0 {
+		o.PreCycles = 8e6
+	}
+	if o.PostCycles == 0 {
+		o.PostCycles = 12e6
+	}
+	if o.EncoderThreads == 0 {
+		o.EncoderThreads = 4
+	}
+	if o.FramesInFlight == 0 {
+		o.FramesInFlight = 2
+	}
+	if o.MemFraction == 0 {
+		o.MemFraction = 0.2
+	}
+	if o.PrePostMemFraction == 0 {
+		o.PrePostMemFraction = 0.7
+	}
+	if o.ContentSeed == 0 {
+		o.ContentSeed = 42
+	}
+	return o
+}
+
+// Benchmark is the H.264 encoder workload.
+type Benchmark struct {
+	opt Options
+}
+
+// New returns an encoder workload with the given options.
+func New(opt Options) *Benchmark { return &Benchmark{opt: opt.withDefaults()} }
+
+// Name implements workload.Workload.
+func (b *Benchmark) Name() string { return "h264" }
+
+// Options returns the resolved options.
+func (b *Benchmark) Options() Options { return b.opt }
+
+// mb identifies one macro-block of one frame.
+type mb struct {
+	frame, row, col int
+}
+
+// blockCost returns the deterministic encoding cost of a block — a
+// property of the video content, identical across runs and machines.
+func (b *Benchmark) blockCost(x mb) float64 {
+	o := b.opt
+	h := o.ContentSeed
+	h = h*1000003 + uint64(x.frame)
+	h = h*1000003 + uint64(x.row)
+	h = h*1000003 + uint64(x.col)
+	return xrand.New(h).LogNormal(o.MBCycles, o.MBCV)
+}
+
+// Run implements workload.Workload. The primary metric is the encoding
+// runtime in seconds (lower is better).
+func (b *Benchmark) Run(pl *workload.Platform) workload.Result {
+	o := b.opt
+	env := pl.Env
+
+	type frameState struct {
+		remaining int
+		pending   map[mb]int // unresolved dependencies per block
+		done      *sim.WaitGroup
+	}
+	frames := map[int]*frameState{}
+	ready := sim.NewQueue[mb](env)
+
+	// deps returns the number of intra-frame dependencies of a block:
+	// the block above and the block above-right.
+	deps := func(x mb) int {
+		if x.row == 0 {
+			return 0
+		}
+		if x.col == o.MBCols-1 {
+			return 1
+		}
+		return 2
+	}
+
+	submit := func(f int) *frameState {
+		st := &frameState{
+			remaining: o.MBRows * o.MBCols,
+			pending:   map[mb]int{},
+			done:      sim.NewWaitGroup(env),
+		}
+		st.done.Add(1)
+		frames[f] = st
+		for r := 0; r < o.MBRows; r++ {
+			for c := 0; c < o.MBCols; c++ {
+				x := mb{f, r, c}
+				if d := deps(x); d == 0 {
+					ready.Put(x)
+				} else {
+					st.pending[x] = d
+				}
+			}
+		}
+		return st
+	}
+
+	// complete resolves the dependents of a finished block.
+	complete := func(x mb) {
+		st := frames[x.frame]
+		st.remaining--
+		if st.remaining == 0 {
+			st.done.Done()
+			return
+		}
+		// Down-left and down: the blocks that depend on x.
+		for _, y := range []mb{
+			{x.frame, x.row + 1, x.col - 1},
+			{x.frame, x.row + 1, x.col},
+		} {
+			if y.row >= o.MBRows || y.col < 0 {
+				continue
+			}
+			st.pending[y]--
+			if st.pending[y] == 0 {
+				delete(st.pending, y)
+				ready.Put(y)
+			}
+		}
+	}
+
+	for i := 0; i < o.EncoderThreads; i++ {
+		env.Go(fmt.Sprintf("encoder-%d", i), func(p *sim.Proc) {
+			for {
+				x, ok := ready.Get(p)
+				if !ok {
+					return
+				}
+				cost := b.blockCost(x)
+				p.ComputeMem(cost*(1-o.MemFraction),
+					simtime.Duration(cost*o.MemFraction/cpu.BaseHz))
+				complete(x)
+			}
+		})
+	}
+
+	serial := func(p *sim.Proc, cycles float64) {
+		p.ComputeMem(cycles*(1-o.PrePostMemFraction),
+			simtime.Duration(cycles*o.PrePostMemFraction/cpu.BaseHz))
+	}
+	var finish simtime.Time
+	env.Go("main", func(p *sim.Proc) {
+		inFlight := []*frameState{}
+		for f := 0; f < o.Frames; f++ {
+			serial(p, o.PreCycles)
+			inFlight = append(inFlight, submit(f))
+			if len(inFlight) > o.FramesInFlight {
+				inFlight[0].done.Wait(p)
+				inFlight = inFlight[1:]
+				serial(p, o.PostCycles)
+			}
+		}
+		for _, st := range inFlight {
+			st.done.Wait(p)
+			serial(p, o.PostCycles)
+		}
+		ready.Close()
+		finish = p.Now()
+	})
+	env.Run()
+
+	total := float64(o.Frames)
+	res := workload.Result{
+		Metric:         "encode runtime (s)",
+		Value:          float64(finish),
+		HigherIsBetter: false,
+	}
+	res.AddExtra("fps", total/float64(finish))
+	return res
+}
+
+func init() {
+	workload.Register("h264", func() workload.Workload { return New(Options{}) })
+}

@@ -1,0 +1,127 @@
+package h264
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+)
+
+func runOnce(t *testing.T, b *Benchmark, cfgName string, seed uint64) workload.Result {
+	t.Helper()
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(sched.PolicyNaive), seed)
+	defer pl.Close()
+	return b.Run(pl)
+}
+
+func sample(t *testing.T, b *Benchmark, cfgName string, runs int) *stats.Sample {
+	t.Helper()
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(runOnce(t, b, cfgName, uint64(60+i)).Value)
+	}
+	return s
+}
+
+func TestDefaultsAndRegistry(t *testing.T) {
+	b := New(Options{})
+	o := b.Options()
+	if o.Frames == 0 || o.EncoderThreads != 4 || o.FramesInFlight == 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if b.Name() != "h264" {
+		t.Fatal("name")
+	}
+	if _, err := workload.New("h264"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentDeterministic(t *testing.T) {
+	b := New(Options{})
+	x := mb{3, 2, 1}
+	if b.blockCost(x) != b.blockCost(x) {
+		t.Fatal("block cost not deterministic")
+	}
+	if b.blockCost(mb{3, 2, 1}) == b.blockCost(mb{3, 2, 2}) {
+		t.Fatal("neighbouring blocks should differ in cost")
+	}
+}
+
+func TestStableAcrossRunsEverywhere(t *testing.T) {
+	// Figure 9(a): all configurations show stability across runs.
+	b := New(Options{})
+	for _, cfg := range []string{"4f-0s", "2f-2s/8", "1f-3s/8"} {
+		if cov := sample(t, b, cfg, 4).CoV(); cov > 0.02 {
+			t.Errorf("%s CoV %.4f, want < 0.02", cfg, cov)
+		}
+	}
+}
+
+func TestPredictablyScalable(t *testing.T) {
+	// Runtime tracks compute power monotonically across the sweep.
+	b := New(Options{})
+	prev := 0.0
+	for _, cfg := range []string{"4f-0s", "3f-1s/8", "2f-2s/8", "1f-3s/8", "0f-4s/8"} {
+		v := sample(t, b, cfg, 1).Mean()
+		if v <= prev {
+			t.Fatalf("runtime should grow as power shrinks: %s gave %.2f after %.2f", cfg, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAsymmetryHelps(t *testing.T) {
+	// §3.6: one fast core makes 1f-3s/8 significantly better than the
+	// all-slow 0f-4s/4 and 0f-4s/8 systems.
+	b := New(Options{})
+	oneFast := sample(t, b, "1f-3s/8", 1).Mean()
+	allSlow4 := sample(t, b, "0f-4s/4", 1).Mean()
+	allSlow8 := sample(t, b, "0f-4s/8", 1).Mean()
+	if oneFast >= allSlow4 {
+		t.Fatalf("1f-3s/8 (%.2fs) should beat 0f-4s/4 (%.2fs)", oneFast, allSlow4)
+	}
+	if oneFast >= allSlow8 {
+		t.Fatalf("1f-3s/8 (%.2fs) should beat 0f-4s/8 (%.2fs)", oneFast, allSlow8)
+	}
+}
+
+func TestReplacingFastCoreCosts(t *testing.T) {
+	// §3.6: going 4f-0s -> 3f-1s/8 slows things down noticeably because
+	// all threads eventually wait on the slow core's blocks.
+	b := New(Options{})
+	f4 := sample(t, b, "4f-0s", 1).Mean()
+	f3 := sample(t, b, "3f-1s/8", 1).Mean()
+	if f3 <= f4*1.05 {
+		t.Fatalf("3f-1s/8 (%.2fs) should be clearly slower than 4f-0s (%.2fs)", f3, f4)
+	}
+}
+
+func TestFPSExtra(t *testing.T) {
+	res := runOnce(t, New(Options{}), "4f-0s", 1)
+	if res.Extra("fps") <= 0 {
+		t.Fatal("fps extra missing")
+	}
+	if res.HigherIsBetter {
+		t.Fatal("runtime metric direction wrong")
+	}
+}
+
+func TestWavefrontCompletes(t *testing.T) {
+	// Small frame, one thread: every block must still encode exactly
+	// once (dependency bookkeeping sanity).
+	b := New(Options{Frames: 3, MBCols: 4, MBRows: 4, EncoderThreads: 1})
+	res := runOnce(t, b, "4f-0s", 1)
+	if res.Value <= 0 {
+		t.Fatal("no runtime")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	b := New(Options{})
+	if a, c := runOnce(t, b, "2f-2s/8", 9).Value, runOnce(t, b, "2f-2s/8", 9).Value; a != c {
+		t.Fatalf("same seed: %v vs %v", a, c)
+	}
+}

@@ -1,0 +1,89 @@
+package jappserver
+
+import (
+	"testing"
+
+	"asmp/internal/sched"
+)
+
+// TestRateNeverExceedsSpecified: the feedback loop may reduce the
+// injection rate but must never push it above the specified one.
+func TestRateNeverExceedsSpecified(t *testing.T) {
+	b := New(Options{})
+	for _, cfg := range []string{"4f-0s", "2f-2s/8", "0f-4s/8"} {
+		res := runOnce(t, b, cfg, sched.PolicyNaive, 3)
+		if got := res.Extra("final_rate"); got > b.Options().InjectionRate+1e-9 {
+			t.Errorf("%s: final rate %.1f above specified %.1f", cfg, got, b.Options().InjectionRate)
+		}
+		// Achieved rate can exceed spec only by the arrival jitter (10%).
+		if got := res.Extra("achieved_injection_rate"); got > b.Options().InjectionRate*1.1 {
+			t.Errorf("%s: achieved rate %.1f implausibly above specified", cfg, got)
+		}
+	}
+}
+
+// TestFeedbackConvergesToCapacity: on a machine that cannot sustain the
+// specified rate, the achieved throughput converges near the machine's
+// capacity (total power divided by per-order cost).
+func TestFeedbackConvergesToCapacity(t *testing.T) {
+	b := New(Options{})
+	o := b.Options()
+	perOrder := o.NewOrderCycles + o.ManufacturingCycles
+	for _, tc := range []struct {
+		cfg   string
+		power float64
+	}{
+		{"0f-4s/4", 1.0},
+		{"1f-3s/4", 1.75},
+		{"2f-2s/8", 2.25},
+	} {
+		res := runOnce(t, b, tc.cfg, sched.PolicyNaive, 5)
+		capacity := tc.power * 2.8e9 / perOrder
+		got := res.Value
+		if got < 0.7*capacity || got > 1.05*capacity {
+			t.Errorf("%s: throughput %.0f should sit near capacity %.0f", tc.cfg, got, capacity)
+		}
+	}
+}
+
+// TestHigherRatesRaiseResponseTimes: at a fixed configuration, raising
+// the injection rate toward capacity raises the response-time tail
+// (Figure 3(b)'s x-axis behaviour).
+func TestHigherRatesRaiseResponseTimes(t *testing.T) {
+	lo := New(Options{InjectionRate: 250})
+	hi := New(Options{InjectionRate: 320})
+	l := runOnce(t, lo, "3f-1s/8", sched.PolicyNaive, 4)
+	h := runOnce(t, hi, "3f-1s/8", sched.PolicyNaive, 4)
+	if h.Extra("resp_p90_ms") <= l.Extra("resp_p90_ms")*0.8 {
+		t.Errorf("p90 at rate 320 (%.1fms) should not be far below rate 250 (%.1fms)",
+			h.Extra("resp_p90_ms"), l.Extra("resp_p90_ms"))
+	}
+	// Both sustain their specified rates on this configuration.
+	if l.Value < 240 || h.Value < 300 {
+		t.Errorf("rates not sustained: %.0f@250 %.0f@320", l.Value, h.Value)
+	}
+}
+
+// TestMoreWorkersAbsorbBurstiness: a larger container pool lowers the
+// response-time tail at the same rate and machine.
+func TestMoreWorkersAbsorbBurstiness(t *testing.T) {
+	small := New(Options{Workers: 4})
+	large := New(Options{Workers: 24})
+	s := runOnce(t, small, "4f-0s", sched.PolicyNaive, 6)
+	l := runOnce(t, large, "4f-0s", sched.PolicyNaive, 6)
+	if l.Extra("resp_max_ms") > s.Extra("resp_max_ms")*1.5 {
+		t.Errorf("large pool max response %.1fms should not exceed small pool %.1fms by 1.5x",
+			l.Extra("resp_max_ms"), s.Extra("resp_max_ms"))
+	}
+}
+
+// TestAwareKernelMakesNoDifference: the paper's Table 1 row — jAppServer
+// is already stable; the kernel fix neither helps nor harms throughput.
+func TestAwareKernelMakesNoDifference(t *testing.T) {
+	b := New(Options{})
+	naive := runOnce(t, b, "2f-2s/8", sched.PolicyNaive, 7).Value
+	aware := runOnce(t, b, "2f-2s/8", sched.PolicyAsymmetryAware, 7).Value
+	if aware < naive*0.93 || aware > naive*1.07 {
+		t.Errorf("aware kernel changed jAppServer throughput %.0f -> %.0f", naive, aware)
+	}
+}

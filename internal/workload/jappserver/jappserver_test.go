@@ -1,0 +1,173 @@
+package jappserver
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+)
+
+func runOnce(t *testing.T, b *Benchmark, cfgName string, policy sched.Policy, seed uint64) workload.Result {
+	t.Helper()
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(policy), seed)
+	defer pl.Close()
+	return b.Run(pl)
+}
+
+func sample(t *testing.T, b *Benchmark, cfgName string, runs int) *stats.Sample {
+	t.Helper()
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(runOnce(t, b, cfgName, sched.PolicyNaive, uint64(500+i)).Value)
+	}
+	return s
+}
+
+func TestDefaults(t *testing.T) {
+	b := New(Options{})
+	o := b.Options()
+	if o.InjectionRate != 320 || o.Workers == 0 || o.ResponseLimit == 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if b.Name() != "specjappserver" {
+		t.Fatal("name")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	if _, err := workload.New("specjappserver"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastConfigsSustainSpecifiedRate(t *testing.T) {
+	// Figure 3(a): 4f-0s, 3f-1s/4 and 3f-1s/8 all sustain the specified
+	// injection rate, so their throughput is (roughly) the same.
+	b := New(Options{})
+	var means []float64
+	for _, cfg := range []string{"4f-0s", "3f-1s/4", "3f-1s/8"} {
+		m := sample(t, b, cfg, 2).Mean()
+		means = append(means, m)
+		// Specified rate is 320 orders/s => ~320 manufacturing txn/s.
+		if m < 280 || m > 360 {
+			t.Errorf("%s throughput %.0f, want ~320", cfg, m)
+		}
+	}
+	spread := (maxOf(means) - minOf(means)) / maxOf(means)
+	if spread > 0.10 {
+		t.Errorf("fast configs should have near-equal throughput; spread %.2f", spread)
+	}
+}
+
+func TestSlowConfigsScaleDown(t *testing.T) {
+	// The feedback loop reduces the achieved rate on weaker machines:
+	// throughput tracks compute power instead of collapsing.
+	b := New(Options{})
+	half := sample(t, b, "0f-4s/4", 2).Mean()   // power 1.0
+	eighth := sample(t, b, "0f-4s/8", 2).Mean() // power 0.5
+	if half <= eighth {
+		t.Fatal("0f-4s/4 should outperform 0f-4s/8")
+	}
+	// Power 1.0 should sustain roughly 2.8e9/27e6 ≈ 100 orders/s.
+	if half < 60 || half > 140 {
+		t.Errorf("0f-4s/4 throughput %.0f, want ~100", half)
+	}
+	if eighth < 25 || eighth > 75 {
+		t.Errorf("0f-4s/8 throughput %.0f, want ~50", eighth)
+	}
+}
+
+func TestStableUnderAsymmetry(t *testing.T) {
+	// The paper's key jAppServer finding: predictable despite asymmetry,
+	// thanks to the feedback loop.
+	b := New(Options{})
+	for _, cfg := range []string{"2f-2s/8", "1f-3s/8"} {
+		s := sample(t, b, cfg, 4)
+		if cov := s.CoV(); cov > 0.06 {
+			t.Errorf("%s CoV = %.4f, want < 0.06 (feedback keeps it stable)", cfg, cov)
+		}
+	}
+}
+
+func TestResponseTimesReported(t *testing.T) {
+	b := New(Options{})
+	res := runOnce(t, b, "4f-0s", sched.PolicyNaive, 1)
+	avg := res.Extra("resp_avg_ms")
+	p90 := res.Extra("resp_p90_ms")
+	max := res.Extra("resp_max_ms")
+	if avg <= 0 || p90 < avg || max < p90 {
+		t.Fatalf("response stats inconsistent: avg=%v p90=%v max=%v", avg, p90, max)
+	}
+	// Figure 3(b)'s observation: the 90th percentile sits close to the
+	// average, far below the max.
+	if p90 > 5*avg {
+		t.Errorf("p90 %.1f too far above avg %.1f", p90, avg)
+	}
+}
+
+func TestResponseTimesGrowAsPowerShrinks(t *testing.T) {
+	b := New(Options{})
+	fast := runOnce(t, b, "4f-0s", sched.PolicyNaive, 2).Extra("resp_avg_ms")
+	slow := runOnce(t, b, "0f-4s/8", sched.PolicyNaive, 2).Extra("resp_avg_ms")
+	if slow <= fast {
+		t.Fatalf("avg response on 0f-4s/8 (%.1fms) should exceed 4f-0s (%.1fms)", slow, fast)
+	}
+}
+
+func TestNewOrderTracksManufacturing(t *testing.T) {
+	b := New(Options{})
+	res := runOnce(t, b, "2f-2s/4", sched.PolicyNaive, 3)
+	mfg := res.Value
+	no := res.Extra("neworder_tps")
+	if no < 0.8*mfg || no > 1.2*mfg {
+		t.Fatalf("NewOrder %.0f should track manufacturing %.0f", no, mfg)
+	}
+}
+
+func TestDisableFeedbackOverloads(t *testing.T) {
+	// Ablation: without the feedback loop the server drowns on a weak
+	// machine — response times explode relative to the adaptive run.
+	adaptive := New(Options{})
+	fixed := New(Options{DisableFeedback: true})
+	a := runOnce(t, adaptive, "0f-4s/8", sched.PolicyNaive, 4)
+	f := runOnce(t, fixed, "0f-4s/8", sched.PolicyNaive, 4)
+	if f.Extra("resp_max_ms") < 3*a.Extra("resp_max_ms") {
+		t.Fatalf("without feedback max response %.0fms should dwarf adaptive %.0fms",
+			f.Extra("resp_max_ms"), a.Extra("resp_max_ms"))
+	}
+	// Achieved injection rate stays at spec without feedback.
+	if got := f.Extra("achieved_injection_rate"); got < 280 {
+		t.Fatalf("fixed driver injected %.0f/s, want ~320", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	b := New(Options{})
+	a := runOnce(t, b, "2f-2s/8", sched.PolicyNaive, 9).Value
+	c := runOnce(t, b, "2f-2s/8", sched.PolicyNaive, 9).Value
+	if a != c {
+		t.Fatalf("same seed: %v vs %v", a, c)
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

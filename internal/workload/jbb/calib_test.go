@@ -1,0 +1,45 @@
+package jbb
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+	"asmp/internal/workload/gc"
+)
+
+// runOnce executes one SPECjbb run and returns throughput.
+func runOnce(t *testing.T, cfgName string, policy sched.Policy, kind gc.Kind, warehouses int, seed uint64) float64 {
+	t.Helper()
+	cfg := cpu.MustParseConfig(cfgName)
+	pl := workload.NewPlatform(cfg, sched.Defaults(policy), seed)
+	defer pl.Close()
+	b := New(Options{Warehouses: warehouses, GC: kind})
+	return b.Run(pl).Value
+}
+
+func sample(t *testing.T, cfgName string, policy sched.Policy, kind gc.Kind, warehouses, runs int) *stats.Sample {
+	t.Helper()
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(runOnce(t, cfgName, policy, kind, warehouses, uint64(1000+i)))
+	}
+	return s
+}
+
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration exploration")
+	}
+	for _, cfg := range []string{"4f-0s", "3f-1s/8", "2f-2s/8", "0f-4s/4", "0f-4s/8"} {
+		for _, kind := range []gc.Kind{gc.ParallelSTW, gc.ConcurrentGenerational} {
+			s := sample(t, cfg, sched.PolicyNaive, kind, 12, 5)
+			t.Logf("%-8s gc=%-10s naive: mean=%8.0f cov=%.4f min=%8.0f max=%8.0f",
+				cfg, kind, s.Mean(), s.CoV(), s.Min(), s.Max())
+		}
+	}
+	s := sample(t, "2f-2s/8", sched.PolicyAsymmetryAware, gc.ConcurrentGenerational, 12, 5)
+	t.Logf("2f-2s/8 concurrent AWARE: mean=%8.0f cov=%.4f", s.Mean(), s.CoV())
+}

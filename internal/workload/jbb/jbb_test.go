@@ -1,0 +1,147 @@
+package jbb
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/workload"
+	"asmp/internal/workload/gc"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	b := New(Options{})
+	o := b.Options()
+	if o.Warehouses == 0 || o.Window == 0 || o.TxnCycles == 0 || o.AllocPerTxn == 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	if b.Name() != "specjbb" {
+		t.Fatalf("name = %q", b.Name())
+	}
+}
+
+func TestHotSpotSlower(t *testing.T) {
+	j := New(Options{JVM: JRockit}).Options()
+	h := New(Options{JVM: HotSpot}).Options()
+	if h.TxnCycles <= j.TxnCycles {
+		t.Fatal("HotSpot should cost more cycles per transaction")
+	}
+	if h.heapConfig().CyclesPerByte <= j.heapConfig().CyclesPerByte {
+		t.Fatal("HotSpot collector should work harder per byte")
+	}
+}
+
+func TestHeapOverride(t *testing.T) {
+	hc := gc.DefaultConfig(gc.ParallelSTW)
+	hc.HeapBytes = 123e6
+	b := New(Options{GC: gc.ParallelSTW, Heap: &hc})
+	if got := b.opt.heapConfig().HeapBytes; got != 123e6 {
+		t.Fatalf("heap override ignored: %v", got)
+	}
+}
+
+func TestJVMString(t *testing.T) {
+	if JRockit.String() != "jrockit" || HotSpot.String() != "hotspot" || JVM(9).String() == "" {
+		t.Fatal("JVM names")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	w, err := workload.New("specjbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "specjbb" {
+		t.Fatal("registry returned wrong workload")
+	}
+}
+
+func TestThroughputScalesWithComputePower(t *testing.T) {
+	// On symmetric configurations throughput must track compute power:
+	// 4f-0s has 8x the capacity of 0f-4s/8.
+	fast := sample(t, "4f-0s", sched.PolicyNaive, gc.ParallelSTW, 12, 2).Mean()
+	slow := sample(t, "0f-4s/8", sched.PolicyNaive, gc.ParallelSTW, 12, 2).Mean()
+	ratio := fast / slow
+	if ratio < 6.5 || ratio > 9.5 {
+		t.Fatalf("4f-0s/0f-4s÷8 throughput ratio = %.2f, want ~8", ratio)
+	}
+}
+
+func TestSymmetricConfigsStable(t *testing.T) {
+	for _, cfg := range []string{"4f-0s", "0f-4s/8"} {
+		for _, kind := range []gc.Kind{gc.ParallelSTW, gc.ConcurrentGenerational} {
+			s := sample(t, cfg, sched.PolicyNaive, kind, 12, 4)
+			if cov := s.CoV(); cov > 0.02 {
+				t.Errorf("%s gc=%v CoV = %.4f, want < 0.02", cfg, kind, cov)
+			}
+		}
+	}
+}
+
+func TestConcurrentGCUnstableOnAsymmetric(t *testing.T) {
+	// The paper's Figure 1(b): generational concurrent GC on 2f-2s/8 is
+	// highly unstable across runs under the stock kernel.
+	s := sample(t, "2f-2s/8", sched.PolicyNaive, gc.ConcurrentGenerational, 12, 6)
+	if cov := s.CoV(); cov < 0.10 {
+		t.Fatalf("2f-2s/8 concurrent-GC CoV = %.4f, want > 0.10 (instability)", cov)
+	}
+}
+
+func TestParallelGCMoreStableThanConcurrent(t *testing.T) {
+	par := sample(t, "2f-2s/8", sched.PolicyNaive, gc.ParallelSTW, 12, 6).CoV()
+	conc := sample(t, "2f-2s/8", sched.PolicyNaive, gc.ConcurrentGenerational, 12, 6).CoV()
+	if par >= conc {
+		t.Fatalf("parallel GC CoV %.4f >= concurrent GC CoV %.4f", par, conc)
+	}
+}
+
+func TestAwareKernelFixesInstability(t *testing.T) {
+	// The paper's Figure 2(b): the asymmetry-aware kernel eliminates the
+	// instability and recovers the lost throughput.
+	naive := sample(t, "2f-2s/8", sched.PolicyNaive, gc.ConcurrentGenerational, 12, 6)
+	aware := sample(t, "2f-2s/8", sched.PolicyAsymmetryAware, gc.ConcurrentGenerational, 12, 6)
+	if cov := aware.CoV(); cov > 0.02 {
+		t.Fatalf("aware-kernel CoV = %.4f, want < 0.02", cov)
+	}
+	if aware.Mean() < naive.Max()*0.95 {
+		t.Fatalf("aware-kernel mean %.0f below naive best %.0f", aware.Mean(), naive.Max())
+	}
+}
+
+func TestThroughputRisesWithWarehousesUntilSaturation(t *testing.T) {
+	// Figure 1's x-axis: throughput grows with warehouse count until the
+	// cores saturate, then plateaus.
+	one := sample(t, "4f-0s", sched.PolicyNaive, gc.ParallelSTW, 1, 1).Mean()
+	four := sample(t, "4f-0s", sched.PolicyNaive, gc.ParallelSTW, 4, 1).Mean()
+	twelve := sample(t, "4f-0s", sched.PolicyNaive, gc.ParallelSTW, 12, 1).Mean()
+	if four < 2.5*one {
+		t.Fatalf("4 warehouses (%.0f) should be ~4x of 1 (%.0f)", four, one)
+	}
+	if twelve < 0.8*four || twelve > 1.3*four {
+		t.Fatalf("12 warehouses (%.0f) should plateau near 4 (%.0f)", twelve, four)
+	}
+}
+
+func TestExtrasPopulated(t *testing.T) {
+	cfg := cpu.MustParseConfig("4f-0s")
+	pl := workload.NewPlatform(cfg, sched.Defaults(sched.PolicyNaive), 1)
+	defer pl.Close()
+	res := New(Options{Warehouses: 4, GC: gc.ConcurrentGenerational}).Run(pl)
+	if res.Extra("gc_collections") <= 0 {
+		t.Fatal("no collections recorded")
+	}
+	if res.Extra("warehouse_max_txn") < res.Extra("warehouse_min_txn") {
+		t.Fatal("warehouse extrema inconsistent")
+	}
+	if !res.HigherIsBetter || res.Metric == "" {
+		t.Fatal("result metadata missing")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := runOnce(t, "2f-2s/8", sched.PolicyNaive, gc.ConcurrentGenerational, 8, 99)
+	b := runOnce(t, "2f-2s/8", sched.PolicyNaive, gc.ConcurrentGenerational, 8, 99)
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+}

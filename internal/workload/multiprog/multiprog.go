@@ -1,0 +1,141 @@
+// Package multiprog models the workload class the asymmetric-multicore
+// proposals the paper cites were evaluated on (Kumar et al., Grochowski
+// et al.): a multiprogrammed batch of independent *single-threaded* jobs
+// run to completion. The paper deliberately studies multi-threaded
+// commercial applications instead; this package supplies the
+// complementary baseline so the two regimes can be compared on the same
+// simulated machines.
+//
+// Metrics: the batch makespan (primary), plus the mean and spread of
+// per-job slowdowns relative to a dedicated fast core — the fairness
+// question asymmetry raises for batch scheduling: who got the slow
+// cores?
+package multiprog
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+	"asmp/internal/xrand"
+)
+
+// Options parameterises a batch.
+type Options struct {
+	// Jobs is the batch size.
+	Jobs int
+	// MeanCycles is the mean job length in fast-core cycles.
+	MeanCycles float64
+	// LengthCV is the spread of job lengths (a property of the batch,
+	// not of the run).
+	LengthCV float64
+	// MaxMemFraction bounds each job's memory-bound share; jobs draw
+	// theirs deterministically from the batch seed.
+	MaxMemFraction float64
+	// Slices is how many compute bursts each job issues (finer slices
+	// give the scheduler preemption points beyond the timeslice).
+	Slices int
+	// BatchSeed selects the synthetic batch (fixed per study).
+	BatchSeed uint64
+}
+
+// withDefaults fills unset fields with the study's standard values.
+func (o Options) withDefaults() Options {
+	if o.Jobs == 0 {
+		o.Jobs = 16
+	}
+	if o.MeanCycles == 0 {
+		o.MeanCycles = 2e9
+	}
+	if o.LengthCV == 0 {
+		o.LengthCV = 0.7
+	}
+	if o.MaxMemFraction == 0 {
+		o.MaxMemFraction = 0.4
+	}
+	if o.Slices == 0 {
+		o.Slices = 8
+	}
+	return o
+}
+
+// Benchmark is the multiprogrammed batch workload.
+type Benchmark struct {
+	opt Options
+}
+
+// New returns a batch workload with the given options.
+func New(opt Options) *Benchmark { return &Benchmark{opt: opt.withDefaults()} }
+
+// Name implements workload.Workload.
+func (b *Benchmark) Name() string { return "multiprog" }
+
+// Options returns the resolved options.
+func (b *Benchmark) Options() Options { return b.opt }
+
+// job is one single-threaded program of the batch.
+type job struct {
+	cycles float64
+	memFr  float64
+}
+
+// jobs returns the deterministic batch composition.
+func (b *Benchmark) jobs() []job {
+	o := b.opt
+	rng := xrand.New(o.BatchSeed ^ 0x9e3779b9)
+	out := make([]job, o.Jobs)
+	for i := range out {
+		out[i] = job{
+			cycles: rng.LogNormal(o.MeanCycles, o.LengthCV),
+			memFr:  rng.Range(0, o.MaxMemFraction),
+		}
+	}
+	return out
+}
+
+// idealSeconds returns a job's runtime on a dedicated full-speed core.
+func idealSeconds(j job) float64 {
+	return j.cycles / cpu.BaseHz // mem share takes the same time at duty 1
+}
+
+// Run implements workload.Workload. The primary metric is the batch
+// makespan in seconds; extras carry the slowdown statistics.
+func (b *Benchmark) Run(pl *workload.Platform) workload.Result {
+	o := b.opt
+	env := pl.Env
+	batch := b.jobs()
+
+	var makespan simtime.Time
+	slow := &stats.Sample{}
+	for i, j := range batch {
+		j := j
+		env.Go(fmt.Sprintf("job-%d", i), func(p *sim.Proc) {
+			per := j.cycles / float64(o.Slices)
+			for s := 0; s < o.Slices; s++ {
+				p.ComputeMem(per*(1-j.memFr), simtime.Duration(per*j.memFr/cpu.BaseHz))
+			}
+			if p.Now() > makespan {
+				makespan = p.Now()
+			}
+			slow.Add(float64(p.Now()) / idealSeconds(j))
+		})
+	}
+	env.Run()
+
+	res := workload.Result{
+		Metric:         "batch makespan (s)",
+		Value:          float64(makespan),
+		HigherIsBetter: false,
+	}
+	res.AddExtra("mean_slowdown", slow.Mean())
+	res.AddExtra("max_slowdown", slow.Max())
+	res.AddExtra("slowdown_cov", slow.CoV())
+	return res
+}
+
+func init() {
+	workload.Register("multiprog", func() workload.Workload { return New(Options{}) })
+}

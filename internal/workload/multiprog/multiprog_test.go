@@ -1,0 +1,106 @@
+package multiprog
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+)
+
+func runOnce(t *testing.T, b *Benchmark, cfgName string, policy sched.Policy, seed uint64) workload.Result {
+	t.Helper()
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(policy), seed)
+	defer pl.Close()
+	return b.Run(pl)
+}
+
+func sample(t *testing.T, b *Benchmark, cfgName string, policy sched.Policy, runs int) *stats.Sample {
+	t.Helper()
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(runOnce(t, b, cfgName, policy, uint64(60+i)).Value)
+	}
+	return s
+}
+
+func TestDefaultsAndRegistry(t *testing.T) {
+	b := New(Options{})
+	if b.Options().Jobs != 16 || b.Options().Slices == 0 {
+		t.Fatalf("defaults: %+v", b.Options())
+	}
+	if b.Name() != "multiprog" {
+		t.Fatal("name")
+	}
+	if _, err := workload.New("multiprog"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchDeterministic(t *testing.T) {
+	a, c := New(Options{}).jobs(), New(Options{}).jobs()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("batch not deterministic")
+		}
+	}
+	if New(Options{BatchSeed: 1}).jobs()[0] == New(Options{BatchSeed: 2}).jobs()[0] {
+		t.Fatal("batch seed ignored")
+	}
+}
+
+func TestMakespanScales(t *testing.T) {
+	b := New(Options{})
+	fast := sample(t, b, "4f-0s", sched.PolicyNaive, 2).Mean()
+	slow := sample(t, b, "0f-4s/4", sched.PolicyNaive, 2).Mean()
+	if slow <= 1.5*fast {
+		t.Fatalf("0f-4s/4 (%.1fs) should be far slower than 4f-0s (%.1fs)", slow, fast)
+	}
+}
+
+func TestAwareBeatsNaiveOnAsymmetric(t *testing.T) {
+	// Kumar-style result: with single-threaded jobs an asymmetry-aware
+	// scheduler gets both a shorter makespan and fairer slowdowns.
+	b := New(Options{})
+	naive := sample(t, b, "2f-2s/8", sched.PolicyNaive, 4)
+	aware := sample(t, b, "2f-2s/8", sched.PolicyAsymmetryAware, 4)
+	if aware.Mean() >= naive.Mean() {
+		t.Fatalf("aware makespan %.2f should beat naive %.2f", aware.Mean(), naive.Mean())
+	}
+	nRes := runOnce(t, b, "2f-2s/8", sched.PolicyNaive, 99)
+	aRes := runOnce(t, b, "2f-2s/8", sched.PolicyAsymmetryAware, 99)
+	if aRes.Extra("max_slowdown") >= nRes.Extra("max_slowdown") {
+		t.Fatalf("aware max slowdown %.2f should beat naive %.2f",
+			aRes.Extra("max_slowdown"), nRes.Extra("max_slowdown"))
+	}
+}
+
+func TestNaiveUnstableOnAsymmetric(t *testing.T) {
+	// Which jobs drew the slow cores changes run to run.
+	b := New(Options{})
+	naive := sample(t, b, "2f-2s/8", sched.PolicyNaive, 6)
+	aware := sample(t, b, "2f-2s/8", sched.PolicyAsymmetryAware, 6)
+	if naive.CoV() <= aware.CoV() {
+		t.Fatalf("naive CoV %.4f should exceed aware CoV %.4f", naive.CoV(), aware.CoV())
+	}
+}
+
+func TestSlowdownsReported(t *testing.T) {
+	res := runOnce(t, New(Options{}), "2f-2s/8", sched.PolicyNaive, 1)
+	if res.Extra("mean_slowdown") < 1 {
+		t.Fatalf("mean slowdown %.2f below 1 is impossible", res.Extra("mean_slowdown"))
+	}
+	if res.Extra("max_slowdown") < res.Extra("mean_slowdown") {
+		t.Fatal("max below mean")
+	}
+}
+
+func TestDedicatedFastCoreIsIdeal(t *testing.T) {
+	// One job on one fast core must achieve slowdown 1.
+	b := New(Options{Jobs: 1})
+	res := runOnce(t, b, "1f-0s", sched.PolicyNaive, 1)
+	if s := res.Extra("mean_slowdown"); s < 0.999 || s > 1.001 {
+		t.Fatalf("dedicated-core slowdown = %v, want 1", s)
+	}
+}

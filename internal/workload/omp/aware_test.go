@@ -1,0 +1,115 @@
+package omp
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/workload"
+)
+
+func TestWeightedStaticString(t *testing.T) {
+	if WeightedStatic.String() != "weighted-static" {
+		t.Fatal("name")
+	}
+}
+
+func TestAwareAndDynamicExclusive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for conflicting options")
+		}
+	}()
+	New(Options{Benchmark: "swim", ForceDynamic: true, AsymmetryAware: true})
+}
+
+func TestWeightedShareExact(t *testing.T) {
+	speeds := []float64{1, 1, 0.125, 0.125}
+	r := Region{Iters: 512, CyclesPerIter: 1e6} // pure compute
+	total := 0
+	for tid := 0; tid < 4; tid++ {
+		total += weightedShare(speeds, tid, 4, r)
+	}
+	if total != 512 {
+		t.Fatalf("shares sum to %d, want 512", total)
+	}
+	// Fast threads get 8x the slow threads' iterations (pure compute).
+	fast := weightedShare(speeds, 0, 4, r)
+	slow := weightedShare(speeds, 2, 4, r)
+	if fast < 7*slow || fast > 9*slow {
+		t.Fatalf("fast/slow share ratio = %d/%d, want ~8", fast, slow)
+	}
+	// With memory-bound work the ratio shrinks (mem time is speed-blind).
+	rm := Region{Iters: 512, CyclesPerIter: 1e6, MemFraction: 0.6}
+	fastM := weightedShare(speeds, 0, 4, rm)
+	slowM := weightedShare(speeds, 2, 4, rm)
+	if ratio := float64(fastM) / float64(slowM); ratio > 6 {
+		t.Fatalf("memory-bound share ratio %.1f should be well below 8", ratio)
+	}
+}
+
+// The paper's point 4 realised: the asymmetry-aware application beats
+// both the unmodified static program AND the untuned dynamic rewrite on
+// an asymmetric machine.
+func TestAwareApplicationBeatsBothRewrites(t *testing.T) {
+	run := func(o Options) float64 {
+		pl := workload.NewPlatform(cpu.MustParseConfig("2f-2s/8"), sched.Defaults(sched.PolicyNaive), 17)
+		defer pl.Close()
+		return New(o).Run(pl).Value
+	}
+	static := run(Options{Benchmark: "swim"})
+	dynamic := run(Options{Benchmark: "swim", ForceDynamic: true})
+	aware := run(Options{Benchmark: "swim", AsymmetryAware: true})
+	if aware >= dynamic {
+		t.Fatalf("aware app (%.1fs) should beat the dynamic rewrite (%.1fs): no dispatch overhead, no locality loss", aware, dynamic)
+	}
+	if aware >= static {
+		t.Fatalf("aware app (%.1fs) should beat the static original (%.1fs): no slow-core gating", aware, static)
+	}
+}
+
+func TestAwareApplicationNearOptimal(t *testing.T) {
+	// On 2f-2s/8 with swim's 60% memory share, the machine's effective
+	// capacity for this loop mix is 2*1 + 2*(1/(0.4*8+0.6)) ≈ 2.53
+	// fast-core equivalents. The weighted-static runtime should land
+	// within ~15% of work/capacity.
+	pl := workload.NewPlatform(cpu.MustParseConfig("2f-2s/8"), sched.Defaults(sched.PolicyNaive), 17)
+	defer pl.Close()
+	b := New(Options{Benchmark: "swim", AsymmetryAware: true})
+	got := b.Run(pl).Value
+
+	plFast := workload.NewPlatform(cpu.MustParseConfig("4f-0s"), sched.Defaults(sched.PolicyNaive), 17)
+	defer plFast.Close()
+	fast := New(Options{Benchmark: "swim", AsymmetryAware: true}).Run(plFast).Value
+
+	// capacity ratio fast/asym for this mix:
+	wSlow := 1 / (0.4*8 + 0.6)
+	capRatio := 4.0 / (2 + 2*wSlow)
+	ideal := fast * capRatio
+	if got > ideal*1.15 {
+		t.Fatalf("aware runtime %.2fs, ideal ~%.2fs — partition not speed-proportional?", got, ideal)
+	}
+}
+
+func TestAwareApplicationStable(t *testing.T) {
+	b := New(Options{Benchmark: "ammp", AsymmetryAware: true})
+	s := sample(t, b, "2f-2s/8", 5)
+	if cov := s.CoV(); cov > 0.01 {
+		t.Fatalf("aware ammp CoV %.4f, want < 0.01 (pinned threads, deterministic shares)", cov)
+	}
+}
+
+func TestAwareSymmetricEqualsStatic(t *testing.T) {
+	// On a symmetric machine the weighted partition degenerates to the
+	// equal one; runtimes should match static closely.
+	run := func(o Options) float64 {
+		pl := workload.NewPlatform(cpu.MustParseConfig("4f-0s"), sched.Defaults(sched.PolicyNaive), 3)
+		defer pl.Close()
+		return New(o).Run(pl).Value
+	}
+	st := run(Options{Benchmark: "mgrid"})
+	aw := run(Options{Benchmark: "mgrid", AsymmetryAware: true})
+	if aw > st*1.05 || aw < st*0.9 {
+		t.Fatalf("aware on symmetric (%.1fs) should match static (%.1fs)", aw, st)
+	}
+}

@@ -1,0 +1,367 @@
+// Package omp models SPEC OMP (§3.5 of the paper): FORTRAN programs
+// parallelised with OpenMP work-sharing loops, running on an
+// OpenMP-runtime model that supports the three scheduling modes of the
+// specification — static, dynamic and guided — plus the nowait clause.
+//
+// The mechanism under study: a statically scheduled loop gives every
+// thread the same iteration count, so on an asymmetric machine the
+// barrier at the loop's end waits for the slowest core and the machine
+// behaves like all-slow (Figure 8(a)). Switching the loops to dynamic
+// scheduling with sensible chunk sizes lets fast cores take more work,
+// recovering near-4f-0s performance on 2f-2s/8 (Figure 8(b)).
+package omp
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+)
+
+// Schedule is an OpenMP loop-scheduling mode.
+type Schedule int
+
+const (
+	// Static divides iterations into equal contiguous blocks up front.
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks on demand.
+	Dynamic
+	// Guided hands out exponentially shrinking chunks on demand.
+	Guided
+	// WeightedStatic divides iterations proportionally to each thread's
+	// core speed, with threads pinned to cores — an *asymmetry-aware
+	// application* built on the relative-speed interface the paper's
+	// point 4 proposes. No dispatch overhead, no barrier waste.
+	WeightedStatic
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	case WeightedStatic:
+		return "weighted-static"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Region is one OpenMP work-sharing loop.
+type Region struct {
+	// Name labels the region for traces.
+	Name string
+	// Iters is the loop's iteration count.
+	Iters int
+	// CyclesPerIter is the work per iteration in fast-core cycles.
+	CyclesPerIter float64
+	// Schedule is the loop's scheduling mode.
+	Schedule Schedule
+	// Chunk is the dynamic/guided chunk size (0 = runtime default).
+	Chunk int
+	// NoWait skips the implicit barrier at the loop's end.
+	NoWait bool
+	// MemFraction is the share of each iteration's full-speed execution
+	// time spent stalled on memory. Duty-cycle modulation does not slow
+	// the memory system, so this portion takes the same wall-clock time
+	// on every core — the reason memory-bound SPEC OMP codes lose less
+	// than 8x on 1/8-duty cores.
+	MemFraction float64
+}
+
+// Profile describes one SPEC OMP benchmark as a repeated sweep of
+// regions with a serial master portion per timestep.
+type Profile struct {
+	// Name is the benchmark name (e.g. "swim").
+	Name string
+	// Repeats is the number of outer timesteps.
+	Repeats int
+	// SerialCycles is the master-only work per timestep.
+	SerialCycles float64
+	// SerialMemFraction is the memory-stalled share of the serial work.
+	SerialMemFraction float64
+	// Regions is the per-timestep loop sequence.
+	Regions []Region
+}
+
+// TotalWork returns the benchmark's total parallel work in cycles.
+func (pf Profile) TotalWork() float64 {
+	w := 0.0
+	for _, r := range pf.Regions {
+		w += float64(r.Iters) * r.CyclesPerIter
+	}
+	return (w + pf.SerialCycles) * float64(pf.Repeats)
+}
+
+// Options parameterises a SPEC OMP run.
+type Options struct {
+	// Benchmark is the profile name; see Benchmarks().
+	Benchmark string
+	// Threads is the OpenMP team size (default: one per core).
+	Threads int
+	// ForceDynamic rewrites every loop to dynamic scheduling with a
+	// large chunk — the paper's Figure 8(b) source modification. The
+	// rewrite costs performance in absolute terms (the paper's authors
+	// did not tune it): chunk-dispatch overhead plus lost locality.
+	ForceDynamic bool
+	// AsymmetryAware rewrites every loop to WeightedStatic: the program
+	// queries the platform's relative core speeds, pins its threads and
+	// sizes each thread's share to its core — the paper's proposed
+	// application-level remedy, taken one step further than Figure 8(b).
+	// Mutually exclusive with ForceDynamic.
+	AsymmetryAware bool
+	// ForcedChunk overrides the rewrite's chunk size when > 0 (for the
+	// chunk-size ablation; 0 picks the paper's large-chunk heuristic).
+	ForcedChunk int
+	// DispatchCycles is the cost of grabbing one chunk from the shared
+	// iteration counter (dynamic and guided modes).
+	DispatchCycles float64
+	// ForcedPenalty multiplies per-iteration cost when ForceDynamic is
+	// set, modelling the locality loss of the untuned rewrite.
+	ForcedPenalty float64
+}
+
+// withDefaults fills unset fields with the study's standard values.
+func (o Options) withDefaults() Options {
+	if o.Benchmark == "" {
+		o.Benchmark = "swim"
+	}
+	if o.DispatchCycles == 0 {
+		o.DispatchCycles = 50e3
+	}
+	if o.ForcedPenalty == 0 {
+		o.ForcedPenalty = 1.25
+	}
+	return o
+}
+
+// Benchmark is one SPEC OMP program.
+type Benchmark struct {
+	opt     Options
+	profile Profile
+}
+
+// New returns the named SPEC OMP benchmark. It panics on unknown names
+// (the set is fixed by the suite).
+func New(opt Options) *Benchmark {
+	opt = opt.withDefaults()
+	if opt.ForceDynamic && opt.AsymmetryAware {
+		panic("omp: ForceDynamic and AsymmetryAware are mutually exclusive")
+	}
+	pf, ok := profiles[opt.Benchmark]
+	if !ok {
+		panic(fmt.Sprintf("omp: unknown benchmark %q (have %v)", opt.Benchmark, Benchmarks()))
+	}
+	return &Benchmark{opt: opt, profile: pf}
+}
+
+// Name implements workload.Workload.
+func (b *Benchmark) Name() string { return "omp-" + b.profile.Name }
+
+// Options returns the resolved options.
+func (b *Benchmark) Options() Options { return b.opt }
+
+// Profile returns the benchmark's region profile.
+func (b *Benchmark) Profile() Profile { return b.profile }
+
+// regionState is the shared per-encounter state of a work-sharing loop.
+type regionState struct {
+	next int // next unclaimed iteration
+}
+
+// Run implements workload.Workload. The primary metric is the program's
+// wall-clock runtime in seconds (lower is better).
+func (b *Benchmark) Run(pl *workload.Platform) workload.Result {
+	o := b.opt
+	pf := b.profile
+	env := pl.Env
+	nthreads := o.Threads
+	if nthreads <= 0 {
+		nthreads = pl.Config.Fast + pl.Config.Slow
+	}
+
+	barrier := sim.NewBarrier(nthreads)
+	// Per-(timestep, region) shared loop state, created lazily by the
+	// first thread to encounter that instance — correct under nowait,
+	// where threads can be in different regions at once.
+	states := map[[2]int]*regionState{}
+	stateOf := func(rep, reg int) *regionState {
+		key := [2]int{rep, reg}
+		st, ok := states[key]
+		if !ok {
+			st = &regionState{}
+			states[key] = st
+		}
+		return st
+	}
+
+	var finish simtime.Time
+	done := 0
+
+	// The asymmetry-aware rewrite queries the platform's relative core
+	// speeds once at start-up (the paper's proposed HW/SW interface) and
+	// pins one thread per core.
+	var speeds []float64
+	if o.AsymmetryAware {
+		speeds = pl.Sched.RelativeSpeeds()
+	}
+
+	body := func(tid int) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			if o.AsymmetryAware {
+				p.SetAffinity(sim.Single(tid % len(speeds)))
+			}
+			for rep := 0; rep < pf.Repeats; rep++ {
+				// Master executes the serial portion; everyone else waits
+				// at the region-entry barrier.
+				if tid == 0 && pf.SerialCycles > 0 {
+					mf := pf.SerialMemFraction
+					p.ComputeMem(pf.SerialCycles*(1-mf),
+						simtime.Duration(pf.SerialCycles*mf/cpu.BaseHz))
+				}
+				barrier.Wait(p)
+				for ri, r := range pf.Regions {
+					b.runRegion(p, tid, nthreads, r, stateOf(rep, ri), speeds)
+					if !r.NoWait {
+						barrier.Wait(p)
+					}
+				}
+				// Timestep boundary.
+				barrier.Wait(p)
+			}
+			done++
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		}
+	}
+	for t := 0; t < nthreads; t++ {
+		env.Go(fmt.Sprintf("%s-omp-%d", pf.Name, t), body(t))
+	}
+	env.Run()
+	if done != nthreads {
+		panic(fmt.Sprintf("omp: %d of %d threads finished", done, nthreads))
+	}
+
+	return workload.Result{
+		Metric:         "runtime (s)",
+		Value:          float64(finish),
+		HigherIsBetter: false,
+	}
+}
+
+// weightedShare returns thread tid's iteration count under the
+// asymmetry-aware weighted-static partition.
+func weightedShare(speeds []float64, tid, nthreads int, r Region) int {
+	weight := func(t int) float64 {
+		s := speeds[t%len(speeds)]
+		return 1 / ((1-r.MemFraction)/s + r.MemFraction)
+	}
+	total := 0.0
+	for t := 0; t < nthreads; t++ {
+		total += weight(t)
+	}
+	// Contiguous partition by cumulative weight, rounded consistently so
+	// the shares sum exactly to Iters.
+	bound := func(t int) int {
+		acc := 0.0
+		for i := 0; i < t; i++ {
+			acc += weight(i)
+		}
+		return int(acc/total*float64(r.Iters) + 0.5)
+	}
+	return bound(tid+1) - bound(tid)
+}
+
+// runRegion executes thread tid's share of one loop instance.
+func (b *Benchmark) runRegion(p *sim.Proc, tid, nthreads int, r Region, st *regionState, speeds []float64) {
+	o := b.opt
+	sched := r.Schedule
+	chunk := r.Chunk
+	perIter := r.CyclesPerIter
+	if o.AsymmetryAware {
+		sched = WeightedStatic
+	}
+	if o.ForceDynamic {
+		sched = Dynamic
+		// Large chunks for long loops keep dispatch overhead small, as
+		// the paper's modification chose.
+		chunk = r.Iters / (8 * nthreads)
+		if o.ForcedChunk > 0 {
+			chunk = o.ForcedChunk
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+		perIter *= o.ForcedPenalty
+	}
+
+	// Split an iteration's cost into duty-scaled compute cycles and
+	// wall-clock memory-stall time.
+	iterWork := func(n int, extra float64) (cycles float64, mem simtime.Duration) {
+		total := float64(n) * perIter
+		cycles = extra + total*(1-r.MemFraction)
+		mem = simtime.Duration(total * r.MemFraction / cpu.BaseHz)
+		return
+	}
+
+	switch sched {
+	case Static:
+		// Equal contiguous blocks: iteration i goes to thread i*T/n.
+		lo := tid * r.Iters / nthreads
+		hi := (tid + 1) * r.Iters / nthreads
+		if n := hi - lo; n > 0 {
+			cycles, mem := iterWork(n, 0)
+			p.ComputeMem(cycles, mem)
+		}
+	case WeightedStatic:
+		// Contiguous blocks proportional to each pinned thread's
+		// *effective* rate for this loop's compute/memory mix: a core at
+		// relative speed s processes an iteration in (1-mf)/s + mf time
+		// units, so its fair share weight is the reciprocal.
+		n := weightedShare(speeds, tid, nthreads, r)
+		if n > 0 {
+			cycles, mem := iterWork(n, 0)
+			p.ComputeMem(cycles, mem)
+		}
+	case Dynamic:
+		if chunk <= 0 {
+			chunk = 1
+		}
+		for st.next < r.Iters {
+			n := chunk
+			if st.next+n > r.Iters {
+				n = r.Iters - st.next
+			}
+			st.next += n
+			cycles, mem := iterWork(n, o.DispatchCycles)
+			p.ComputeMem(cycles, mem)
+		}
+	case Guided:
+		minChunk := chunk
+		if minChunk <= 0 {
+			minChunk = 1
+		}
+		for st.next < r.Iters {
+			remaining := r.Iters - st.next
+			n := remaining / (2 * nthreads)
+			if n < minChunk {
+				n = minChunk
+			}
+			if n > remaining {
+				n = remaining
+			}
+			st.next += n
+			cycles, mem := iterWork(n, o.DispatchCycles)
+			p.ComputeMem(cycles, mem)
+		}
+	default:
+		panic(fmt.Sprintf("omp: unknown schedule %v", sched))
+	}
+}

@@ -1,0 +1,195 @@
+package omp
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+)
+
+func runOnce(t *testing.T, b *Benchmark, cfgName string, seed uint64) float64 {
+	t.Helper()
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(sched.PolicyNaive), seed)
+	defer pl.Close()
+	return b.Run(pl).Value
+}
+
+func sample(t *testing.T, b *Benchmark, cfgName string, runs int) *stats.Sample {
+	t.Helper()
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(runOnce(t, b, cfgName, uint64(40+i)))
+	}
+	return s
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 10 {
+		t.Fatalf("expected the paper's 10 programs, got %v", bs)
+	}
+	for _, n := range bs {
+		if _, err := workload.New("omp-" + n); err != nil {
+			t.Errorf("%s not registered: %v", n, err)
+		}
+	}
+}
+
+func TestUnknownBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Options{Benchmark: "gafort"}) // excluded in the paper too
+}
+
+func TestScheduleStrings(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" ||
+		Guided.String() != "guided" || Schedule(9).String() == "" {
+		t.Fatal("schedule names")
+	}
+}
+
+func TestProfileTotalWork(t *testing.T) {
+	pf := Profile{
+		Repeats:      2,
+		SerialCycles: 10,
+		Regions:      []Region{{Iters: 3, CyclesPerIter: 5}},
+	}
+	if got := pf.TotalWork(); got != 2*(15+10) {
+		t.Fatalf("TotalWork = %v", got)
+	}
+}
+
+func TestRuntimeScalesOnSymmetricConfigs(t *testing.T) {
+	b := New(Options{Benchmark: "equake"})
+	fast := runOnce(t, b, "4f-0s", 1)
+	slow := runOnce(t, b, "0f-4s/8", 1)
+	// Memory stalls don't scale with duty, so the ratio is below 8 but
+	// must still be large.
+	if r := slow / fast; r < 3 || r > 8.5 {
+		t.Fatalf("0f-4s/8 vs 4f-0s ratio %.2f, want within (3, 8.5)", r)
+	}
+}
+
+func TestStaticGatedBySlowestCore(t *testing.T) {
+	// Figure 8(a): under static scheduling 2f-2s/8 behaves close to
+	// 0f-4s/8 — the slowest processor limits the application — despite
+	// having 4.5x its compute power.
+	for _, bench := range []string{"swim", "applu", "fma3d"} {
+		b := New(Options{Benchmark: bench})
+		asym := sample(t, b, "2f-2s/8", 2).Mean()
+		allSlow := sample(t, b, "0f-4s/8", 1).Mean()
+		fast := sample(t, b, "4f-0s", 1).Mean()
+		if asym > allSlow {
+			t.Errorf("%s: 2f-2s/8 (%.1fs) must not be slower than 0f-4s/8 (%.1fs)", bench, asym, allSlow)
+		}
+		if asym < 0.6*allSlow {
+			t.Errorf("%s: 2f-2s/8 (%.1fs) should be near 0f-4s/8 (%.1fs), not near 4f-0s (%.1fs)",
+				bench, asym, allSlow, fast)
+		}
+	}
+}
+
+func TestStaticStableRuns(t *testing.T) {
+	// Most static benchmarks are stable (if unscalable) on 2f-2s/8.
+	for _, bench := range []string{"swim", "equake"} {
+		b := New(Options{Benchmark: bench})
+		if cov := sample(t, b, "2f-2s/8", 3).CoV(); cov > 0.06 {
+			t.Errorf("%s CoV %.4f, want < 0.06", bench, cov)
+		}
+	}
+}
+
+func TestAmmpMappingSensitivity(t *testing.T) {
+	// ammp's seven coarse-iteration loops: whether a 2-iteration block
+	// lands on a fast or slow core changes the critical path, so across
+	// enough runs the runtimes are bimodal — the paper's "the mapping
+	// library ... could easily map them in a different order".
+	s := sample(t, New(Options{Benchmark: "ammp"}), "2f-2s/8", 12)
+	if ratio := s.Max() / s.Min(); ratio < 1.3 {
+		t.Fatalf("ammp runtime spread %.2fx, want bimodal (> 1.3x): [%v, %v]", ratio, s.Min(), s.Max())
+	}
+	swim := sample(t, New(Options{Benchmark: "swim"}), "2f-2s/8", 12)
+	if s.CoV() <= swim.CoV() {
+		t.Fatalf("ammp CoV %.4f should exceed swim CoV %.4f", s.CoV(), swim.CoV())
+	}
+}
+
+func TestGalgelNowaitHelps(t *testing.T) {
+	// galgel's guided+nowait hot loops let fast cores run ahead, so its
+	// asymmetric slowdown (relative to its own 4f-0s time) is smaller
+	// than a fully static peer's.
+	rel := func(bench string) float64 {
+		b := New(Options{Benchmark: bench})
+		return runOnce(t, b, "2f-2s/8", 3) / runOnce(t, b, "4f-0s", 3)
+	}
+	if g, s := rel("galgel"), rel("swim"); g >= s {
+		t.Fatalf("galgel relative slowdown %.2f should beat swim's %.2f", g, s)
+	}
+}
+
+func TestDynamicRewriteRestoresScalability(t *testing.T) {
+	// Figure 8(b): with all loops dynamic, 2f-2s/8 lands near 4f-0s and
+	// clearly beats the midpoint of 4f-0s and 0f-4s/8.
+	for _, bench := range []string{"swim", "applu"} {
+		b := New(Options{Benchmark: bench, ForceDynamic: true})
+		fast := runOnce(t, b, "4f-0s", 1)
+		asym := runOnce(t, b, "2f-2s/8", 1)
+		allSlow := runOnce(t, b, "0f-4s/8", 1)
+		mid := (fast + allSlow) / 2
+		if asym >= mid {
+			t.Errorf("%s dynamic: 2f-2s/8 (%.1fs) should beat midpoint (%.1fs)", bench, asym, mid)
+		}
+		if asym > 2.2*fast {
+			t.Errorf("%s dynamic: 2f-2s/8 (%.1fs) should be near 4f-0s (%.1fs)", bench, asym, fast)
+		}
+	}
+}
+
+func TestDynamicRewriteCostsAbsolutePerformance(t *testing.T) {
+	// The paper's modified sources run slower in absolute terms.
+	b := New(Options{Benchmark: "swim"})
+	bd := New(Options{Benchmark: "swim", ForceDynamic: true})
+	if orig, dyn := runOnce(t, b, "4f-0s", 1), runOnce(t, bd, "4f-0s", 1); dyn <= orig {
+		t.Fatalf("untuned dynamic rewrite (%.1fs) should cost vs original (%.1fs)", dyn, orig)
+	}
+}
+
+func TestDynamicStable(t *testing.T) {
+	b := New(Options{Benchmark: "ammp", ForceDynamic: true})
+	if cov := sample(t, b, "2f-2s/8", 4).CoV(); cov > 0.05 {
+		t.Fatalf("dynamic ammp CoV %.4f, want < 0.05", cov)
+	}
+}
+
+func TestMemoryBoundLosesLess(t *testing.T) {
+	// swim (60% memory) must lose less than wupwise (25% memory) when
+	// every core drops to 1/8 duty.
+	rel := func(bench string) float64 {
+		b := New(Options{Benchmark: bench})
+		return runOnce(t, b, "0f-4s/8", 1) / runOnce(t, b, "4f-0s", 1)
+	}
+	if swim, wup := rel("swim"), rel("wupwise"); swim >= wup {
+		t.Fatalf("memory-bound swim ratio %.2f should be below wupwise %.2f", swim, wup)
+	}
+}
+
+func TestThreadsOverride(t *testing.T) {
+	b := New(Options{Benchmark: "swim", Threads: 2})
+	two := runOnce(t, b, "4f-0s", 1)
+	four := runOnce(t, New(Options{Benchmark: "swim"}), "4f-0s", 1)
+	if two <= four {
+		t.Fatalf("2 threads (%.1fs) should be slower than 4 (%.1fs)", two, four)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	b := New(Options{Benchmark: "mgrid"})
+	if a, c := runOnce(t, b, "2f-2s/8", 5), runOnce(t, b, "2f-2s/8", 5); a != c {
+		t.Fatalf("same seed: %v vs %v", a, c)
+	}
+}

@@ -1,0 +1,137 @@
+package omp
+
+import (
+	"sort"
+
+	"asmp/internal/workload"
+)
+
+// The benchmark profiles below describe the ten SPEC OMPM2001 programs
+// the paper runs (gafort is excluded there too, for compilation
+// problems). Region counts, scheduling modes and the nowait structure
+// follow the paper's §3.5 discussion — most loops statically scheduled;
+// galgel with 30 short regions of which the three hottest carry nowait
+// and guided scheduling; ammp with seven large tasks of only a handful
+// of coarse iterations each. Iteration costs and memory fractions are
+// synthetic but chosen so the suite's relative runtimes and its
+// memory-bound character (swim, mgrid, art) resemble the published
+// medium-input behaviour.
+
+// regions is shorthand for n identical regions.
+func regions(n string, count, iters int, cyclesPerIter, memFrac float64) []Region {
+	out := make([]Region, count)
+	for i := range out {
+		out[i] = Region{
+			Name:          n,
+			Iters:         iters,
+			CyclesPerIter: cyclesPerIter,
+			Schedule:      Static,
+			MemFraction:   memFrac,
+		}
+	}
+	return out
+}
+
+var profiles = map[string]Profile{
+	"wupwise": {
+		Name:              "wupwise",
+		Repeats:           40,
+		SerialCycles:      12e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("zgemm", 4, 512, 1.4e6, 0.25),
+	},
+	"swim": {
+		Name:              "swim",
+		Repeats:           50,
+		SerialCycles:      10e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("calc", 3, 512, 1.8e6, 0.60),
+	},
+	"mgrid": {
+		Name:              "mgrid",
+		Repeats:           40,
+		SerialCycles:      10e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("resid", 5, 256, 2.2e6, 0.55),
+	},
+	"applu": {
+		Name:              "applu",
+		Repeats:           35,
+		SerialCycles:      20e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("ssor", 5, 200, 2.6e6, 0.35),
+	},
+	"galgel": {
+		Name:              "galgel",
+		Repeats:           30,
+		SerialCycles:      12e6,
+		SerialMemFraction: 0.4,
+		Regions: append(
+			// Three hot regions: guided, nowait, as the paper observes.
+			[]Region{
+				{Name: "syshtn", Iters: 256, CyclesPerIter: 1.2e6, Schedule: Guided, NoWait: true, MemFraction: 0.2},
+				{Name: "sysnsn", Iters: 256, CyclesPerIter: 1.2e6, Schedule: Guided, NoWait: true, MemFraction: 0.2},
+				{Name: "grsum", Iters: 256, CyclesPerIter: 1.2e6, Schedule: Guided, NoWait: true, MemFraction: 0.2},
+			},
+			regions("short", 27, 48, 0.4e6, 0.2)...,
+		),
+	},
+	"equake": {
+		Name:              "equake",
+		Repeats:           50,
+		SerialCycles:      15e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("smvp", 3, 384, 1.5e6, 0.45),
+	},
+	"apsi": {
+		Name:              "apsi",
+		Repeats:           30,
+		SerialCycles:      12e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("dctdx", 6, 256, 1.6e6, 0.30),
+	},
+	"fma3d": {
+		Name:              "fma3d",
+		Repeats:           25,
+		SerialCycles:      20e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("platq", 8, 300, 1.8e6, 0.30),
+	},
+	"art": {
+		Name:              "art",
+		Repeats:           40,
+		SerialCycles:      10e6,
+		SerialMemFraction: 0.4,
+		Regions:           regions("match", 2, 500, 3.5e6, 0.50),
+	},
+	"ammp": {
+		Name:              "ammp",
+		Repeats:           20,
+		SerialCycles:      10e6,
+		SerialMemFraction: 0.4,
+		// Seven large parallel tasks, each a for-loop over only six
+		// coarse iterations: static division gives two iterations to two
+		// threads and one to the others, so which *cores* those threads
+		// sit on changes the critical path run to run.
+		Regions: regions("mm_fv_update", 7, 6, 70e6, 0.30),
+	},
+}
+
+// Benchmarks lists the available SPEC OMP programs in sorted order.
+func Benchmarks() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	for _, name := range Benchmarks() {
+		name := name
+		workload.Register("omp-"+name, func() workload.Workload {
+			return New(Options{Benchmark: name})
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package omp
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/workload"
+)
+
+// runCustom executes a single-profile program built on the fly, giving
+// the runtime tests precise control over region structure.
+func runCustom(t *testing.T, pf Profile, cfgName string, seed uint64) float64 {
+	t.Helper()
+	// Temporarily register the custom profile under a unique name.
+	name := fmt.Sprintf("custom-%s-%d", t.Name(), seed)
+	profiles[name] = pf
+	t.Cleanup(func() { delete(profiles, name) })
+	pf.Name = name
+	profiles[name] = pf
+
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(sched.PolicyNaive), seed)
+	defer pl.Close()
+	return New(Options{Benchmark: name}).Run(pl).Value
+}
+
+// TestStaticBlockPartitionProperty: for any iteration and thread counts,
+// static blocks are contiguous, disjoint and cover [0, iters).
+func TestStaticBlockPartitionProperty(t *testing.T) {
+	f := func(itersRaw uint16, threadsRaw uint8) bool {
+		iters := int(itersRaw%1000) + 1
+		nthreads := int(threadsRaw%8) + 1
+		covered := 0
+		prevHi := 0
+		for tid := 0; tid < nthreads; tid++ {
+			lo := tid * iters / nthreads
+			hi := (tid + 1) * iters / nthreads
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == iters && prevHi == iters
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedSharePartitionProperty: weighted shares are non-negative
+// and sum exactly to the iteration count for any speeds/mem mix.
+func TestWeightedSharePartitionProperty(t *testing.T) {
+	f := func(itersRaw uint16, speedsRaw [4]uint8, memRaw uint8) bool {
+		iters := int(itersRaw%2000) + 1
+		speeds := make([]float64, 4)
+		for i, v := range speedsRaw {
+			speeds[i] = (float64(v%8) + 1) / 8
+		}
+		r := Region{Iters: iters, CyclesPerIter: 1e6, MemFraction: float64(memRaw%100) / 100}
+		total := 0
+		for tid := 0; tid < 4; tid++ {
+			n := weightedShare(speeds, tid, 4, r)
+			if n < 0 {
+				return false
+			}
+			total += n
+		}
+		return total == iters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGuidedChunksShrink: guided scheduling hands out decreasing chunk
+// sizes; a single thread draining a loop alone must see a strictly
+// non-increasing chunk sequence ending at the minimum chunk.
+func TestGuidedChunksShrink(t *testing.T) {
+	// Reproduce the runtime's guided arithmetic directly.
+	const iters = 1000
+	const nthreads = 4
+	next := 0
+	prev := 1 << 30
+	for next < iters {
+		remaining := iters - next
+		n := remaining / (2 * nthreads)
+		if n < 1 {
+			n = 1
+		}
+		if n > remaining {
+			n = remaining
+		}
+		if n > prev {
+			t.Fatalf("guided chunk grew: %d after %d", n, prev)
+		}
+		prev = n
+		next += n
+	}
+	if next != iters {
+		t.Fatalf("guided covered %d of %d", next, iters)
+	}
+}
+
+// TestNowaitLetsThreadsRunAhead: with nowait on the first region, a fast
+// thread must be able to enter the second region before slow threads
+// finish the first. Observable consequence: total runtime on an
+// asymmetric machine is lower than with the barrier.
+func TestNowaitLetsThreadsRunAhead(t *testing.T) {
+	base := Profile{
+		Repeats: 6,
+		Regions: []Region{
+			{Name: "a", Iters: 64, CyclesPerIter: 2e6, Schedule: Guided},
+			{Name: "b", Iters: 64, CyclesPerIter: 2e6, Schedule: Guided},
+		},
+	}
+	withWait := runCustom(t, base, "2f-2s/8", 1)
+	nowait := base
+	nowait.Regions = append([]Region(nil), base.Regions...)
+	nowait.Regions[0].NoWait = true
+	nowait.Regions[1].NoWait = true
+	withNowait := runCustom(t, nowait, "2f-2s/8", 1)
+	if withNowait >= withWait {
+		t.Fatalf("nowait (%.2fs) should beat barriers (%.2fs) on an asymmetric machine", withNowait, withWait)
+	}
+}
+
+// TestDynamicSelfBalances: a dynamic loop's runtime on 2f-2s/8
+// approaches work/capacity, far from the static barrier bound.
+func TestDynamicSelfBalances(t *testing.T) {
+	pf := Profile{
+		Repeats: 4,
+		Regions: []Region{{Name: "d", Iters: 512, CyclesPerIter: 2e6, Schedule: Dynamic, Chunk: 8}},
+	}
+	got := runCustom(t, pf, "2f-2s/8", 1)
+	work := pf.TotalWork() / cpu.BaseHz // fast-core seconds
+	ideal := work / 2.25
+	staticBound := work / 4 * 8 // each thread's equal share on a 1/8 core
+	if got > ideal*1.3 {
+		t.Fatalf("dynamic runtime %.2fs too far from ideal %.2fs", got, ideal)
+	}
+	if got > staticBound {
+		t.Fatalf("dynamic runtime %.2fs worse than static bound %.2fs", got, staticBound)
+	}
+}
+
+// TestDispatchOverheadCharged: tiny chunks on a big loop must cost
+// measurably more than big chunks.
+func TestDispatchOverheadCharged(t *testing.T) {
+	mk := func(chunk int) Profile {
+		return Profile{
+			Repeats: 2,
+			Regions: []Region{{Name: "d", Iters: 4096, CyclesPerIter: 0.1e6, Schedule: Dynamic, Chunk: chunk}},
+		}
+	}
+	small := runCustom(t, mk(1), "4f-0s", 1)
+	big := runCustom(t, mk(256), "4f-0s", 1)
+	// chunk=1 pays DispatchCycles (50k) per 100k-cycle iteration; some
+	// of the difference is hidden by barrier tails, so require >= 15%.
+	if small <= big*1.15 {
+		t.Fatalf("chunk=1 (%.3fs) should pay visible dispatch overhead vs chunk=256 (%.3fs)", small, big)
+	}
+}
+
+// TestStaticGatingWhenPinned: under the asymmetry-aware rewrite threads
+// are pinned one per core, so a deliberately *unweighted* static region
+// (reconstructed via equal speeds) is exactly gated by the slow core.
+// Here we use the plain benchmark on a machine with no fast cores, where
+// every placement is equivalent: runtime must equal the serialized
+// bound exactly.
+func TestStaticGatingDeterministicOnUniformMachine(t *testing.T) {
+	pf := Profile{
+		Repeats: 5,
+		Regions: []Region{{Name: "s", Iters: 64, CyclesPerIter: 4e6, Schedule: Static}},
+	}
+	got := runCustom(t, pf, "0f-4s/8", 1)
+	// Every thread: 16 iters x 4e6 cycles on a 1/8-speed core, barriers
+	// between repeats add no time when all threads are equal. Random
+	// initial placement can collide two threads on one core until the
+	// balancer spreads them, so allow a transient above the bound.
+	want := 5 * 16.0 * 4e6 / (0.125 * cpu.BaseHz)
+	if got < want-1e-6 || got > want*1.15 {
+		t.Fatalf("uniform-machine runtime %.4fs, want [%.4f, %.4f]", got, want, want*1.15)
+	}
+}
+
+// TestProfilesWellFormed sanity-checks every shipped benchmark profile.
+func TestProfilesWellFormed(t *testing.T) {
+	for name, pf := range profiles {
+		if pf.Name != name {
+			t.Errorf("%s: profile name mismatch %q", name, pf.Name)
+		}
+		if pf.Repeats <= 0 || len(pf.Regions) == 0 {
+			t.Errorf("%s: empty profile", name)
+		}
+		for _, r := range pf.Regions {
+			if r.Iters <= 0 || r.CyclesPerIter <= 0 {
+				t.Errorf("%s/%s: bad region", name, r.Name)
+			}
+			if r.MemFraction < 0 || r.MemFraction >= 1 {
+				t.Errorf("%s/%s: bad MemFraction", name, r.Name)
+			}
+		}
+		if pf.TotalWork() <= 0 {
+			t.Errorf("%s: no work", name)
+		}
+	}
+}
+
+// TestThreadsExceedCores: more threads than cores must still complete
+// and not beat the capacity bound.
+func TestThreadsExceedCores(t *testing.T) {
+	pl := workload.NewPlatform(cpu.MustParseConfig("2f-2s/8"), sched.Defaults(sched.PolicyNaive), 1)
+	defer pl.Close()
+	b := New(Options{Benchmark: "equake", Threads: 8})
+	got := b.Run(pl).Value
+	if got <= 0 {
+		t.Fatal("no runtime")
+	}
+	lower := b.Profile().TotalWork() * (1 - 0.45) / (2.25 * cpu.BaseHz) // compute part only
+	if got < lower {
+		t.Fatalf("runtime %.2fs beats capacity bound %.2fs", got, lower)
+	}
+}

@@ -1,0 +1,113 @@
+package pmake
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+)
+
+func runOnce(t *testing.T, b *Benchmark, cfgName string, seed uint64) workload.Result {
+	t.Helper()
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(sched.PolicyNaive), seed)
+	defer pl.Close()
+	return b.Run(pl)
+}
+
+func sample(t *testing.T, b *Benchmark, cfgName string, runs int) *stats.Sample {
+	t.Helper()
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(runOnce(t, b, cfgName, uint64(80+i)).Value)
+	}
+	return s
+}
+
+func TestDefaultsAndRegistry(t *testing.T) {
+	b := New(Options{})
+	o := b.Options()
+	if o.Files == 0 || o.LinkCycles == 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if b.Name() != "pmake" {
+		t.Fatal("name")
+	}
+	if _, err := workload.New("pmake"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	b := New(Options{})
+	if b.fileCost(5) != b.fileCost(5) {
+		t.Fatal("file cost not deterministic")
+	}
+	if b.fileCost(5) == b.fileCost(6) {
+		t.Fatal("files should differ in cost")
+	}
+}
+
+func TestStableAcrossRuns(t *testing.T) {
+	// Figure 9(b): stable on every configuration.
+	b := New(Options{})
+	for _, cfg := range []string{"4f-0s", "2f-2s/8", "1f-3s/4"} {
+		// A little tail noise is inherent to dynamic job dispatch; the
+		// paper's "stable" bars would not resolve below a few percent.
+		if cov := sample(t, b, cfg, 3).CoV(); cov > 0.035 {
+			t.Errorf("%s CoV %.4f, want < 0.035", cfg, cov)
+		}
+	}
+}
+
+func TestScalable(t *testing.T) {
+	b := New(Options{})
+	prev := 0.0
+	for _, cfg := range []string{"4f-0s", "2f-2s/4", "1f-3s/8", "0f-4s/8"} {
+		v := sample(t, b, cfg, 1).Mean()
+		if v <= prev {
+			t.Fatalf("build time should grow as power shrinks: %s gave %.2f after %.2f", cfg, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFastCoreHelpsSerialPortions(t *testing.T) {
+	// §3.7: one fast processor significantly improves performance over
+	// all-slow systems because it can serve the serial head and tail.
+	b := New(Options{})
+	oneFast := sample(t, b, "1f-3s/8", 1).Mean()
+	allSlow := sample(t, b, "0f-4s/4", 1).Mean()
+	if oneFast >= allSlow {
+		t.Fatalf("1f-3s/8 (%.2fs) should beat 0f-4s/4 (%.2fs)", oneFast, allSlow)
+	}
+}
+
+func TestAsymmetricBeatsMidpoint(t *testing.T) {
+	// Summary point 3: 2f-2s/8 does better than the midpoint of 4f-0s
+	// and 0f-4s/8.
+	b := New(Options{})
+	fast := sample(t, b, "4f-0s", 1).Mean()
+	asym := sample(t, b, "2f-2s/8", 1).Mean()
+	slow := sample(t, b, "0f-4s/8", 1).Mean()
+	if mid := (fast + slow) / 2; asym >= mid {
+		t.Fatalf("2f-2s/8 (%.2fs) should beat the midpoint (%.2fs)", asym, mid)
+	}
+}
+
+func TestJobsOverride(t *testing.T) {
+	// make -j1 on a 4-way machine must be slower than -j4.
+	j1 := runOnce(t, New(Options{Jobs: 1}), "4f-0s", 1).Value
+	j4 := runOnce(t, New(Options{}), "4f-0s", 1).Value
+	if j1 <= 2*j4 {
+		t.Fatalf("-j1 (%.2fs) should be far slower than -j4 (%.2fs)", j1, j4)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	b := New(Options{})
+	if a, c := runOnce(t, b, "3f-1s/4", 9).Value, runOnce(t, b, "3f-1s/4", 9).Value; a != c {
+		t.Fatalf("same seed: %v vs %v", a, c)
+	}
+}

@@ -1,0 +1,156 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"asmp/internal/sched"
+)
+
+// TestFragmentCountByOptimization: aggressive optimization fuses
+// operators into fewer fragments.
+func TestFragmentCountByOptimization(t *testing.T) {
+	if New(Options{Optimization: 7}).Options().fragmentCount() >=
+		New(Options{Optimization: 2}).Options().fragmentCount() {
+		t.Fatal("opt-7 plans should have fewer fragments than opt-2 plans")
+	}
+	b := New(Options{Optimization: 7})
+	if got := len(b.fragmentShares(1)); got != b.Options().fragmentCount() {
+		t.Fatalf("shares length %d != fragmentCount %d", got, b.Options().fragmentCount())
+	}
+}
+
+// TestFragmentSharesNormalised: shares are a probability distribution.
+func TestFragmentSharesNormalised(t *testing.T) {
+	for _, opt := range []int{1, 2, 5, 7} {
+		b := New(Options{Optimization: opt})
+		for q := 1; q <= NumQueries; q++ {
+			sum := 0.0
+			for _, s := range b.fragmentShares(q) {
+				if s < 0 {
+					t.Fatalf("opt %d q %d: negative share", opt, q)
+				}
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("opt %d q %d: shares sum to %v", opt, q, sum)
+			}
+		}
+	}
+}
+
+// TestRunCorrelationAcrossQueries: the coordinator and agent bindings
+// are per-run, so per-query runtimes within one run move together —
+// a run that is slow on query 1 is slow on query 18 too. Verified via
+// the correlation of per-query extras across runs.
+func TestRunCorrelationAcrossQueries(t *testing.T) {
+	b := New(Options{})
+	var total, q01, q18 []float64
+	for seed := uint64(0); seed < 12; seed++ {
+		res := runOnce(t, b, "2f-2s/8", sched.PolicyNaive, 200+seed)
+		total = append(total, res.Value)
+		q01 = append(q01, res.Extra("query_01_s"))
+		q18 = append(q18, res.Extra("query_18_s"))
+	}
+	// The runs are bimodal (coordinator on a fast vs slow core), so test
+	// cluster membership directly: every query must be slower in the
+	// slow-total cluster than in the fast-total cluster, on average.
+	tMin, tMax := total[0], total[0]
+	for _, v := range total {
+		if v < tMin {
+			tMin = v
+		}
+		if v > tMax {
+			tMax = v
+		}
+	}
+	mid := (tMin + tMax) / 2
+	clusterMeans := func(q []float64) (fast, slow float64) {
+		nf, ns := 0, 0
+		for i, v := range q {
+			if total[i] < mid {
+				fast += v
+				nf++
+			} else {
+				slow += v
+				ns++
+			}
+		}
+		if nf == 0 || ns == 0 {
+			t.Skip("all runs fell in one cluster for this seed lane")
+		}
+		return fast / float64(nf), slow / float64(ns)
+	}
+	for name, q := range map[string][]float64{"q01": q01, "q18": q18} {
+		f, sl := clusterMeans(q)
+		if sl <= f {
+			t.Fatalf("%s should be slower in slow-coordinator runs: fast-cluster %.3f vs slow-cluster %.3f", name, f, sl)
+		}
+	}
+}
+
+// TestSymmetricRunsUncorrelatedNoise: on a symmetric machine the same
+// correlation collapses toward noise (bindings are irrelevant there).
+func TestSymmetricNoiseFloor(t *testing.T) {
+	b := New(Options{})
+	s := sample(t, b, "0f-4s/4", sched.PolicyNaive, 6)
+	if cov := s.CoV(); cov > 0.02 {
+		t.Fatalf("symmetric power-run CoV %.4f above the noise floor", cov)
+	}
+}
+
+// TestMemFractionSoftensSlowdown: a compute-only configuration slows the
+// full 8x on 1/8 cores; the default memory share softens it to ~4.15x.
+func TestMemFractionSoftensSlowdown(t *testing.T) {
+	compute := New(Options{MemFraction: 1e-9})
+	def := New(Options{})
+	rc := runOnce(t, compute, "0f-4s/8", sched.PolicyNaive, 1).Value /
+		runOnce(t, compute, "4f-0s", sched.PolicyNaive, 1).Value
+	rd := runOnce(t, def, "0f-4s/8", sched.PolicyNaive, 1).Value /
+		runOnce(t, def, "4f-0s", sched.PolicyNaive, 1).Value
+	if rc < 7.5 || rc > 8.5 {
+		t.Fatalf("compute-only slowdown %.2f, want ~8", rc)
+	}
+	if rd > rc-2 {
+		t.Fatalf("memory share should soften the slowdown: %.2f vs %.2f", rd, rc)
+	}
+}
+
+// TestQueryWeightsShape: the heavy queries (1, 9, 18, 21) must actually
+// be the heavy ones in the model.
+func TestQueryWeightsShape(t *testing.T) {
+	if len(queryWeights) != NumQueries {
+		t.Fatalf("weights for %d queries", len(queryWeights))
+	}
+	heavy := map[int]bool{1: true, 9: true, 18: true, 21: true}
+	for q := 1; q <= NumQueries; q++ {
+		w := queryWeights[q-1]
+		if heavy[q] && w < 2.0 {
+			t.Errorf("query %d should be heavy, weight %v", q, w)
+		}
+		if !heavy[q] && w >= 2.0 {
+			t.Errorf("query %d should be light, weight %v", q, w)
+		}
+	}
+}
+
+// TestPowerRunSumsQueries: the power-run runtime equals the sum of the
+// per-query runtimes (serial execution).
+func TestPowerRunSumsQueries(t *testing.T) {
+	b := New(Options{})
+	res := runOnce(t, b, "3f-1s/4", sched.PolicyNaive, 5)
+	sum := 0.0
+	for q := 1; q <= NumQueries; q++ {
+		sum += res.Extra(queryKey(q))
+	}
+	if math.Abs(sum-res.Value) > 1e-6 {
+		t.Fatalf("sum of queries %.4f != power run %.4f", sum, res.Value)
+	}
+}
+
+func queryKey(q int) string {
+	if q < 10 {
+		return "query_0" + string(rune('0'+q)) + "_s"
+	}
+	return "query_" + string(rune('0'+q/10)) + string(rune('0'+q%10)) + "_s"
+}

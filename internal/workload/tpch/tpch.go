@@ -1,0 +1,310 @@
+// Package tpch models the TPC-H power run on a DB2-style database server
+// (§3.3 of the paper): 22 decision-support queries executed serially by
+// a single user, each parallelised into sub-queries according to the
+// server's intra-query parallelization degree and shaped by its
+// optimization degree.
+//
+// Two properties of DB2 drive the paper's findings and are modelled
+// directly:
+//
+//   - The server binds its own worker processes to processors and
+//     dispatches query fragments onto them itself, so the kernel
+//     scheduler — aware or not — cannot rebalance a query. This is why
+//     the paper's kernel fix was ineffective for TPC-H.
+//
+//   - The query plan is deterministic for a given (query, optimization
+//     degree): a highly optimised plan has skewed fragments (specialised
+//     operators), while a low-degree plan is uniform but does more total
+//     work. Which *fragment* lands on which *core* varies run to run
+//     with the server's dispatch order. Skewed fragments on unequal
+//     cores make the critical path placement-dependent — the instability
+//     of Figures 4 and 5 — while uniform fragments are insensitive to
+//     placement, which is why lowering the optimization degree restored
+//     stability at the cost of raw speed.
+package tpch
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+	"asmp/internal/xrand"
+)
+
+// NumQueries is the TPC-H query count.
+const NumQueries = 22
+
+// queryWeights are the relative base costs of queries 1..22 (index 0 is
+// query 1). They loosely follow the published relative runtimes of the
+// suite: a few heavy queries (1, 9, 18, 21) and many light ones.
+var queryWeights = []float64{
+	3.0, 0.4, 1.2, 0.8, 1.1, 0.5, 1.0, 1.1, 2.6, 1.0, 0.6,
+	0.9, 1.4, 0.7, 0.8, 0.9, 1.3, 2.2, 1.0, 1.1, 2.4, 0.7,
+}
+
+// Options parameterises a TPC-H run.
+type Options struct {
+	// Parallelization is DB2's intra-query parallelization degree: the
+	// number of sub-queries each query splits into (the paper uses 1, 4
+	// and 8).
+	Parallelization int
+	// Optimization is DB2's query optimization degree, 1..7. Higher
+	// degrees produce faster but more skewed plans.
+	Optimization int
+	// Queries restricts the power run to specific queries (1-based); nil
+	// runs all 22. Figure 4(b) uses Queries = []int{3}.
+	Queries []int
+	// BaseQueryCycles scales the whole suite: the cost of a weight-1.0
+	// query at optimization degree 7, in fast-core cycles.
+	BaseQueryCycles float64
+	// SerialFraction is the per-query share of work that cannot be
+	// parallelised (plan generation, final aggregation).
+	SerialFraction float64
+	// MemFraction is the share of query time stalled on the memory
+	// system. Decision-support scans are bandwidth-bound, and the
+	// paper's duty-cycle modulation does not slow memory, so this
+	// portion costs the same on every core.
+	MemFraction float64
+	// CostCV is the small run-to-run execution-cost noise (buffer-pool
+	// and I/O state). On a symmetric machine it averages out; on an
+	// asymmetric machine it perturbs which bound agent pulls the large
+	// tail fragments, which amplifies it into the Figure-4 instability.
+	CostCV float64
+}
+
+// withDefaults fills unset fields with the study's standard values.
+func (o Options) withDefaults() Options {
+	if o.Parallelization == 0 {
+		o.Parallelization = 4
+	}
+	if o.Optimization == 0 {
+		o.Optimization = 7
+	}
+	if o.BaseQueryCycles == 0 {
+		o.BaseQueryCycles = 2.8e9 // one second on a fast core per weight unit
+	}
+	if o.SerialFraction == 0 {
+		// The serial share (plan generation, final aggregation) grows
+		// with the optimization degree: exhaustive join enumeration and
+		// aggressive aggregation strategies are coordinator work.
+		f := float64(o.Optimization-1) / 6
+		o.SerialFraction = 0.002 + 0.138*f*f
+	}
+	if o.MemFraction == 0 {
+		o.MemFraction = 0.55
+	}
+	if o.CostCV == 0 {
+		o.CostCV = 0.08
+	}
+	return o
+}
+
+// validate panics on nonsensical options.
+func (o Options) validate() {
+	if o.Parallelization < 1 {
+		panic("tpch: Parallelization must be >= 1")
+	}
+	if o.Optimization < 1 || o.Optimization > 7 {
+		panic("tpch: Optimization must be in 1..7")
+	}
+	if o.MemFraction < 0 || o.MemFraction >= 1 {
+		panic("tpch: MemFraction must be in [0, 1)")
+	}
+	for _, q := range o.Queries {
+		if q < 1 || q > NumQueries {
+			panic(fmt.Sprintf("tpch: query %d out of range", q))
+		}
+	}
+}
+
+// Benchmark is the TPC-H power-run workload.
+type Benchmark struct {
+	opt Options
+}
+
+// New returns a TPC-H workload with the given options.
+func New(opt Options) *Benchmark {
+	opt = opt.withDefaults()
+	opt.validate()
+	return &Benchmark{opt: opt}
+}
+
+// Name implements workload.Workload.
+func (b *Benchmark) Name() string { return "tpch" }
+
+// Options returns the resolved options.
+func (b *Benchmark) Options() Options { return b.opt }
+
+// planCost returns the total work of query q (1-based) at the configured
+// optimization degree. Lower degrees execute less aggressive plans: up to
+// 2.5x more work at degree 1.
+func (b *Benchmark) planCost(q int) float64 {
+	o := b.opt
+	slowdown := 1 + 1.8*float64(7-o.Optimization)/6
+	return queryWeights[q-1] * o.BaseQueryCycles * slowdown
+}
+
+// fragmentCount is how many plan fragments the optimizer produces for a
+// query: a property of the plan, independent of how many sub-agents
+// execute it. Aggressive optimization fuses operators into fewer, larger
+// (and more heterogeneous) fragments; low degrees leave many small
+// uniform pieces. Agents pull fragments on demand, so when the degree of
+// parallelism approaches the fragment count, the pull degenerates into a
+// static assignment and placement luck dominates — the reason Figure
+// 5(a)'s degree-8 runs vary more than degree-4 ones.
+func (o Options) fragmentCount() int {
+	return 12 + 8*(7-o.Optimization)
+}
+
+// fragmentShares returns the deterministic fragment-size distribution of
+// query q's plan (fragmentCount pieces). The plan depends only on
+// (query, optimization) — NOT on the run seed — which is what keeps
+// symmetric configurations stable. Higher optimization degrees produce
+// more skew.
+func (b *Benchmark) fragmentShares(q int) []float64 {
+	o := b.opt
+	// Skew grows superlinearly with the optimization degree (aggressive
+	// plans use specialised, unequal operators) and with the
+	// parallelization degree (finer decomposition exposes more
+	// heterogeneous fragments).
+	optFactor := float64(o.Optimization-1) / 6
+	skew := 0.9 * optFactor * optFactor
+	rng := xrand.New(uint64(q)<<8 | uint64(o.Optimization))
+	shares := make([]float64, o.fragmentCount())
+	total := 0.0
+	for i := range shares {
+		w := 1.0
+		if skew > 0 {
+			w = rng.LogNormal(1, skew)
+		}
+		shares[i] = w
+		total += w
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+	return shares
+}
+
+// QueryList returns the 1-based queries this run executes.
+func (b *Benchmark) QueryList() []int {
+	if len(b.opt.Queries) > 0 {
+		return append([]int(nil), b.opt.Queries...)
+	}
+	qs := make([]int, NumQueries)
+	for i := range qs {
+		qs[i] = i + 1
+	}
+	return qs
+}
+
+// work executes cost cycles of query work, splitting it into its
+// compute-bound and memory-bound parts.
+func (b *Benchmark) work(p *sim.Proc, cost float64) {
+	mf := b.opt.MemFraction
+	p.ComputeMem(cost*(1-mf), simtime.Duration(cost*mf/cpu.BaseHz))
+}
+
+// Run implements workload.Workload. The primary metric is the power-run
+// runtime in seconds (lower is better).
+func (b *Benchmark) Run(pl *workload.Platform) workload.Result {
+	o := b.opt
+	env := pl.Env
+	ncores := pl.Config.Fast + pl.Config.Slow
+
+	var finished simtime.Time
+	perQuery := map[int]float64{}
+
+	env.Go("db2-coordinator", func(p *sim.Proc) {
+		// The coordinator is a DB2 server process too, bound by the
+		// server at start-up to whichever processor its slot landed on.
+		// Its serial work (plan generation, final aggregation — heavy at
+		// high optimization degrees) therefore runs at one core's speed
+		// for the WHOLE power run: a slow-core coordinator drags all 22
+		// queries, the dominant source of Figure 4's run-to-run spread,
+		// and one no kernel policy can touch.
+		p.SetAffinity(sim.Single(p.Rand().Intn(ncores)))
+		// The sub-agent process pool is created and bound ONCE at server
+		// start: the first ncores agents cover every processor, surplus
+		// agents land wherever their process happened to be created.
+		// Because the pool outlives the power run, every query in the
+		// run sees the same agent-to-core pairing — a bad pairing drags
+		// the WHOLE run, which is why the paper's Figure 4(a) spreads are
+		// so wide.
+		agentCore := make([]int, o.Parallelization)
+		perm := p.Rand().Perm(ncores)
+		for i := range agentCore {
+			if i < ncores {
+				agentCore[i] = perm[i%ncores]
+			} else {
+				agentCore[i] = p.Rand().Intn(ncores)
+			}
+		}
+		for _, q := range b.QueryList() {
+			qStart := p.Now()
+			cost := b.planCost(q)
+			serial := cost * o.SerialFraction
+			parallel := cost - serial
+
+			// Plan generation and setup: serial work on the coordinator.
+			b.work(p, serial/2)
+
+			// DB2 executes the query with Parallelization sub-agent
+			// processes, each *bound by the server* to a processor. The
+			// agents pull plan fragments from a shared queue in plan
+			// order — which is why query runtime tracks total compute
+			// power. Execution costs carry a few percent of run-to-run
+			// noise (buffer-pool and I/O state); on equal cores it
+			// averages away, but on unequal cores it decides which core
+			// pulls the plan's large fragments, and a big fragment
+			// landing on a slow core gates the whole query. That
+			// amplification is the Figure-4 instability, and no kernel
+			// policy can touch it because the agents are bound.
+			shares := b.fragmentShares(q)
+			frags := sim.NewQueue[float64](env)
+			for _, share := range shares {
+				frags.Put(parallel * share * p.Rand().LogNormal(1, o.CostCV))
+			}
+			frags.Close()
+			wg := sim.NewWaitGroup(env)
+			wg.Add(o.Parallelization)
+			for i := 0; i < o.Parallelization; i++ {
+				core := agentCore[i]
+				env.Go(fmt.Sprintf("db2-agent-q%d-%d", q, i), func(p *sim.Proc) {
+					p.SetAffinity(sim.Single(core))
+					for {
+						frag, ok := frags.Get(p)
+						if !ok {
+							break
+						}
+						b.work(p, frag)
+					}
+					wg.Done()
+				})
+			}
+			wg.Wait(p)
+
+			// Final aggregation: serial again.
+			b.work(p, serial/2)
+			perQuery[q] = float64(p.Now() - qStart)
+		}
+		finished = p.Now()
+	})
+	env.Run()
+
+	res := workload.Result{
+		Metric:         "power-run runtime (s)",
+		Value:          float64(finished),
+		HigherIsBetter: false,
+	}
+	for q, t := range perQuery {
+		res.AddExtra(fmt.Sprintf("query_%02d_s", q), t)
+	}
+	return res
+}
+
+func init() {
+	workload.Register("tpch", func() workload.Workload { return New(Options{}) })
+}

@@ -1,0 +1,182 @@
+package tpch
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/stats"
+	"asmp/internal/workload"
+)
+
+func runOnce(t *testing.T, b *Benchmark, cfgName string, policy sched.Policy, seed uint64) workload.Result {
+	t.Helper()
+	pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(policy), seed)
+	defer pl.Close()
+	return b.Run(pl)
+}
+
+func sample(t *testing.T, b *Benchmark, cfgName string, policy sched.Policy, runs int) *stats.Sample {
+	t.Helper()
+	s := &stats.Sample{}
+	for i := 0; i < runs; i++ {
+		s.Add(runOnce(t, b, cfgName, policy, uint64(100+i)).Value)
+	}
+	return s
+}
+
+func TestDefaults(t *testing.T) {
+	b := New(Options{})
+	o := b.Options()
+	if o.Parallelization != 4 || o.Optimization != 7 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if b.Name() != "tpch" {
+		t.Fatal("name")
+	}
+	if len(b.QueryList()) != NumQueries {
+		t.Fatal("query list")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Options{
+		{Parallelization: -1},
+		{Optimization: 8},
+		{Queries: []int{0}},
+		{Queries: []int{23}},
+	}
+	for i, o := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("options %d did not panic", i)
+				}
+			}()
+			New(o)
+		}()
+	}
+}
+
+func TestQuerySubset(t *testing.T) {
+	b := New(Options{Queries: []int{3}})
+	if qs := b.QueryList(); len(qs) != 1 || qs[0] != 3 {
+		t.Fatalf("QueryList = %v", qs)
+	}
+	res := runOnce(t, b, "4f-0s", sched.PolicyNaive, 1)
+	if res.Value <= 0 {
+		t.Fatal("no runtime")
+	}
+	if res.Extra("query_03_s") <= 0 {
+		t.Fatal("per-query extra missing")
+	}
+}
+
+func TestPlanDeterministicAcrossRuns(t *testing.T) {
+	b := New(Options{})
+	a := b.fragmentShares(5)
+	c := b.fragmentShares(5)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("plan not deterministic")
+		}
+	}
+}
+
+func TestHigherOptimizationSkews(t *testing.T) {
+	spread := func(opt int) float64 {
+		b := New(Options{Optimization: opt})
+		s := stats.NewSample(b.fragmentShares(1)...)
+		for q := 2; q <= NumQueries; q++ {
+			s.AddAll(b.fragmentShares(q))
+		}
+		return s.CoV()
+	}
+	if spread(7) <= spread(2) {
+		t.Fatalf("opt 7 skew %.3f should exceed opt 2 skew %.3f", spread(7), spread(2))
+	}
+}
+
+func TestLowOptimizationSlower(t *testing.T) {
+	hi := New(Options{Optimization: 7})
+	lo := New(Options{Optimization: 2})
+	h := runOnce(t, hi, "4f-0s", sched.PolicyNaive, 1).Value
+	l := runOnce(t, lo, "4f-0s", sched.PolicyNaive, 1).Value
+	if l <= h*1.5 {
+		t.Fatalf("opt-2 runtime %.1f should be well above opt-7 %.1f", l, h)
+	}
+}
+
+func TestSymmetricStableAsymmetricUnstable(t *testing.T) {
+	b := New(Options{})
+	sym := sample(t, b, "0f-4s/8", sched.PolicyNaive, 4)
+	asym := sample(t, b, "2f-2s/8", sched.PolicyNaive, 6)
+	if cov := sym.CoV(); cov > 0.02 {
+		t.Fatalf("symmetric CoV = %.4f, want < 0.02", cov)
+	}
+	if cov := asym.CoV(); cov < 0.05 {
+		t.Fatalf("asymmetric CoV = %.4f, want > 0.05 (Figure 4 instability)", cov)
+	}
+}
+
+func TestKernelFixIneffective(t *testing.T) {
+	// The paper: DB2 binds its own processes, so the asymmetry-aware
+	// kernel does not remove the instability.
+	b := New(Options{})
+	aware := sample(t, b, "2f-2s/8", sched.PolicyAsymmetryAware, 6)
+	if cov := aware.CoV(); cov < 0.05 {
+		t.Fatalf("aware-kernel CoV = %.4f; binding should defeat the kernel fix", cov)
+	}
+}
+
+func TestHigherParallelizationMoreVariance(t *testing.T) {
+	p4 := New(Options{Parallelization: 4})
+	p8 := New(Options{Parallelization: 8})
+	v4 := sample(t, p4, "2f-2s/8", sched.PolicyNaive, 8).CoV()
+	v8 := sample(t, p8, "2f-2s/8", sched.PolicyNaive, 8).CoV()
+	if v8 <= v4 {
+		t.Fatalf("Figure 5(a): par-8 CoV %.4f should exceed par-4 CoV %.4f", v8, v4)
+	}
+}
+
+func TestLowOptimizationStable(t *testing.T) {
+	// Figure 5(b): dropping the optimization degree removes most of the
+	// instability.
+	hi := sample(t, New(Options{Optimization: 7}), "2f-2s/8", sched.PolicyNaive, 6).CoV()
+	lo := sample(t, New(Options{Optimization: 2}), "2f-2s/8", sched.PolicyNaive, 6).CoV()
+	if lo >= hi/2 {
+		t.Fatalf("opt-2 CoV %.4f should be far below opt-7 CoV %.4f", lo, hi)
+	}
+}
+
+func TestNoParallelizationBimodal(t *testing.T) {
+	// §3.3.1: with intra-query parallelization off, a query shows two
+	// distinct runtimes — fast-core or slow-core execution.
+	b := New(Options{Parallelization: 1, Queries: []int{3}})
+	s := sample(t, b, "1f-3s/8", sched.PolicyNaive, 12)
+	if s.Max() < 3*s.Min() {
+		t.Fatalf("expected bimodal runtimes, got [%v, %v]", s.Min(), s.Max())
+	}
+}
+
+func TestScalesWithComputePower(t *testing.T) {
+	// With the default 55% memory-bound share, a 1/8-duty core slows
+	// queries by 0.45*8 + 0.55 = 4.15x, not 8x — duty-cycle modulation
+	// does not touch the memory system.
+	b := New(Options{})
+	fast := sample(t, b, "4f-0s", sched.PolicyNaive, 1).Mean()
+	slow := sample(t, b, "0f-4s/8", sched.PolicyNaive, 1).Mean()
+	if ratio := slow / fast; ratio < 3.5 || ratio > 5 {
+		t.Fatalf("0f-4s/8 vs 4f-0s runtime ratio %.2f, want ~4.15", ratio)
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	w, err := workload.New("tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "tpch" {
+		t.Fatal("registry")
+	}
+}

@@ -1,0 +1,153 @@
+package web
+
+import (
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/simtime"
+	"asmp/internal/trace"
+	"asmp/internal/workload"
+)
+
+// TestZeusProcessesBindDistinctCores: with as many event loops as cores,
+// Zeus must cover every core exactly once (a permutation, not a random
+// draw with collisions) — that is what keeps symmetric machines stable.
+func TestZeusProcessesBindDistinctCores(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		pl := workload.NewPlatform(cpu.MustParseConfig("4f-0s"), sched.Defaults(sched.PolicyNaive), seed)
+		buf := trace.New(1 << 16)
+		pl.Sched.SetTracer(buf)
+		b := New(Options{Server: Zeus, Load: LightLoad, Workers: 4,
+			RampUp: 0.2 * simtime.Second, Window: 0.5 * simtime.Second})
+		b.Run(pl)
+		// Each zeus process must have dispatched on exactly one core.
+		coreOf := map[string]map[int]bool{}
+		for _, e := range buf.Events() {
+			if e.Kind != trace.Dispatch {
+				continue
+			}
+			if len(e.ProcName) >= 4 && e.ProcName[:4] == "zeus" {
+				if coreOf[e.ProcName] == nil {
+					coreOf[e.ProcName] = map[int]bool{}
+				}
+				coreOf[e.ProcName][e.Core] = true
+			}
+		}
+		used := map[int]bool{}
+		for name, cores := range coreOf {
+			if len(cores) != 1 {
+				t.Fatalf("seed %d: %s ran on %d cores", seed, name, len(cores))
+			}
+			for c := range cores {
+				if used[c] {
+					t.Fatalf("seed %d: two zeus processes on core %d", seed, c)
+				}
+				used[c] = true
+			}
+		}
+		if len(coreOf) != 4 {
+			t.Fatalf("seed %d: %d zeus processes dispatched, want 4", seed, len(coreOf))
+		}
+		pl.Close()
+	}
+}
+
+// TestApacheRecyclingForkCount: with MaxRequestsPerChild=n, the fork
+// count must roughly equal completed-requests/n (minus the initial pool
+// and refill-lag losses).
+func TestApacheRecyclingForkCount(t *testing.T) {
+	pl := workload.NewPlatform(cpu.MustParseConfig("4f-0s"), sched.Defaults(sched.PolicyNaive), 1)
+	defer pl.Close()
+	b := New(Options{Server: Apache, Load: LightLoad, MaxRequestsPerChild: 200})
+	res := b.Run(pl)
+	total := res.Value * float64(b.Options().Window)
+	forks := res.Extra("forks")
+	expect := total / 200
+	if forks < expect*0.5 || forks > expect*1.3 {
+		t.Fatalf("forks %.0f, expected near %.0f for %d requests", forks, expect, int(total))
+	}
+}
+
+// TestNoRecyclingNoForks: at the default 5000-request budget a short run
+// recycles almost nobody.
+func TestNoRecyclingNoForks(t *testing.T) {
+	pl := workload.NewPlatform(cpu.MustParseConfig("0f-4s/8"), sched.Defaults(sched.PolicyNaive), 1)
+	defer pl.Close()
+	b := New(Options{Server: Apache, Load: LightLoad})
+	res := b.Run(pl)
+	if res.Extra("forks") > 3 {
+		t.Fatalf("unexpected forks: %v", res.Extra("forks"))
+	}
+}
+
+// TestThinkTimeCapsLightLoad: under light load, throughput is bounded by
+// concurrency/think-time no matter how fast the machine is.
+func TestThinkTimeCapsLightLoad(t *testing.T) {
+	b := New(Options{Server: Apache, Load: LightLoad})
+	o := b.Options()
+	cap := float64(o.Concurrency) / float64(o.ThinkTime)
+	res := runOnce(t, b, "4f-0s", sched.PolicyNaive, 1)
+	if res.Value >= cap {
+		t.Fatalf("throughput %.0f at or above the think-time cap %.0f", res.Value, cap)
+	}
+	if res.Value < cap*0.75 {
+		t.Fatalf("throughput %.0f too far below the cap %.0f on an idle fast machine", res.Value, cap)
+	}
+}
+
+// TestHeavyLoadSaturates: under heavy load on a strong machine, busy
+// time approaches elapsed time on every core.
+func TestHeavyLoadSaturates(t *testing.T) {
+	pl := workload.NewPlatform(cpu.MustParseConfig("2f-2s/8"), sched.Defaults(sched.PolicyNaive), 1)
+	defer pl.Close()
+	b := New(Options{Server: Apache, Load: HeavyLoad})
+	b.Run(pl)
+	elapsed := float64(pl.Env.Now())
+	for i, busy := range pl.Sched.Stats().BusySeconds {
+		if busy < 0.9*elapsed {
+			t.Fatalf("core %d only %.0f%% busy under heavy load", i, 100*busy/elapsed)
+		}
+	}
+}
+
+// TestConcurrencyOverride: explicit Concurrency wins over the Load
+// preset.
+func TestConcurrencyOverride(t *testing.T) {
+	b := New(Options{Server: Apache, Load: HeavyLoad, Concurrency: 3})
+	if b.Options().Concurrency != 3 {
+		t.Fatalf("override lost: %d", b.Options().Concurrency)
+	}
+}
+
+// TestZeusClientPartitionRoundRobin: with 3 processes and 10 clients the
+// partition is (4, 3, 3) — deterministic, never rebalanced.
+func TestZeusClientPartition(t *testing.T) {
+	// Observable consequence: a single very unlucky binding cannot be
+	// fixed by adding runtime — throughput settles, it doesn't converge
+	// toward the symmetric value. Compare a short and long window on the
+	// same seed: the per-second rate must be stable.
+	short := New(Options{Server: Zeus, Load: LightLoad, Window: 2 * simtime.Second})
+	long := New(Options{Server: Zeus, Load: LightLoad, Window: 6 * simtime.Second})
+	a := runOnce(t, short, "2f-2s/8", sched.PolicyNaive, 44).Value
+	b := runOnce(t, long, "2f-2s/8", sched.PolicyNaive, 44).Value
+	if b < a*0.95 || b > a*1.05 {
+		t.Fatalf("per-second rate drifted with window length: %.0f vs %.0f", a, b)
+	}
+}
+
+// TestWorkConservationWeb: completed requests never exceed what the
+// machine could physically serve.
+func TestWorkConservationWeb(t *testing.T) {
+	for _, cfgName := range []string{"4f-0s", "2f-2s/8"} {
+		pl := workload.NewPlatform(cpu.MustParseConfig(cfgName), sched.Defaults(sched.PolicyNaive), 2)
+		b := New(Options{Server: Apache, Load: HeavyLoad})
+		res := b.Run(pl)
+		o := b.Options()
+		capacity := cpu.MustParseConfig(cfgName).ComputePower() * cpu.BaseHz / o.RequestCycles
+		if res.Value > capacity*1.02 {
+			t.Fatalf("%s: %.0f req/s exceeds physical capacity %.0f", cfgName, res.Value, capacity)
+		}
+		pl.Close()
+	}
+}

@@ -1,0 +1,187 @@
+package web
+
+import (
+	"testing"
+
+	"asmp/internal/sched"
+	"asmp/internal/workload"
+)
+
+func TestDefaults(t *testing.T) {
+	a := New(Options{Server: Apache}).Options()
+	if a.Concurrency != 10 || a.Workers != 8 || a.MaxRequestsPerChild != 5000 {
+		t.Fatalf("apache defaults: %+v", a)
+	}
+	z := New(Options{Server: Zeus, Load: HeavyLoad}).Options()
+	if z.Concurrency != 60 || z.Workers != 3 {
+		t.Fatalf("zeus defaults: %+v", z)
+	}
+	if z.RequestCycles >= a.RequestCycles {
+		t.Fatal("Zeus requests should be cheaper than Apache's")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New(Options{Server: Apache}).Name() != "apache" || New(Options{Server: Zeus}).Name() != "zeus" {
+		t.Fatal("names")
+	}
+	if Apache.String() != "apache" || Zeus.String() != "zeus" || Server(9).String() == "" {
+		t.Fatal("server strings")
+	}
+	if LightLoad.String() != "light" || HeavyLoad.String() != "heavy" || Load(9).String() == "" {
+		t.Fatal("load strings")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	for _, n := range []string{"apache", "zeus"} {
+		if _, err := workload.New(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestApacheSymmetricStable(t *testing.T) {
+	b := New(Options{Server: Apache, Load: LightLoad})
+	for _, cfg := range []string{"4f-0s", "0f-4s/8"} {
+		if cov := sample(t, b, cfg, sched.PolicyNaive, 4).CoV(); cov > 0.02 {
+			t.Errorf("%s CoV %.4f, want < 0.02", cfg, cov)
+		}
+	}
+}
+
+func TestApacheLightLoadUnstable(t *testing.T) {
+	// Figure 6(a): light load on asymmetric machines is unstable under
+	// the stock kernel.
+	b := New(Options{Server: Apache, Load: LightLoad})
+	if cov := sample(t, b, "2f-2s/8", sched.PolicyNaive, 8).CoV(); cov < 0.03 {
+		t.Fatalf("2f-2s/8 light CoV %.4f, want > 0.03", cov)
+	}
+}
+
+func TestApacheHeavyLoadStable(t *testing.T) {
+	// §3.4.1: under heavy load every processor is always busy, so
+	// throughput is a stable function of total compute power.
+	b := New(Options{Server: Apache, Load: HeavyLoad})
+	for _, cfg := range []string{"2f-2s/8", "3f-1s/8"} {
+		if cov := sample(t, b, cfg, sched.PolicyNaive, 4).CoV(); cov > 0.02 {
+			t.Errorf("heavy %s CoV %.4f, want < 0.02", cfg, cov)
+		}
+	}
+}
+
+func TestApacheAwareKernelFixes(t *testing.T) {
+	// Figure 6(b): the asymmetry-aware kernel makes light-load runs
+	// repeatable and recovers throughput.
+	b := New(Options{Server: Apache, Load: LightLoad})
+	naive := sample(t, b, "2f-2s/8", sched.PolicyNaive, 6)
+	aware := sample(t, b, "2f-2s/8", sched.PolicyAsymmetryAware, 6)
+	if cov := aware.CoV(); cov > 0.01 {
+		t.Fatalf("aware CoV %.4f, want < 0.01", cov)
+	}
+	if aware.Mean() < naive.Mean() {
+		t.Fatalf("aware mean %.0f below naive mean %.0f", aware.Mean(), naive.Mean())
+	}
+}
+
+func TestApacheFineGrainedThreading(t *testing.T) {
+	// Figure 6(b): recycling workers every 50 requests removes the
+	// instability but costs throughput and stops it scaling.
+	normal := New(Options{Server: Apache, Load: LightLoad})
+	fine := New(Options{Server: Apache, Load: LightLoad, MaxRequestsPerChild: 50})
+	nrm := sample(t, normal, "2f-2s/8", sched.PolicyNaive, 6)
+	fg := sample(t, fine, "2f-2s/8", sched.PolicyNaive, 6)
+	if fg.CoV() >= nrm.CoV() {
+		t.Fatalf("fine-grained CoV %.4f should be below normal %.4f", fg.CoV(), nrm.CoV())
+	}
+	if fg.Mean() >= nrm.Mean() {
+		t.Fatalf("fine-grained mean %.0f should cost throughput vs %.0f", fg.Mean(), nrm.Mean())
+	}
+	// "Does not scale": fine-grained throughput barely moves between the
+	// strongest configs because the refill loop, not the CPUs, limits it.
+	top := sample(t, fine, "4f-0s", sched.PolicyNaive, 2).Mean()
+	mid := sample(t, fine, "2f-2s/8", sched.PolicyNaive, 2).Mean()
+	if top > 1.25*mid {
+		t.Fatalf("fine-grained should not scale: 4f-0s %.0f vs 2f-2s/8 %.0f", top, mid)
+	}
+}
+
+func TestApacheForksCounted(t *testing.T) {
+	b := New(Options{Server: Apache, Load: LightLoad, MaxRequestsPerChild: 50})
+	res := runOnce(t, b, "4f-0s", sched.PolicyNaive, 1)
+	if res.Extra("forks") <= 0 {
+		t.Fatal("aggressive recycling should fork replacements")
+	}
+}
+
+func TestZeusFasterThanApache(t *testing.T) {
+	// §3.4.1: Zeus delivers substantially higher throughput (up to 2.5x).
+	a := sample(t, New(Options{Server: Apache, Load: HeavyLoad}), "4f-0s", sched.PolicyNaive, 2).Mean()
+	z := sample(t, New(Options{Server: Zeus, Load: HeavyLoad}), "4f-0s", sched.PolicyNaive, 2).Mean()
+	if z < 1.5*a {
+		t.Fatalf("Zeus heavy %.0f should be well above Apache heavy %.0f", z, a)
+	}
+}
+
+func TestZeusUnstableBothLoads(t *testing.T) {
+	// Figure 7: Zeus shows significant variance under light AND heavy
+	// load on asymmetric machines.
+	for _, load := range []Load{LightLoad, HeavyLoad} {
+		b := New(Options{Server: Zeus, Load: load})
+		if cov := sample(t, b, "2f-2s/8", sched.PolicyNaive, 8).CoV(); cov < 0.04 {
+			t.Errorf("zeus %v 2f-2s/8 CoV %.4f, want > 0.04", load, cov)
+		}
+	}
+}
+
+func TestZeusSymmetricStable(t *testing.T) {
+	for _, cfg := range []string{"4f-0s", "0f-4s/4", "0f-4s/8"} {
+		b := New(Options{Server: Zeus, Load: HeavyLoad})
+		if cov := sample(t, b, cfg, sched.PolicyNaive, 4).CoV(); cov > 0.02 {
+			t.Errorf("zeus %s CoV %.4f, want < 0.02", cfg, cov)
+		}
+	}
+}
+
+func TestZeusKernelFixIneffective(t *testing.T) {
+	// §3.4.1: the modified kernel scheduler "did not have any effect" on
+	// Zeus — the server binds its own processes.
+	b := New(Options{Server: Zeus, Load: LightLoad})
+	naive := sample(t, b, "2f-2s/8", sched.PolicyNaive, 6)
+	aware := sample(t, b, "2f-2s/8", sched.PolicyAsymmetryAware, 6)
+	if aware.CoV() < naive.CoV()/2 {
+		t.Fatalf("aware CoV %.4f should not fix Zeus (naive %.4f)", aware.CoV(), naive.CoV())
+	}
+}
+
+func TestSharedAcceptQueueAblation(t *testing.T) {
+	// Without keep-alive affinity, work spills across the whole pool and
+	// the instability shrinks — the ablation that isolates the
+	// connection-affinity mechanism.
+	affinity := New(Options{Server: Apache, Load: LightLoad})
+	shared := New(Options{Server: Apache, Load: LightLoad, SharedAcceptQueue: true})
+	a := sample(t, affinity, "2f-2s/8", sched.PolicyNaive, 6).CoV()
+	s := sample(t, shared, "2f-2s/8", sched.PolicyNaive, 6).CoV()
+	if s >= a {
+		t.Fatalf("shared-queue CoV %.4f should be below affinity CoV %.4f", s, a)
+	}
+}
+
+func TestThroughputScales(t *testing.T) {
+	// Heavy-load Apache throughput tracks compute power.
+	b := New(Options{Server: Apache, Load: HeavyLoad})
+	fast := sample(t, b, "4f-0s", sched.PolicyNaive, 1).Mean()
+	slow := sample(t, b, "0f-4s/8", sched.PolicyNaive, 1).Mean()
+	if r := fast / slow; r < 6.5 || r > 9.5 {
+		t.Fatalf("heavy throughput ratio %.2f, want ~8", r)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	b := New(Options{Server: Zeus, Load: HeavyLoad})
+	a := runOnce(t, b, "2f-2s/8", sched.PolicyNaive, 77).Value
+	c := runOnce(t, b, "2f-2s/8", sched.PolicyNaive, 77).Value
+	if a != c {
+		t.Fatalf("same seed: %v vs %v", a, c)
+	}
+}

@@ -1,0 +1,106 @@
+// Package workload defines the common contract every benchmark model in
+// the study implements, plus a registry used by the command-line tools.
+//
+// A Workload is a *description* of a benchmark (its parameters); running
+// it builds all simulated state from scratch on a fresh Platform, so the
+// same Workload value can be run many times, concurrently from different
+// goroutines, with different seeds and machine configurations.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+)
+
+// Platform bundles the simulated machine a workload runs on.
+type Platform struct {
+	// Env is the simulation environment (fresh per run).
+	Env *sim.Env
+	// Sched is the OS scheduler model driving Env.
+	Sched *sched.Scheduler
+	// Config is the machine configuration, for workloads that size
+	// themselves to the machine (e.g. PMAKE's -j).
+	Config cpu.Config
+}
+
+// NewPlatform builds a fresh platform for one run: a new environment
+// seeded with seed and a scheduler with the given options over the
+// machine described by config.
+func NewPlatform(config cpu.Config, opt sched.Options, seed uint64) *Platform {
+	env := sim.NewEnv(seed)
+	s := sched.New(env, config.Machine(), opt)
+	return &Platform{Env: env, Sched: s, Config: config}
+}
+
+// Close releases the platform's resources (reaps simulated procs).
+func (pl *Platform) Close() { pl.Env.Close() }
+
+// Result is the outcome of a single workload run.
+type Result struct {
+	// Metric names the primary metric, e.g. "throughput (ops/s)".
+	Metric string
+	// Value is the primary metric's value.
+	Value float64
+	// HigherIsBetter tells analysis code which direction is good.
+	HigherIsBetter bool
+	// Extras holds secondary metrics by name (response-time percentiles,
+	// GC counts, per-domain throughputs, ...).
+	Extras map[string]float64
+}
+
+// Extra returns a secondary metric (0 if absent).
+func (r Result) Extra(name string) float64 { return r.Extras[name] }
+
+// AddExtra records a secondary metric, allocating the map on first use.
+func (r *Result) AddExtra(name string, v float64) {
+	if r.Extras == nil {
+		r.Extras = map[string]float64{}
+	}
+	r.Extras[name] = v
+}
+
+// Workload is a runnable benchmark description. Run must build all
+// simulated state on pl and leave pl consumable (the caller closes it).
+type Workload interface {
+	// Name identifies the workload, e.g. "specjbb".
+	Name() string
+	// Run executes the benchmark once and reports its metrics.
+	Run(pl *Platform) Result
+}
+
+// Factory builds a workload with default parameters.
+type Factory func() Workload
+
+var registry = map[string]Factory{}
+
+// Register adds a workload factory under name. It panics on duplicates so
+// registration bugs surface at init time.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered workload by name.
+func New(name string) (Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered workloads in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+)
+
+type fakeWorkload struct{ name string }
+
+func (f fakeWorkload) Name() string         { return f.name }
+func (f fakeWorkload) Run(*Platform) Result { return Result{Metric: "x", Value: 1} }
+
+func TestRegistry(t *testing.T) {
+	Register("test-fake", func() Workload { return fakeWorkload{"test-fake"} })
+	w, err := New("test-fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "test-fake" {
+		t.Fatal("wrong workload")
+	}
+	if _, err := New("no-such"); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatal("Names not sorted")
+	}
+	found := false
+	for _, n := range names {
+		if n == "test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered name missing from Names")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register("test-dup", func() Workload { return fakeWorkload{"test-dup"} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("test-dup", func() Workload { return fakeWorkload{"test-dup"} })
+}
+
+func TestNewPlatform(t *testing.T) {
+	cfg := cpu.MustParseConfig("2f-2s/8")
+	pl := NewPlatform(cfg, sched.Defaults(sched.PolicyNaive), 42)
+	defer pl.Close()
+	if pl.Env == nil || pl.Sched == nil {
+		t.Fatal("platform incomplete")
+	}
+	if pl.Config != cfg {
+		t.Fatal("config not preserved")
+	}
+	if pl.Sched.Machine().NumCores() != 4 {
+		t.Fatal("machine mismatch")
+	}
+}
+
+func TestResultExtras(t *testing.T) {
+	var r Result
+	if r.Extra("missing") != 0 {
+		t.Fatal("missing extra should be 0")
+	}
+	r.AddExtra("a", 1.5)
+	r.AddExtra("b", 2.5)
+	if r.Extra("a") != 1.5 || r.Extra("b") != 2.5 {
+		t.Fatal("extras lost")
+	}
+}
