@@ -1,0 +1,32 @@
+# Tier-1 gate for this repository (referenced from ROADMAP.md):
+#
+#   make check        # vet + test — what CI and every PR must pass
+#
+# Extras:
+#
+#   make test-race    # full test suite under the race detector
+#   make bench        # one pass over every figure/ablation benchmark
+#   make golden       # regenerate the committed seed-1 artifacts
+
+GO ?= go
+
+.PHONY: check vet test test-race bench golden
+
+check: vet test
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem .
+
+golden:
+	$(GO) run ./cmd/asmp-run -all > results/figures-full.txt
+	$(GO) run ./cmd/asmp-run -fig fault -out results > /dev/null

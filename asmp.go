@@ -25,9 +25,11 @@ package asmp
 import (
 	"asmp/internal/core"
 	"asmp/internal/cpu"
+	"asmp/internal/fault"
 	"asmp/internal/figures"
 	"asmp/internal/report"
 	"asmp/internal/sched"
+	"asmp/internal/sim"
 	"asmp/internal/workload"
 
 	// Register all workload models.
@@ -99,8 +101,29 @@ func NewWorkload(name string) (Workload, error) { return workload.New(name) }
 // RunSpec describes a single run.
 type RunSpec = core.RunSpec
 
-// Run executes one workload run on a fresh simulated platform.
+// Run executes one workload run on a fresh simulated platform. Panics
+// from workload bugs or tripped watchdogs propagate; use RunSafe to
+// receive them as errors.
 func Run(spec RunSpec) Result { return core.Execute(spec) }
+
+// RunSafe executes one run and converts any panic — workload bug,
+// tripped watchdog, detected deadlock or invalid fault plan — into an
+// error.
+func RunSafe(spec RunSpec) (Result, error) { return core.ExecuteSafe(spec) }
+
+// FaultPlan is a deterministic schedule of injected runtime faults:
+// per-core throttles and restores, core hot-unplug/re-plug and
+// machine-wide stalls. Attach one to a RunSpec or Experiment.
+type FaultPlan = fault.Plan
+
+// ParseFaultPlan parses the compact fault-plan syntax, e.g.
+// "throttle@1.5s:0:0.125,restore@3.5s:0" — see internal/fault.Parse.
+func ParseFaultPlan(s string) (*FaultPlan, error) { return fault.Parse(s) }
+
+// Limits bounds a run: maximum virtual time, maximum events, and
+// deadlock detection. Attach to a RunSpec or Experiment so wedged runs
+// become per-run errors instead of hangs.
+type Limits = sim.Limits
 
 // Experiment sweeps a workload over machine configurations with
 // repetitions; see core.Experiment.

@@ -432,3 +432,42 @@ func BenchmarkExtensionRankOnlyScheduler(b *testing.B) {
 		})
 	}
 }
+
+// ExtensionFaultInjection: the fault figure's headline cell — SPECjbb on
+// a symmetric 4f-0s whose cores 0 and 1 throttle to 1/8 speed for the
+// middle of the measurement window (a transient 2f-2s/8) — under both
+// kernels, executed through the resilient sweep path with watchdogs
+// armed and the fault plan injected into every run.
+func BenchmarkExtensionFaultInjection(b *testing.B) {
+	plan, err := asmp.ParseFaultPlan(
+		"throttle@1.5s:0:0.125,throttle@1.5s:1:0.125,restore@3.5s:0,restore@3.5s:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+	for _, pol := range []struct {
+		name   string
+		policy sched.Policy
+	}{{"stock", sched.PolicyNaive}, {"aware", sched.PolicyAsymmetryAware}} {
+		pol := pol
+		b.Run(pol.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := core.Experiment{
+					Workload: w,
+					Configs:  []cpu.Config{cpu.MustParseConfig("4f-0s")},
+					Runs:     4,
+					Sched:    sched.Defaults(pol.policy),
+					BaseSeed: uint64(1 + i),
+					Fault:    plan,
+					Limits:   sim.Limits{MaxVirtualTime: simtime.Minute},
+				}.Run()
+				cr := o.PerConfig[0]
+				if cr.Failed() > 0 {
+					b.Fatalf("%d run(s) failed: %v", cr.Failed(), o.Errors()[0])
+				}
+				b.ReportMetric(cr.Summary.Mean, "txn/s")
+				b.ReportMetric(cr.Summary.CoV, "CoV")
+			}
+		})
+	}
+}

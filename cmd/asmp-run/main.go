@@ -6,6 +6,7 @@
 //	asmp-run -list                 # list all regenerable figures
 //	asmp-run -fig 2a               # regenerate Figure 2(a)
 //	asmp-run -fig table1 -quick    # Table 1, reduced repetitions
+//	asmp-run -fig fault -quick     # the fault-injection extension
 //	asmp-run -all                  # everything (slow)
 //	asmp-run -fig 4a -csv          # emit CSV instead of a text table
 package main
@@ -13,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,45 +24,66 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams and returns the process exit code. Every error path prints a
+// one-line message and returns non-zero; nothing panics.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asmp-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig   = flag.String("fig", "", "figure id to regenerate (e.g. 1a, 4b, 10, table1, micro)")
-		all   = flag.Bool("all", false, "regenerate every figure")
-		list  = flag.Bool("list", false, "list available figures")
-		quick = flag.Bool("quick", false, "fewer repetitions (faster, same shapes)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		seed  = flag.Uint64("seed", 1, "base random seed")
-		out   = flag.String("out", "", "directory to also write per-figure .txt and .csv files into")
+		fig   = fs.String("fig", "", "figure id to regenerate (e.g. 1a, 4b, 10, table1, micro, fault)")
+		all   = fs.Bool("all", false, "regenerate every figure")
+		list  = fs.Bool("list", false, "list available figures")
+		quick = fs.Bool("quick", false, "fewer repetitions (faster, same shapes)")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		seed  = fs.Uint64("seed", 1, "base random seed")
+		out   = fs.String("out", "", "directory to also write per-figure .txt and .csv files into")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "asmp-run: unexpected argument %q (flags only)\n", fs.Arg(0))
+		return 2
+	}
 
 	switch {
 	case *list:
 		for _, f := range figures.All() {
-			fmt.Printf("%-8s %s\n", f.ID, f.Title)
-			fmt.Printf("         paper: %s\n", f.Paper)
+			fmt.Fprintf(stdout, "%-8s %s\n", f.ID, f.Title)
+			fmt.Fprintf(stdout, "         paper: %s\n", f.Paper)
 		}
-		return
+		return 0
 	case *all:
 		opt := figures.Options{Quick: *quick, Seed: *seed}
 		for _, f := range figures.All() {
-			runOne(f, opt, *csv, *out)
+			if err := runOne(f, opt, *csv, *out, stdout); err != nil {
+				fmt.Fprintln(stderr, "asmp-run:", err)
+				return 1
+			}
 		}
-		return
+		return 0
 	case *fig != "":
 		f, ok := figures.Get(*fig)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "asmp-run: unknown figure %q; use -list\n", *fig)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "asmp-run: unknown figure %q; use -list\n", *fig)
+			return 2
 		}
-		runOne(f, figures.Options{Quick: *quick, Seed: *seed}, *csv, *out)
-		return
+		if err := runOne(f, figures.Options{Quick: *quick, Seed: *seed}, *csv, *out, stdout); err != nil {
+			fmt.Fprintln(stderr, "asmp-run:", err)
+			return 1
+		}
+		return 0
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 }
 
-func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string) {
+func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string, stdout io.Writer) error {
 	start := time.Now()
 	tables := f.Run(opt)
 	elapsed := time.Since(start)
@@ -71,24 +94,22 @@ func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string) {
 		csvBuf.WriteString(t.CSV())
 	}
 	if csv {
-		fmt.Print(csvBuf.String())
+		fmt.Fprint(stdout, csvBuf.String())
 	} else {
-		fmt.Print(txt.String())
+		fmt.Fprint(stdout, txt.String())
 	}
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "asmp-run:", err)
-			os.Exit(1)
+			return err
 		}
 		base := filepath.Join(outDir, "fig-"+f.ID)
 		if err := os.WriteFile(base+".txt", []byte(txt.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "asmp-run:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := os.WriteFile(base+".csv", []byte(csvBuf.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "asmp-run:", err)
-			os.Exit(1)
+			return err
 		}
 	}
-	fmt.Printf("[figure %s regenerated in %v]\n\n", f.ID, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "[figure %s regenerated in %v]\n\n", f.ID, elapsed.Round(time.Millisecond))
+	return nil
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the CLI entry point with captured streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListIncludesFaultFigure(t *testing.T) {
+	code, out, _ := runCmd("-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, id := range []string{"2a", "table1", "fault"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing figure %q", id)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"unknown figure", []string{"-fig", "nope"}, "unknown figure"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"bad seed", []string{"-seed", "banana"}, "invalid value"},
+		{"positional arg", []string{"-list", "extra"}, "unexpected argument"},
+		{"no action", nil, "Usage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCmd(tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v: exit 0, want non-zero", tc.args)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("args %v: stderr %q does not contain %q", tc.args, errOut, tc.want)
+			}
+		})
+	}
+}

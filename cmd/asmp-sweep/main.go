@@ -1,7 +1,8 @@
 // Command asmp-sweep runs one workload over machine configurations and
 // scheduling policies — the free-form counterpart to asmp-run's fixed
 // figure registry. It is the quickest way to ask "what would workload X
-// do on machine Y under scheduler Z?".
+// do on machine Y under scheduler Z?", including with runtime faults
+// injected mid-run.
 //
 // Usage:
 //
@@ -9,18 +10,23 @@
 //	asmp-sweep -workload specjbb -runs 5
 //	asmp-sweep -workload zeus -configs 4f-0s,2f-2s/8 -policy aware
 //	asmp-sweep -workload tpch -runs 8 -csv
+//	asmp-sweep -workload specjbb -configs 4f-0s \
+//	    -fault "throttle@1.5s:0:0.125,restore@3.5s:0" -timeout 1min
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"asmp/internal/core"
 	"asmp/internal/cpu"
+	"asmp/internal/fault"
 	"asmp/internal/report"
 	"asmp/internal/sched"
+	"asmp/internal/sim"
 	"asmp/internal/workload"
 	_ "asmp/internal/workload/h264"
 	_ "asmp/internal/workload/jappserver"
@@ -33,31 +39,57 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams and returns the process exit code. Every error path prints a
+// one-line message and returns non-zero; nothing panics.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asmp-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "", "registered workload name (see -list)")
-		list    = flag.Bool("list", false, "list registered workloads")
-		configs = flag.String("configs", "", "comma-separated nf-ms/scale configs (default: the paper's nine)")
-		runs    = flag.Int("runs", 3, "repetitions per configuration")
-		policy  = flag.String("policy", "naive", "scheduler policy: naive, aware or rank")
-		seed    = flag.Uint64("seed", 1, "base random seed")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		name     = fs.String("workload", "", "registered workload name (see -list)")
+		list     = fs.Bool("list", false, "list registered workloads")
+		configs  = fs.String("configs", "", "comma-separated nf-ms/scale configs (default: the paper's nine)")
+		runs     = fs.Int("runs", 3, "repetitions per configuration")
+		policy   = fs.String("policy", "naive", "scheduler policy: naive, aware or rank")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		csv      = fs.Bool("csv", false, "emit CSV")
+		faultStr = fs.String("fault", "", `fault plan injected into every run, e.g. "throttle@1.5s:0:0.125,restore@3.5s:0"`)
+		timeout  = fs.String("timeout", "", "virtual-time watchdog per run, e.g. 30s or 2min (wedged runs become ERR cells)")
+		retries  = fs.Int("retries", 0, "retry each failed run up to N times with a fresh derived seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "asmp-sweep: unexpected argument %q (flags only)\n", fs.Arg(0))
+		return 2
+	}
 
 	if *list {
 		for _, n := range workload.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 	if *name == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	w, err := workload.New(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asmp-sweep:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "asmp-sweep:", err)
+		return 2
+	}
+	if *runs < 1 {
+		fmt.Fprintf(stderr, "asmp-sweep: -runs must be at least 1, got %d\n", *runs)
+		return 2
+	}
+	if *retries < 0 {
+		fmt.Fprintf(stderr, "asmp-sweep: -retries must be non-negative, got %d\n", *retries)
+		return 2
 	}
 
 	var pol sched.Policy
@@ -69,8 +101,8 @@ func main() {
 	case "rank":
 		pol = sched.PolicyRankAware
 	default:
-		fmt.Fprintf(os.Stderr, "asmp-sweep: unknown policy %q (naive|aware|rank)\n", *policy)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "asmp-sweep: unknown policy %q (naive|aware|rank)\n", *policy)
+		return 2
 	}
 
 	var cfgs []cpu.Config
@@ -78,11 +110,39 @@ func main() {
 		for _, s := range strings.Split(*configs, ",") {
 			c, err := cpu.ParseConfig(s)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "asmp-sweep:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "asmp-sweep:", err)
+				return 2
 			}
 			cfgs = append(cfgs, c)
 		}
+	}
+
+	var plan *fault.Plan
+	if *faultStr != "" {
+		plan, err = fault.Parse(*faultStr)
+		if err != nil {
+			fmt.Fprintln(stderr, "asmp-sweep:", err)
+			return 2
+		}
+		swept := cfgs
+		if len(swept) == 0 {
+			swept = cpu.StandardConfigs
+		}
+		for _, c := range swept {
+			if err := plan.Validate(c.Fast + c.Slow); err != nil {
+				fmt.Fprintf(stderr, "asmp-sweep: fault plan does not fit %s: %v\n", c, err)
+				return 2
+			}
+		}
+	}
+	var limits sim.Limits
+	if *timeout != "" {
+		d, err := fault.ParseDuration(*timeout)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(stderr, "asmp-sweep: bad -timeout %q (want e.g. 30s, 500ms, 2min)\n", *timeout)
+			return 2
+		}
+		limits.MaxVirtualTime = d
 	}
 
 	out := core.Experiment{
@@ -92,6 +152,9 @@ func main() {
 		Runs:     *runs,
 		Sched:    sched.Defaults(pol),
 		BaseSeed: *seed,
+		Fault:    plan,
+		Limits:   limits,
+		Retries:  *retries,
 	}.Run()
 
 	t := report.OutcomeTable(out)
@@ -101,9 +164,17 @@ func main() {
 		fit := out.ScalabilityFit()
 		t.AddNote("scalability fit R² = %.3f", fit.R2)
 	}
-	if *csv {
-		fmt.Print(t.CSV())
-	} else {
-		fmt.Println(t.String())
+	if plan != nil {
+		t.AddNote("fault plan: %s", plan)
 	}
+	if *csv {
+		fmt.Fprint(stdout, t.CSV())
+	} else {
+		fmt.Fprintln(stdout, t.String())
+	}
+	if n := len(out.Errors()); n > 0 {
+		fmt.Fprintf(stderr, "asmp-sweep: %d run(s) failed\n", n)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the CLI entry point with captured streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListWorkloads(t *testing.T) {
+	code, out, _ := runCmd("-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, n := range []string{"specjbb", "apache", "omp-ammp"} {
+		if !strings.Contains(out, n) {
+			t.Errorf("-list output missing workload %q", n)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"no workload", nil, "Usage"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"positional arg", []string{"-list", "extra"}, "unexpected argument"},
+		{"unknown workload", []string{"-workload", "nope"}, "unknown workload"},
+		{"malformed config", []string{"-workload", "specjbb", "-configs", "lots-of-cores"}, "cpu:"},
+		{"config missing scale", []string{"-workload", "specjbb", "-configs", "2f-2s"}, "no scale"},
+		{"oversized config", []string{"-workload", "specjbb", "-configs", "999f-0s"}, "at most"},
+		{"unknown policy", []string{"-workload", "specjbb", "-policy", "psychic"}, "unknown policy"},
+		{"zero runs", []string{"-workload", "specjbb", "-runs", "0"}, "-runs"},
+		{"negative retries", []string{"-workload", "specjbb", "-retries", "-1"}, "-retries"},
+		{"malformed fault plan", []string{"-workload", "specjbb", "-fault", "explode@1s:0"}, "unknown kind"},
+		{"fault plan core out of range", []string{"-workload", "specjbb", "-configs", "4f-0s", "-fault", "offline@1s:7"}, "does not fit"},
+		{"fault plan outside default sweep", []string{"-workload", "specjbb", "-fault", "offline@1s:5"}, "does not fit"},
+		{"bad timeout", []string{"-workload", "specjbb", "-timeout", "eleven"}, "-timeout"},
+		{"zero timeout", []string{"-workload", "specjbb", "-timeout", "0s"}, "-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCmd(tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v: exit 0, want non-zero", tc.args)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("args %v: stderr %q does not contain %q", tc.args, errOut, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultSweepRuns exercises the full happy path with a fault plan,
+// a watchdog and a retry budget on the smallest useful sweep.
+func TestFaultSweepRuns(t *testing.T) {
+	code, out, errOut := runCmd(
+		"-workload", "specjbb", "-configs", "4f-0s", "-runs", "2",
+		"-fault", "throttle@1.5s:0:0.125,restore@3.5s:0",
+		"-timeout", "1min", "-retries", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "fault plan: throttle@1.5s:0:0.125") {
+		t.Fatalf("output does not echo the fault plan:\n%s", out)
+	}
+}

@@ -8,17 +8,22 @@
 //	asmp-trace -workload specjbb -config 2f-2s/8
 //	asmp-trace -workload apache -config 2f-2s/8 -policy aware -events
 //	asmp-trace -workload tpch -config 1f-3s/8 -kind migrate
+//	asmp-trace -workload specjbb -config 4f-0s -fault "offline@1.5s:0,online@3.5s:0"
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"asmp/internal/core"
 	"asmp/internal/cpu"
+	"asmp/internal/fault"
 	"asmp/internal/sched"
+	"asmp/internal/sim"
 	"asmp/internal/trace"
 	"asmp/internal/workload"
 	_ "asmp/internal/workload/h264"
@@ -32,26 +37,44 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams and returns the process exit code. Every error path prints a
+// one-line message and returns non-zero; nothing panics — a run that
+// trips a watchdog or crashes is reported as an error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asmp-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "specjbb", "registered workload name")
-		cfgName = flag.String("config", "2f-2s/8", "machine configuration (nf-ms/scale)")
-		policy  = flag.String("policy", "naive", "scheduler policy: naive, aware or rank")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		events  = flag.Bool("events", false, "print the raw event log (last -buffer events)")
-		kindSel = flag.String("kind", "", "with -events: only this kind (migrate, steal, forced-migrate, ...)")
-		bufCap  = flag.Int("buffer", 100000, "trace ring-buffer capacity")
+		name     = fs.String("workload", "specjbb", "registered workload name")
+		cfgName  = fs.String("config", "2f-2s/8", "machine configuration (nf-ms/scale)")
+		policy   = fs.String("policy", "naive", "scheduler policy: naive, aware or rank")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		events   = fs.Bool("events", false, "print the raw event log (last -buffer events)")
+		kindSel  = fs.String("kind", "", "with -events: only this kind (migrate, steal, forced-migrate, ...)")
+		bufCap   = fs.Int("buffer", 100000, "trace ring-buffer capacity")
+		faultStr = fs.String("fault", "", `fault plan injected into the run, e.g. "offline@1.5s:0,online@3.5s:0"`)
+		timeout  = fs.String("timeout", "", "virtual-time watchdog, e.g. 30s or 2min")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "asmp-trace: unexpected argument %q (flags only)\n", fs.Arg(0))
+		return 2
+	}
 
 	w, err := workload.New(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asmp-trace:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "asmp-trace:", err)
+		return 2
 	}
 	cfg, err := cpu.ParseConfig(*cfgName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asmp-trace:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "asmp-trace:", err)
+		return 2
 	}
 	var pol sched.Policy
 	switch *policy {
@@ -62,33 +85,61 @@ func main() {
 	case "rank":
 		pol = sched.PolicyRankAware
 	default:
-		fmt.Fprintf(os.Stderr, "asmp-trace: unknown policy %q\n", *policy)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "asmp-trace: unknown policy %q (naive|aware|rank)\n", *policy)
+		return 2
+	}
+	if *bufCap < 1 {
+		fmt.Fprintf(stderr, "asmp-trace: -buffer must be at least 1, got %d\n", *bufCap)
+		return 2
+	}
+	var plan *fault.Plan
+	if *faultStr != "" {
+		plan, err = fault.Parse(*faultStr)
+		if err != nil {
+			fmt.Fprintln(stderr, "asmp-trace:", err)
+			return 2
+		}
+		if err := plan.Validate(cfg.Fast + cfg.Slow); err != nil {
+			fmt.Fprintln(stderr, "asmp-trace:", err)
+			return 2
+		}
+	}
+	var limits sim.Limits
+	if *timeout != "" {
+		d, err := fault.ParseDuration(*timeout)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(stderr, "asmp-trace: bad -timeout %q (want e.g. 30s, 500ms, 2min)\n", *timeout)
+			return 2
+		}
+		limits.MaxVirtualTime = d
 	}
 
-	pl := workload.NewPlatform(cfg, sched.Defaults(pol), *seed)
-	defer pl.Close()
 	buf := trace.New(*bufCap)
-	pl.Sched.SetTracer(buf)
+	res, st, err := tracedRun(w, cfg, pol, *seed, plan, limits, buf)
+	if err != nil {
+		fmt.Fprintln(stderr, "asmp-trace:", err)
+		return 1
+	}
 
-	res := w.Run(pl)
+	fmt.Fprintf(stdout, "workload %s on %s under the %v scheduler (seed %d)\n", w.Name(), cfg, pol, *seed)
+	fmt.Fprintf(stdout, "result: %s = %.4g\n\n", res.Metric, res.Value)
 
-	fmt.Printf("workload %s on %s under the %v scheduler (seed %d)\n", w.Name(), cfg, pol, *seed)
-	fmt.Printf("result: %s = %.4g\n\n", res.Metric, res.Value)
-
-	st := pl.Sched.Stats()
-	fmt.Printf("scheduler activity: %d dispatches, %d preemptions, %d migrations (%d steals, %d forced)\n",
+	fmt.Fprintf(stdout, "scheduler activity: %d dispatches, %d preemptions, %d migrations (%d steals, %d forced)\n",
 		st.Dispatches, st.Preemptions, st.Migrations, st.Steals, st.ForcedMigrations)
-	fmt.Printf("per-core busy seconds:")
-	for i, b := range st.BusySeconds {
-		fmt.Printf("  core%d(duty %.3g)=%.2f", i, pl.Sched.Machine().Cores[i].Duty, b)
+	if st.Offlines+st.Stalls > 0 {
+		fmt.Fprintf(stdout, "fault activity: %d offlines, %d onlines, %d stalls, %d drain migrations\n",
+			st.Offlines, st.Onlines, st.Stalls, st.DrainMigrations)
 	}
-	fmt.Println()
+	fmt.Fprintf(stdout, "per-core busy seconds:")
+	for i, b := range st.BusySeconds {
+		fmt.Fprintf(stdout, "  core%d=%.2f", i, b)
+	}
+	fmt.Fprintln(stdout)
 	if st.FastIdleSlowBusy > 0 {
-		fmt.Printf("fast-idle-while-slow-queued: %.3fs (the aware policy keeps this at zero)\n", st.FastIdleSlowBusy)
+		fmt.Fprintf(stdout, "fast-idle-while-slow-queued: %.3fs (the aware policy keeps this at zero)\n", st.FastIdleSlowBusy)
 	}
 
-	fmt.Println("\nper-core dispatch timeline (who ran where):")
+	fmt.Fprintln(stdout, "\nper-core dispatch timeline (who ran where):")
 	tl := buf.CoreTimeline()
 	var cores []int
 	for c := range tl {
@@ -113,20 +164,37 @@ func main() {
 			}
 			parts = append(parts, fmt.Sprintf("%s×%d", p.name, p.n))
 		}
-		fmt.Printf("  core%d: %s\n", c, strings.Join(parts, ", "))
+		fmt.Fprintf(stdout, "  core%d: %s\n", c, strings.Join(parts, ", "))
 	}
 
 	if *events {
-		fmt.Println("\nevent log:")
+		fmt.Fprintln(stdout, "\nevent log:")
 		es := buf.Events()
 		for _, e := range es {
 			if *kindSel != "" && e.Kind.String() != *kindSel {
 				continue
 			}
-			fmt.Println(" ", e)
+			fmt.Fprintln(stdout, " ", e)
 		}
 		if buf.Total() > buf.Len() {
-			fmt.Printf("  (%d earlier events evicted; raise -buffer to keep more)\n", buf.Total()-buf.Len())
+			fmt.Fprintf(stdout, "  (%d earlier events evicted; raise -buffer to keep more)\n", buf.Total()-buf.Len())
 		}
 	}
+	return 0
+}
+
+// tracedRun executes one run with the tracer attached, converting any
+// panic (workload bug, tripped watchdog, bad fault plan) into an error.
+func tracedRun(w workload.Workload, cfg cpu.Config, pol sched.Policy, seed uint64, plan *fault.Plan, limits sim.Limits, buf *trace.Buffer) (res workload.Result, st sched.Stats, err error) {
+	res, err = core.ExecuteSafe(core.RunSpec{
+		Workload: w,
+		Config:   cfg,
+		Sched:    sched.Defaults(pol),
+		Seed:     seed,
+		Fault:    plan,
+		Limits:   limits,
+		Tracer:   buf,
+		Observe:  func(s *sched.Scheduler) { st = s.Stats() },
+	})
+	return res, st, err
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the CLI entry point with captured streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"positional arg", []string{"extra"}, "unexpected argument"},
+		{"unknown workload", []string{"-workload", "nope"}, "unknown workload"},
+		{"malformed config", []string{"-config", "banana"}, "cpu:"},
+		{"oversized config", []string{"-config", "999f-0s"}, "at most"},
+		{"unknown policy", []string{"-policy", "psychic"}, "unknown policy"},
+		{"zero buffer", []string{"-buffer", "0"}, "-buffer"},
+		{"malformed fault plan", []string{"-fault", "offline@1s"}, "fault"},
+		{"fault plan core out of range", []string{"-config", "4f-0s", "-fault", "offline@1s:9"}, "out of range"},
+		{"bad timeout", []string{"-timeout", "soon"}, "-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCmd(tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v: exit 0, want non-zero", tc.args)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("args %v: stderr %q does not contain %q", tc.args, errOut, tc.want)
+			}
+		})
+	}
+}
+
+// TestTracesFaultedRun exercises the happy path with a fault plan: the
+// trace must report the offline/online activity and still exit zero.
+func TestTracesFaultedRun(t *testing.T) {
+	code, out, errOut := runCmd(
+		"-workload", "specjbb", "-config", "4f-0s",
+		"-fault", "offline@1.5s:0,online@3.5s:0", "-timeout", "2min")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"scheduler activity:", "fault activity: 1 offlines, 1 onlines", "per-core dispatch timeline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWatchdogTripReportsError: a timeout shorter than the workload's
+// own duration trips the watchdog, which must surface as a one-line
+// error and a non-zero exit — not a panic or a hang.
+func TestWatchdogTripReportsError(t *testing.T) {
+	code, _, errOut := runCmd("-workload", "specjbb", "-config", "4f-0s", "-timeout", "1s")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "watchdog") {
+		t.Fatalf("stderr %q does not mention the watchdog", errOut)
+	}
+}

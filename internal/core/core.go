@@ -16,12 +16,16 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
 	"asmp/internal/cpu"
+	"asmp/internal/fault"
 	"asmp/internal/sched"
+	"asmp/internal/sim"
 	"asmp/internal/stats"
+	"asmp/internal/trace"
 	"asmp/internal/workload"
 )
 
@@ -35,13 +39,96 @@ type RunSpec struct {
 	Sched sched.Options
 	// Seed determines every random choice in the run.
 	Seed uint64
+	// Fault optionally injects runtime faults (throttles, core unplug,
+	// stalls) into the run; nil or empty injects nothing.
+	Fault *fault.Plan
+	// Limits optionally arms the simulator's watchdogs (max virtual
+	// time, max events, deadlock detection); the zero value arms none.
+	Limits sim.Limits
+	// Tracer, when non-nil, is attached to the scheduler before the
+	// workload starts, recording every scheduling decision (asmp-trace).
+	Tracer *trace.Buffer
+	// Observe, when non-nil, is called with the scheduler after the
+	// workload returns (and before teardown), so callers can capture the
+	// final Stats even through the panic-isolating ExecuteSafe path. It
+	// is not called when the run fails.
+	Observe func(*sched.Scheduler)
 }
 
 // Execute performs one run on a fresh platform and returns its result.
+// Panics from workload code or tripped watchdogs propagate; use
+// ExecuteSafe to receive them as errors.
 func Execute(spec RunSpec) workload.Result {
 	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
 	defer pl.Close()
-	return spec.Workload.Run(pl)
+	return executeOn(spec, pl)
+}
+
+// executeOn arms limits and faults on the platform, then runs the
+// workload.
+func executeOn(spec RunSpec, pl *workload.Platform) workload.Result {
+	if !spec.Limits.Zero() {
+		pl.Env.SetLimits(spec.Limits)
+	}
+	if spec.Tracer != nil {
+		pl.Sched.SetTracer(spec.Tracer)
+	}
+	if !spec.Fault.Empty() {
+		if err := spec.Fault.Validate(pl.Sched.Machine().NumCores()); err != nil {
+			panic(err)
+		}
+		spec.Fault.Schedule(pl.Env, pl.Sched)
+	}
+	res := spec.Workload.Run(pl)
+	if spec.Observe != nil {
+		spec.Observe(pl.Sched)
+	}
+	return res
+}
+
+// ExecuteSafe performs one run like Execute but converts any panic —
+// a workload-model bug, a tripped watchdog (*sim.WatchdogError), a
+// detected deadlock (*sim.DeadlockError) or an invalid fault plan —
+// into an error, so one crashed or wedged run cannot take down a
+// multi-run sweep. Teardown failures (procs that survive Close) are
+// reported the same way. Error messages carry only the panic value,
+// never stack or goroutine state, so repeated failing runs produce
+// identical errors and sweeps stay deterministic.
+func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
+	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
+	defer func() {
+		if r := recover(); r != nil && err == nil {
+			err = panicError(r)
+		}
+		if cerr := safeClose(pl); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			res = workload.Result{}
+		}
+	}()
+	res = executeOn(spec, pl)
+	return res, nil
+}
+
+// panicError converts a recovered panic value into a stable error.
+func panicError(r any) error {
+	if e, ok := r.(error); ok {
+		return fmt.Errorf("core: run failed: %w", e)
+	}
+	return fmt.Errorf("core: run panicked: %v", r)
+}
+
+// safeClose closes the platform, catching the engine's "procs failed to
+// terminate" teardown panic.
+func safeClose(pl *workload.Platform) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: teardown failed: %v", r)
+		}
+	}()
+	pl.Close()
+	return nil
 }
 
 // RunSeed derives the seed for a (base, config, run) cell. It mixes the
@@ -51,6 +138,13 @@ func RunSeed(base uint64, configIdx, runIdx int) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// RetrySeed derives the seed for retry attempt `attempt` of a cell.
+// Attempt 0 is RunSeed exactly; each later attempt shifts the base so
+// the rerun sees a fresh, still-reproducible random stream.
+func RetrySeed(base uint64, configIdx, runIdx, attempt int) uint64 {
+	return RunSeed(base+0x6c62272e07bb0142*uint64(attempt), configIdx, runIdx)
 }
 
 // Experiment sweeps one workload over a set of machine configurations,
@@ -74,18 +168,42 @@ type Experiment struct {
 	// Sequential disables parallel execution across runs (used by tests
 	// that need strict run ordering; results are identical either way).
 	Sequential bool
+	// Fault optionally injects the same fault plan into every run.
+	Fault *fault.Plan
+	// Limits optionally arms the simulator watchdogs on every run, so a
+	// wedged run becomes a per-run error instead of hanging the sweep.
+	Limits sim.Limits
+	// Retries is how many times a failed run is retried with a freshly
+	// derived seed (RetrySeed) before its error is recorded (default 0).
+	Retries int
 }
 
 // ConfigResult holds all runs of one configuration.
 type ConfigResult struct {
 	// Config is the machine configuration of this cell.
 	Config cpu.Config
-	// Results are the per-run outcomes, in run order.
+	// Results are the per-run outcomes, in run order; failed runs hold
+	// the zero Result.
 	Results []workload.Result
-	// Values are the per-run primary metric values, in run order.
+	// Values are the per-run primary metric values, in run order; failed
+	// runs hold NaN so run columns stay aligned.
 	Values []float64
-	// Summary summarises Values.
+	// Errs are the per-run errors, in run order (nil entries for
+	// successes).
+	Errs []error
+	// Summary summarises the successful Values only.
 	Summary stats.Summary
+}
+
+// Failed returns the number of failed runs in this cell.
+func (cr *ConfigResult) Failed() int {
+	n := 0
+	for _, err := range cr.Errs {
+		if err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Outcome is a completed experiment.
@@ -128,6 +246,7 @@ func (e Experiment) Run() *Outcome {
 		}
 	}
 	results := make([]workload.Result, len(cells))
+	errs := make([]error, len(cells))
 
 	workers := runtime.GOMAXPROCS(0)
 	if e.Sequential || workers < 1 {
@@ -141,12 +260,23 @@ func (e Experiment) Run() *Outcome {
 			defer wg.Done()
 			for i := range next {
 				cl := cells[i]
-				results[i] = Execute(RunSpec{
-					Workload: e.Workload,
-					Config:   configs[cl.cfg],
-					Sched:    e.Sched,
-					Seed:     RunSeed(base, cl.cfg, cl.run),
-				})
+				// ExecuteSafe isolates a panicking or wedged run to its
+				// own cell: the worker survives and the remaining cells
+				// still execute. Each retry derives a fresh seed; the
+				// recorded error is the last attempt's.
+				for attempt := 0; attempt <= e.Retries; attempt++ {
+					results[i], errs[i] = ExecuteSafe(RunSpec{
+						Workload: e.Workload,
+						Config:   configs[cl.cfg],
+						Sched:    e.Sched,
+						Seed:     RetrySeed(base, cl.cfg, cl.run, attempt),
+						Fault:    e.Fault,
+						Limits:   e.Limits,
+					})
+					if errs[i] == nil {
+						break
+					}
+				}
 			}
 		}()
 	}
@@ -161,8 +291,13 @@ func (e Experiment) Run() *Outcome {
 		cr := ConfigResult{Config: cfg}
 		sample := &stats.Sample{}
 		for r := 0; r < runs; r++ {
-			res := results[c*runs+r]
+			res, err := results[c*runs+r], errs[c*runs+r]
 			cr.Results = append(cr.Results, res)
+			cr.Errs = append(cr.Errs, err)
+			if err != nil {
+				cr.Values = append(cr.Values, math.NaN())
+				continue
+			}
 			cr.Values = append(cr.Values, res.Value)
 			sample.Add(res.Value)
 			if out.Metric == "" {
@@ -172,6 +307,20 @@ func (e Experiment) Run() *Outcome {
 		}
 		cr.Summary = sample.Summarize()
 		out.PerConfig = append(out.PerConfig, cr)
+	}
+	return out
+}
+
+// Errors returns every per-run error across the sweep, in (config, run)
+// order, with nils elided. An empty slice means every run succeeded.
+func (o *Outcome) Errors() []error {
+	var out []error
+	for _, cr := range o.PerConfig {
+		for _, err := range cr.Errs {
+			if err != nil {
+				out = append(out, err)
+			}
+		}
 	}
 	return out
 }
@@ -226,12 +375,20 @@ func (o *Outcome) ScalabilityFit() stats.LinearFit {
 	}
 	var xs, ys []float64
 	for _, cr := range o.PerConfig {
+		if cr.Summary.N == 0 {
+			continue // every run of this configuration failed
+		}
 		p := cr.Config.ComputePower()
 		if !o.HigherIsBetter {
 			p = 1 / p
 		}
 		xs = append(xs, p)
 		ys = append(ys, cr.Summary.Mean)
+	}
+	if len(xs) < 2 {
+		// Too few surviving configurations to fit; report a null fit
+		// rather than crashing a partially failed sweep.
+		return stats.LinearFit{}
 	}
 	return stats.FitLinear(xs, ys)
 }
@@ -253,6 +410,9 @@ func (o *Outcome) Speedups(baseline cpu.Config) ([]stats.Summary, error) {
 	for i, cr := range o.PerConfig {
 		s := &stats.Sample{}
 		for _, v := range cr.Values {
+			if math.IsNaN(v) {
+				continue // failed run
+			}
 			s.Add(stats.Speedup(baseMean, v, o.HigherIsBetter))
 		}
 		out[i] = s.Summarize()
@@ -270,7 +430,9 @@ func (o *Outcome) Speedups(baseline cpu.Config) ([]stats.Summary, error) {
 func (o *Outcome) ScalabilityRank() float64 {
 	var xs, ys []float64
 	for _, cr := range o.PerConfig {
-		xs = append(xs, cr.Config.ComputePower())
+		if cr.Summary.N == 0 {
+			continue // every run of this configuration failed
+		}
 		v := cr.Summary.Mean
 		if !o.HigherIsBetter {
 			if v == 0 {
@@ -278,6 +440,7 @@ func (o *Outcome) ScalabilityRank() float64 {
 			}
 			v = 1 / v
 		}
+		xs = append(xs, cr.Config.ComputePower())
 		ys = append(ys, v)
 	}
 	return stats.Spearman(xs, ys)

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/fault"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+)
+
+// crashProbe panics on selected configurations, succeeds elsewhere.
+type crashProbe struct {
+	crashOn string // config string that panics; "" = never
+}
+
+func (w crashProbe) Name() string { return "crash-probe" }
+
+func (w crashProbe) Run(pl *workload.Platform) workload.Result {
+	if pl.Config.String() == w.crashOn {
+		panic(fmt.Sprintf("crash-probe: injected crash on %s", pl.Config))
+	}
+	pl.Env.Go("probe", func(p *sim.Proc) { p.Compute(1e6) })
+	pl.Env.Run()
+	return workload.Result{Metric: "throughput", Value: pl.Config.ComputePower(), HigherIsBetter: true}
+}
+
+// wedgeProbe spins virtual time forever — the workload bug the
+// watchdogs exist for. Without limits it would hang the sweep.
+type wedgeProbe struct{}
+
+func (wedgeProbe) Name() string { return "wedge-probe" }
+
+func (wedgeProbe) Run(pl *workload.Platform) workload.Result {
+	pl.Env.Go("spinner", func(p *sim.Proc) {
+		for {
+			p.Sleep(simtime.Second)
+		}
+	})
+	pl.Env.Run()
+	return workload.Result{Metric: "throughput", Value: 1, HigherIsBetter: true}
+}
+
+// flakyProbe fails the first attempt of every configuration and
+// succeeds afterwards — exercising the retry path. (Real workload
+// models are stateless; the counter here exists only to simulate
+// first-attempt flakiness. Use Runs=1 so "per config" means "per
+// cell".)
+type flakyProbe struct {
+	mu   *sync.Mutex
+	seen map[string]int
+}
+
+func newFlakyProbe() flakyProbe {
+	return flakyProbe{mu: &sync.Mutex{}, seen: map[string]int{}}
+}
+
+func (flakyProbe) Name() string { return "flaky-probe" }
+
+func (w flakyProbe) Run(pl *workload.Platform) workload.Result {
+	w.mu.Lock()
+	attempt := w.seen[pl.Config.String()]
+	w.seen[pl.Config.String()]++
+	w.mu.Unlock()
+	if attempt == 0 {
+		panic("flaky-probe: first attempt fails")
+	}
+	return workload.Result{Metric: "throughput", Value: pl.Config.ComputePower(), HigherIsBetter: true}
+}
+
+// mustConfigs parses a list of configuration strings.
+func mustConfigs(ss ...string) []cpu.Config {
+	out := make([]cpu.Config, len(ss))
+	for i, s := range ss {
+		out[i] = cpu.MustParseConfig(s)
+	}
+	return out
+}
+
+// TestExperimentSurvivesPanickingRun: a run that panics mid-sweep must
+// become a per-run error; every other cell still completes, through the
+// parallel worker-pool path.
+func TestExperimentSurvivesPanickingRun(t *testing.T) {
+	exp := Experiment{
+		Name:     "panic isolation",
+		Workload: crashProbe{crashOn: "2f-2s/8"},
+		Configs:  mustConfigs("4f-0s", "2f-2s/8", "0f-4s/8"),
+		Runs:     3,
+	}
+	o := exp.Run()
+
+	if got := len(o.Errors()); got != 3 {
+		t.Fatalf("errors = %d, want 3 (every run of the crashing config)", got)
+	}
+	bad := o.PerConfig[1]
+	if bad.Failed() != 3 || bad.Summary.N != 0 {
+		t.Fatalf("crashing config: failed=%d N=%d, want 3/0", bad.Failed(), bad.Summary.N)
+	}
+	for _, i := range []int{0, 2} {
+		cr := o.PerConfig[i]
+		if cr.Failed() != 0 || cr.Summary.N != 3 {
+			t.Fatalf("healthy config %s: failed=%d N=%d", cr.Config, cr.Failed(), cr.Summary.N)
+		}
+	}
+	for _, v := range bad.Values {
+		if !math.IsNaN(v) {
+			t.Fatalf("failed run value = %v, want NaN", v)
+		}
+	}
+	if !strings.Contains(bad.Errs[0].Error(), "injected crash") {
+		t.Fatalf("error %q does not carry the panic value", bad.Errs[0])
+	}
+	// Analysis degrades instead of crashing: the fit skips the dead
+	// config, Classify still produces a judgement.
+	if fit := o.ScalabilityFit(); fit.R2 == 0 {
+		t.Fatal("fit over surviving configs is null")
+	}
+	_ = Classify(o)
+}
+
+// TestExperimentSurvivesWedgedRun: with watchdogs armed, a workload
+// that never terminates becomes a per-run error-bearing partial
+// Outcome — no hang, no crash.
+func TestExperimentSurvivesWedgedRun(t *testing.T) {
+	exp := Experiment{
+		Name:     "wedge isolation",
+		Workload: wedgeProbe{},
+		Configs:  mustConfigs("4f-0s", "0f-4s/8"),
+		Runs:     2,
+		Limits:   sim.Limits{MaxVirtualTime: 10 * simtime.Second},
+	}
+	o := exp.Run()
+
+	if got := len(o.Errors()); got != 4 {
+		t.Fatalf("errors = %d, want every run to trip the watchdog", got)
+	}
+	var werr *sim.WatchdogError
+	if !errors.As(o.Errors()[0], &werr) {
+		t.Fatalf("error %v does not wrap *sim.WatchdogError", o.Errors()[0])
+	}
+	// The partial outcome still reports all cells.
+	if len(o.PerConfig) != 2 || len(o.PerConfig[0].Values) != 2 {
+		t.Fatal("partial outcome lost cells")
+	}
+}
+
+// TestExecuteSafeDeadlock: a genuine workload deadlock surfaces as
+// *sim.DeadlockError through ExecuteSafe.
+func TestExecuteSafeDeadlock(t *testing.T) {
+	deadlocker := workloadFunc(func(pl *workload.Platform) workload.Result {
+		b := sim.NewBarrier(2)
+		pl.Env.Go("half-barrier", func(p *sim.Proc) {
+			p.Compute(1e6)
+			b.Wait(p) // partner never arrives
+		})
+		pl.Env.RunUntil(5 * simtime.Second)
+		return workload.Result{Metric: "x", Value: 1}
+	})
+	_, err := ExecuteSafe(RunSpec{
+		Workload: deadlocker,
+		Config:   cpu.MustParseConfig("4f-0s"),
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     1,
+		Limits:   sim.Limits{DetectDeadlock: true},
+	})
+	var derr *sim.DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("err = %v, want *sim.DeadlockError", err)
+	}
+	if !strings.Contains(err.Error(), "half-barrier") {
+		t.Fatalf("error %q does not name the blocked proc", err)
+	}
+}
+
+// workloadFunc adapts a function to the Workload interface.
+type workloadFunc func(pl *workload.Platform) workload.Result
+
+func (workloadFunc) Name() string                                { return "func" }
+func (f workloadFunc) Run(pl *workload.Platform) workload.Result { return f(pl) }
+
+// TestRetryRecoversFlakyRun: Retries reruns a failed cell with a fresh
+// derived seed; one retry turns an all-fail sweep into an all-pass one.
+func TestRetryRecoversFlakyRun(t *testing.T) {
+	cfgs := mustConfigs("4f-0s", "0f-4s/8")
+
+	noRetry := Experiment{Workload: newFlakyProbe(), Configs: cfgs, Runs: 1, BaseSeed: 1}
+	if got := len(noRetry.Run().Errors()); got != 2 {
+		t.Fatalf("without retries: errors = %d, want 2", got)
+	}
+	withRetry := Experiment{Workload: newFlakyProbe(), Configs: cfgs, Runs: 1, BaseSeed: 1, Retries: 1}
+	o := withRetry.Run()
+	if got := len(o.Errors()); got != 0 {
+		t.Fatalf("with retry: errors = %v, want none", o.Errors())
+	}
+	for _, cr := range o.PerConfig {
+		if cr.Summary.N != 1 {
+			t.Fatalf("config %s recovered %d runs, want 1", cr.Config, cr.Summary.N)
+		}
+	}
+}
+
+// TestRetrySeedContract: attempt 0 must equal RunSeed exactly (so
+// retry-free sweeps are bit-identical to the pre-resilience framework)
+// and later attempts must differ.
+func TestRetrySeedContract(t *testing.T) {
+	for c := 0; c < 3; c++ {
+		for r := 0; r < 3; r++ {
+			if RetrySeed(7, c, r, 0) != RunSeed(7, c, r) {
+				t.Fatalf("RetrySeed(.., 0) != RunSeed for cell (%d,%d)", c, r)
+			}
+			if RetrySeed(7, c, r, 1) == RunSeed(7, c, r) {
+				t.Fatalf("retry seed collides with original for cell (%d,%d)", c, r)
+			}
+		}
+	}
+}
+
+// TestFaultSweepDeterministic: identical fault-injected experiments
+// produce identical outcomes, sequentially and in parallel.
+func TestFaultSweepDeterministic(t *testing.T) {
+	plan, err := fault.Parse("throttle@5ms:0:0.25,stall@10ms:2ms,restore@15ms:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(seq bool) *Outcome {
+		return Experiment{
+			Name:       "det",
+			Workload:   powerProbe{asymNoise: 0.2},
+			Configs:    mustConfigs("4f-0s", "3f-1s/8", "2f-2s/8"),
+			Runs:       4,
+			BaseSeed:   11,
+			Sequential: seq,
+			Fault:      plan,
+			Limits:     sim.Limits{MaxVirtualTime: simtime.Minute},
+		}.Run()
+	}
+	a, b, c := build(true), build(false), build(false)
+	for i := range a.PerConfig {
+		for j := range a.PerConfig[i].Values {
+			av, bv, cv := a.PerConfig[i].Values[j], b.PerConfig[i].Values[j], c.PerConfig[i].Values[j]
+			if av != bv || bv != cv {
+				t.Fatalf("cell (%d,%d) differs: seq=%v par=%v par=%v", i, j, av, bv, cv)
+			}
+		}
+	}
+}
+
+// TestExecuteSafeTeardownFailure: a run whose procs refuse to die at
+// Close is reported as an error, not a panic.
+func TestExecuteSafeInvalidPlan(t *testing.T) {
+	plan, err := fault.Parse("offline@1s:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ExecuteSafe(RunSpec{
+		Workload: crashProbe{},
+		Config:   cpu.MustParseConfig("4f-0s"),
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     1,
+		Fault:    plan,
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want fault-plan validation error", err)
+	}
+}

@@ -21,6 +21,11 @@ import (
 // 2.8 GHz Xeon.
 const BaseHz = 2.8e9
 
+// MaxCores bounds the machine size ParseConfig accepts. The study's
+// machines have 4 cores; 64 leaves room for scaled-up experiments while
+// rejecting typo-sized configurations before they allocate a machine.
+const MaxCores = 64
+
 // DutySteps are the duty-cycle settings supported by the clock-modulation
 // hardware (plus full speed), per the paper's methodology section.
 var DutySteps = []float64{0.125, 0.25, 0.375, 0.5, 0.635, 0.75, 0.875, 1.0}
@@ -160,6 +165,9 @@ func ParseConfig(s string) (Config, error) {
 	}
 	if cfg.Fast < 0 || cfg.Slow < 0 || cfg.Fast+cfg.Slow == 0 {
 		return Config{}, fmt.Errorf("cpu: configuration %q has no cores", orig)
+	}
+	if n := cfg.Fast + cfg.Slow; n > MaxCores {
+		return Config{}, fmt.Errorf("cpu: configuration %q has %d cores; at most %d are supported", orig, n, MaxCores)
 	}
 	return cfg, nil
 }

@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	const text = "throttle@1.5s:0:0.125,restore@3.5s:0,offline@1.5s:1,online@3.5s:1,stall@2s:50ms"
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(p.Events))
+	}
+	want := []Event{
+		ThrottleAt(1500*simtime.Millisecond, 0, 0.125),
+		RestoreAt(3500*simtime.Millisecond, 0),
+		OfflineAt(1500*simtime.Millisecond, 1),
+		OnlineAt(3500*simtime.Millisecond, 1),
+		StallAt(2*simtime.Second, 50*simtime.Millisecond),
+	}
+	for i, e := range p.Events {
+		if e != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	// String → Parse must round-trip exactly.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	for i := range p.Events {
+		if p.Events[i] != p2.Events[i] {
+			t.Fatalf("round-trip event %d: %+v vs %+v", i, p.Events[i], p2.Events[i])
+		}
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	for text, want := range map[string]simtime.Time{
+		"stall@250us:10ns": 250 * simtime.Microsecond,
+		"stall@2min:1s":    2 * simtime.Minute,
+	} {
+		p, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if got := p.Events[0].At; got != want {
+			t.Fatalf("%q: at = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"nope@1s:0",           // unknown kind
+		"throttle@1s:0",       // missing duty
+		"throttle@1s:0:0.5:x", // extra field
+		"offline@1s",          // missing core
+		"offline@1s:zero",     // bad core
+		"throttle@1s:0:fast",  // bad duty
+		"stall@1s:forever",    // bad duration
+		"stall@1:1s",          // missing unit
+		"offline:1s:0",        // no @
+		"stall@-1s:1s",        // negative time
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted", text)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		plan string
+		ok   bool
+	}{
+		{"throttle@1s:0:0.5", true},
+		{"throttle@1s:4:0.5", false}, // core out of range
+		{"throttle@1s:0:1.5", false}, // duty > 1
+		{"throttle@1s:0:0", false},   // duty 0
+		{"offline@1s:3,online@2s:3", true},
+		{"offline@1s:-1", false},
+		{"stall@1s:50ms", true},
+		{"stall@1s:0s", false}, // zero stall
+	} {
+		p, err := Parse(tc.plan)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.plan, err)
+		}
+		err = p.Validate(4)
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%q) = %v, want ok=%v", tc.plan, err, tc.ok)
+		}
+	}
+	var nilPlan *Plan
+	if !nilPlan.Empty() || nilPlan.Validate(1) != nil || nilPlan.String() != "" {
+		t.Error("nil plan must be empty, valid and render empty")
+	}
+}
+
+// TestScheduleEndToEnd drives a two-core rig through a throttle/restore
+// and an offline/online cycle and checks the scheduler state at
+// sampled times.
+func TestScheduleEndToEnd(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := sched.Defaults(sched.PolicyNaive)
+	opt.RandomWakeups = false
+	s := sched.New(env, cpu.NewMachine(1.0, 0.5), opt)
+	defer env.Close()
+
+	plan, err := Parse("throttle@1s:0:0.25,offline@1s:1,stall@2s:100ms,restore@3s:0,online@3s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	plan.Schedule(env, s)
+
+	type sample struct {
+		duty0   float64
+		online1 bool
+	}
+	samples := map[simtime.Time]*sample{}
+	for _, at := range []simtime.Time{1500 * simtime.Millisecond, 3500 * simtime.Millisecond} {
+		at := at
+		samples[at] = &sample{}
+		env.At(at, func() { samples[at] = &sample{s.Duty(0), s.Online(1)} })
+	}
+	env.RunUntil(4 * simtime.Second)
+
+	mid := samples[1500*simtime.Millisecond]
+	if mid.duty0 != 0.25 || mid.online1 {
+		t.Fatalf("mid-fault state = %+v, want duty0=0.25 offline", mid)
+	}
+	// Restore must return core 0 to its *configured* 1.0 (not the
+	// machine-wide max or the asymmetric sibling's 0.5).
+	end := samples[3500*simtime.Millisecond]
+	if end.duty0 != 1.0 || !end.online1 {
+		t.Fatalf("post-fault state = %+v, want duty0=1 online", end)
+	}
+	st := s.Stats()
+	if st.Offlines != 1 || st.Onlines != 1 || st.Stalls != 1 {
+		t.Fatalf("stats = %+v, want one of each fault", st)
+	}
+}
+
+// TestRestoreAsymmetricBase: restore on a throttled slow core returns to
+// its own base duty, not the fast core's.
+func TestRestoreAsymmetricBase(t *testing.T) {
+	env := sim.NewEnv(1)
+	s := sched.New(env, cpu.NewMachine(1.0, 0.5), sched.Defaults(sched.PolicyNaive))
+	defer env.Close()
+
+	plan, _ := Parse("throttle@1s:1:0.125,restore@2s:1")
+	plan.Schedule(env, s)
+	env.RunUntil(3 * simtime.Second)
+	if d := s.Duty(1); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("restored duty = %v, want the configured 0.5", d)
+	}
+}
+
+// TestStallDelaysWork: a plan-injected stall shifts completion by its
+// duration, deterministically across runs.
+func TestStallDelaysWork(t *testing.T) {
+	run := func(planText string) simtime.Time {
+		env := sim.NewEnv(9)
+		opt := sched.Defaults(sched.PolicyNaive)
+		opt.MigrationCost = 0
+		opt.RandomWakeups = false
+		s := sched.New(env, cpu.NewMachine(1.0), opt)
+		defer env.Close()
+		plan, err := Parse(planText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Schedule(env, s)
+		var done simtime.Time
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(cpu.BaseHz)
+			done = p.Now()
+		})
+		env.Run()
+		return done
+	}
+	base := run("")
+	stalled := run("stall@500ms:250ms")
+	if delta := stalled - base; math.Abs(float64(delta)-0.25) > 1e-9 {
+		t.Fatalf("stall shifted completion by %v, want 250ms", delta)
+	}
+	if again := run("stall@500ms:250ms"); again != stalled {
+		t.Fatalf("stall run not deterministic: %v vs %v", again, stalled)
+	}
+}
+
+func TestEventStringForms(t *testing.T) {
+	for _, tc := range []struct {
+		e    Event
+		want string
+	}{
+		{ThrottleAt(1500*simtime.Millisecond, 0, 0.125), "throttle@1.5s:0:0.125"},
+		{RestoreAt(simtime.Second, 2), "restore@1s:2"},
+		{StallAt(2*simtime.Second, 50*simtime.Millisecond), "stall@2s:0.05s"},
+	} {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	p, _ := Parse("offline@1s:0,online@2s:0")
+	if !strings.Contains(p.String(), "offline@1s:0,online@2s:0") {
+		t.Errorf("plan String() = %q", p.String())
+	}
+}

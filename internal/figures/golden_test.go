@@ -49,3 +49,30 @@ func TestGoldenArtifact(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenFaultArtifact regenerates the fault-injection extension at
+// full resolution and requires byte-identical output to its committed
+// seed-1 artifact. Fault injection rides entirely on the deterministic
+// engine, so this also pins down that injected faults reproduce exactly:
+//
+//	go run ./cmd/asmp-run -fig fault -out results
+func TestGoldenFaultArtifact(t *testing.T) {
+	path := filepath.Join(filepath.Dir(goldenPath(t)), "fig-fault.txt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("golden artifact not available: %v", err)
+	}
+	golden := string(raw)
+	f, ok := Get("fault")
+	if !ok {
+		t.Fatal("figure fault missing")
+	}
+	for ti, tb := range f.Run(Options{Seed: 1}) {
+		s := tb.String()
+		if !strings.Contains(golden, s) {
+			t.Errorf("fault figure table %d diverged from results/fig-fault.txt;\n"+
+				"if the model change is intentional, regenerate the artifact\n"+
+				"regenerated:\n%s", ti, s)
+		}
+	}
+}

@@ -5,6 +5,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"unicode/utf8"
 
@@ -164,19 +165,40 @@ func OutcomeTable(o *core.Outcome) *Table {
 		t.Columns = append(t.Columns, fmt.Sprintf("run%d", i+1))
 	}
 	t.Columns = append(t.Columns, "mean", "±err", "CoV")
+	failed := 0
+	var firstErr error
 	for _, cr := range o.PerConfig {
 		row := []string{cr.Config.String(), F(cr.Config.ComputePower())}
 		for i := 0; i < maxRuns; i++ {
-			if i < len(cr.Values) {
-				row = append(row, F(cr.Values[i]))
-			} else {
+			switch {
+			case i >= len(cr.Values):
 				row = append(row, "")
+			case math.IsNaN(cr.Values[i]):
+				// A failed run: keep the column aligned but mark it.
+				row = append(row, "ERR")
+			default:
+				row = append(row, F(cr.Values[i]))
 			}
 		}
-		row = append(row, F(cr.Summary.Mean), F(cr.Summary.ErrorBar()), F(cr.Summary.CoV))
+		if cr.Summary.N == 0 {
+			row = append(row, "ERR", "—", "—")
+		} else {
+			row = append(row, F(cr.Summary.Mean), F(cr.Summary.ErrorBar()), F(cr.Summary.CoV))
+		}
 		t.Rows = append(t.Rows, row)
+		for _, err := range cr.Errs {
+			if err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
 	}
 	t.AddNote("metric: %s", o.Metric)
+	if failed > 0 {
+		t.AddNote("%d run(s) failed; summaries cover successful runs only. first error: %v", failed, firstErr)
+	}
 	return t
 }
 

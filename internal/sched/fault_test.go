@@ -1,0 +1,317 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/trace"
+)
+
+// TestOfflineDrainsAndMigrates: taking a core offline must move its
+// running and queued tasks to the remaining cores and never dispatch on
+// the dead core afterwards.
+func TestOfflineDrainsAndMigrates(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	opt.RandomWakeups = false
+	s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+	t.Cleanup(env.Close)
+
+	var finish []simtime.Time
+	for i := 0; i < 2; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(2 * cpu.BaseHz) // 2s of work each
+			finish = append(finish, p.Now())
+		})
+	}
+	// At 0.5s, kill core 1. Its task must finish on core 0.
+	env.After(500*simtime.Millisecond, func() { s.SetOnline(1, false) })
+	env.Run()
+
+	if len(finish) != 2 {
+		t.Fatalf("finished %d of 2 tasks", len(finish))
+	}
+	// 4s of work total; 1s retires two-wide before the unplug, and the
+	// remaining 3s serialises on core 0 → last finish at 0.5 + 3 = 3.5s.
+	if last := float64(finish[1]); math.Abs(last-3.5) > 1e-6 {
+		t.Fatalf("last finish %v, want 3.5s after losing a core at 0.5s", last)
+	}
+	st := s.Stats()
+	if st.Offlines != 1 || st.DrainMigrations != 1 {
+		t.Fatalf("Offlines=%d DrainMigrations=%d, want 1/1", st.Offlines, st.DrainMigrations)
+	}
+	if st.BusySeconds[1] > 0.5+1e-9 {
+		t.Fatalf("offline core stayed busy: %v", st.BusySeconds[1])
+	}
+	if !s.Online(0) || s.Online(1) {
+		t.Fatalf("online flags wrong: %v %v", s.Online(0), s.Online(1))
+	}
+}
+
+// TestOfflineStrandsAffineTask: a thread pinned to the offlined core
+// waits (stranded) and resumes when the core returns.
+func TestOfflineStrandsAffineTask(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	opt.RandomWakeups = false
+	s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+	t.Cleanup(env.Close)
+
+	var pinnedDone, freeDone simtime.Time
+	env.Go("pinned", func(p *sim.Proc) {
+		p.SetAffinity(sim.Single(1))
+		p.Compute(2 * cpu.BaseHz)
+		pinnedDone = p.Now()
+	})
+	env.Go("free", func(p *sim.Proc) {
+		p.Compute(2 * cpu.BaseHz)
+		freeDone = p.Now()
+	})
+	env.After(1*simtime.Second, func() { s.SetOnline(1, false) })
+	env.After(3*simtime.Second, func() { s.SetOnline(1, true) })
+	env.Run()
+
+	// pinned: 1s of progress, stranded for 2s, then 1s more → done at 4s.
+	if math.Abs(float64(pinnedDone)-4) > 1e-6 {
+		t.Fatalf("pinned finished at %v, want 4s (stranded 2s)", pinnedDone)
+	}
+	// free ran uninterrupted on core 0 → done at 2s.
+	if math.Abs(float64(freeDone)-2) > 1e-6 {
+		t.Fatalf("free finished at %v, want 2s", freeDone)
+	}
+	if st := s.Stats(); st.Onlines != 1 {
+		t.Fatalf("Onlines=%d, want 1", st.Onlines)
+	}
+}
+
+// TestRescueStrandedOnOtherCoreReturning: a task allowed on cores {0,1},
+// both offline, strands on core 0; when core 1 (not its strand host)
+// returns, the rescue pass must move it there.
+func TestRescueStrandedOnOtherCoreReturning(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	opt.RandomWakeups = false
+	s := New(env, cpu.NewMachine(1.0, 1.0, 1.0), opt)
+	t.Cleanup(env.Close)
+
+	var done simtime.Time
+	env.Go("duo", func(p *sim.Proc) {
+		p.SetAffinity(sim.Single(0).Set(1))
+		p.Sleep(time500ms)
+		p.Compute(cpu.BaseHz)
+		done = p.Now()
+	})
+	// Both allowed cores die before the task wakes; core 1 returns at 2s.
+	env.After(100*simtime.Millisecond, func() {
+		s.SetOnline(0, false)
+		s.SetOnline(1, false)
+	})
+	env.After(2*simtime.Second, func() { s.SetOnline(1, true) })
+	env.Run()
+
+	// Strand from 0.5s to 2s, then 1s of work → 3s.
+	if math.Abs(float64(done)-3) > 1e-6 {
+		t.Fatalf("finished at %v, want 3s", done)
+	}
+}
+
+const time500ms = 500 * simtime.Millisecond
+
+// TestOfflineRerouteWakeups: after a core goes offline, new wakeups
+// (including sticky returns to the dead core) must land elsewhere under
+// every policy.
+func TestOfflineRerouteWakeups(t *testing.T) {
+	for _, pol := range []Policy{PolicyNaive, PolicyAsymmetryAware, PolicyRankAware} {
+		env := sim.NewEnv(7)
+		opt := Defaults(pol)
+		opt.MigrationCost = 0
+		s := New(env, cpu.NewMachine(1.0, 0.5), opt)
+		buf := trace.New(4096)
+		s.SetTracer(buf)
+
+		env.Go("sleeper", func(p *sim.Proc) {
+			for i := 0; i < 20; i++ {
+				p.Compute(1e6)
+				p.Sleep(50 * simtime.Millisecond)
+			}
+		})
+		env.After(200*simtime.Millisecond, func() { s.SetOnline(0, false) })
+		env.Run()
+
+		for _, e := range buf.Filter(func(e trace.Event) bool { return e.Kind == trace.Dispatch }) {
+			if e.At > 200*simtime.Millisecond && e.Core == 0 {
+				t.Fatalf("policy %v dispatched on offline core at %v", pol, e.At)
+			}
+		}
+		env.Close()
+	}
+}
+
+// TestStallPausesEveryCore: a machine-wide stall must stop all progress
+// for its duration and resume all cores afterwards, with no task loss.
+func TestStallPausesEveryCore(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	opt.RandomWakeups = false
+	s := New(env, cpu.NewMachine(1.0, 1.0), opt)
+	t.Cleanup(env.Close)
+
+	var finish []simtime.Time
+	for i := 0; i < 2; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(2 * cpu.BaseHz)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.After(1*simtime.Second, func() { s.Stall(500 * simtime.Millisecond) })
+	env.Run()
+
+	if len(finish) != 2 {
+		t.Fatalf("finished %d of 2", len(finish))
+	}
+	// 2s of work per core + 0.5s stall → both finish at 2.5s.
+	for _, f := range finish {
+		if math.Abs(float64(f)-2.5) > 1e-6 {
+			t.Fatalf("finish %v, want 2.5s (2s work + 0.5s stall)", f)
+		}
+	}
+	st := s.Stats()
+	if st.Stalls != 1 {
+		t.Fatalf("Stalls=%d, want 1", st.Stalls)
+	}
+	// No migration happened: each task resumed on its own core.
+	if st.Migrations != 0 {
+		t.Fatalf("stall migrated tasks: %d", st.Migrations)
+	}
+	if s.Stalled() {
+		t.Fatal("still stalled after run")
+	}
+}
+
+// TestStallOverlapExtends: overlapping stalls extend to the latest end.
+func TestStallOverlapExtends(t *testing.T) {
+	env := sim.NewEnv(1)
+	opt := Defaults(PolicyNaive)
+	opt.MigrationCost = 0
+	opt.RandomWakeups = false
+	s := New(env, cpu.NewMachine(1.0), opt)
+	t.Cleanup(env.Close)
+
+	var done simtime.Time
+	env.Go("w", func(p *sim.Proc) {
+		p.Compute(cpu.BaseHz)
+		done = p.Now()
+	})
+	env.After(100*simtime.Millisecond, func() { s.Stall(200 * simtime.Millisecond) })
+	env.After(200*simtime.Millisecond, func() { s.Stall(400 * simtime.Millisecond) })
+	env.Run()
+
+	// 1s of work stalled from 0.1s to 0.6s → done at 1.5s.
+	if math.Abs(float64(done)-1.5) > 1e-6 {
+		t.Fatalf("finished at %v, want 1.5s with merged stalls", done)
+	}
+	if st := s.Stats(); st.Stalls != 1 {
+		t.Fatalf("Stalls=%d, want 1 (extension is not a new stall)", st.Stalls)
+	}
+}
+
+// TestSetDutyReRanksAwarePolicy: when a fast core is throttled below an
+// idle slower core, the aware policy must react to the re-ranking by
+// migrating the running task; the naive policy must not.
+func TestSetDutyReRanksAwarePolicy(t *testing.T) {
+	run := func(pol Policy) (doneAt simtime.Time, forced int) {
+		env := sim.NewEnv(1)
+		opt := Defaults(pol)
+		opt.MigrationCost = 0
+		opt.RandomWakeups = false
+		s := New(env, cpu.NewMachine(1.0, 0.5), opt)
+		defer env.Close()
+
+		env.Go("w", func(p *sim.Proc) {
+			p.Compute(2 * cpu.BaseHz) // placed on core 0 (fastest/first)
+			doneAt = p.Now()
+		})
+		// Throttle core 0 to 1/8 at 1s; core 1 (0.5x) is now the fast one.
+		env.After(1*simtime.Second, func() { s.SetDuty(0, 0.125) })
+		env.Run()
+		return doneAt, s.Stats().ForcedMigrations
+	}
+
+	awareDone, awareForced := run(PolicyAsymmetryAware)
+	naiveDone, naiveForced := run(PolicyNaive)
+
+	// Aware: 1s at full speed leaves 1s-equivalent of work; migrated to
+	// the 0.5x core it takes 2s → done at 3s.
+	if math.Abs(float64(awareDone)-3) > 1e-6 || awareForced != 1 {
+		t.Fatalf("aware: done=%v forced=%d, want 3s with 1 forced migration", awareDone, awareForced)
+	}
+	// Naive stays on the throttled core: remaining 1s of work at 1/8 speed
+	// takes 8s → done at 9s.
+	if math.Abs(float64(naiveDone)-9) > 1e-6 || naiveForced != 0 {
+		t.Fatalf("naive: done=%v forced=%d, want 9s with 0 forced migrations", naiveDone, naiveForced)
+	}
+}
+
+// TestFaultDeterminism: the same fault sequence under the same seed
+// yields byte-identical scheduler statistics.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() Stats {
+		env := sim.NewEnv(42)
+		s := New(env, cpu.NewMachine(1.0, 1.0, 0.5, 0.5), Defaults(PolicyNaive))
+		defer env.Close()
+		for i := 0; i < 6; i++ {
+			env.Go("w", func(p *sim.Proc) {
+				for j := 0; j < 10; j++ {
+					p.Compute(50e6)
+					p.Sleep(10 * simtime.Millisecond)
+				}
+			})
+		}
+		env.After(100*simtime.Millisecond, func() { s.SetOnline(3, false) })
+		env.After(200*simtime.Millisecond, func() { s.Stall(50 * simtime.Millisecond) })
+		env.After(300*simtime.Millisecond, func() { s.SetDuty(0, 0.25) })
+		env.After(400*simtime.Millisecond, func() { s.SetOnline(3, true) })
+		env.Run()
+		return s.Stats()
+	}
+	a, b := run(), run()
+	if a.Dispatches != b.Dispatches || a.Migrations != b.Migrations ||
+		a.Steals != b.Steals || a.Preemptions != b.Preemptions {
+		t.Fatalf("fault run not deterministic:\n%+v\n%+v", a, b)
+	}
+	for i := range a.BusySeconds {
+		if a.BusySeconds[i] != b.BusySeconds[i] {
+			t.Fatalf("busy[%d] differs: %v vs %v", i, a.BusySeconds[i], b.BusySeconds[i])
+		}
+	}
+}
+
+// TestSetOnlineNoOpAndPanics: double-offline/online are no-ops; bad core
+// IDs panic.
+func TestSetOnlineNoOpAndPanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	s := New(env, cpu.NewMachine(1.0, 1.0), Defaults(PolicyNaive))
+	t.Cleanup(env.Close)
+
+	s.SetOnline(1, false)
+	s.SetOnline(1, false) // no-op
+	s.SetOnline(1, true)
+	s.SetOnline(1, true) // no-op
+	if st := s.Stats(); st.Offlines != 1 || st.Onlines != 1 {
+		t.Fatalf("Offlines=%d Onlines=%d, want 1/1", st.Offlines, st.Onlines)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetOnline(99) did not panic")
+		}
+	}()
+	s.SetOnline(99, false)
+}

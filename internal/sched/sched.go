@@ -124,6 +124,14 @@ type Stats struct {
 	// ForcedMigrations counts the asymmetry-aware policy's preemptive
 	// slow-to-fast moves of running tasks.
 	ForcedMigrations int
+	// Offlines and Onlines count core hot-unplug events (fault
+	// injection).
+	Offlines int
+	Onlines  int
+	// Stalls counts machine-wide stall events.
+	Stalls int
+	// DrainMigrations counts tasks migrated off a core by SetOnline.
+	DrainMigrations int
 	// BusySeconds is the per-core busy time.
 	BusySeconds []float64
 	// RetiredCycles is the per-core retired work.
@@ -148,6 +156,13 @@ type Scheduler struct {
 	invariantViolated  bool
 	balanceEv          *simtime.Event
 	tracer             *trace.Buffer
+
+	// Machine-wide stall state (fault injection): while stalled, no core
+	// dispatches and running tasks are parked at the front of their run
+	// queues.
+	stalled      bool
+	stalledUntil simtime.Time
+	stallEv      *simtime.Event
 }
 
 // coreState is the per-core scheduler state.
@@ -155,6 +170,11 @@ type coreState struct {
 	core    cpu.Core
 	running *task
 	runq    []*task
+
+	// offline marks a hot-unplugged core (fault injection). An offline
+	// core never dispatches; its run queue holds only affinity-stranded
+	// tasks waiting for the core to return.
+	offline bool
 
 	// loadAvg is the exponentially decayed runnable count (time constant
 	// loadAvgTau), mirroring the decayed cpu_load a 2.6-era balancer
@@ -261,6 +281,148 @@ func (s *Scheduler) SetDuty(core int, duty float64) {
 	if c.running != nil {
 		s.scheduleCoreEvent(c)
 	}
+	if (s.opt.Policy == PolicyAsymmetryAware || s.opt.Policy == PolicyRankAware) && !s.stalled {
+		// A speed change re-ranks the cores. Idle cores that were
+		// correctly idle a moment ago may now sit above a newly slowed
+		// core with work, so give every idle core a pull pass and re-arm
+		// balancing. The naive policy is speed-blind by design and does
+		// not react to the change.
+		for _, c := range s.cores {
+			s.onIdle(c)
+		}
+		s.armBalance()
+	}
+}
+
+// SetOnline hot-plugs a core (fault injection). Taking a core offline
+// preempts its running task and drains the run queue through the normal
+// wakeup path, so every displaced thread migrates to an allowed online
+// core. A thread whose affinity mask matches no online core is
+// *stranded*: it parks on the lowest-numbered allowed core's queue and
+// waits for that core (or any allowed core) to return — mirroring how a
+// real hot-unplug leaves a strictly-affine thread unrunnable rather
+// than violating its mask. Bringing a core online rescues stranded
+// threads machine-wide and resumes dispatch. Offlining an offline core
+// (or onlining an online one) is a no-op.
+func (s *Scheduler) SetOnline(core int, online bool) {
+	if core < 0 || core >= len(s.cores) {
+		panic(fmt.Sprintf("sched: SetOnline on unknown core %d", core))
+	}
+	c := s.cores[core]
+	if c.offline != online {
+		return // no-op
+	}
+	s.observeInvariant()
+	if !online {
+		s.stats.Offlines++
+		s.emit(trace.Offline, core, -1, nil)
+		c.offline = true
+		drain := c.runq
+		c.runq = nil
+		if t := c.running; t != nil {
+			s.cancelCoreEvent(c)
+			s.accountRunning(c)
+			c.running = nil
+			drain = append([]*task{t}, drain...)
+		}
+		for _, t := range drain {
+			t.queuedOn = -1
+			s.stats.DrainMigrations++
+			s.place(t)
+		}
+		if len(drain) > 0 {
+			s.armBalance()
+		}
+		return
+	}
+	s.stats.Onlines++
+	s.emit(trace.Online, core, -1, nil)
+	c.offline = false
+	s.rescueStranded()
+	s.dispatch(c)
+	s.onIdle(c)
+	s.armBalance()
+}
+
+// Online reports whether the core is currently online.
+func (s *Scheduler) Online(core int) bool { return !s.cores[core].offline }
+
+// rescueStranded re-places every task parked on a still-offline core.
+// Needed whenever a core returns: a stranded task may now have an online
+// allowed core, and no organic path would move it — the naive policy's
+// steal threshold (2) never pulls a lone stranded task, and offline
+// queues are excluded from balancing.
+func (s *Scheduler) rescueStranded() {
+	for _, c := range s.cores {
+		if !c.offline || len(c.runq) == 0 {
+			continue
+		}
+		q := c.runq
+		c.runq = nil
+		for _, t := range q {
+			t.queuedOn = -1
+			s.place(t) // strands right back if still no online allowed core
+		}
+	}
+}
+
+// Stall pauses the entire machine for d (fault injection, an SMI- or
+// firmware-style transient). Every running task is parked at the head
+// of its own run queue — no migration, no cost — and nothing dispatches
+// until the stall ends. Timer events elsewhere in the simulation still
+// fire; only CPU execution is suspended. Overlapping stalls extend to
+// the latest end time.
+func (s *Scheduler) Stall(d simtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	until := s.env.Now() + simtime.Time(d)
+	if s.stalled {
+		if until > s.stalledUntil {
+			s.env.CancelEvent(s.stallEv)
+			s.stalledUntil = until
+			s.stallEv = s.env.At(until, s.endStall)
+		}
+		return
+	}
+	s.observeInvariant()
+	s.stalled = true
+	s.stalledUntil = until
+	s.stats.Stalls++
+	s.emit(trace.Stall, -1, -1, nil)
+	for _, c := range s.cores {
+		if c.running == nil {
+			continue
+		}
+		s.cancelCoreEvent(c)
+		s.accountRunning(c)
+		t := c.running
+		c.running = nil
+		t.queuedOn = c.core.ID
+		c.runq = append([]*task{t}, c.runq...)
+	}
+	if s.balanceEv != nil {
+		s.env.CancelEvent(s.balanceEv)
+		s.balanceEv = nil
+	}
+	s.stallEv = s.env.At(until, s.endStall)
+}
+
+// Stalled reports whether the machine is currently stalled.
+func (s *Scheduler) Stalled() bool { return s.stalled }
+
+// endStall resumes execution on every core after a Stall elapses.
+func (s *Scheduler) endStall() {
+	s.observeInvariant()
+	s.stalled = false
+	s.stallEv = nil
+	for _, c := range s.cores {
+		s.dispatch(c)
+	}
+	for _, c := range s.cores {
+		s.onIdle(c)
+	}
+	s.armBalance()
 }
 
 // Duty returns a core's current clock duty cycle.
@@ -366,13 +528,29 @@ func (s *Scheduler) ProcExit(p *sim.Proc) {
 func (t *task) allowed(id int) bool { return t.p.Affinity().Has(id) }
 
 // place chooses a core for a newly runnable task and enqueues it there.
+// When every allowed core is offline the task is stranded instead.
 func (s *Scheduler) place(t *task) {
 	target := s.chooseCore(t)
 	if target < 0 {
-		panic(fmt.Sprintf("sched: %v has affinity matching no core", t.p))
+		s.strand(t)
+		return
 	}
 	s.emit(trace.Wake, target, t.lastCore, t)
 	s.enqueue(s.cores[target], t)
+}
+
+// strand parks a task whose allowed cores are all offline on the
+// lowest-numbered allowed core, where it waits for a core to return
+// (see SetOnline for the policy rationale).
+func (s *Scheduler) strand(t *task) {
+	for i := range s.cores {
+		if t.allowed(i) {
+			s.emit(trace.Wake, i, t.lastCore, t)
+			s.enqueue(s.cores[i], t)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: %v has affinity matching no core", t.p))
 }
 
 // chooseCore implements wakeup placement for the active policy.
@@ -403,7 +581,7 @@ func (s *Scheduler) chooseCoreNaive(t *task) int {
 	if t.lastCore < 0 && s.opt.RandomWakeups {
 		var allowed []int
 		for i := range s.cores {
-			if t.allowed(i) {
+			if t.allowed(i) && !s.cores[i].offline {
 				allowed = append(allowed, i)
 			}
 		}
@@ -418,12 +596,12 @@ func (s *Scheduler) chooseCoreNaive(t *task) int {
 	// runnable server process rarely shows one, so its placement
 	// persists for the whole run. This is the paper's instability
 	// mechanism in one line.
-	if t.lastCore >= 0 && t.allowed(t.lastCore) {
+	if t.lastCore >= 0 && t.allowed(t.lastCore) && !s.cores[t.lastCore].offline {
 		return t.lastCore
 	}
 	var idle []int
 	for i, c := range s.cores {
-		if t.allowed(i) && c.idle() {
+		if t.allowed(i) && !c.offline && c.idle() {
 			idle = append(idle, i)
 		}
 	}
@@ -437,7 +615,7 @@ func (s *Scheduler) chooseCoreNaive(t *task) int {
 	best, bestLoad := -1, math.MaxInt
 	var ties []int
 	for i, c := range s.cores {
-		if !t.allowed(i) {
+		if !t.allowed(i) || c.offline {
 			continue
 		}
 		load := c.runnable()
@@ -460,7 +638,7 @@ func (s *Scheduler) chooseCoreNaive(t *task) int {
 func (s *Scheduler) chooseCoreAware(t *task) int {
 	best := -1
 	for i, c := range s.cores {
-		if !t.allowed(i) || !c.idle() {
+		if !t.allowed(i) || c.offline || !c.idle() {
 			continue
 		}
 		if best < 0 || c.core.Duty > s.cores[best].core.Duty {
@@ -472,7 +650,7 @@ func (s *Scheduler) chooseCoreAware(t *task) int {
 	}
 	bestScore := math.Inf(1)
 	for i, c := range s.cores {
-		if !t.allowed(i) {
+		if !t.allowed(i) || c.offline {
 			continue
 		}
 		score := float64(c.runnable()+1) / c.core.Rate()
@@ -489,7 +667,7 @@ func (s *Scheduler) chooseCoreAware(t *task) int {
 func (s *Scheduler) chooseCoreRank(t *task) int {
 	best := -1
 	for i, c := range s.cores {
-		if !t.allowed(i) || !c.idle() {
+		if !t.allowed(i) || c.offline || !c.idle() {
 			continue
 		}
 		if best < 0 || c.core.Duty > s.cores[best].core.Duty {
@@ -501,7 +679,7 @@ func (s *Scheduler) chooseCoreRank(t *task) int {
 	}
 	bestLoad := math.MaxInt
 	for i, c := range s.cores {
-		if !t.allowed(i) {
+		if !t.allowed(i) || c.offline {
 			continue
 		}
 		load := c.runnable()
@@ -548,7 +726,7 @@ func coreID(s *Scheduler, c *coreState) int {
 // dispatch starts the head of the run queue if the core is free.
 func (s *Scheduler) dispatch(c *coreState) {
 	s.observeInvariant()
-	if c.running != nil || len(c.runq) == 0 {
+	if c.offline || s.stalled || c.running != nil || len(c.runq) == 0 {
 		return
 	}
 	t := c.runq[0]
@@ -683,7 +861,7 @@ func (s *Scheduler) reschedule(c *coreState) {
 
 // onIdle runs when a core may have gone idle: it tries to pull work.
 func (s *Scheduler) onIdle(c *coreState) {
-	if !c.idle() {
+	if c.offline || s.stalled || !c.idle() {
 		return
 	}
 	s.emit(trace.Idle, c.core.ID, -1, nil)
@@ -704,7 +882,7 @@ func (s *Scheduler) stealWaiting(c *coreState) bool {
 	id := c.core.ID
 	var victim *coreState
 	for _, v := range s.cores {
-		if v == c || len(v.runq) < s.opt.StealThreshold {
+		if v == c || v.offline || len(v.runq) < s.opt.StealThreshold {
 			continue
 		}
 		if !s.hasStealable(v, id) {
@@ -823,6 +1001,12 @@ func (s *Scheduler) anyWork() bool {
 // balanceTick is the periodic load-balancing pass.
 func (s *Scheduler) balanceTick() {
 	s.balanceEv = nil
+	if s.stalled {
+		// Stall cancels the pending tick, but one already dispatched in
+		// the same instant can still land here; skip and let endStall
+		// re-arm.
+		return
+	}
 	s.observeInvariant()
 	switch s.opt.Policy {
 	case PolicyAsymmetryAware:
@@ -850,9 +1034,15 @@ func (s *Scheduler) balanceNaive() {
 		c   *coreState
 		avg float64
 	}
-	slots := make([]slot, len(s.cores))
-	for i, c := range s.cores {
-		slots[i] = slot{c, c.loadAvg}
+	slots := make([]slot, 0, len(s.cores))
+	for _, c := range s.cores {
+		if c.offline {
+			continue
+		}
+		slots = append(slots, slot{c, c.loadAvg})
+	}
+	if len(slots) < 2 {
+		return
 	}
 	for iter := 0; iter < 64; iter++ {
 		lo, hi := &slots[0], &slots[0]
@@ -896,6 +1086,9 @@ func (s *Scheduler) balanceAware() {
 		var lo, hi *coreState
 		var loP, hiP float64
 		for _, c := range s.cores {
+			if c.offline {
+				continue
+			}
 			p := float64(c.runnable()) / c.core.Duty
 			if lo == nil || p < loP {
 				lo, loP = c, p
@@ -904,7 +1097,7 @@ func (s *Scheduler) balanceAware() {
 				hi, hiP = c, p
 			}
 		}
-		if hi == lo || len(hi.runq) == 0 {
+		if lo == nil || hi == lo || len(hi.runq) == 0 {
 			return
 		}
 		// Only move if it strictly reduces the maximum pressure.
@@ -945,6 +1138,9 @@ func (s *Scheduler) balanceRank() {
 	for iter := 0; iter < 64; iter++ {
 		var lo, hi *coreState
 		for _, c := range s.cores {
+			if c.offline {
+				continue
+			}
 			if lo == nil || c.runnable() < lo.runnable() ||
 				(c.runnable() == lo.runnable() && c.core.Duty > lo.core.Duty) {
 				lo = c
@@ -953,6 +1149,9 @@ func (s *Scheduler) balanceRank() {
 				(c.runnable() == hi.runnable() && c.core.Duty < hi.core.Duty) {
 				hi = c
 			}
+		}
+		if lo == nil || hi == nil {
+			return
 		}
 		// Move on a count imbalance, or on equal counts when the
 		// destination is strictly faster (shift load up the ranking).
@@ -988,16 +1187,21 @@ func (s *Scheduler) observeInvariant() {
 	if dt > 0 && s.invariantViolated {
 		s.stats.FastIdleSlowBusy += dt
 	}
+	// Offline cores are invisible to the invariant (they neither idle
+	// usefully nor hold schedulable work — only strands), and a stalled
+	// machine is not "fast idle, slow busy": nothing can run at all.
 	violated := false
-outer:
-	for _, c := range s.cores {
-		if !c.idle() {
-			continue
-		}
-		for _, v := range s.cores {
-			if v.core.Duty < c.core.Duty && len(v.runq) > 0 {
-				violated = true
-				break outer
+	if !s.stalled {
+	outer:
+		for _, c := range s.cores {
+			if c.offline || !c.idle() {
+				continue
+			}
+			for _, v := range s.cores {
+				if !v.offline && v.core.Duty < c.core.Duty && len(v.runq) > 0 {
+					violated = true
+					break outer
+				}
 			}
 		}
 	}

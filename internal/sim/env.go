@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"asmp/internal/simtime"
 	"asmp/internal/xrand"
@@ -69,6 +70,10 @@ type Env struct {
 	running  *Proc
 	panicVal any
 	closed   bool
+
+	limits  Limits
+	events  int
+	tripped error
 }
 
 // NewEnv returns an environment whose randomness derives entirely from
@@ -252,12 +257,28 @@ func (e *Env) KillAll() {
 // Run dispatches events until none remain. It returns the number of
 // events fired. Live procs may remain blocked when Run returns (e.g. a
 // server waiting for requests that will never come); use Close to reap
-// them.
-func (e *Env) Run() int { return e.queue.Run() }
+// them. If limits are armed (SetLimits) and a guard trips, Run panics
+// with the structured error; use RunGuarded to receive it as a value.
+func (e *Env) Run() int {
+	n, err := e.drive(simtime.Never)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
 
 // RunUntil dispatches events until the queue is empty or the next event
 // would fire after the deadline, then advances the clock to the deadline.
-func (e *Env) RunUntil(deadline simtime.Time) int { return e.queue.RunUntil(deadline) }
+// If limits are armed (SetLimits) and a guard trips — including deadlock
+// detection on an early quiesce — RunUntil panics with the structured
+// error; use RunGuarded to receive it as a value.
+func (e *Env) RunUntil(deadline simtime.Time) int {
+	n, err := e.drive(deadline)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
 
 // Close kills all remaining procs and drains the queue so no goroutines
 // leak. The environment must not be used afterwards.
@@ -272,7 +293,8 @@ func (e *Env) Close() {
 	}
 	e.closed = true
 	if len(e.live) > 0 {
-		panic(fmt.Sprintf("sim: %d procs failed to terminate on Close", len(e.live)))
+		panic(fmt.Sprintf("sim: %d procs failed to terminate on Close: %s",
+			len(e.live), strings.Join(e.liveNames(), ", ")))
 	}
 }
 

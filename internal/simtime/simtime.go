@@ -148,6 +148,21 @@ func (q *Queue) RunUntil(deadline Time) int {
 	return n
 }
 
+// AdvanceTo moves the clock forward to t without dispatching anything.
+// It is the primitive RunUntil-style drivers use to settle the clock on
+// their deadline after the last in-range event has fired. Advancing past
+// a pending event would violate causality and panics; advancing to the
+// past or to Never is a no-op.
+func (q *Queue) AdvanceTo(t Time) {
+	if t == Never || t <= q.now {
+		return
+	}
+	if len(q.h) > 0 && q.h[0].at < t {
+		panic(fmt.Sprintf("simtime: AdvanceTo(%v) would skip event at %v", t, q.h[0].at))
+	}
+	q.now = t
+}
+
 // Run dispatches events until the queue drains, returning the count.
 func (q *Queue) Run() int {
 	n := 0

@@ -32,6 +32,12 @@ const (
 	Wake
 	// Complete: a task finished its compute burst.
 	Complete
+	// Offline: a core was hot-unplugged (fault injection).
+	Offline
+	// Online: a core came back after hot-unplug.
+	Online
+	// Stall: the whole machine paused (firmware/SMI-style fault).
+	Stall
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +59,12 @@ func (k Kind) String() string {
 		return "wake"
 	case Complete:
 		return "complete"
+	case Offline:
+		return "offline"
+	case Online:
+		return "online"
+	case Stall:
+		return "stall"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -80,7 +92,9 @@ func (e Event) String() string {
 	switch e.Kind {
 	case Migrate, Steal, ForcedMigrate:
 		return fmt.Sprintf("%-12v %-14s core%d<-core%d %s(%d)", e.At, e.Kind, e.Core, e.From, e.ProcName, e.Proc)
-	case Idle:
+	case Stall:
+		return fmt.Sprintf("%-12v %-14s machine", e.At, e.Kind)
+	case Idle, Offline, Online:
 		return fmt.Sprintf("%-12v %-14s core%d", e.At, e.Kind, e.Core)
 	default:
 		return fmt.Sprintf("%-12v %-14s core%d %s(%d)", e.At, e.Kind, e.Core, e.ProcName, e.Proc)
