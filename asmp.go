@@ -27,6 +27,7 @@ import (
 	"asmp/internal/cpu"
 	"asmp/internal/fault"
 	"asmp/internal/figures"
+	"asmp/internal/journal"
 	"asmp/internal/report"
 	"asmp/internal/sched"
 	"asmp/internal/sim"
@@ -141,6 +142,38 @@ func Classify(o *Outcome) Classification { return core.Classify(o) }
 
 // FormatOutcome renders an experiment as an aligned text table.
 func FormatOutcome(o *Outcome) string { return report.OutcomeTable(o).String() }
+
+// ErrCancelled marks a run stopped by a cancel signal (RunSpec.Cancel /
+// Experiment.Cancel); test with errors.Is.
+var ErrCancelled = core.ErrCancelled
+
+// VerifyDeterminism replays a spec n times (minimum 2) and demands
+// bit-identical run digests; a failure is a *DivergenceError naming the
+// first diverging scheduler event.
+func VerifyDeterminism(spec RunSpec, n int) error { return core.VerifyDeterminism(spec, n) }
+
+// DivergenceError reports nondeterminism caught by VerifyDeterminism.
+type DivergenceError = core.DivergenceError
+
+// Journal is an open, append-only run journal. Attach it to an
+// Experiment to record every completed cell; Close it when the sweep
+// ends.
+type Journal = journal.Writer
+
+// JournalLog is the parsed contents of a journal file.
+type JournalLog = journal.Log
+
+// CreateJournal opens a fresh journal at path (truncating any previous
+// contents).
+func CreateJournal(path string) (*Journal, error) { return journal.Create(path) }
+
+// ResumeJournal reopens an existing journal, tolerating (and
+// truncating) the torn final line of a crash. Pass the returned log to
+// Experiment.Resume to re-execute only the missing cells.
+func ResumeJournal(path string) (*JournalLog, *Journal, error) { return journal.Resume(path) }
+
+// ReadJournal parses a journal without opening it for appending.
+func ReadJournal(path string) (*JournalLog, error) { return journal.Read(path) }
 
 // FigureInfo describes one regenerable figure or table of the paper.
 type FigureInfo struct {

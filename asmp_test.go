@@ -2,6 +2,7 @@ package asmp_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -109,6 +110,66 @@ func TestRunFigure(t *testing.T) {
 	}
 	if _, err := asmp.RunFigure("nope", true); err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestVerifyDeterminismFacade(t *testing.T) {
+	w, err := asmp.NewWorkload("pmake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := asmp.RunSpec{
+		Workload: w,
+		Config:   asmp.MustParseConfig("2f-2s/8"),
+		Sched:    asmp.SchedDefaults(asmp.PolicyAsymmetryAware),
+		Seed:     1,
+	}
+	if err := asmp.VerifyDeterminism(spec, 2); err != nil {
+		t.Fatalf("pmake must replay bit-identically: %v", err)
+	}
+}
+
+func TestJournalResumeFacade(t *testing.T) {
+	w, err := asmp.NewWorkload("h264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	jw, err := asmp.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := asmp.Experiment{
+		Workload: w,
+		Configs:  []asmp.Config{asmp.MustParseConfig("4f-0s"), asmp.MustParseConfig("2f-2s/8")},
+		Runs:     2,
+		Journal:  jw,
+	}
+	want := exp.Run()
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, jw2, err := asmp.ResumeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Journal = jw2
+	got, err := exp.Resume(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw2.Close()
+	for i := range want.PerConfig {
+		for r := range want.PerConfig[i].Values {
+			if want.PerConfig[i].Values[r] != got.PerConfig[i].Values[r] {
+				t.Fatalf("resumed cell (%d,%d) = %v, want %v",
+					i, r, got.PerConfig[i].Values[r], want.PerConfig[i].Values[r])
+			}
+		}
+	}
+	if asmp.FormatOutcome(want) != asmp.FormatOutcome(got) {
+		t.Fatal("resumed outcome renders differently")
 	}
 }
 

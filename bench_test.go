@@ -471,3 +471,23 @@ func BenchmarkExtensionFaultInjection(b *testing.B) {
 		})
 	}
 }
+
+// ExtensionDeterminismAudit: the run-integrity subsystem's self-audit —
+// execute SPECjbb twice on the asymmetric 2f-2s/8 under the aware
+// policy and verify the replay reproduces the baseline run digest
+// bit-for-bit (folded over the full scheduler event stream). The cost
+// reported is the price of auditing one sweep cell.
+func BenchmarkExtensionDeterminismAudit(b *testing.B) {
+	w := jbb.New(jbb.Options{})
+	for i := 0; i < b.N; i++ {
+		err := core.VerifyDeterminism(core.RunSpec{
+			Workload: w,
+			Config:   cpu.MustParseConfig("2f-2s/8"),
+			Sched:    sched.Defaults(sched.PolicyAsymmetryAware),
+			Seed:     uint64(1 + i),
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asmp/internal/journal"
+)
+
+// stripTimings removes the per-figure "[figure ...]" status lines, which
+// carry wall-clock timings (fresh runs) or the restored marker (resumed
+// runs) and are not part of the figure content.
+func stripTimings(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "[figure ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestJournalResumeReplaysFigure(t *testing.T) {
+	j := filepath.Join(t.TempDir(), "figs.jsonl")
+	args := []string{"-fig", "micro", "-quick", "-journal", j}
+
+	code, want, errOut := runCmd(args...)
+	if code != 0 {
+		t.Fatalf("journaled run exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(want, "regenerated in") {
+		t.Fatalf("fresh run did not regenerate:\n%s", want)
+	}
+
+	code, got, errOut := runCmd(append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(got, "restored from journal") {
+		t.Errorf("resume regenerated instead of replaying:\n%s", got)
+	}
+	if stripTimings(got) != stripTimings(want) {
+		t.Errorf("replayed figure differs from original:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestJournalResumeCsvForm(t *testing.T) {
+	j := filepath.Join(t.TempDir(), "figs.jsonl")
+	code, want, _ := runCmd("-fig", "micro", "-quick", "-csv", "-journal", j)
+	if code != 0 {
+		t.Fatal("journaled csv run failed")
+	}
+	code, got, _ := runCmd("-fig", "micro", "-quick", "-csv", "-journal", j, "-resume")
+	if code != 0 {
+		t.Fatal("csv resume failed")
+	}
+	if stripTimings(got) != stripTimings(want) {
+		t.Errorf("replayed CSV differs:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestResumeRejectsMismatchedRun(t *testing.T) {
+	j := filepath.Join(t.TempDir(), "figs.jsonl")
+	if code, _, _ := runCmd("-fig", "micro", "-quick", "-journal", j); code != 0 {
+		t.Fatal("journaled run failed")
+	}
+	cases := [][]string{
+		{"-fig", "micro", "-journal", j, "-resume"},              // quick mismatch
+		{"-fig", "micro", "-quick", "-seed", "2", "-journal", j, "-resume"}, // seed mismatch
+	}
+	for _, args := range cases {
+		if code, _, errOut := runCmd(args...); code != 2 ||
+			!strings.Contains(errOut, "different run") {
+			t.Errorf("args %v: exit %d, stderr %s", args, code, errOut)
+		}
+	}
+}
+
+func TestResumeRequiresJournal(t *testing.T) {
+	code, _, errOut := runCmd("-fig", "micro", "-resume")
+	if code != 2 || !strings.Contains(errOut, "-resume requires -journal") {
+		t.Errorf("exit = %d, stderr = %s", code, errOut)
+	}
+}
+
+func TestCancelledRunStopsAtFigureBoundary(t *testing.T) {
+	j := filepath.Join(t.TempDir(), "figs.jsonl")
+	cancel := make(chan struct{})
+	close(cancel)
+	var out, errb bytes.Buffer
+	code := runWith([]string{"-all", "-quick", "-journal", j}, &out, &errb, cancel)
+	if code != exitCancelled {
+		t.Fatalf("cancelled run exit = %d, want %d", code, exitCancelled)
+	}
+	if !strings.Contains(errb.String(), "interrupted before figure") ||
+		!strings.Contains(errb.String(), "-resume") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+	// Nothing ran, so the journal holds just the header — and is valid.
+	log, err := journal.Read(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header == nil || len(log.Figures) != 0 {
+		t.Errorf("journal after immediate cancel: header=%v figures=%d", log.Header, len(log.Figures))
+	}
+}

@@ -9,6 +9,14 @@
 //	asmp-run -fig fault -quick     # the fault-injection extension
 //	asmp-run -all                  # everything (slow)
 //	asmp-run -fig 4a -csv          # emit CSV instead of a text table
+//	asmp-run -all -journal figs.jsonl            # then ^C ...
+//	asmp-run -all -journal figs.jsonl -resume    # skip completed figures
+//
+// With -journal, every completed figure's rendered output is appended to
+// an append-only JSONL journal. SIGINT stops the run at the next figure
+// boundary (a second SIGINT kills immediately); rerunning with -resume
+// replays completed figures from the journal and regenerates only the
+// missing ones.
 package main
 
 import (
@@ -16,31 +24,56 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"asmp/internal/figures"
+	"asmp/internal/journal"
 )
 
+// exitCancelled is the exit code for an interrupted run (128+SIGINT,
+// the shell convention).
+const exitCancelled = 130
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(cancel)
+		// A second signal terminates immediately via default handling.
+		signal.Stop(sig)
+	}()
+	os.Exit(runWith(os.Args[1:], os.Stdout, os.Stderr, cancel))
 }
 
 // run is the testable entry point: it parses args, writes to the given
 // streams and returns the process exit code. Every error path prints a
 // one-line message and returns non-zero; nothing panics.
 func run(args []string, stdout, stderr io.Writer) int {
+	return runWith(args, stdout, stderr, nil)
+}
+
+// runWith is run with an explicit cancel signal (closed by main's
+// SIGINT handler, or by tests). Cancellation is honoured at figure
+// granularity: the figure in flight completes, later ones are skipped.
+func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) int {
 	fs := flag.NewFlagSet("asmp-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig   = fs.String("fig", "", "figure id to regenerate (e.g. 1a, 4b, 10, table1, micro, fault)")
-		all   = fs.Bool("all", false, "regenerate every figure")
-		list  = fs.Bool("list", false, "list available figures")
-		quick = fs.Bool("quick", false, "fewer repetitions (faster, same shapes)")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		seed  = fs.Uint64("seed", 1, "base random seed")
-		out   = fs.String("out", "", "directory to also write per-figure .txt and .csv files into")
+		fig      = fs.String("fig", "", "figure id to regenerate (e.g. 1a, 4b, 10, table1, micro, fault)")
+		all      = fs.Bool("all", false, "regenerate every figure")
+		list     = fs.Bool("list", false, "list available figures")
+		quick    = fs.Bool("quick", false, "fewer repetitions (faster, same shapes)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		out      = fs.String("out", "", "directory to also write per-figure .txt and .csv files into")
+		journalP = fs.String("journal", "", "append every completed figure to this JSONL journal (enables -resume)")
+		resume   = fs.Bool("resume", false, "replay figures recorded in -journal, regenerating only missing ones")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,7 +82,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "asmp-run: unexpected argument %q (flags only)\n", fs.Arg(0))
 		return 2
 	}
+	if *resume && *journalP == "" {
+		fmt.Fprintln(stderr, "asmp-run: -resume requires -journal")
+		return 2
+	}
 
+	var figs []figures.Figure
 	switch {
 	case *list:
 		for _, f := range figures.All() {
@@ -58,32 +96,140 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case *all:
-		opt := figures.Options{Quick: *quick, Seed: *seed}
-		for _, f := range figures.All() {
-			if err := runOne(f, opt, *csv, *out, stdout); err != nil {
-				fmt.Fprintln(stderr, "asmp-run:", err)
-				return 1
-			}
-		}
-		return 0
+		figs = figures.All()
 	case *fig != "":
 		f, ok := figures.Get(*fig)
 		if !ok {
 			fmt.Fprintf(stderr, "asmp-run: unknown figure %q; use -list\n", *fig)
 			return 2
 		}
-		if err := runOne(f, figures.Options{Quick: *quick, Seed: *seed}, *csv, *out, stdout); err != nil {
-			fmt.Fprintln(stderr, "asmp-run:", err)
-			return 1
-		}
-		return 0
+		figs = []figures.Figure{f}
 	default:
 		fs.Usage()
 		return 2
 	}
+
+	var (
+		jw   *journal.Writer
+		jlog *journal.Log
+	)
+	if *journalP != "" {
+		var err error
+		if *resume {
+			jlog, jw, err = journal.Resume(*journalP)
+			if err == nil {
+				if jlog.Dropped > 0 {
+					fmt.Fprintf(stderr, "asmp-run: journal had a corrupt tail (%d line(s), the interrupted write); truncated\n", jlog.Dropped)
+				}
+				err = validateHeader(jlog, *seed, *quick)
+			}
+		} else {
+			jw, err = journal.Create(*journalP)
+			if err == nil {
+				err = jw.WriteHeader(journal.Header{Tool: "asmp-run", BaseSeed: *seed, Quick: *quick})
+			}
+		}
+		if err != nil {
+			if jw != nil {
+				jw.Close()
+			}
+			fmt.Fprintln(stderr, "asmp-run:", err)
+			return 2
+		}
+	}
+
+	opt := figures.Options{Quick: *quick, Seed: *seed}
+	code := 0
+	for _, f := range figs {
+		if isCancelled(cancel) {
+			fmt.Fprintf(stderr, "asmp-run: interrupted before figure %s\n", f.ID)
+			if *journalP != "" {
+				fmt.Fprintf(stderr, "asmp-run: rerun with -journal %s -resume to complete\n", *journalP)
+			}
+			code = exitCancelled
+			break
+		}
+		if jlog != nil {
+			if rec := jlog.Figure(f.ID); rec != nil {
+				if err := restoreOne(f, rec, *csv, *out, stdout); err != nil {
+					fmt.Fprintln(stderr, "asmp-run:", err)
+					code = 1
+					break
+				}
+				continue
+			}
+		}
+		if err := runOne(f, opt, *csv, *out, stdout, jw); err != nil {
+			fmt.Fprintln(stderr, "asmp-run:", err)
+			code = 1
+			break
+		}
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			fmt.Fprintf(stderr, "asmp-run: journal incomplete: %v\n", err)
+		}
+	}
+	return code
 }
 
-func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string, stdout io.Writer) error {
+// validateHeader checks a resumed journal was written by asmp-run with
+// the same seed and resolution.
+func validateHeader(log *journal.Log, seed uint64, quick bool) error {
+	h := log.Header
+	if h == nil {
+		return fmt.Errorf("journal %s has no header; cannot verify it belongs to this run", log.Path)
+	}
+	if h.Tool != "asmp-run" {
+		return fmt.Errorf("journal %s was written by %q, not asmp-run", log.Path, h.Tool)
+	}
+	if h.BaseSeed != seed {
+		return fmt.Errorf("journal %s records a different run: seed %d, this run has %d", log.Path, h.BaseSeed, seed)
+	}
+	if h.Quick != quick {
+		return fmt.Errorf("journal %s records a different run: quick=%v, this run has quick=%v", log.Path, h.Quick, quick)
+	}
+	return nil
+}
+
+// isCancelled reports whether the cancel signal has fired.
+func isCancelled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// emit prints the chosen form and mirrors both into outDir when set.
+func emit(id, txt, csvText string, csv bool, outDir string, stdout io.Writer) error {
+	if csv {
+		fmt.Fprint(stdout, csvText)
+	} else {
+		fmt.Fprint(stdout, txt)
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		base := filepath.Join(outDir, "fig-"+id)
+		if err := os.WriteFile(base+".txt", []byte(txt), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(base+".csv", []byte(csvText), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOne regenerates one figure, journaling its rendered output when a
+// journal is attached.
+func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string, stdout io.Writer, jw *journal.Writer) error {
 	start := time.Now()
 	tables := f.Run(opt)
 	elapsed := time.Since(start)
@@ -93,23 +239,24 @@ func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string, stdo
 		txt.WriteByte('\n')
 		csvBuf.WriteString(t.CSV())
 	}
-	if csv {
-		fmt.Fprint(stdout, csvBuf.String())
-	} else {
-		fmt.Fprint(stdout, txt.String())
+	if err := emit(f.ID, txt.String(), csvBuf.String(), csv, outDir, stdout); err != nil {
+		return err
 	}
-	if outDir != "" {
-		if err := os.MkdirAll(outDir, 0o755); err != nil {
-			return err
-		}
-		base := filepath.Join(outDir, "fig-"+f.ID)
-		if err := os.WriteFile(base+".txt", []byte(txt.String()), 0o644); err != nil {
-			return err
-		}
-		if err := os.WriteFile(base+".csv", []byte(csvBuf.String()), 0o644); err != nil {
+	if jw != nil {
+		if err := jw.WriteFigure(journal.Figure{ID: f.ID, Txt: txt.String(), Csv: csvBuf.String()}); err != nil {
 			return err
 		}
 	}
 	fmt.Fprintf(stdout, "[figure %s regenerated in %v]\n\n", f.ID, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// restoreOne replays a completed figure from the journal instead of
+// recomputing it.
+func restoreOne(f figures.Figure, rec *journal.Figure, csv bool, outDir string, stdout io.Writer) error {
+	if err := emit(f.ID, rec.Txt, rec.Csv, csv, outDir, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "[figure %s restored from journal]\n\n", f.ID)
 	return nil
 }

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"asmp/internal/journal"
+)
+
+// sweepArgs is a small but real sweep: two configs, two runs each.
+func sweepArgs(extra ...string) []string {
+	args := []string{"-workload", "specjbb", "-configs", "4f-0s/4,2f-2s/8", "-runs", "2", "-seed", "1"}
+	return append(args, extra...)
+}
+
+func TestJournalResumeByteIdentical(t *testing.T) {
+	j := filepath.Join(t.TempDir(), "run.jsonl")
+
+	// Reference: the uninterrupted sweep's report (journaling does not
+	// change stdout).
+	code, want, _ := runCmd(sweepArgs()...)
+	if code != 0 {
+		t.Fatalf("reference sweep exit = %d", code)
+	}
+
+	// Full journaled sweep, then chop it down to header + one cell and
+	// append a torn line, simulating a kill mid-write.
+	if code, _, errOut := runCmd(sweepArgs("-journal", j)...); code != 0 {
+		t.Fatalf("journaled sweep exit = %d: %s", code, errOut)
+	}
+	raw, err := os.ReadFile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	truncated := lines[0] + lines[1] + `{"kind":"cell","cfg":1,"ru`
+	if err := os.WriteFile(j, []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, got, errOut := runCmd(sweepArgs("-journal", j, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit = %d: %s", code, errOut)
+	}
+	if got != want {
+		t.Errorf("resumed report differs from uninterrupted sweep:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if !strings.Contains(errOut, "corrupt tail") {
+		t.Errorf("torn line not reported: %s", errOut)
+	}
+
+	// Only the missing cells were re-executed and appended: the surviving
+	// cell's original line is still in place, and the journal now holds
+	// exactly the sweep's four cells.
+	final, err := os.ReadFile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(final), lines[0]+lines[1]) {
+		t.Error("resume rewrote the surviving journal prefix")
+	}
+	log, err := journal.Read(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) != 4 || log.Dropped != 0 {
+		t.Errorf("final journal: %d cells, %d dropped; want 4, 0", len(log.Cells), log.Dropped)
+	}
+}
+
+func TestResumeTrustsJournaledCells(t *testing.T) {
+	// A forged (but checksum-valid, identity-valid) cell value must show
+	// up verbatim in the resumed report: proof the cell was carried over
+	// rather than re-executed.
+	j := filepath.Join(t.TempDir(), "run.jsonl")
+	if code, _, errOut := runCmd(sweepArgs("-journal", j)...); code != 0 {
+		t.Fatalf("journaled sweep exit = %d: %s", code, errOut)
+	}
+	log, err := journal.Read(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *log.Cell(0, 0)
+	forged.Value = 123456789
+	w, err := journal.Create(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(*log.Header); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCell(forged); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	code, out, errOut := runCmd(sweepArgs("-journal", j, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "123456789") {
+		t.Errorf("forged journal value not carried into the report:\n%s", out)
+	}
+}
+
+func TestResumeRejectsDifferentSweep(t *testing.T) {
+	j := filepath.Join(t.TempDir(), "run.jsonl")
+	if code, _, _ := runCmd(sweepArgs("-journal", j)...); code != 0 {
+		t.Fatal("journaled sweep failed")
+	}
+	code, _, errOut := runCmd("-workload", "specjbb", "-configs", "4f-0s/4,2f-2s/8",
+		"-runs", "2", "-seed", "99", "-journal", j, "-resume")
+	if code != 2 {
+		t.Fatalf("resume against wrong seed exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "different sweep") {
+		t.Errorf("stderr = %s, want a different-sweep error", errOut)
+	}
+}
+
+func TestResumeRequiresJournal(t *testing.T) {
+	code, _, errOut := runCmd(sweepArgs("-resume")...)
+	if code != 2 || !strings.Contains(errOut, "-resume requires -journal") {
+		t.Errorf("exit = %d, stderr = %s", code, errOut)
+	}
+}
+
+func TestCancelledSweepResumesByteIdentical(t *testing.T) {
+	j := filepath.Join(t.TempDir(), "run.jsonl")
+	code, want, _ := runCmd(sweepArgs()...)
+	if code != 0 {
+		t.Fatalf("reference sweep exit = %d", code)
+	}
+
+	// A cancel signal that is already closed stops every cell before it
+	// starts — the strongest interruption.
+	cancel := make(chan struct{})
+	close(cancel)
+	var out, errb bytes.Buffer
+	code = runWith(sweepArgs("-journal", j), &out, &errb, cancel)
+	if code != exitCancelled {
+		t.Fatalf("cancelled sweep exit = %d, want %d\nstderr: %s", code, exitCancelled, errb.String())
+	}
+	if !strings.Contains(out.String(), "CANCELLED") {
+		t.Errorf("cancelled report lacks CANCELLED cells:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "-resume") {
+		t.Errorf("stderr lacks the resume hint: %s", errb.String())
+	}
+
+	code, got, errOut := runCmd(sweepArgs("-journal", j, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit = %d: %s", code, errOut)
+	}
+	if got != want {
+		t.Errorf("resumed report differs from uninterrupted sweep:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestVerifyFlag(t *testing.T) {
+	code, out, errOut := runCmd("-workload", "specjbb", "-configs", "2f-2s/8", "-verify", "2")
+	if code != 0 {
+		t.Fatalf("-verify exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "bit-identically") {
+		t.Errorf("-verify output:\n%s", out)
+	}
+	if code, _, errOut := runCmd(sweepArgs("-verify", "2", "-journal", "x")...); code != 2 ||
+		!strings.Contains(errOut, "does not combine") {
+		t.Errorf("-verify with -journal: exit %d, stderr %s", code, errOut)
+	}
+}
+
+// TestCommittedSampleJournalResumes exercises the seed-1 sample journal
+// committed under results/: a partial journal from this exact sweep
+// (one cell short) must resume into the same report an uninterrupted
+// sweep produces. This pins the on-disk journal format: if the schema
+// or the seed derivation changes incompatibly, this test fails against
+// the committed artifact rather than silently orphaning old journals.
+func TestCommittedSampleJournalResumes(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	sample := filepath.Join(filepath.Dir(file), "..", "..", "results", "sample-run.jsonl")
+	raw, err := os.ReadFile(sample)
+	if err != nil {
+		t.Skipf("sample journal not available: %v", err)
+	}
+	// Never resume the committed file in place — resuming appends.
+	j := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(j, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, want, _ := runCmd(sweepArgs()...)
+	if code != 0 {
+		t.Fatalf("reference sweep exit = %d", code)
+	}
+	code, got, errOut := runCmd(sweepArgs("-journal", j, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit = %d: %s", code, errOut)
+	}
+	if got != want {
+		t.Errorf("resume from committed sample differs from uninterrupted sweep:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	log, err := journal.Read(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) != 4 {
+		t.Errorf("resumed journal has %d cells, want 4", len(log.Cells))
+	}
+}

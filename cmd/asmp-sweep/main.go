@@ -12,6 +12,14 @@
 //	asmp-sweep -workload tpch -runs 8 -csv
 //	asmp-sweep -workload specjbb -configs 4f-0s \
 //	    -fault "throttle@1.5s:0:0.125,restore@3.5s:0" -timeout 1min
+//	asmp-sweep -workload tpch -runs 8 -journal run.jsonl   # then ^C ...
+//	asmp-sweep -workload tpch -runs 8 -journal run.jsonl -resume
+//	asmp-sweep -workload specjbb -verify 3
+//
+// A sweep with -journal appends every completed cell to an append-only
+// JSONL journal; after an interruption (SIGINT stops the sweep cleanly
+// at the next event boundary) the same command with -resume re-executes
+// only the missing cells and produces the identical final report.
 package main
 
 import (
@@ -19,11 +27,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"asmp/internal/core"
 	"asmp/internal/cpu"
 	"asmp/internal/fault"
+	"asmp/internal/journal"
 	"asmp/internal/report"
 	"asmp/internal/sched"
 	"asmp/internal/sim"
@@ -38,14 +49,33 @@ import (
 	_ "asmp/internal/workload/web"
 )
 
+// exitCancelled is the exit code for an interrupted sweep (128+SIGINT,
+// the shell convention).
+const exitCancelled = 130
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(cancel)
+		// A second signal terminates immediately via default handling.
+		signal.Stop(sig)
+	}()
+	os.Exit(runWith(os.Args[1:], os.Stdout, os.Stderr, cancel))
 }
 
 // run is the testable entry point: it parses args, writes to the given
 // streams and returns the process exit code. Every error path prints a
 // one-line message and returns non-zero; nothing panics.
 func run(args []string, stdout, stderr io.Writer) int {
+	return runWith(args, stdout, stderr, nil)
+}
+
+// runWith is run with an explicit cancel signal (closed by main's
+// SIGINT handler, or by tests).
+func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) int {
 	fs := flag.NewFlagSet("asmp-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -59,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultStr = fs.String("fault", "", `fault plan injected into every run, e.g. "throttle@1.5s:0:0.125,restore@3.5s:0"`)
 		timeout  = fs.String("timeout", "", "virtual-time watchdog per run, e.g. 30s or 2min (wedged runs become ERR cells)")
 		retries  = fs.Int("retries", 0, "retry each failed run up to N times with a fresh derived seed")
+		journalP = fs.String("journal", "", "append every completed cell to this JSONL journal (enables -resume)")
+		resume   = fs.Bool("resume", false, "resume the sweep recorded in -journal, re-executing only missing or failed cells")
+		verify   = fs.Int("verify", 0, "audit determinism instead of sweeping: run each cell N times (min 2) and require bit-identical digests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -144,8 +177,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		limits.MaxVirtualTime = d
 	}
+	if *resume && *journalP == "" {
+		fmt.Fprintln(stderr, "asmp-sweep: -resume requires -journal")
+		return 2
+	}
+	if *verify > 0 && (*journalP != "" || *resume) {
+		fmt.Fprintln(stderr, "asmp-sweep: -verify is an audit, not a sweep; it does not combine with -journal/-resume")
+		return 2
+	}
 
-	out := core.Experiment{
+	exp := core.Experiment{
 		Name:     fmt.Sprintf("%s (%s scheduler, %d runs)", w.Name(), pol, *runs),
 		Workload: w,
 		Configs:  cfgs,
@@ -155,7 +196,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Fault:    plan,
 		Limits:   limits,
 		Retries:  *retries,
-	}.Run()
+		Cancel:   cancel,
+	}
+
+	if *verify > 0 {
+		return runVerify(exp, *verify, stdout, stderr)
+	}
+
+	var out *core.Outcome
+	var jw *journal.Writer
+	switch {
+	case *journalP != "" && *resume:
+		log, w2, err := journal.Resume(*journalP)
+		if err != nil {
+			fmt.Fprintln(stderr, "asmp-sweep:", err)
+			return 2
+		}
+		if log.Dropped > 0 {
+			fmt.Fprintf(stderr, "asmp-sweep: journal had a corrupt tail (%d line(s), the interrupted write); truncated\n", log.Dropped)
+		}
+		jw = w2
+		exp.Journal = jw
+		out, err = exp.Resume(log)
+		if err != nil {
+			jw.Close()
+			fmt.Fprintln(stderr, "asmp-sweep:", err)
+			return 2
+		}
+	case *journalP != "":
+		var err error
+		jw, err = journal.Create(*journalP)
+		if err != nil {
+			fmt.Fprintln(stderr, "asmp-sweep:", err)
+			return 2
+		}
+		exp.Journal = jw
+		out = exp.Run()
+	default:
+		out = exp.Run()
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			fmt.Fprintf(stderr, "asmp-sweep: journal incomplete: %v\n", err)
+		}
+	}
 
 	t := report.OutcomeTable(out)
 	t.AddNote("max asymmetric CoV = %s, symmetric noise floor = %s",
@@ -172,9 +256,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		fmt.Fprintln(stdout, t.String())
 	}
+	cancelled := 0
+	for i := range out.PerConfig {
+		cancelled += out.PerConfig[i].Cancelled()
+	}
+	if cancelled > 0 {
+		fmt.Fprintf(stderr, "asmp-sweep: interrupted: %d run(s) cancelled\n", cancelled)
+		if *journalP != "" {
+			fmt.Fprintf(stderr, "asmp-sweep: rerun with -journal %s -resume to complete the sweep\n", *journalP)
+		}
+		return exitCancelled
+	}
 	if n := len(out.Errors()); n > 0 {
 		fmt.Fprintf(stderr, "asmp-sweep: %d run(s) failed\n", n)
 		return 1
 	}
+	return 0
+}
+
+// runVerify executes the determinism self-audit: every configuration of
+// the sweep is run -verify times and each replay must reproduce the
+// baseline digest bit-for-bit. A divergence names the first differing
+// scheduler event.
+func runVerify(exp core.Experiment, n int, stdout, stderr io.Writer) int {
+	if n < 2 {
+		n = 2
+	}
+	configs := exp.Configs
+	if len(configs) == 0 {
+		configs = cpu.StandardConfigs
+	}
+	fmt.Fprintf(stdout, "determinism audit: %s, %s policy, seed %d, %d executions per config\n",
+		exp.Workload.Name(), exp.Sched.Policy, exp.BaseSeed, n)
+	failedCount := 0
+	for _, cfg := range configs {
+		err := core.VerifyDeterminism(core.RunSpec{
+			Workload: exp.Workload,
+			Config:   cfg,
+			Sched:    exp.Sched,
+			Seed:     core.RunSeed(exp.BaseSeed, 0, 0),
+			Fault:    exp.Fault,
+			Limits:   exp.Limits,
+			Cancel:   exp.Cancel,
+		}, n)
+		switch {
+		case err == nil:
+			fmt.Fprintf(stdout, "  %-10s PASS\n", cfg)
+		default:
+			failedCount++
+			fmt.Fprintf(stdout, "  %-10s FAIL\n", cfg)
+			fmt.Fprintln(stderr, "asmp-sweep:", err)
+		}
+	}
+	if failedCount > 0 {
+		fmt.Fprintf(stderr, "asmp-sweep: determinism audit failed for %d of %d configuration(s)\n", failedCount, len(configs))
+		return 1
+	}
+	fmt.Fprintf(stdout, "all %d configuration(s) replay bit-identically\n", len(configs))
 	return 0
 }

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"asmp/internal/core"
 	"asmp/internal/cpu"
@@ -36,8 +39,21 @@ import (
 	_ "asmp/internal/workload/web"
 )
 
+// exitCancelled is the exit code for an interrupted run (128+SIGINT,
+// the shell convention).
+const exitCancelled = 130
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(cancel)
+		// A second signal terminates immediately via default handling.
+		signal.Stop(sig)
+	}()
+	os.Exit(runWith(os.Args[1:], os.Stdout, os.Stderr, cancel))
 }
 
 // run is the testable entry point: it parses args, writes to the given
@@ -45,6 +61,14 @@ func main() {
 // one-line message and returns non-zero; nothing panics — a run that
 // trips a watchdog or crashes is reported as an error.
 func run(args []string, stdout, stderr io.Writer) int {
+	return runWith(args, stdout, stderr, nil)
+}
+
+// runWith is run with an explicit cancel signal (closed by main's
+// SIGINT handler, or by tests). A cancelled run still prints the trace
+// captured up to the interruption — the microscope works on partial
+// observations too.
+func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) int {
 	fs := flag.NewFlagSet("asmp-trace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -115,14 +139,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	buf := trace.New(*bufCap)
-	res, st, err := tracedRun(w, cfg, pol, *seed, plan, limits, buf)
-	if err != nil {
+	res, st, err := tracedRun(w, cfg, pol, *seed, plan, limits, buf, cancel)
+	fmt.Fprintf(stdout, "workload %s on %s under the %v scheduler (seed %d)\n", w.Name(), cfg, pol, *seed)
+	switch {
+	case errors.Is(err, core.ErrCancelled):
+		// An interrupted run is still a trace: print everything the
+		// buffer captured up to the cancellation point.
+		fmt.Fprintf(stdout, "run interrupted: %v\n", err)
+		fmt.Fprintf(stdout, "partial trace below (%d events captured)\n", buf.Total())
+		printTimeline(stdout, buf)
+		printEvents(stdout, buf, *events, *kindSel)
+		fmt.Fprintln(stderr, "asmp-trace: interrupted")
+		return exitCancelled
+	case err != nil:
 		fmt.Fprintln(stderr, "asmp-trace:", err)
 		return 1
 	}
-
-	fmt.Fprintf(stdout, "workload %s on %s under the %v scheduler (seed %d)\n", w.Name(), cfg, pol, *seed)
-	fmt.Fprintf(stdout, "result: %s = %.4g\n\n", res.Metric, res.Value)
+	fmt.Fprintf(stdout, "result: %s = %.4g\n", res.Metric, res.Value)
+	fmt.Fprintf(stdout, "run digest: %s\n\n", res.Digest)
 
 	fmt.Fprintf(stdout, "scheduler activity: %d dispatches, %d preemptions, %d migrations (%d steals, %d forced)\n",
 		st.Dispatches, st.Preemptions, st.Migrations, st.Steals, st.ForcedMigrations)
@@ -139,6 +173,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "fast-idle-while-slow-queued: %.3fs (the aware policy keeps this at zero)\n", st.FastIdleSlowBusy)
 	}
 
+	printTimeline(stdout, buf)
+	printEvents(stdout, buf, *events, *kindSel)
+	return 0
+}
+
+// printTimeline renders the per-core dispatch timeline from the buffer.
+func printTimeline(stdout io.Writer, buf *trace.Buffer) {
 	fmt.Fprintln(stdout, "\nper-core dispatch timeline (who ran where):")
 	tl := buf.CoreTimeline()
 	var cores []int
@@ -166,26 +207,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "  core%d: %s\n", c, strings.Join(parts, ", "))
 	}
+}
 
-	if *events {
-		fmt.Fprintln(stdout, "\nevent log:")
-		es := buf.Events()
-		for _, e := range es {
-			if *kindSel != "" && e.Kind.String() != *kindSel {
-				continue
-			}
-			fmt.Fprintln(stdout, " ", e)
-		}
-		if buf.Total() > buf.Len() {
-			fmt.Fprintf(stdout, "  (%d earlier events evicted; raise -buffer to keep more)\n", buf.Total()-buf.Len())
-		}
+// printEvents renders the raw event log when requested.
+func printEvents(stdout io.Writer, buf *trace.Buffer, events bool, kindSel string) {
+	if !events {
+		return
 	}
-	return 0
+	fmt.Fprintln(stdout, "\nevent log:")
+	for _, e := range buf.Events() {
+		if kindSel != "" && e.Kind.String() != kindSel {
+			continue
+		}
+		fmt.Fprintln(stdout, " ", e)
+	}
+	if buf.Total() > buf.Len() {
+		fmt.Fprintf(stdout, "  (%d earlier events evicted; raise -buffer to keep more)\n", buf.Total()-buf.Len())
+	}
 }
 
 // tracedRun executes one run with the tracer attached, converting any
-// panic (workload bug, tripped watchdog, bad fault plan) into an error.
-func tracedRun(w workload.Workload, cfg cpu.Config, pol sched.Policy, seed uint64, plan *fault.Plan, limits sim.Limits, buf *trace.Buffer) (res workload.Result, st sched.Stats, err error) {
+// panic (workload bug, tripped watchdog, bad fault plan, cancellation)
+// into an error.
+func tracedRun(w workload.Workload, cfg cpu.Config, pol sched.Policy, seed uint64, plan *fault.Plan, limits sim.Limits, buf *trace.Buffer, cancel <-chan struct{}) (res workload.Result, st sched.Stats, err error) {
 	res, err = core.ExecuteSafe(core.RunSpec{
 		Workload: w,
 		Config:   cfg,
@@ -194,6 +238,7 @@ func tracedRun(w workload.Workload, cfg cpu.Config, pol sched.Policy, seed uint6
 		Fault:    plan,
 		Limits:   limits,
 		Tracer:   buf,
+		Cancel:   cancel,
 		Observe:  func(s *sched.Scheduler) { st = s.Stats() },
 	})
 	return res, st, err

@@ -71,3 +71,31 @@ func TestWatchdogTripReportsError(t *testing.T) {
 		t.Fatalf("stderr %q does not mention the watchdog", errOut)
 	}
 }
+
+// TestCancelledTracePrintsPartialTrace: an interrupted run must still
+// print whatever the trace buffer captured, and exit 130.
+func TestCancelledTracePrintsPartialTrace(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	var out, errb bytes.Buffer
+	code := runWith([]string{"-workload", "specjbb", "-config", "2f-2s/8"}, &out, &errb, cancel)
+	if code != exitCancelled {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitCancelled, errb.String())
+	}
+	for _, want := range []string{"run interrupted", "partial trace below", "per-core dispatch timeline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestTracePrintsDigest: a successful traced run reports the run digest.
+func TestTracePrintsDigest(t *testing.T) {
+	code, out, errOut := runCmd("-workload", "specjbb", "-config", "4f-0s")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "run digest: ") || strings.Contains(out, "run digest: 0000000000000000") {
+		t.Errorf("digest missing or zero:\n%s", out)
+	}
+}

@@ -15,13 +15,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
 	"asmp/internal/cpu"
+	"asmp/internal/digest"
 	"asmp/internal/fault"
+	"asmp/internal/journal"
 	"asmp/internal/sched"
 	"asmp/internal/sim"
 	"asmp/internal/stats"
@@ -47,7 +50,12 @@ type RunSpec struct {
 	Limits sim.Limits
 	// Tracer, when non-nil, is attached to the scheduler before the
 	// workload starts, recording every scheduling decision (asmp-trace).
-	Tracer *trace.Buffer
+	// It observes the same event stream the run digest folds over.
+	Tracer trace.Tracer
+	// Cancel, when non-nil, cooperatively stops the run when closed: the
+	// simulator aborts at the next event boundary and the run fails with
+	// an error matching ErrCancelled.
+	Cancel <-chan struct{}
 	// Observe, when non-nil, is called with the scheduler after the
 	// workload returns (and before teardown), so callers can capture the
 	// final Stats even through the panic-isolating ExecuteSafe path. It
@@ -64,15 +72,20 @@ func Execute(spec RunSpec) workload.Result {
 	return executeOn(spec, pl)
 }
 
-// executeOn arms limits and faults on the platform, then runs the
-// workload.
+// executeOn arms limits, cancellation and faults on the platform, then
+// runs the workload. Every run carries a digest.Hasher teed into the
+// scheduler's tracer, so Result.Digest is always populated: it folds the
+// run identity, every scheduler event, and the final metrics.
 func executeOn(spec RunSpec, pl *workload.Platform) workload.Result {
 	if !spec.Limits.Zero() {
 		pl.Env.SetLimits(spec.Limits)
 	}
-	if spec.Tracer != nil {
-		pl.Sched.SetTracer(spec.Tracer)
+	if spec.Cancel != nil {
+		pl.Env.SetCancel(spec.Cancel)
 	}
+	h := digest.New()
+	h.Identity(spec.Workload.Name(), spec.Config.String(), spec.Sched.Policy.String(), spec.Seed)
+	pl.Sched.SetTracer(trace.Tee(spec.Tracer, h))
 	if !spec.Fault.Empty() {
 		if err := spec.Fault.Validate(pl.Sched.Machine().NumCores()); err != nil {
 			panic(err)
@@ -80,6 +93,8 @@ func executeOn(spec RunSpec, pl *workload.Platform) workload.Result {
 		spec.Fault.Schedule(pl.Env, pl.Sched)
 	}
 	res := spec.Workload.Run(pl)
+	h.Result(res.Metric, res.Value, res.HigherIsBetter, res.Extras)
+	res.Digest = h.Sum()
 	if spec.Observe != nil {
 		spec.Observe(pl.Sched)
 	}
@@ -111,8 +126,17 @@ func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
 	return res, nil
 }
 
+// ErrCancelled marks a run stopped by its Cancel signal rather than by
+// a failure. Test with errors.Is; report renders such cells CANCELLED
+// instead of ERR, and journals never record them (a resumed sweep
+// re-executes them deterministically from scratch).
+var ErrCancelled = errors.New("core: run cancelled")
+
 // panicError converts a recovered panic value into a stable error.
 func panicError(r any) error {
+	if ce, ok := r.(*sim.CancelledError); ok {
+		return fmt.Errorf("%w (%v)", ErrCancelled, ce)
+	}
 	if e, ok := r.(error); ok {
 		return fmt.Errorf("core: run failed: %w", e)
 	}
@@ -176,6 +200,15 @@ type Experiment struct {
 	// Retries is how many times a failed run is retried with a freshly
 	// derived seed (RetrySeed) before its error is recorded (default 0).
 	Retries int
+	// Cancel, when non-nil, cooperatively stops the sweep when closed:
+	// in-flight runs abort at their next event boundary and unstarted
+	// cells are skipped, all recorded as ErrCancelled. The partial
+	// Outcome is still returned so a report can show CANCELLED cells.
+	Cancel <-chan struct{}
+	// Journal, when non-nil, receives an append-only record of the sweep:
+	// a header identifying it plus one cell per completed run (success or
+	// failure, but never cancellation), enabling Resume.
+	Journal *journal.Writer
 }
 
 // ConfigResult holds all runs of one configuration.
@@ -195,11 +228,23 @@ type ConfigResult struct {
 	Summary stats.Summary
 }
 
-// Failed returns the number of failed runs in this cell.
+// Failed returns the number of failed runs in this cell, counting
+// cancelled runs.
 func (cr *ConfigResult) Failed() int {
 	n := 0
 	for _, err := range cr.Errs {
 		if err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Cancelled returns the number of cancelled runs in this cell.
+func (cr *ConfigResult) Cancelled() int {
+	n := 0
+	for _, err := range cr.Errs {
+		if errors.Is(err, ErrCancelled) {
 			n++
 		}
 	}
@@ -218,31 +263,65 @@ type Outcome struct {
 	PerConfig []ConfigResult
 }
 
-// Run executes the experiment. Cells run in parallel on real CPUs; the
-// simulation itself stays fully deterministic because every run has its
-// own environment and derived seed.
-func (e Experiment) Run() *Outcome {
-	if e.Workload == nil {
-		panic("core: experiment without workload")
-	}
-	configs := e.Configs
+// normalized returns the experiment's effective configs, runs and base
+// seed with defaults applied — the identity a journal records and a
+// resume validates.
+func (e Experiment) normalized() (configs []cpu.Config, runs int, base uint64) {
+	configs = e.Configs
 	if len(configs) == 0 {
 		configs = cpu.StandardConfigs
 	}
-	runs := e.Runs
+	runs = e.Runs
 	if runs <= 0 {
 		runs = 3
 	}
-	base := e.BaseSeed
+	base = e.BaseSeed
 	if base == 0 {
 		base = 1
 	}
+	return configs, runs, base
+}
 
-	type cell struct{ cfg, run int }
-	cells := make([]cell, 0, len(configs)*runs)
+// cancelled reports whether the experiment's cancel signal has fired.
+func (e Experiment) cancelled() bool {
+	if e.Cancel == nil {
+		return false
+	}
+	select {
+	case <-e.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// cellKey addresses one (config, run) cell of a sweep.
+type cellKey struct{ cfg, run int }
+
+// Run executes the experiment. Cells run in parallel on real CPUs; the
+// simulation itself stays fully deterministic because every run has its
+// own environment and derived seed. With Journal set, a header and one
+// record per completed cell are appended as the sweep progresses.
+func (e Experiment) Run() *Outcome {
+	return e.run(nil, true)
+}
+
+// run executes every cell not already present in seeded (results carried
+// over from a journal). writeHeader appends the identity header first —
+// fresh journals only; a resumed journal already has one.
+func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *Outcome {
+	if e.Workload == nil {
+		panic("core: experiment without workload")
+	}
+	configs, runs, base := e.normalized()
+	if e.Journal != nil && writeHeader {
+		e.Journal.WriteHeader(e.journalHeader(configs, runs, base))
+	}
+
+	cells := make([]cellKey, 0, len(configs)*runs)
 	for c := range configs {
 		for r := 0; r < runs; r++ {
-			cells = append(cells, cell{c, r})
+			cells = append(cells, cellKey{c, r})
 		}
 	}
 	results := make([]workload.Result, len(cells))
@@ -260,11 +339,22 @@ func (e Experiment) Run() *Outcome {
 			defer wg.Done()
 			for i := range next {
 				cl := cells[i]
+				if res, ok := seeded[cl]; ok {
+					// Carried over from the journal: neither re-executed
+					// nor re-journaled.
+					results[i] = res
+					continue
+				}
+				if e.cancelled() {
+					errs[i] = ErrCancelled
+					continue
+				}
 				// ExecuteSafe isolates a panicking or wedged run to its
 				// own cell: the worker survives and the remaining cells
 				// still execute. Each retry derives a fresh seed; the
 				// recorded error is the last attempt's.
-				for attempt := 0; attempt <= e.Retries; attempt++ {
+				attempt := 0
+				for ; ; attempt++ {
 					results[i], errs[i] = ExecuteSafe(RunSpec{
 						Workload: e.Workload,
 						Config:   configs[cl.cfg],
@@ -272,10 +362,18 @@ func (e Experiment) Run() *Outcome {
 						Seed:     RetrySeed(base, cl.cfg, cl.run, attempt),
 						Fault:    e.Fault,
 						Limits:   e.Limits,
+						Cancel:   e.Cancel,
 					})
-					if errs[i] == nil {
+					if errs[i] == nil || attempt >= e.Retries ||
+						errors.Is(errs[i], ErrCancelled) {
 						break
 					}
+				}
+				if e.Journal != nil && !errors.Is(errs[i], ErrCancelled) {
+					// Cancellation stops a run at a wall-clock-dependent
+					// point, so a cancelled cell is not a result — it is
+					// left out of the journal and re-executed on resume.
+					e.Journal.WriteCell(journalCell(cl, configs[cl.cfg], base, attempt, results[i], errs[i]))
 				}
 			}
 		}()

@@ -1,0 +1,157 @@
+package core
+
+// This file bridges experiments to the run journal: building the
+// identity header and per-cell records Run appends, and validating +
+// replaying a parsed journal in Resume. The invariants:
+//
+//   - a journal is only ever resumed against the *same* sweep — same
+//     workload, policy, configurations, repetition count, base seed and
+//     fault plan — anything else is an error, never a silent mismatch;
+//   - only successful cells are carried over; failed and missing cells
+//     re-execute with their original derived seeds, so a resumed sweep's
+//     Outcome is identical to an uninterrupted one.
+
+import (
+	"fmt"
+
+	"asmp/internal/cpu"
+	"asmp/internal/digest"
+	"asmp/internal/journal"
+	"asmp/internal/workload"
+)
+
+// journalHeader builds the identity record for this experiment.
+func (e Experiment) journalHeader(configs []cpu.Config, runs int, base uint64) journal.Header {
+	h := journal.Header{
+		Name:     e.Name,
+		Workload: e.Workload.Name(),
+		Policy:   e.Sched.Policy.String(),
+		Runs:     runs,
+		BaseSeed: base,
+	}
+	for _, c := range configs {
+		h.Configs = append(h.Configs, c.String())
+	}
+	if !e.Fault.Empty() {
+		h.Fault = e.Fault.String()
+	}
+	return h
+}
+
+// journalCell builds the record for one completed cell.
+func journalCell(cl cellKey, cfg cpu.Config, base uint64, attempt int, res workload.Result, err error) journal.Cell {
+	c := journal.Cell{
+		Config:  cfg.String(),
+		Cfg:     cl.cfg,
+		Run:     cl.run,
+		Attempt: attempt,
+		Seed:    RetrySeed(base, cl.cfg, cl.run, attempt),
+	}
+	if err != nil {
+		c.Err = err.Error()
+		return c
+	}
+	c.Metric = res.Metric
+	c.Value = res.Value
+	c.Higher = res.HigherIsBetter
+	c.Extras = res.Extras
+	c.Digest = res.Digest.String()
+	return c
+}
+
+// Resume completes the sweep recorded in log: cells the journal holds a
+// successful result for are carried over verbatim; everything else
+// (missing, failed, or interrupted cells) is re-executed with the same
+// derived seeds. Because runs are pure functions of their seeds, the
+// returned Outcome — and any report rendered from it — is identical to
+// the one an uninterrupted sweep would have produced.
+//
+// The journal must belong to this experiment: its header and every cell
+// record are validated against the experiment's identity first. New
+// records are appended through e.Journal as usual (pass the Writer that
+// journal.Resume returned).
+func (e Experiment) Resume(log *journal.Log) (*Outcome, error) {
+	if e.Workload == nil {
+		panic("core: experiment without workload")
+	}
+	configs, runs, base := e.normalized()
+	if err := e.validateJournal(log, configs, runs, base); err != nil {
+		return nil, err
+	}
+	seeded := make(map[cellKey]workload.Result, len(log.Cells))
+	for i := range log.Cells {
+		c := &log.Cells[i]
+		if c.Err != "" {
+			continue // failed cell: re-execute
+		}
+		d, err := digest.Parse(c.Digest)
+		if err != nil {
+			return nil, fmt.Errorf("core: journal %s: cell (%d,%d) has bad digest %q: %w",
+				log.Path, c.Cfg, c.Run, c.Digest, err)
+		}
+		seeded[cellKey{c.Cfg, c.Run}] = workload.Result{
+			Metric:         c.Metric,
+			Value:          c.Value,
+			HigherIsBetter: c.Higher,
+			Extras:         c.Extras,
+			Digest:         d,
+		}
+	}
+	return e.run(seeded, false), nil
+}
+
+// validateJournal checks that log records this experiment and nothing
+// else.
+func (e Experiment) validateJournal(log *journal.Log, configs []cpu.Config, runs int, base uint64) error {
+	h := log.Header
+	if h == nil {
+		return fmt.Errorf("core: journal %s has no header; cannot verify it belongs to this sweep", log.Path)
+	}
+	mismatch := func(field, got, want string) error {
+		return fmt.Errorf("core: journal %s records a different sweep: %s is %s, this sweep has %s",
+			log.Path, field, got, want)
+	}
+	if h.Workload != e.Workload.Name() {
+		return mismatch("workload", h.Workload, e.Workload.Name())
+	}
+	if h.Policy != e.Sched.Policy.String() {
+		return mismatch("policy", h.Policy, e.Sched.Policy.String())
+	}
+	if h.Runs != runs {
+		return mismatch("runs", fmt.Sprint(h.Runs), fmt.Sprint(runs))
+	}
+	if h.BaseSeed != base {
+		return mismatch("base seed", fmt.Sprint(h.BaseSeed), fmt.Sprint(base))
+	}
+	faultStr := ""
+	if !e.Fault.Empty() {
+		faultStr = e.Fault.String()
+	}
+	if h.Fault != faultStr {
+		return mismatch("fault plan", fmt.Sprintf("%q", h.Fault), fmt.Sprintf("%q", faultStr))
+	}
+	if len(h.Configs) != len(configs) {
+		return mismatch("config count", fmt.Sprint(len(h.Configs)), fmt.Sprint(len(configs)))
+	}
+	for i, c := range configs {
+		if h.Configs[i] != c.String() {
+			return mismatch(fmt.Sprintf("config %d", i), h.Configs[i], c.String())
+		}
+	}
+	for i := range log.Cells {
+		c := &log.Cells[i]
+		if c.Cfg < 0 || c.Cfg >= len(configs) || c.Run < 0 || c.Run >= runs {
+			return fmt.Errorf("core: journal %s: cell (%d,%d) outside the %d×%d sweep",
+				log.Path, c.Cfg, c.Run, len(configs), runs)
+		}
+		if c.Config != configs[c.Cfg].String() {
+			return fmt.Errorf("core: journal %s: cell (%d,%d) records config %s, sweep has %s",
+				log.Path, c.Cfg, c.Run, c.Config, configs[c.Cfg])
+		}
+		if want := RetrySeed(base, c.Cfg, c.Run, c.Attempt); c.Seed != want {
+			return fmt.Errorf("core: journal %s: cell (%d,%d) attempt %d used seed %d, sweep derives %d",
+				log.Path, c.Cfg, c.Run, c.Attempt, c.Seed, want)
+		}
+	}
+	return nil
+}

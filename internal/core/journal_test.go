@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/journal"
+	"asmp/internal/workload"
+)
+
+func testConfigs(t *testing.T) []cpu.Config {
+	t.Helper()
+	return []cpu.Config{
+		cpu.MustParseConfig("4f-0s/4"),
+		cpu.MustParseConfig("2f-2s/8"),
+		cpu.MustParseConfig("0f-4s/8"),
+	}
+}
+
+// outcomesEqual compares two outcomes cell by cell: exact values,
+// digests and summaries. It is deliberately strict — resume promises an
+// identical outcome, not an approximately equal one.
+func outcomesEqual(t *testing.T, got, want *Outcome) {
+	t.Helper()
+	if got.Metric != want.Metric || got.HigherIsBetter != want.HigherIsBetter {
+		t.Errorf("metric (%q,%v) != (%q,%v)", got.Metric, got.HigherIsBetter, want.Metric, want.HigherIsBetter)
+	}
+	if len(got.PerConfig) != len(want.PerConfig) {
+		t.Fatalf("%d configs != %d", len(got.PerConfig), len(want.PerConfig))
+	}
+	for i := range want.PerConfig {
+		g, w := &got.PerConfig[i], &want.PerConfig[i]
+		if g.Config != w.Config {
+			t.Fatalf("config %d: %v != %v", i, g.Config, w.Config)
+		}
+		for r := range w.Values {
+			if g.Values[r] != w.Values[r] {
+				t.Errorf("%v run %d: value %v != %v", w.Config, r, g.Values[r], w.Values[r])
+			}
+			if g.Results[r].Digest != w.Results[r].Digest {
+				t.Errorf("%v run %d: digest %v != %v", w.Config, r, g.Results[r].Digest, w.Results[r].Digest)
+			}
+		}
+		if g.Summary != w.Summary {
+			t.Errorf("%v: summary %+v != %+v", w.Config, g.Summary, w.Summary)
+		}
+	}
+}
+
+// cancelAfterWorkload behaves like powerProbe but closes the cancel
+// channel at the start of its Nth invocation, simulating a SIGINT
+// landing mid-sweep.
+type cancelAfterWorkload struct {
+	inner  powerProbe
+	cancel chan struct{}
+	after  int
+	calls  int
+}
+
+func (w *cancelAfterWorkload) Name() string { return w.inner.Name() }
+
+func (w *cancelAfterWorkload) Run(pl *workload.Platform) workload.Result {
+	w.calls++
+	if w.calls == w.after {
+		close(w.cancel)
+	}
+	return w.inner.Run(pl)
+}
+
+func TestExperimentJournalResumeIsIdentical(t *testing.T) {
+	configs := testConfigs(t)
+	exp := Experiment{
+		Name:     "resume test",
+		Workload: powerProbe{asymNoise: 0.2},
+		Configs:  configs,
+		Runs:     2,
+		BaseSeed: 7,
+	}
+	want := exp.Run() // uninterrupted reference, no journal
+
+	// Same sweep, cancelled mid-way by a SIGINT stand-in, journaling.
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	interrupted := exp
+	interrupted.Workload = &cancelAfterWorkload{inner: powerProbe{asymNoise: 0.2}, cancel: cancel, after: 3}
+	interrupted.Cancel = cancel
+	interrupted.Journal = w
+	interrupted.Sequential = true
+	partial := interrupted.Run()
+	w.Close()
+
+	cancelled := 0
+	for _, cr := range partial.PerConfig {
+		cancelled += cr.Cancelled()
+	}
+	if cancelled == 0 {
+		t.Fatal("mid-sweep cancel produced no cancelled cells")
+	}
+
+	// Simulate the crash tail a kill can leave behind.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"cell","cfg":1,"ru`)
+	f.Close()
+
+	log, w2, err := journal.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) >= len(configs)*2 {
+		t.Fatalf("journal already complete (%d cells); cancel recorded results it should not have", len(log.Cells))
+	}
+	resumed := exp // the real workload, no cancel
+	resumed.Journal = w2
+	got, err := resumed.Resume(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	outcomesEqual(t, got, want)
+
+	// The journal is now complete: a second resume re-executes nothing
+	// and still reproduces the outcome.
+	log2, w3, err := journal.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log2.Cells) != len(configs)*2 {
+		t.Fatalf("journal has %d cells after resume, want %d", len(log2.Cells), len(configs)*2)
+	}
+	again := exp
+	again.Journal = w3
+	got2, err := again.Resume(log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3.Close()
+	outcomesEqual(t, got2, want)
+}
+
+func TestResumeRejectsMismatchedSweep(t *testing.T) {
+	configs := testConfigs(t)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := Experiment{Workload: powerProbe{}, Configs: configs, Runs: 2, BaseSeed: 7, Journal: w}
+	exp.Run()
+	w.Close()
+
+	cases := []struct {
+		name   string
+		mutate func(*Experiment)
+		want   string
+	}{
+		{"base seed", func(e *Experiment) { e.BaseSeed = 8 }, "base seed"},
+		{"runs", func(e *Experiment) { e.Runs = 3 }, "runs"},
+		{"configs", func(e *Experiment) { e.Configs = configs[:2] }, "config count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			log, err := journal.Read(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			other := exp
+			other.Journal = nil
+			tc.mutate(&other)
+			_, err = other.Resume(log)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("mismatched %s accepted: err = %v", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestResumeReexecutesFailedCells(t *testing.T) {
+	// Forge a journal whose only cell is a recorded failure: resume must
+	// re-run it (and every missing cell) rather than resurrect the error.
+	configs := testConfigs(t)[:1]
+	exp := Experiment{Workload: powerProbe{}, Configs: configs, Runs: 1, BaseSeed: 7}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, runs, base := exp.normalized()
+	if err := w.WriteHeader(exp.journalHeader(cfgs, runs, base)); err != nil {
+		t.Fatal(err)
+	}
+	err = w.WriteCell(journal.Cell{
+		Config: configs[0].String(), Cfg: 0, Run: 0,
+		Seed: RetrySeed(base, 0, 0, 0), Err: "core: run failed: injected",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	log, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exp.Resume(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PerConfig[0].Errs[0] != nil {
+		t.Errorf("failed cell not re-executed: %v", out.PerConfig[0].Errs[0])
+	}
+	if out.PerConfig[0].Results[0].Digest == 0 {
+		t.Error("re-executed cell has no digest")
+	}
+}
+
+func TestExperimentPreCancelled(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	exp := Experiment{
+		Workload: powerProbe{},
+		Configs:  testConfigs(t)[:2],
+		Runs:     2,
+		Cancel:   cancel,
+	}
+	out := exp.Run()
+	for _, cr := range out.PerConfig {
+		if cr.Cancelled() != 2 {
+			t.Errorf("%v: %d cancelled runs, want 2", cr.Config, cr.Cancelled())
+		}
+		for _, err := range cr.Errs {
+			if !errors.Is(err, ErrCancelled) {
+				t.Errorf("%v: err = %v, want ErrCancelled", cr.Config, err)
+			}
+		}
+	}
+	if len(out.Errors()) != 4 {
+		t.Errorf("Errors() = %d, want 4", len(out.Errors()))
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+// This file implements the determinism self-audit. The repository's
+// headline claim is that every run is a pure function of (workload,
+// config, policy, seed); the run digest makes that claim checkable, and
+// VerifyDeterminism checks it: execute the same spec n times and demand
+// bit-identical digests. On failure it does better than "digests differ"
+// — the baseline keeps a per-event hash chain (8 bytes per scheduler
+// event, not the events themselves, so long runs stay cheap) and replays
+// compare against it streamingly, which localises the divergence to the
+// first differing event. A final best-effort replay fetches that event's
+// full contents for the error message.
+
+import (
+	"fmt"
+
+	"asmp/internal/digest"
+	"asmp/internal/trace"
+)
+
+// DivergenceError reports that repeated executions of the same RunSpec
+// produced different results — nondeterminism in the engine, scheduler
+// or workload model.
+type DivergenceError struct {
+	// Workload, Config, Policy and Seed identify the diverging spec.
+	Workload string
+	Config   string
+	Policy   string
+	Seed     uint64
+	// Replay is the 1-based replay index that diverged from the baseline.
+	Replay int
+	// WantDigest is the baseline digest; GotDigest the replay's.
+	WantDigest digest.Digest
+	GotDigest  digest.Digest
+	// Index is the position of the first diverging scheduler event, or
+	// -1 when the event streams were identical and only the final
+	// metrics differed.
+	Index int
+	// Want is the baseline's event at Index (nil if it could not be
+	// re-fetched, or the baseline stream ended before Index). Got is the
+	// replay's event at Index (nil if the replay's stream ended there).
+	Want *trace.Event
+	Got  *trace.Event
+}
+
+// Error implements error, naming the first diverging event when known.
+func (e *DivergenceError) Error() string {
+	head := fmt.Sprintf("core: nondeterminism in %s on %s (policy %s, seed %d): replay %d digest %s != baseline %s",
+		e.Workload, e.Config, e.Policy, e.Seed, e.Replay, e.GotDigest, e.WantDigest)
+	if e.Index < 0 {
+		return head + "; event streams identical, final metrics differ"
+	}
+	s := head + fmt.Sprintf("; first divergence at event %d", e.Index)
+	switch {
+	case e.Want != nil && e.Got != nil:
+		s += fmt.Sprintf(": baseline [%v], replay [%v]", *e.Want, *e.Got)
+	case e.Want != nil:
+		s += fmt.Sprintf(": baseline [%v], replay stream ended", *e.Want)
+	case e.Got != nil:
+		s += fmt.Sprintf(": baseline stream ended, replay [%v]", *e.Got)
+	}
+	return s
+}
+
+// chainRecorder keeps the per-event hash chain of the baseline run.
+type chainRecorder struct{ hashes []uint64 }
+
+func (c *chainRecorder) Record(e trace.Event) {
+	c.hashes = append(c.hashes, digest.EventHash(e))
+}
+
+// chainComparer streams a replay's events against a baseline chain,
+// remembering the first divergence.
+type chainComparer struct {
+	want    []uint64
+	idx     int
+	diverge int // -1 until a divergence is seen
+	got     trace.Event
+}
+
+func (c *chainComparer) Record(e trace.Event) {
+	i := c.idx
+	c.idx++
+	if c.diverge >= 0 {
+		return
+	}
+	if i >= len(c.want) || digest.EventHash(e) != c.want[i] {
+		c.diverge = i
+		c.got = e
+	}
+}
+
+// eventAt captures the event at index k of a run's stream.
+type eventAt struct {
+	idx, k int
+	ev     *trace.Event
+}
+
+func (r *eventAt) Record(e trace.Event) {
+	if r.idx == r.k {
+		ev := e
+		r.ev = &ev
+	}
+	r.idx++
+}
+
+// VerifyDeterminism executes spec n times (at least twice) and verifies
+// every execution produces the baseline's digest. It returns nil when
+// all replays match, a *DivergenceError naming the first diverging
+// event when they do not, or the run's own error if an execution fails
+// outright. spec.Tracer and spec.Observe are ignored.
+func VerifyDeterminism(spec RunSpec, n int) error {
+	if n < 2 {
+		n = 2
+	}
+	base := &chainRecorder{}
+	s := spec
+	s.Tracer = base
+	s.Observe = nil
+	ref, err := ExecuteSafe(s)
+	if err != nil {
+		return fmt.Errorf("core: verify: baseline run: %w", err)
+	}
+	for r := 1; r < n; r++ {
+		cmp := &chainComparer{want: base.hashes, diverge: -1}
+		s := spec
+		s.Tracer = cmp
+		s.Observe = nil
+		res, err := ExecuteSafe(s)
+		if err != nil {
+			return fmt.Errorf("core: verify: replay %d: %w", r, err)
+		}
+		if res.Digest == ref.Digest {
+			continue
+		}
+		de := &DivergenceError{
+			Workload:   spec.Workload.Name(),
+			Config:     spec.Config.String(),
+			Policy:     spec.Sched.Policy.String(),
+			Seed:       spec.Seed,
+			Replay:     r,
+			WantDigest: ref.Digest,
+			GotDigest:  res.Digest,
+			Index:      cmp.diverge,
+		}
+		if cmp.diverge >= 0 {
+			got := cmp.got
+			de.Got = &got
+		} else if cmp.idx < len(base.hashes) {
+			// The replay's stream is a strict prefix of the baseline's:
+			// the divergence is the first event the replay is missing.
+			de.Index = cmp.idx
+		}
+		if de.Index >= 0 && de.Index < len(base.hashes) {
+			// Best effort: re-execute the baseline once more to recover
+			// the full contents of the diverging event. If the system is
+			// nondeterministic enough that even this replay differs, the
+			// event is simply omitted from the message.
+			fetch := &eventAt{k: de.Index}
+			s := spec
+			s.Tracer = fetch
+			s.Observe = nil
+			if _, err := ExecuteSafe(s); err == nil {
+				de.Want = fetch.ev
+			}
+		}
+		return de
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+
+	// Register every real workload so the self-audit sweeps them all.
+	_ "asmp/internal/workload/h264"
+	_ "asmp/internal/workload/jappserver"
+	_ "asmp/internal/workload/multiprog"
+	_ "asmp/internal/workload/omp"
+	_ "asmp/internal/workload/pmake"
+	_ "asmp/internal/workload/tpch"
+	_ "asmp/internal/workload/web"
+)
+
+// TestVerifyDeterminismAllWorkloads is the acceptance self-audit: every
+// registered workload must replay bit-identically on an asymmetric
+// configuration under the asymmetry-aware policy (the policy with the
+// most machinery, hence the most opportunities for nondeterminism).
+func TestVerifyDeterminismAllWorkloads(t *testing.T) {
+	cfg := cpu.MustParseConfig("2f-2s/8")
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = VerifyDeterminism(RunSpec{
+				Workload: w,
+				Config:   cfg,
+				Sched:    sched.Defaults(sched.PolicyAsymmetryAware),
+				Seed:     1,
+			}, 2)
+			if err != nil {
+				t.Errorf("determinism audit failed: %v", err)
+			}
+		})
+	}
+}
+
+// driftingWorkload violates the statelessness contract on purpose: each
+// invocation spawns one more task than the last, so replays produce a
+// different scheduler event stream. The audit must catch it and name
+// the first diverging event.
+type driftingWorkload struct{ calls int }
+
+func (w *driftingWorkload) Name() string { return "drifting" }
+
+func (w *driftingWorkload) Run(pl *workload.Platform) workload.Result {
+	w.calls++
+	n := 2 + w.calls
+	for i := 0; i < n; i++ {
+		pl.Env.Go("task", func(p *sim.Proc) { p.Compute(1e5) })
+	}
+	pl.Env.Run()
+	return workload.Result{Metric: "tasks", Value: float64(n), HigherIsBetter: true}
+}
+
+func TestVerifyDeterminismCatchesEventDivergence(t *testing.T) {
+	err := VerifyDeterminism(RunSpec{
+		Workload: &driftingWorkload{},
+		Config:   cpu.MustParseConfig("2f-2s/8"),
+		Seed:     1,
+	}, 3)
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("audit returned %v, want *DivergenceError", err)
+	}
+	if de.Index < 0 {
+		t.Errorf("divergence not localised to an event: %+v", de)
+	}
+	if de.Replay != 1 {
+		t.Errorf("divergence reported on replay %d, want 1", de.Replay)
+	}
+	if de.WantDigest == de.GotDigest {
+		t.Error("diverging digests are equal")
+	}
+	msg := de.Error()
+	if !strings.Contains(msg, "first divergence at event") {
+		t.Errorf("error does not name the diverging event: %s", msg)
+	}
+	if !strings.Contains(msg, "drifting") || !strings.Contains(msg, "2f-2s/8") {
+		t.Errorf("error does not identify the spec: %s", msg)
+	}
+}
+
+// noisyMetricWorkload keeps its event stream deterministic but reports
+// a different metric value each call — the audit must still fail, and
+// say the streams were identical.
+type noisyMetricWorkload struct{ calls int }
+
+func (w *noisyMetricWorkload) Name() string { return "noisy-metric" }
+
+func (w *noisyMetricWorkload) Run(pl *workload.Platform) workload.Result {
+	w.calls++
+	pl.Env.Go("task", func(p *sim.Proc) { p.Compute(1e5) })
+	pl.Env.Run()
+	return workload.Result{Metric: "x", Value: float64(w.calls), HigherIsBetter: true}
+}
+
+func TestVerifyDeterminismCatchesMetricDivergence(t *testing.T) {
+	err := VerifyDeterminism(RunSpec{
+		Workload: &noisyMetricWorkload{},
+		Config:   cpu.MustParseConfig("4f-0s/4"),
+		Seed:     1,
+	}, 2)
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("audit returned %v, want *DivergenceError", err)
+	}
+	if de.Index != -1 {
+		t.Errorf("index = %d, want -1 for identical event streams", de.Index)
+	}
+	if !strings.Contains(de.Error(), "event streams identical") {
+		t.Errorf("error does not report identical streams: %s", de.Error())
+	}
+}
+
+func TestVerifyDeterminismPasses(t *testing.T) {
+	err := VerifyDeterminism(RunSpec{
+		Workload: powerProbe{asymNoise: 0.3},
+		Config:   cpu.MustParseConfig("2f-2s/8"),
+		Seed:     42,
+	}, 3)
+	if err != nil {
+		t.Fatalf("deterministic workload failed the audit: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package digest computes deterministic run digests — the integrity
+// primitive behind the repository's reproducibility claim. A run of the
+// study is a pure function of (workload, config, policy, seed); the
+// digest turns that claim into something checkable by folding three
+// layers into one 64-bit FNV-1a hash:
+//
+//   - the run identity (workload name, configuration, policy, seed),
+//   - every scheduler event the run emitted, in order (the Hasher is a
+//     trace.Tracer and attaches as a hashing sink), and
+//   - the final workload metrics.
+//
+// Two runs with the same digest executed the same schedule and produced
+// the same numbers; a differing digest localises nondeterminism (see
+// core.VerifyDeterminism). The digest is computed for every run and
+// recorded in workload.Result.Digest and in run journals, so resumed
+// sweeps and committed artifacts can be audited long after the run.
+package digest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"asmp/internal/trace"
+)
+
+// Digest is a 64-bit run digest.
+type Digest uint64
+
+// String renders the digest as fixed-width hex.
+func (d Digest) String() string { return fmt.Sprintf("%016x", uint64(d)) }
+
+// Parse reads the fixed-width hex form produced by String.
+func Parse(s string) (Digest, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("digest: malformed digest %q", s)
+	}
+	return Digest(v), nil
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hasher is a streaming FNV-1a hasher with typed fold methods. It
+// implements trace.Tracer, so it can be attached to a scheduler (via
+// trace.Tee when a ring buffer is also attached) and fold the full event
+// stream as the run executes. The zero value is NOT ready; create with
+// New.
+type Hasher struct {
+	h uint64
+}
+
+// New returns a Hasher at the FNV-1a offset basis.
+func New() *Hasher { return &Hasher{h: offset64} }
+
+// Byte folds one byte.
+func (h *Hasher) Byte(b byte) { h.h = (h.h ^ uint64(b)) * prime64 }
+
+// Uint64 folds a 64-bit value, little-endian.
+func (h *Hasher) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.Byte(byte(v >> (8 * i)))
+	}
+}
+
+// Int folds a signed integer.
+func (h *Hasher) Int(v int) { h.Uint64(uint64(int64(v))) }
+
+// Bool folds a boolean.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+}
+
+// Float64 folds a float's exact bit pattern (so digests distinguish
+// values that print identically).
+func (h *Hasher) Float64(v float64) { h.Uint64(math.Float64bits(v)) }
+
+// String folds a length-prefixed string (the prefix keeps "ab"+"c"
+// distinct from "a"+"bc" across consecutive folds).
+func (h *Hasher) String(s string) {
+	h.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		h.Byte(s[i])
+	}
+}
+
+// Sum returns the digest of everything folded so far. The hasher remains
+// usable; further folds evolve the digest.
+func (h *Hasher) Sum() Digest { return Digest(h.h) }
+
+// Identity folds the run identity: the (workload, config, policy, seed)
+// tuple every shape target in DESIGN assumes a run is a pure function
+// of.
+func (h *Hasher) Identity(workload, config, policy string, seed uint64) {
+	h.String(workload)
+	h.String(config)
+	h.String(policy)
+	h.Uint64(seed)
+}
+
+// Event folds one scheduler event.
+func (h *Hasher) Event(e trace.Event) {
+	h.Float64(float64(e.At))
+	h.Int(int(e.Kind))
+	h.Int(e.Core)
+	h.Int(e.From)
+	h.Int(e.Proc)
+	h.String(e.ProcName)
+}
+
+// Record implements trace.Tracer by folding the event.
+func (h *Hasher) Record(e trace.Event) { h.Event(e) }
+
+// Result folds the final workload metrics: the primary metric and every
+// secondary metric in sorted-key order.
+func (h *Hasher) Result(metric string, value float64, higherIsBetter bool, extras map[string]float64) {
+	h.String(metric)
+	h.Float64(value)
+	h.Bool(higherIsBetter)
+	keys := make([]string, 0, len(extras))
+	for k := range extras {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h.Int(len(keys))
+	for _, k := range keys {
+		h.String(k)
+		h.Float64(extras[k])
+	}
+}
+
+// EventHash returns the standalone hash of a single event, used to build
+// per-event hash chains for divergence localisation without retaining
+// the events themselves.
+func EventHash(e trace.Event) uint64 {
+	h := New()
+	h.Event(e)
+	return uint64(h.Sum())
+}
+
+// Bytes folds a raw byte slice (length-prefixed). Exposed for the
+// journal's line checksums.
+func (h *Hasher) Bytes(b []byte) {
+	h.Int(len(b))
+	for _, c := range b {
+		h.Byte(c)
+	}
+}
+
+// OfBytes returns the digest of one byte slice.
+func OfBytes(b []byte) Digest {
+	h := New()
+	h.Bytes(b)
+	return h.Sum()
+}

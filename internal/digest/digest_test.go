@@ -1,0 +1,107 @@
+package digest
+
+import (
+	"testing"
+
+	"asmp/internal/trace"
+)
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, d := range []Digest{0, 1, 0xdeadbeefcafef00d, ^Digest(0)} {
+		s := d.String()
+		if len(s) != 16 {
+			t.Errorf("digest %v renders %q, want 16 hex chars", uint64(d), s)
+		}
+		got, err := Parse(s)
+		if err != nil || got != d {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, d)
+		}
+	}
+	if _, err := Parse("not-hex"); err == nil {
+		t.Error("Parse accepted garbage")
+	}
+}
+
+func TestHasherDeterministic(t *testing.T) {
+	fold := func() Digest {
+		h := New()
+		h.Identity("specjbb", "2f-2s/8", "naive", 42)
+		h.Event(trace.Event{At: 1.5, Kind: trace.Dispatch, Core: 1, From: -1, Proc: 3, ProcName: "worker"})
+		h.Result("txn/s", 1234.5, true, map[string]float64{"b": 2, "a": 1})
+		return h.Sum()
+	}
+	if fold() != fold() {
+		t.Fatal("identical folds produced different digests")
+	}
+}
+
+func TestHasherSensitivity(t *testing.T) {
+	base := func(mutate func(h *Hasher)) Digest {
+		h := New()
+		h.Identity("specjbb", "2f-2s/8", "naive", 42)
+		mutate(h)
+		return h.Sum()
+	}
+	ref := base(func(h *Hasher) { h.Event(trace.Event{At: 1, Kind: trace.Dispatch, Core: 0}) })
+	variants := []func(h *Hasher){
+		func(h *Hasher) { h.Event(trace.Event{At: 2, Kind: trace.Dispatch, Core: 0}) },
+		func(h *Hasher) { h.Event(trace.Event{At: 1, Kind: trace.Preempt, Core: 0}) },
+		func(h *Hasher) { h.Event(trace.Event{At: 1, Kind: trace.Dispatch, Core: 1}) },
+		func(h *Hasher) {}, // missing event
+	}
+	for i, v := range variants {
+		if got := base(v); got == ref {
+			t.Errorf("variant %d collides with reference digest", i)
+		}
+	}
+	// Seed changes alone must change the digest even with identical
+	// streams — the identity is folded first.
+	h1, h2 := New(), New()
+	h1.Identity("w", "c", "p", 1)
+	h2.Identity("w", "c", "p", 2)
+	if h1.Sum() == h2.Sum() {
+		t.Error("different seeds produced equal identity digests")
+	}
+}
+
+func TestStringFoldingIsPrefixFree(t *testing.T) {
+	h1, h2 := New(), New()
+	h1.String("ab")
+	h1.String("c")
+	h2.String("a")
+	h2.String("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Error(`"ab"+"c" collides with "a"+"bc" (length prefix missing?)`)
+	}
+}
+
+func TestEventHashMatchesHasher(t *testing.T) {
+	e := trace.Event{At: 3.25, Kind: trace.Steal, Core: 2, From: 0, Proc: 9, ProcName: "gc"}
+	h := New()
+	h.Event(e)
+	if EventHash(e) != uint64(h.Sum()) {
+		t.Error("EventHash disagrees with Hasher.Event")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	buf := trace.New(4)
+	h := New()
+	tee := trace.Tee(nil, buf, h)
+	e := trace.Event{At: 1, Kind: trace.Wake, Core: 0}
+	tee.Record(e)
+	if buf.Len() != 1 {
+		t.Errorf("buffer got %d events, want 1", buf.Len())
+	}
+	want := New()
+	want.Event(e)
+	if h.Sum() != want.Sum() {
+		t.Error("hasher behind Tee did not fold the event")
+	}
+	if trace.Tee(nil, nil) != nil {
+		t.Error("Tee of nils should be nil")
+	}
+	if got := trace.Tee(nil, buf); got != trace.Tracer(buf) {
+		t.Error("Tee of one tracer should unwrap")
+	}
+}

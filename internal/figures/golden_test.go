@@ -76,3 +76,47 @@ func TestGoldenFaultArtifact(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenFullArtifact regenerates EVERY figure at full resolution
+// with seed 1 and requires the committed results/figures-full.txt to
+// match line for line (only the wall-clock "[figure ...]" status lines
+// are ignored). The subset test above catches most drift cheaply; this
+// one guarantees the committed artifact as a whole cannot go stale —
+// including figures added later that the subset list does not know
+// about. It is the slowest test in the repository, so it is skipped in
+// -short mode and under the race detector:
+//
+//	make golden    # regenerate the artifact after an intentional change
+func TestGoldenFullArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-resolution regeneration skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-resolution regeneration skipped under the race detector")
+	}
+	raw, err := os.ReadFile(goldenPath(t))
+	if err != nil {
+		t.Skipf("golden artifact not available: %v", err)
+	}
+	var want strings.Builder
+	for _, line := range strings.SplitAfter(string(raw), "\n") {
+		if strings.HasPrefix(line, "[figure ") {
+			continue
+		}
+		want.WriteString(line)
+	}
+
+	var got strings.Builder
+	for _, f := range All() {
+		for _, tb := range f.Run(Options{Seed: 1}) {
+			got.WriteString(tb.String())
+			got.WriteByte('\n')
+		}
+		// The blank line that follows each figure's status line.
+		got.WriteByte('\n')
+	}
+	if got.String() != want.String() {
+		t.Errorf("full artifact diverged from results/figures-full.txt;\n" +
+			"if the model change is intentional, run `make golden` and commit the result")
+	}
+}

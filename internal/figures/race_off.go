@@ -1,0 +1,6 @@
+//go:build !race
+
+package figures
+
+// raceEnabled gates the slowest golden tests out of race-detector runs.
+const raceEnabled = false

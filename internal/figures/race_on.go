@@ -1,0 +1,8 @@
+//go:build race
+
+package figures
+
+// raceEnabled gates the slowest golden tests out of race-detector runs,
+// where full-resolution regeneration is an order of magnitude slower and
+// adds no data-race coverage beyond the normal figure tests.
+const raceEnabled = true

@@ -1,0 +1,397 @@
+// Package journal implements the append-only run journal behind
+// crash-safe, resumable sweeps. Every record is one JSON line with an
+// embedded FNV-1a checksum, fsync'd on append, so a sweep killed at any
+// instant leaves a journal whose valid prefix is a faithful record of
+// every cell that completed. Reopening tolerates a corrupt tail (the
+// torn line of the crash) by truncating it; corruption *before* valid
+// records is refused — that is damage, not a crash signature.
+//
+// Three record kinds exist, all schema-versioned:
+//
+//   - "header": the sweep identity (workload, configs, policy, seeds),
+//     written once at creation and validated on resume so a journal is
+//     never resumed against a different experiment;
+//   - "cell": one completed (config, run) cell with its metric value,
+//     secondary metrics, run digest, and error if the run failed;
+//   - "figure": one completed figure regeneration (asmp-run), carrying
+//     the rendered text and CSV so a resumed -all replays it verbatim.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"asmp/internal/digest"
+)
+
+// Version is the journal schema version; bump on incompatible record
+// changes. Readers refuse newer versions.
+const Version = 1
+
+// Record kinds.
+const (
+	KindHeader = "header"
+	KindCell   = "cell"
+	KindFigure = "figure"
+)
+
+// Header identifies the sweep (or figure run) the journal belongs to.
+// Unused fields stay empty: asmp-sweep journals fill the experiment
+// fields, asmp-run journals fill Tool/Quick.
+type Header struct {
+	Kind string `json:"kind"`
+	V    int    `json:"v"`
+	// Tool names the writing command ("asmp-sweep", "asmp-run").
+	Tool string `json:"tool,omitempty"`
+	// Name echoes the experiment name.
+	Name string `json:"name,omitempty"`
+	// Workload, Policy, Configs, Runs, BaseSeed and Fault pin the sweep
+	// identity a resume must match.
+	Workload string   `json:"workload,omitempty"`
+	Policy   string   `json:"policy,omitempty"`
+	Configs  []string `json:"configs,omitempty"`
+	Runs     int      `json:"runs,omitempty"`
+	BaseSeed uint64   `json:"baseSeed,omitempty"`
+	Fault    string   `json:"fault,omitempty"`
+	// Quick records asmp-run's -quick flag (resolution must match on
+	// resume).
+	Quick bool `json:"quick,omitempty"`
+	// Sum is the line checksum (FNV-1a of the record with Sum empty).
+	Sum string `json:"sum,omitempty"`
+}
+
+// Cell is one completed (config, run) cell of a sweep.
+type Cell struct {
+	Kind string `json:"kind"`
+	// Config is the canonical configuration string; Cfg and Run index
+	// the cell within the sweep.
+	Config string `json:"config"`
+	Cfg    int    `json:"cfg"`
+	Run    int    `json:"run"`
+	// Attempt is the retry attempt that produced this record (0 = first
+	// try); Seed is the derived seed that attempt used.
+	Attempt int    `json:"attempt,omitempty"`
+	Seed    uint64 `json:"seed"`
+	// Metric/Value/Higher/Extras mirror workload.Result.
+	Metric string             `json:"metric,omitempty"`
+	Value  float64            `json:"value,omitempty"`
+	Higher bool               `json:"higher,omitempty"`
+	Extras map[string]float64 `json:"extras,omitempty"`
+	// Digest is the run digest in hex (empty for failed runs).
+	Digest string `json:"digest,omitempty"`
+	// Err records a failed run's error; failed cells are re-executed on
+	// resume.
+	Err string `json:"err,omitempty"`
+	// Sum is the line checksum.
+	Sum string `json:"sum,omitempty"`
+}
+
+// Figure is one completed figure regeneration (asmp-run journals).
+type Figure struct {
+	Kind string `json:"kind"`
+	// ID is the figure id ("4a", "table1", "fault", ...).
+	ID string `json:"id"`
+	// Txt and Csv are the rendered outputs, replayed verbatim on resume.
+	Txt string `json:"txt"`
+	Csv string `json:"csv,omitempty"`
+	// Sum is the line checksum.
+	Sum string `json:"sum,omitempty"`
+}
+
+// Log is a parsed journal.
+type Log struct {
+	// Path is where the journal was read from.
+	Path string
+	// Header is the identity record, nil if the journal is empty or was
+	// truncated before the header survived.
+	Header *Header
+	// Cells and Figures are the completed records in append order.
+	Cells   []Cell
+	Figures []Figure
+	// Dropped counts corrupt trailing lines that were ignored (a torn
+	// final write from a crash).
+	Dropped int
+}
+
+// Cell returns the record for a (cfg, run) cell, or nil. When a cell
+// appears more than once (a failed attempt later superseded), the last
+// record wins.
+func (l *Log) Cell(cfg, run int) *Cell {
+	for i := len(l.Cells) - 1; i >= 0; i-- {
+		if l.Cells[i].Cfg == cfg && l.Cells[i].Run == run {
+			return &l.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Figure returns the record for a figure id, or nil.
+func (l *Log) Figure(id string) *Figure {
+	for i := len(l.Figures) - 1; i >= 0; i-- {
+		if l.Figures[i].ID == id {
+			return &l.Figures[i]
+		}
+	}
+	return nil
+}
+
+// checksum returns the hex FNV-1a digest of a marshalled record whose
+// Sum field was empty when marshalled.
+func checksum(line []byte) string { return digest.OfBytes(line).String() }
+
+// seal marshals rec twice: once with the checksum field empty to compute
+// the sum, once with it set, returning the final line. setSum must store
+// its argument into the record's Sum field.
+func seal(rec any, setSum func(string)) ([]byte, error) {
+	setSum("")
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	setSum(checksum(raw))
+	return json.Marshal(rec)
+}
+
+// verify re-marshals rec with its Sum cleared and compares checksums.
+// setSum must clear/restore the record's Sum field; got is the checksum
+// the line carried.
+func verify(rec any, got string, setSum func(string)) bool {
+	if got == "" {
+		return false
+	}
+	setSum("")
+	raw, err := json.Marshal(rec)
+	setSum(got)
+	if err != nil {
+		return false
+	}
+	return checksum(raw) == got
+}
+
+// Writer appends sealed records to a journal file. It is safe for
+// concurrent use (sweep cells complete on parallel workers) and sticky
+// on error: after a failed append every later append is a no-op and Err
+// reports the first failure, so a full sweep never crashes on a journal
+// problem — it finishes and reports the journal as incomplete.
+type Writer struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	err  error
+}
+
+// Create truncates/creates a journal at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// Resume parses the journal at path, truncates any corrupt tail (the
+// torn line of a crash), and returns the parsed log plus a writer
+// positioned at the end of the valid prefix. It is the one call a
+// resuming CLI needs.
+func Resume(path string) (*Log, *Writer, error) {
+	log, validLen, err := read(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: truncating corrupt tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return log, &Writer{f: f, path: path}, nil
+}
+
+// append seals and writes one record, fsyncing so the line survives a
+// crash immediately after.
+func (w *Writer) append(rec any, setSum func(string)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	line, err := seal(rec, setSum)
+	if err == nil {
+		_, err = w.f.Write(append(line, '\n'))
+	}
+	if err == nil {
+		err = w.f.Sync()
+	}
+	if err != nil {
+		w.err = fmt.Errorf("journal: appending to %s: %w", w.path, err)
+		return w.err
+	}
+	return nil
+}
+
+// WriteHeader appends the identity record.
+func (w *Writer) WriteHeader(h Header) error {
+	h.Kind = KindHeader
+	h.V = Version
+	return w.append(&h, func(s string) { h.Sum = s })
+}
+
+// WriteCell appends one completed cell.
+func (w *Writer) WriteCell(c Cell) error {
+	c.Kind = KindCell
+	return w.append(&c, func(s string) { c.Sum = s })
+}
+
+// WriteFigure appends one completed figure.
+func (w *Writer) WriteFigure(f Figure) error {
+	f.Kind = KindFigure
+	return w.append(&f, func(s string) { f.Sum = s })
+}
+
+// Err returns the first append failure, or nil.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Path returns the journal file path.
+func (w *Writer) Path() string { return w.path }
+
+// Close closes the underlying file (appends already fsync per line).
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	err := w.f.Close()
+	w.f = nil
+	if w.err == nil && err != nil {
+		w.err = fmt.Errorf("journal: closing %s: %w", w.path, err)
+	}
+	return w.err
+}
+
+// Read parses the journal at path without modifying it. A corrupt tail
+// is tolerated (Log.Dropped counts the ignored lines); corruption
+// followed by valid records is an error.
+func Read(path string) (*Log, error) {
+	log, _, err := read(path)
+	return log, err
+}
+
+// maxLine bounds one journal line; figure records carry whole rendered
+// tables, so this is generous.
+const maxLine = 8 << 20
+
+// read parses path and additionally returns the byte length of the
+// valid prefix (for tail truncation on resume).
+func read(path string) (*Log, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	log := &Log{Path: path}
+	var offset, validLen int64
+	firstBad := -1
+	lineNo := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		offset += int64(len(raw)) + 1
+		line := strings.TrimSpace(string(raw))
+		if line == "" {
+			continue // blank lines are harmless
+		}
+		rec, err := parseLine([]byte(line))
+		if err != nil {
+			if firstBad < 0 {
+				firstBad = lineNo
+			}
+			log.Dropped++
+			continue
+		}
+		if firstBad >= 0 {
+			return nil, 0, fmt.Errorf("journal: %s: corrupt record at line %d followed by valid records (damaged journal, not a crash tail)", path, firstBad)
+		}
+		switch r := rec.(type) {
+		case *Header:
+			if log.Header != nil {
+				return nil, 0, fmt.Errorf("journal: %s: duplicate header at line %d", path, lineNo)
+			}
+			if len(log.Cells)+len(log.Figures) > 0 {
+				return nil, 0, fmt.Errorf("journal: %s: header at line %d after data records", path, lineNo)
+			}
+			log.Header = r
+		case *Cell:
+			log.Cells = append(log.Cells, *r)
+		case *Figure:
+			log.Figures = append(log.Figures, *r)
+		}
+		validLen = offset
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	return log, validLen, nil
+}
+
+// parseLine decodes and checksum-verifies one record line.
+func parseLine(line []byte) (any, error) {
+	var probe struct {
+		Kind string `json:"kind"`
+		V    int    `json:"v"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return nil, fmt.Errorf("journal: bad record: %w", err)
+	}
+	switch probe.Kind {
+	case KindHeader:
+		if probe.V > Version {
+			return nil, fmt.Errorf("journal: schema v%d newer than supported v%d", probe.V, Version)
+		}
+		var h Header
+		if err := json.Unmarshal(line, &h); err != nil {
+			return nil, err
+		}
+		if !verify(&h, h.Sum, func(s string) { h.Sum = s }) {
+			return nil, fmt.Errorf("journal: header checksum mismatch")
+		}
+		return &h, nil
+	case KindCell:
+		var c Cell
+		if err := json.Unmarshal(line, &c); err != nil {
+			return nil, err
+		}
+		if !verify(&c, c.Sum, func(s string) { c.Sum = s }) {
+			return nil, fmt.Errorf("journal: cell checksum mismatch")
+		}
+		return &c, nil
+	case KindFigure:
+		var fig Figure
+		if err := json.Unmarshal(line, &fig); err != nil {
+			return nil, err
+		}
+		if !verify(&fig, fig.Sum, func(s string) { fig.Sum = s }) {
+			return nil, fmt.Errorf("journal: figure checksum mismatch")
+		}
+		return &fig, nil
+	default:
+		return nil, fmt.Errorf("journal: unknown record kind %q", probe.Kind)
+	}
+}

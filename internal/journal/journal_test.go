@@ -1,0 +1,307 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tempPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "run.jsonl")
+}
+
+func sampleHeader() Header {
+	return Header{
+		Tool:     "asmp-sweep",
+		Name:     "sweep test",
+		Workload: "specjbb",
+		Policy:   "default",
+		Configs:  []string{"4f-0s/4", "2f-2s/8"},
+		Runs:     3,
+		BaseSeed: 42,
+	}
+}
+
+func writeSample(t *testing.T, path string, cells int) {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(sampleHeader()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cells; i++ {
+		err := w.WriteCell(Cell{
+			Config: "4f-0s/4",
+			Cfg:    i % 2,
+			Run:    i / 2,
+			Seed:   uint64(100 + i),
+			Metric: "throughput",
+			Value:  1234.5 + float64(i),
+			Higher: true,
+			Extras: map[string]float64{"p95": 1.5},
+			Digest: "00000000deadbeef",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tempPath(t)
+	writeSample(t, path, 4)
+
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header == nil {
+		t.Fatal("no header read back")
+	}
+	if got, want := log.Header.Workload, "specjbb"; got != want {
+		t.Errorf("header workload = %q, want %q", got, want)
+	}
+	if len(log.Header.Configs) != 2 {
+		t.Errorf("header configs = %v", log.Header.Configs)
+	}
+	if len(log.Cells) != 4 {
+		t.Fatalf("read %d cells, want 4", len(log.Cells))
+	}
+	if log.Dropped != 0 {
+		t.Errorf("dropped = %d on a clean journal", log.Dropped)
+	}
+	c := log.Cell(1, 1)
+	if c == nil {
+		t.Fatal("Cell(1,1) not found")
+	}
+	if c.Value != 1234.5+3 || c.Seed != 103 {
+		t.Errorf("cell (1,1) = %+v", c)
+	}
+	if log.Cell(5, 5) != nil {
+		t.Error("Cell(5,5) should be absent")
+	}
+}
+
+func TestLastCellWins(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCell(Cell{Cfg: 0, Run: 0, Err: "boom", Attempt: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCell(Cell{Cfg: 0, Run: 0, Value: 9, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := log.Cell(0, 0)
+	if c == nil || c.Attempt != 1 || c.Err != "" {
+		t.Errorf("Cell(0,0) = %+v, want the superseding attempt", c)
+	}
+}
+
+func TestCorruptTailToleratedAndTruncated(t *testing.T) {
+	path := tempPath(t)
+	writeSample(t, path, 3)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final write: half a JSON line plus garbage.
+	torn := append(append([]byte{}, clean...), []byte(`{"kind":"cell","cfg":9,"ru`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log, w, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) != 3 {
+		t.Errorf("resumed with %d cells, want 3", len(log.Cells))
+	}
+	if log.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", log.Dropped)
+	}
+	// The writer must have truncated the tail and continue appending
+	// valid records.
+	if err := w.WriteCell(Cell{Cfg: 1, Run: 2, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log2, err := Read(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after resume append: %v", err)
+	}
+	if len(log2.Cells) != 4 || log2.Dropped != 0 {
+		t.Errorf("after resume: %d cells, %d dropped; want 4, 0", len(log2.Cells), log2.Dropped)
+	}
+}
+
+func TestCorruptionMidJournalRefused(t *testing.T) {
+	path := tempPath(t)
+	writeSample(t, path, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Flip a byte inside the second cell record (not the last line).
+	lines[2] = strings.Replace(lines[2], `"cell"`, `"cel!"`, 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(path); err == nil {
+		t.Fatal("mid-journal corruption accepted")
+	} else if !strings.Contains(err.Error(), "damaged journal") {
+		t.Errorf("err = %v, want a damaged-journal error", err)
+	}
+}
+
+func TestChecksumTamperDetected(t *testing.T) {
+	path := tempPath(t)
+	writeSample(t, path, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the cell's value but keep the line valid JSON: the
+	// checksum must catch it. The cell line is the last one.
+	tampered := strings.Replace(string(raw), `"value":1234.5`, `"value":9999.5`, 1)
+	if tampered == string(raw) {
+		t.Fatal("test setup: value not found in journal")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tampered line is the tail, so it is dropped, not accepted.
+	if len(log.Cells) != 0 || log.Dropped != 1 {
+		t.Errorf("tampered cell accepted: %d cells, %d dropped", len(log.Cells), log.Dropped)
+	}
+}
+
+func TestBlankLinesSkipped(t *testing.T) {
+	path := tempPath(t)
+	writeSample(t, path, 2)
+	raw, _ := os.ReadFile(path)
+	withBlanks := strings.ReplaceAll(string(raw), "\n", "\n\n")
+	if err := os.WriteFile(path, []byte(withBlanks), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) != 2 || log.Dropped != 0 {
+		t.Errorf("blank-line journal: %d cells, %d dropped", len(log.Cells), log.Dropped)
+	}
+}
+
+func TestNewerSchemaRefused(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	line := `{"kind":"header","v":99,"sum":"whatever"}` + "\n" +
+		`{"kind":"header","v":99,"sum":"whatever"}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Two bad lines where the first is followed by another invalid one:
+	// both invalid → whole journal is a "corrupt tail" only if no valid
+	// records follow. Here nothing is valid, so Read reports all dropped
+	// and no header.
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header != nil || log.Dropped != 2 {
+		t.Errorf("v99 header accepted: %+v dropped=%d", log.Header, log.Dropped)
+	}
+}
+
+func TestFigureRecords(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(Header{Tool: "asmp-run", Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	txt := "Figure 4a\nline two\n"
+	if err := w.WriteFigure(Figure{ID: "4a", Txt: txt, Csv: "a,b\n1,2\n"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header == nil || !log.Header.Quick || log.Header.Tool != "asmp-run" {
+		t.Errorf("header = %+v", log.Header)
+	}
+	f := log.Figure("4a")
+	if f == nil || f.Txt != txt || f.Csv != "a,b\n1,2\n" {
+		t.Errorf("figure = %+v", f)
+	}
+	if log.Figure("5b") != nil {
+		t.Error("Figure(5b) should be absent")
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Appending after close must fail and stick.
+	if err := w.WriteCell(Cell{}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() nil after failed append")
+	}
+}
+
+func TestDuplicateHeaderRefused(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(Header{Tool: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(Header{Tool: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := Read(path); err == nil || !strings.Contains(err.Error(), "duplicate header") {
+		t.Errorf("err = %v, want duplicate-header error", err)
+	}
+}

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -165,7 +166,7 @@ func OutcomeTable(o *core.Outcome) *Table {
 		t.Columns = append(t.Columns, fmt.Sprintf("run%d", i+1))
 	}
 	t.Columns = append(t.Columns, "mean", "±err", "CoV")
-	failed := 0
+	failed, cancelled := 0, 0
 	var firstErr error
 	for _, cr := range o.PerConfig {
 		row := []string{cr.Config.String(), F(cr.Config.ComputePower())}
@@ -173,6 +174,10 @@ func OutcomeTable(o *core.Outcome) *Table {
 			switch {
 			case i >= len(cr.Values):
 				row = append(row, "")
+			case i < len(cr.Errs) && errors.Is(cr.Errs[i], core.ErrCancelled):
+				// A run stopped by SIGINT/cancel: not a failure — it can
+				// be completed by resuming from the journal.
+				row = append(row, "CANCELLED")
 			case math.IsNaN(cr.Values[i]):
 				// A failed run: keep the column aligned but mark it.
 				row = append(row, "ERR")
@@ -181,13 +186,18 @@ func OutcomeTable(o *core.Outcome) *Table {
 			}
 		}
 		if cr.Summary.N == 0 {
-			row = append(row, "ERR", "—", "—")
+			mark := "ERR"
+			if cr.Cancelled() == len(cr.Errs) {
+				mark = "CANCELLED"
+			}
+			row = append(row, mark, "—", "—")
 		} else {
 			row = append(row, F(cr.Summary.Mean), F(cr.Summary.ErrorBar()), F(cr.Summary.CoV))
 		}
 		t.Rows = append(t.Rows, row)
+		cancelled += cr.Cancelled()
 		for _, err := range cr.Errs {
-			if err != nil {
+			if err != nil && !errors.Is(err, core.ErrCancelled) {
 				failed++
 				if firstErr == nil {
 					firstErr = err
@@ -198,6 +208,9 @@ func OutcomeTable(o *core.Outcome) *Table {
 	t.AddNote("metric: %s", o.Metric)
 	if failed > 0 {
 		t.AddNote("%d run(s) failed; summaries cover successful runs only. first error: %v", failed, firstErr)
+	}
+	if cancelled > 0 {
+		t.AddNote("%d run(s) cancelled before completing; summaries cover completed runs only.", cancelled)
 	}
 	return t
 }

@@ -1,12 +1,15 @@
 package report
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
 	"asmp/internal/core"
 	"asmp/internal/cpu"
 	"asmp/internal/sim"
+	"asmp/internal/stats"
 	"asmp/internal/workload"
 )
 
@@ -136,5 +139,46 @@ func TestUnicodeAlignment(t *testing.T) {
 	}
 	if len(ends) == 2 && ends[0] != ends[1] {
 		t.Fatalf("unicode rows misaligned: %q", lines)
+	}
+}
+
+func TestOutcomeTableCancelledCells(t *testing.T) {
+	o := &core.Outcome{Name: "cancelled sweep", Metric: "throughput"}
+	cr := core.ConfigResult{Config: cpu.MustParseConfig("2f-2s/8")}
+	cr.Values = []float64{math.NaN(), math.NaN()}
+	cr.Errs = []error{
+		fmt.Errorf("wrapped: %w", core.ErrCancelled),
+		core.ErrCancelled,
+	}
+	o.PerConfig = append(o.PerConfig, cr)
+
+	s := OutcomeTable(o).String()
+	if !strings.Contains(s, "CANCELLED") {
+		t.Errorf("cancelled runs not marked CANCELLED:\n%s", s)
+	}
+	if !strings.Contains(s, "2 run(s) cancelled") {
+		t.Errorf("missing cancelled note:\n%s", s)
+	}
+	if strings.Contains(s, "failed") || strings.Contains(s, "ERR") {
+		t.Errorf("cancelled runs rendered as failures:\n%s", s)
+	}
+}
+
+func TestOutcomeTableMixedErrAndCancelled(t *testing.T) {
+	o := &core.Outcome{Name: "mixed", Metric: "throughput"}
+	cr := core.ConfigResult{Config: cpu.MustParseConfig("4f-0s/4")}
+	cr.Values = []float64{1.5, math.NaN(), math.NaN()}
+	cr.Errs = []error{nil, fmt.Errorf("boom"), core.ErrCancelled}
+	sm := &stats.Sample{}
+	sm.Add(1.5)
+	cr.Summary = sm.Summarize()
+	o.PerConfig = append(o.PerConfig, cr)
+
+	s := OutcomeTable(o).String()
+	if !strings.Contains(s, "ERR") || !strings.Contains(s, "CANCELLED") {
+		t.Errorf("mixed cell markers wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "1 run(s) failed") || !strings.Contains(s, "1 run(s) cancelled") {
+		t.Errorf("notes wrong:\n%s", s)
 	}
 }

@@ -155,7 +155,7 @@ type Scheduler struct {
 	lastInvariantCheck simtime.Time
 	invariantViolated  bool
 	balanceEv          *simtime.Event
-	tracer             *trace.Buffer
+	tracer             trace.Tracer
 
 	// Machine-wide stall state (fault injection): while stalled, no core
 	// dispatches and running tasks are parked at the front of their run
@@ -234,10 +234,11 @@ func New(env *sim.Env, machine cpu.Machine, opt Options) *Scheduler {
 	return s
 }
 
-// SetTracer attaches a trace buffer that will receive every scheduling
-// event (dispatches, preemptions, migrations, steals, idles). Pass nil
-// to detach.
-func (s *Scheduler) SetTracer(b *trace.Buffer) { s.tracer = b }
+// SetTracer attaches a tracer that will receive every scheduling event
+// (dispatches, preemptions, migrations, steals, idles). Pass nil to
+// detach; use trace.Tee to attach several sinks (e.g. a ring buffer for
+// inspection plus a digest hasher).
+func (s *Scheduler) SetTracer(t trace.Tracer) { s.tracer = t }
 
 // emit records a scheduler event when tracing is on.
 func (s *Scheduler) emit(kind trace.Kind, core, from int, t *task) {

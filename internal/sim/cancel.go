@@ -1,0 +1,53 @@
+package sim
+
+// This file implements cooperative run cancellation — the third leg of
+// resilient execution next to the watchdogs. A cancel channel (closed by
+// a SIGINT handler, a test, or a supervising sweep) is checked by the
+// dispatch loop before every event, so a cancelled simulation stops at
+// the next event boundary: cleanly, at a well-defined virtual time, with
+// the environment still consistent for teardown. Like the watchdogs, a
+// tripped cancellation poisons the environment (every later Run/RunUntil
+// fails immediately) and surfaces through the Run/RunUntil panic
+// contract, which core.ExecuteSafe converts into a per-run error that
+// report renders as a CANCELLED cell.
+
+import (
+	"fmt"
+
+	"asmp/internal/simtime"
+)
+
+// CancelledError reports that a run was stopped by its cancel signal.
+type CancelledError struct {
+	// At is the virtual time the run had reached when it was cancelled.
+	At simtime.Time
+	// Events is the number of events dispatched up to that point.
+	Events int
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("sim: run cancelled at %v after %d events", e.At, e.Events)
+}
+
+// SetCancel installs a cancel signal: when c is closed (or receives a
+// value), the dispatch loop stops before the next event and the
+// environment trips with a *CancelledError. Pass nil to detach.
+// Cancellation is inherently tied to wall-clock timing, so *where* a run
+// stops is not deterministic — which is why cancelled runs are never
+// journaled as results and a resumed sweep re-executes them from
+// scratch.
+func (e *Env) SetCancel(c <-chan struct{}) { e.cancel = c }
+
+// cancelled reports whether the cancel signal has fired.
+func (e *Env) cancelled() bool {
+	if e.cancel == nil {
+		return false
+	}
+	select {
+	case <-e.cancel:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"asmp/internal/simtime"
+)
+
+// nullExecutor satisfies compute requests immediately (no scheduler
+// needed for engine-level tests).
+type nullExecutor struct{ env *Env }
+
+func (x *nullExecutor) Compute(p *Proc, cycles, mem float64, done func()) {
+	x.env.After(simtime.Millisecond, done)
+}
+func (x *nullExecutor) Cancel(p *Proc)   {}
+func (x *nullExecutor) ProcExit(p *Proc) {}
+
+func TestCancelStopsRun(t *testing.T) {
+	env := NewEnv(1)
+	env.SetExecutor(&nullExecutor{env})
+	cancel := make(chan struct{})
+	env.SetCancel(cancel)
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks == 10 {
+			close(cancel)
+		}
+		env.After(simtime.Millisecond, tick)
+	}
+	env.After(simtime.Millisecond, tick)
+
+	_, err := env.RunGuarded(simtime.Never)
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("RunGuarded err = %v, want *CancelledError", err)
+	}
+	if ticks != 10 {
+		t.Errorf("dispatched %d ticks after cancel, want exactly 10", ticks)
+	}
+	if ce.Events == 0 || ce.At == 0 {
+		t.Errorf("cancelled error carries no position: %+v", ce)
+	}
+	// A cancelled environment is poisoned like a tripped watchdog.
+	if _, err2 := env.RunGuarded(simtime.Never); !errors.As(err2, &ce) {
+		t.Errorf("poisoned env RunGuarded err = %v, want the cancellation", err2)
+	}
+	env.Close()
+}
+
+func TestCancelPanicsThroughRun(t *testing.T) {
+	env := NewEnv(1)
+	cancel := make(chan struct{})
+	close(cancel)
+	env.SetCancel(cancel)
+	env.After(simtime.Second, func() {})
+	defer func() {
+		r := recover()
+		var ce *CancelledError
+		if err, ok := r.(error); !ok || !errors.As(err, &ce) {
+			t.Fatalf("Run panicked with %v, want *CancelledError", r)
+		}
+		env.Close()
+	}()
+	env.Run()
+	t.Fatal("Run returned despite pre-closed cancel channel")
+}
+
+func TestNilCancelIsFree(t *testing.T) {
+	env := NewEnv(1)
+	n := 0
+	env.After(simtime.Millisecond, func() { n++ })
+	if env.Run(); n != 1 {
+		t.Fatalf("event did not run: n=%d", n)
+	}
+	env.Close()
+}

@@ -72,6 +72,7 @@ type Env struct {
 	closed   bool
 
 	limits  Limits
+	cancel  <-chan struct{}
 	events  int
 	tripped error
 }

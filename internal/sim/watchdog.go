@@ -119,6 +119,10 @@ func (e *Env) drive(deadline simtime.Time) (int, error) {
 	}
 	n := 0
 	for {
+		if e.cancelled() {
+			e.tripped = &CancelledError{At: e.queue.Now(), Events: e.events}
+			return n, e.tripped
+		}
 		next := e.queue.PeekTime()
 		if next == simtime.Never || next > deadline {
 			break

@@ -101,6 +101,45 @@ func (e Event) String() string {
 	}
 }
 
+// Tracer receives scheduler events as they happen. Implementations must
+// be cheap and side-effect free with respect to the simulation: a tracer
+// observes scheduling decisions, it never influences them. The two
+// implementations in the repository are *Buffer (a bounded ring for
+// inspection) and digest.Hasher (a streaming hash for run digests).
+type Tracer interface {
+	Record(Event)
+}
+
+// Tee fans events out to several tracers in argument order, skipping nil
+// entries. It returns nil when every argument is nil, a single tracer
+// unwrapped, or a composite otherwise.
+func Tee(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return teeTracer(live)
+	}
+}
+
+// teeTracer is the composite behind Tee.
+type teeTracer []Tracer
+
+// Record implements Tracer.
+func (tt teeTracer) Record(e Event) {
+	for _, t := range tt {
+		t.Record(e)
+	}
+}
+
 // Buffer is a bounded ring of events. The zero value is unusable; create
 // with New. Buffer is not safe for concurrent use (the simulator is
 // single-threaded).

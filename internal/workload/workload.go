@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"asmp/internal/cpu"
+	"asmp/internal/digest"
 	"asmp/internal/sched"
 	"asmp/internal/sim"
 )
@@ -50,6 +51,12 @@ type Result struct {
 	// Extras holds secondary metrics by name (response-time percentiles,
 	// GC counts, per-domain throughputs, ...).
 	Extras map[string]float64
+	// Digest is the deterministic run digest folded over the run's
+	// identity, scheduler event stream and final metrics (see
+	// internal/digest). Two runs of the same (workload, config, policy,
+	// seed) must produce the same digest; core.VerifyDeterminism audits
+	// exactly that. Zero for results not produced through core.Execute.
+	Digest digest.Digest
 }
 
 // Extra returns a secondary metric (0 if absent).
