@@ -1,21 +1,29 @@
 # Tier-1 gate for this repository (referenced from ROADMAP.md):
 #
-#   make check        # vet + test — what CI and every PR must pass
+#   make check        # vet + lint + test — what CI and every PR must pass
 #
 # Extras:
 #
+#   make lint         # determinism lint suite only (cmd/asmp-lint)
 #   make test-race    # full test suite under the race detector
 #   make bench        # one pass over every figure/ablation benchmark
 #   make golden       # regenerate the committed seed-1 artifacts
 
 GO ?= go
 
-.PHONY: check vet test test-race bench golden
+.PHONY: check vet lint test test-race bench golden
 
-check: vet test
+check: vet lint test
 
 vet:
 	$(GO) vet ./...
+
+# The determinism lint suite: statically enforces the reproducibility
+# invariants (no wall clock, no unseeded randomness, no map-order
+# emission, no stray concurrency, no dropped journal errors). See
+# DESIGN.md §7 for the invariant catalog and `asmp-lint -list`.
+lint:
+	$(GO) run ./cmd/asmp-lint ./...
 
 test:
 	$(GO) build ./...

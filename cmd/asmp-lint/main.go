@@ -1,0 +1,102 @@
+// Command asmp-lint statically enforces the simulator's reproducibility
+// invariants: no wall-clock time, no unseeded randomness, no map-order-
+// dependent emission, no stray concurrency in deterministic packages,
+// no dropped journal-write errors. It is the static half of the story
+// whose runtime half is the run digest machinery (internal/digest,
+// core.VerifyDeterminism); DESIGN.md §7 catalogues the rules.
+//
+// Usage:
+//
+//	asmp-lint ./...          # lint the whole module (the make lint gate)
+//	asmp-lint ./internal/... # lint a subtree
+//	asmp-lint -list          # describe every rule
+//
+// Diagnostics print as "file:line:col: message [rule]"; findings that
+// carry suggested-fix metadata add an indented "fix:" line. Intentional
+// exceptions are annotated in source:
+//
+//	//asmp:allow <rule>[,<rule>...] [justification]
+//
+// on the offending line or the line directly above. Unknown rule names
+// in a pragma are themselves lint errors, so suppressions cannot rot.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"asmp/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes to the given
+// streams and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asmp-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: asmp-lint [-list] [pattern ...]   (default pattern ./...)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "asmp-lint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "asmp-lint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		d.Pos.Filename = relativize(cwd, d.Pos.Filename)
+		fmt.Fprintln(stdout, d.String())
+		if d.Suggestion != "" {
+			fmt.Fprintf(stdout, "\tfix: %s\n", d.Suggestion)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "asmp-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// relativize shortens an absolute diagnostic path to be relative to the
+// working directory when that is a strict shortening.
+func relativize(cwd, path string) string {
+	if cwd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(cwd, path); err == nil && len(rel) < len(path) {
+		return rel
+	}
+	return path
+}

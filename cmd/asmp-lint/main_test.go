@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	if dir != "" {
+		old, err := os.Getwd()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chdir(dir); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := os.Chdir(old); err != nil {
+				t.Fatal(err)
+			}
+		}()
+	}
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListRules(t *testing.T) {
+	code, out, _ := runCmd(t, "", "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, rule := range []string{"nowalltime", "norand", "maporder", "nogoroutine", "journalerr"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("-list output missing rule %s:\n%s", rule, out)
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	// The working directory is this package's source dir, which is
+	// lint-clean; ./... from here covers only it.
+	code, out, errOut := runCmd(t, "", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if out != "" {
+		t.Errorf("clean run produced output:\n%s", out)
+	}
+}
+
+func TestFindsViolationEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintdemo\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`)
+	code, out, errOut := runCmd(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "main.go:5:19:") || !strings.Contains(out, "[nowalltime]") {
+		t.Errorf("diagnostic line missing or misplaced:\n%s", out)
+	}
+	if !strings.Contains(out, "fix: ") {
+		t.Errorf("suggested-fix metadata missing:\n%s", out)
+	}
+	if !strings.Contains(errOut, "1 finding(s)") {
+		t.Errorf("summary missing from stderr: %s", errOut)
+	}
+}
+
+func TestSuppressedViolationExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintdemo\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() {
+	_ = time.Now() //asmp:allow walltime demo timing
+}
+`)
+	code, out, errOut := runCmd(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runCmd(t, "", "-bogus"); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestMissingPatternExitsTwo(t *testing.T) {
+	code, _, errOut := runCmd(t, "", "./no/such/dir")
+	if code != 2 || errOut == "" {
+		t.Errorf("missing pattern: exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

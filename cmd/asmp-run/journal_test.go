@@ -9,19 +9,10 @@ import (
 	"asmp/internal/journal"
 )
 
-// stripTimings removes the per-figure "[figure ...]" status lines, which
-// carry wall-clock timings (fresh runs) or the restored marker (resumed
-// runs) and are not part of the figure content.
-func stripTimings(s string) string {
-	var keep []string
-	for _, line := range strings.Split(s, "\n") {
-		if strings.HasPrefix(line, "[figure ") {
-			continue
-		}
-		keep = append(keep, line)
-	}
-	return strings.Join(keep, "\n")
-}
+// The per-figure "[figure ...]" status lines — wall-clock timings on
+// fresh runs, the restored marker on resumes — go to stderr only, so
+// stdout is pure figure content and fresh vs resumed runs must match
+// byte for byte.
 
 func TestJournalResumeReplaysFigure(t *testing.T) {
 	j := filepath.Join(t.TempDir(), "figs.jsonl")
@@ -31,18 +22,21 @@ func TestJournalResumeReplaysFigure(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("journaled run exit = %d: %s", code, errOut)
 	}
-	if !strings.Contains(want, "regenerated in") {
-		t.Fatalf("fresh run did not regenerate:\n%s", want)
+	if !strings.Contains(errOut, "regenerated in") {
+		t.Fatalf("fresh run did not regenerate:\n%s", errOut)
+	}
+	if strings.Contains(want, "[figure ") {
+		t.Errorf("status line leaked onto stdout:\n%s", want)
 	}
 
 	code, got, errOut := runCmd(append(args, "-resume")...)
 	if code != 0 {
 		t.Fatalf("resume exit = %d: %s", code, errOut)
 	}
-	if !strings.Contains(got, "restored from journal") {
-		t.Errorf("resume regenerated instead of replaying:\n%s", got)
+	if !strings.Contains(errOut, "restored from journal") {
+		t.Errorf("resume regenerated instead of replaying:\n%s", errOut)
 	}
-	if stripTimings(got) != stripTimings(want) {
+	if got != want {
 		t.Errorf("replayed figure differs from original:\n--- want ---\n%s--- got ---\n%s", want, got)
 	}
 }
@@ -57,7 +51,7 @@ func TestJournalResumeCsvForm(t *testing.T) {
 	if code != 0 {
 		t.Fatal("csv resume failed")
 	}
-	if stripTimings(got) != stripTimings(want) {
+	if got != want {
 		t.Errorf("replayed CSV differs:\n--- want ---\n%s--- got ---\n%s", want, got)
 	}
 }

@@ -131,7 +131,9 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		}
 		if err != nil {
 			if jw != nil {
-				jw.Close()
+				if cerr := jw.Close(); cerr != nil {
+					fmt.Fprintln(stderr, "asmp-run:", cerr)
+				}
 			}
 			fmt.Fprintln(stderr, "asmp-run:", err)
 			return 2
@@ -151,7 +153,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		}
 		if jlog != nil {
 			if rec := jlog.Figure(f.ID); rec != nil {
-				if err := restoreOne(f, rec, *csv, *out, stdout); err != nil {
+				if err := restoreOne(f, rec, *csv, *out, stdout, stderr); err != nil {
 					fmt.Fprintln(stderr, "asmp-run:", err)
 					code = 1
 					break
@@ -159,7 +161,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 				continue
 			}
 		}
-		if err := runOne(f, opt, *csv, *out, stdout, jw); err != nil {
+		if err := runOne(f, opt, *csv, *out, stdout, stderr, jw); err != nil {
 			fmt.Fprintln(stderr, "asmp-run:", err)
 			code = 1
 			break
@@ -228,11 +230,14 @@ func emit(id, txt, csvText string, csv bool, outDir string, stdout io.Writer) er
 }
 
 // runOne regenerates one figure, journaling its rendered output when a
-// journal is attached.
-func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string, stdout io.Writer, jw *journal.Writer) error {
-	start := time.Now()
+// journal is attached. The wall-clock status line goes to stderr — and
+// only to stderr — so timing noise can never contaminate the golden
+// report/digest comparisons made over stdout; stdout gets a blank
+// separator line between figures.
+func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string, stdout, stderr io.Writer, jw *journal.Writer) error {
+	start := time.Now() //asmp:allow walltime CLI progress timing, printed to stderr only
 	tables := f.Run(opt)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //asmp:allow walltime CLI progress timing, printed to stderr only
 	var txt, csvBuf strings.Builder
 	for _, t := range tables {
 		txt.WriteString(t.String())
@@ -247,16 +252,19 @@ func runOne(f figures.Figure, opt figures.Options, csv bool, outDir string, stdo
 			return err
 		}
 	}
-	fmt.Fprintf(stdout, "[figure %s regenerated in %v]\n\n", f.ID, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stderr, "[figure %s regenerated in %v]\n", f.ID, elapsed.Round(time.Millisecond))
+	fmt.Fprintln(stdout)
 	return nil
 }
 
 // restoreOne replays a completed figure from the journal instead of
-// recomputing it.
-func restoreOne(f figures.Figure, rec *journal.Figure, csv bool, outDir string, stdout io.Writer) error {
+// recomputing it. Like runOne, the status line goes to stderr and the
+// figure separator to stdout.
+func restoreOne(f figures.Figure, rec *journal.Figure, csv bool, outDir string, stdout, stderr io.Writer) error {
 	if err := emit(f.ID, rec.Txt, rec.Csv, csv, outDir, stdout); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "[figure %s restored from journal]\n\n", f.ID)
+	fmt.Fprintf(stderr, "[figure %s restored from journal]\n", f.ID)
+	fmt.Fprintln(stdout)
 	return nil
 }

@@ -219,7 +219,9 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		exp.Journal = jw
 		out, err = exp.Resume(log)
 		if err != nil {
-			jw.Close()
+			if cerr := jw.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "asmp-sweep:", cerr)
+			}
 			fmt.Fprintln(stderr, "asmp-sweep:", err)
 			return 2
 		}
@@ -235,8 +237,11 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 	default:
 		out = exp.Run()
 	}
+	if out.JournalErr != nil {
+		fmt.Fprintf(stderr, "asmp-sweep: journal incomplete (do not resume from it): %v\n", out.JournalErr)
+	}
 	if jw != nil {
-		if err := jw.Close(); err != nil {
+		if err := jw.Close(); err != nil && out.JournalErr == nil {
 			fmt.Fprintf(stderr, "asmp-sweep: journal incomplete: %v\n", err)
 		}
 	}

@@ -1,0 +1,187 @@
+// Package analysis is the repository's determinism lint engine: a suite
+// of AST/type-based analyzers that statically enforce the simulator's
+// reproducibility invariants.
+//
+// The runtime half of the reproducibility story is the digest machinery
+// (internal/digest, core.VerifyDeterminism): it *detects* divergence
+// after the fact. This package is the static half: it *prevents* the
+// classic ways divergence is introduced — wall-clock reads, unseeded
+// randomness, map-iteration order reaching a trace or report, stray
+// concurrency in deterministic code, and dropped journal write errors —
+// before the code ever runs. DESIGN.md §7 catalogues the invariants.
+//
+// The engine is deliberately zero-dependency: packages are loaded and
+// type-checked with the standard library only (see Loader), so the lint
+// gate never pulls a module the build did not already need. The shape of
+// the API mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) so analyzers could migrate to a multichecker later without
+// rewriting their Run functions.
+//
+// Intentional exceptions are annotated in source with
+//
+//	//asmp:allow <rule>[,<rule>...] [justification]
+//
+// on the offending line or the line directly above it. Unknown rule
+// names in a pragma are themselves lint errors, so suppressions cannot
+// silently rot when rules are renamed or removed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one lint rule: a named check over a type-checked
+// package.
+type Analyzer struct {
+	// Name is the rule name, printed in diagnostics as "[name]" and
+	// accepted by //asmp:allow pragmas.
+	Name string
+	// Doc is a one-line description shown by `asmp-lint -list`.
+	Doc string
+	// Applies reports whether the rule is in force for a package with
+	// the given import path. A nil Applies means every package.
+	Applies func(importPath string) bool
+	// Run inspects one package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoWallTime, NoRand, MapOrder, NoGoroutine, JournalErr}
+}
+
+// A Pass carries one analyzer's view of one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the import path the package was loaded as (corpus tests
+	// load testdata packages under claimed paths to exercise scoping).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, "", format, args...)
+}
+
+// ReportFix records a diagnostic carrying suggested-fix metadata: a
+// one-line description of the mechanical change that removes the
+// violation.
+func (p *Pass) ReportFix(pos token.Pos, suggestion, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:        p.Fset.Position(pos),
+		Rule:       p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: suggestion,
+	})
+}
+
+// A Diagnostic is one lint finding at a concrete source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	// Suggestion, when non-empty, is suggested-fix metadata: how to
+	// mechanically resolve the finding.
+	Suggestion string
+}
+
+// String formats the diagnostic as "file:line:col: message [rule]", the
+// format every driver and test asserts on.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Run applies analyzers to pkgs and returns every unsuppressed
+// diagnostic plus any pragma errors (unknown rule names, empty rule
+// lists), sorted by position. Analyzers whose Applies rejects a
+// package's import path are skipped for that package; pragma validation
+// always runs, so a stale suppression is reported even in packages no
+// rule currently covers.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := knownRules(analyzers)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx, pragmaDiags := indexPragmas(pkg.Fset, pkg.Files, known)
+		diags = append(diags, pragmaDiags...)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if !idx.allows(d.Pos.Filename, d.Pos.Line, a.Name) {
+					diags = append(diags, d)
+				}
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// pkgPathOf resolves a selector like pkg.Name to the import path of pkg,
+// or "" when the selector's base is not a package name (a field or
+// method access, for example).
+func pkgPathOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for calls through function-typed variables, conversions and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// errorType is the universe "error" interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the built-in error type.
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }

@@ -1,0 +1,156 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"asmp/internal/analysis"
+)
+
+// The corpus harness: each testdata/src/<name> package is loaded under a
+// claimed import path (so scoped rules see the path they protect) and
+// run through the FULL analyzer suite. Every diagnostic must be claimed
+// by a "// want <rule> \"regexp\"" comment on its line, and every want
+// must be hit exactly once — so the corpora simultaneously prove that
+// rules fire where seeded and stay quiet everywhere else, including
+// across rules.
+
+// wantRe matches one expectation inside a comment.
+var wantRe = regexp.MustCompile(`// want (\w+) "([^"]+)"`)
+
+type expectation struct {
+	file    string // base name
+	line    int
+	rule    string
+	pattern *regexp.Regexp
+	hit     bool
+}
+
+// loadExpectations scans every .go file in dir for want comments.
+func loadExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[2], err)
+				}
+				wants = append(wants, &expectation{
+					file: e.Name(), line: i + 1, rule: m[1], pattern: re,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// newLoader builds a loader rooted at this module.
+func newLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader
+}
+
+// runCorpus loads testdata/src/<name> as importPath and runs the whole
+// suite over it.
+func runCorpus(t *testing.T, name, importPath string) []analysis.Diagnostic {
+	t.Helper()
+	loader := newLoader(t)
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Run([]*analysis.Package{pkg}, analysis.All())
+}
+
+// checkCorpus asserts the diagnostics of a corpus exactly match its want
+// comments.
+func checkCorpus(t *testing.T, name, importPath string) {
+	t.Helper()
+	diags := runCorpus(t, name, importPath)
+	wants := loadExpectations(t, filepath.Join("testdata", "src", name))
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(d.Pos.Filename) &&
+				w.line == d.Pos.Line && w.rule == d.Rule &&
+				w.pattern.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected %s diagnostic matching %q did not fire",
+				w.file, w.line, w.rule, w.pattern)
+		}
+	}
+}
+
+func TestNoWallTimeCorpus(t *testing.T) {
+	// Claimed path is a CLI package: the rule applies module-wide.
+	checkCorpus(t, "nowalltime", "asmp/cmd/lintcorpus")
+}
+
+func TestNoRandCorpus(t *testing.T) {
+	checkCorpus(t, "norand", "asmp/internal/sim/lintcorpus")
+}
+
+func TestNoRandAllowCorpus(t *testing.T) {
+	checkCorpus(t, "norandallow", "asmp/internal/sim/lintcorpus2")
+}
+
+func TestNoRandExemptsXRand(t *testing.T) {
+	// The same banned imports loaded as internal/xrand produce nothing:
+	// xrand is the one package allowed to implement randomness.
+	diags := runCorpus(t, "norand", "asmp/internal/xrand/lintcorpus")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic under xrand: %s", d)
+	}
+}
+
+func TestMapOrderCorpus(t *testing.T) {
+	checkCorpus(t, "maporder", "asmp/internal/figures/lintcorpus")
+}
+
+func TestNoGoroutineCorpus(t *testing.T) {
+	checkCorpus(t, "nogoroutine", "asmp/internal/sched/lintcorpus")
+}
+
+func TestNoGoroutineExemptsSim(t *testing.T) {
+	// internal/sim owns the simulator's execution primitives: the same
+	// file there is clean.
+	diags := runCorpus(t, "nogoroutine", "asmp/internal/sim/lintcorpus3")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic under sim: %s", d)
+	}
+}
+
+func TestJournalErrCorpus(t *testing.T) {
+	checkCorpus(t, "journalerr", "asmp/internal/figures/lintcorpus2")
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// JournalErr requires every journal write's error to be checked. The
+// journal is the crash-safety story: a silently dropped WriteHeader,
+// WriteCell or Close error leaves a journal that looks resumable but is
+// missing records, so a resume replays an incomplete sweep as if it
+// were complete. The Writer is sticky on error precisely so callers can
+// surface the first failure — but only if they look at it.
+var JournalErr = &Analyzer{
+	Name: "journalerr",
+	Doc:  "require every internal/journal call's error result to be checked",
+	Run:  runJournalErr,
+}
+
+// journalPkg is the package whose error results must never be dropped.
+const journalPkg = "asmp/internal/journal"
+
+func runJournalErr(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				p.checkDiscardedJournalCall(n.X, "discarded")
+			case *ast.GoStmt:
+				p.checkDiscardedJournalCall(n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				p.checkDiscardedJournalCall(n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				p.checkBlankJournalAssign(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedJournalCall flags expr when it is a journal call whose
+// error result is thrown away unseen.
+func (p *Pass) checkDiscardedJournalCall(expr ast.Expr, how string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fn := journalCallWithError(p.Info, call); fn != nil {
+		p.ReportFix(call.Pos(),
+			"check the returned error (the Writer is sticky: the first failed append marks the journal incomplete)",
+			"error result of %s.%s %s: a lost journal write makes the journal unresumable",
+			shortPkg(fn), fn.Name(), how)
+	}
+}
+
+// checkBlankJournalAssign flags assignments that bind a journal call's
+// error result(s) only to blank identifiers.
+func (p *Pass) checkBlankJournalAssign(as *ast.AssignStmt) {
+	// x, err := f() — single call, possibly multi-valued.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 0 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := journalCallWithError(p.Info, call)
+		if fn == nil {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len() && i < len(as.Lhs); i++ {
+			if !isErrorType(sig.Results().At(i).Type()) {
+				continue
+			}
+			if isBlank(as.Lhs[i]) {
+				p.ReportFix(call.Pos(),
+					"bind the error to a variable and check it",
+					"error result of %s.%s assigned to _: a lost journal write makes the journal unresumable",
+					shortPkg(fn), fn.Name())
+			}
+		}
+		return
+	}
+	// a, b = f(), g() — parallel single-valued assignments.
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Rhs {
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isBlank(as.Lhs[i]) {
+				continue
+			}
+			if fn := journalCallWithError(p.Info, call); fn != nil {
+				p.ReportFix(call.Pos(),
+					"bind the error to a variable and check it",
+					"error result of %s.%s assigned to _: a lost journal write makes the journal unresumable",
+					shortPkg(fn), fn.Name())
+			}
+		}
+	}
+}
+
+// journalCallWithError resolves call to a function or method of the
+// journal package that returns an error, or nil.
+func journalCallWithError(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != journalPkg {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return fn
+		}
+	}
+	return nil
+}
+
+// shortPkg names fn's package briefly ("journal") for diagnostics.
+func shortPkg(fn *types.Func) string { return fn.Pkg().Name() }
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"asmp/internal/analysis"
+)
+
+// seedRe matches the "seed:<rule>" markers in the quarantined bad
+// corpus.
+var seedRe = regexp.MustCompile(`// seed:(\w+)`)
+
+// TestBadCorpusOneViolationPerRule is the suite's meta-test: the
+// quarantined testdata/bad package seeds exactly one violation per
+// analyzer, and running the full suite over it must produce exactly one
+// diagnostic per rule, each at the marked line. If an analyzer goes
+// blind (or starts double-reporting), this catches it by name and
+// position.
+func TestBadCorpusOneViolationPerRule(t *testing.T) {
+	src := filepath.Join("testdata", "bad", "bad.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLine := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if m := seedRe.FindStringSubmatch(line); m != nil {
+			if _, dup := wantLine[m[1]]; dup {
+				t.Fatalf("rule %s seeded twice in %s", m[1], src)
+			}
+			wantLine[m[1]] = i + 1
+		}
+	}
+	for _, a := range analysis.All() {
+		if _, ok := wantLine[a.Name]; !ok {
+			t.Errorf("bad corpus seeds no violation for rule %s", a.Name)
+		}
+	}
+	if len(wantLine) != len(analysis.All()) {
+		t.Fatalf("bad corpus seeds %d rules, suite has %d", len(wantLine), len(analysis.All()))
+	}
+
+	loader := newLoader(t)
+	// A deterministic claimed path puts every rule, including the scoped
+	// nogoroutine, in force.
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "bad"), "asmp/internal/sched/lintbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, analysis.All())
+
+	got := map[string][]analysis.Diagnostic{}
+	for _, d := range diags {
+		got[d.Rule] = append(got[d.Rule], d)
+	}
+	for rule, line := range wantLine {
+		switch ds := got[rule]; {
+		case len(ds) == 0:
+			t.Errorf("rule %s did not fire on its seeded violation (line %d)", rule, line)
+		case len(ds) > 1:
+			t.Errorf("rule %s fired %d times, want exactly once: %v", rule, len(ds), ds)
+		case ds[0].Pos.Line != line:
+			t.Errorf("rule %s fired at line %d, seeded at line %d: %s",
+				rule, ds[0].Pos.Line, line, ds[0])
+		}
+	}
+	if len(diags) != len(wantLine) {
+		t.Errorf("total diagnostics = %d, want %d: %v", len(diags), len(wantLine), diags)
+	}
+}
+
+// TestCleanTree asserts the real tree is lint-clean: zero diagnostics
+// over every package of the module. This is the same check `make lint`
+// gates on, run in-process.
+func TestCleanTree(t *testing.T) {
+	loader := newLoader(t)
+	pkgs, err := loader.Load(filepath.Join(loader.Root, "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s; pattern expansion is broken", len(pkgs), loader.Root)
+	}
+	for _, d := range analysis.Run(pkgs, analysis.All()) {
+		t.Errorf("tree is not lint-clean: %s", d)
+	}
+}
+
+// TestSuiteDocumented pins the analyzer set the docs and Makefile
+// promise.
+func TestSuiteDocumented(t *testing.T) {
+	want := []string{"nowalltime", "norand", "maporder", "nogoroutine", "journalerr"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc line", a.Name)
+		}
+	}
+}

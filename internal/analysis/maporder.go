@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags the classic digest-divergence bug: ranging over a map
+// while writing to an order-sensitive sink — a tracer, digest, journal,
+// report builder, fmt printer or byte/string builder. Go randomizes map
+// iteration order per run, so two executions of the *same* (config,
+// seed) cell emit rows, events or hash inputs in different orders and
+// every downstream digest comparison fails. The fix is always the same:
+// collect the keys, sort them, iterate the sorted slice.
+//
+// The check is lexical within the range body — a sink reached through a
+// helper call is not seen — but in exchange it has no false positives
+// on the sorted-keys idiom, which ranges a slice.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid ranging over a map while writing to a tracer/digest/journal/report/printer sink",
+	Run:  runMapOrder,
+}
+
+// sinkPkgs are the asmp packages whose calls are order-sensitive sinks:
+// anything written to them in map-iteration order diverges between runs.
+var sinkPkgs = map[string]bool{
+	"asmp/internal/trace":   true,
+	"asmp/internal/digest":  true,
+	"asmp/internal/journal": true,
+	"asmp/internal/report":  true,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink, found := firstSink(p.Info, rng.Body); found {
+				p.ReportFix(rng.Pos(),
+					"collect the keys, sort them (sort.Slice/sort.Strings), and range the sorted slice",
+					"map iteration order reaches %s: emission order differs between identical runs",
+					sink)
+			}
+			return true
+		})
+	}
+}
+
+// firstSink returns a description of the first order-sensitive sink call
+// lexically inside body, if any.
+func firstSink(info *types.Info, body *ast.BlockStmt) (string, bool) {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := sinkCall(info, call); ok {
+			sink = s
+			return false
+		}
+		return true
+	})
+	return sink, sink != ""
+}
+
+// sinkCall reports whether call writes to an order-sensitive sink and
+// names it.
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	qualified := pkg + "." + name
+	if recv := recvTypeName(fn); recv != "" {
+		qualified = "(" + recv + ")." + name
+	}
+	switch {
+	case sinkPkgs[pkg]:
+		return qualified, true
+	case pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		return "fmt." + name, true
+	case pkg == "io" && (name == "WriteString" || name == "Write"):
+		return qualified, true
+	case (pkg == "strings" || pkg == "bytes") && strings.HasPrefix(name, "Write"):
+		// (*strings.Builder) and (*bytes.Buffer) Write* methods — the
+		// substrate every report and CSV is assembled on.
+		return qualified, true
+	}
+	return "", false
+}
+
+// recvTypeName names a method's receiver type ("*strings.Builder"), or
+// "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return types.TypeString(sig.Recv().Type(), types.RelativeTo(nil))
+}

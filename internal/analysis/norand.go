@@ -1,0 +1,45 @@
+package analysis
+
+import "strconv"
+
+// NoRand forbids randomness that does not flow through internal/xrand.
+// math/rand's package-level functions draw from a process-global source
+// (seeded from the wall clock since Go 1.20), math/rand/v2 has no
+// seedable global at all, and crypto/rand is entropy by definition —
+// any of them in a simulation path silently breaks run digests. Every
+// random draw must come from an xrand stream split from the run's root
+// seed, so adding a consumer of randomness in one module never perturbs
+// the draws seen by another.
+var NoRand = &Analyzer{
+	Name:    "norand",
+	Doc:     "forbid math/rand and crypto/rand — randomness flows through internal/xrand seeded streams",
+	Applies: notXRand,
+	Run:     runNoRand,
+}
+
+// bannedRandPkgs maps forbidden import paths to why they break
+// reproducibility.
+var bannedRandPkgs = map[string]string{
+	"math/rand":    "its global source is wall-clock seeded",
+	"math/rand/v2": "its global source cannot be seeded",
+	"crypto/rand":  "it is nondeterministic entropy",
+}
+
+func runNoRand(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			why, banned := bannedRandPkgs[path]
+			if !banned {
+				continue
+			}
+			p.ReportFix(imp.Pos(),
+				"draw from an asmp/internal/xrand stream split from the run seed",
+				"import of %s: %s; all randomness must flow through internal/xrand",
+				path, why)
+		}
+	}
+}

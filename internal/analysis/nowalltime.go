@@ -1,0 +1,49 @@
+package analysis
+
+import "go/ast"
+
+// NoWallTime forbids reading or acting on the wall clock. Simulation
+// results must be a pure function of (workload, config, policy, seed);
+// a single time.Now or time.Sleep in a path that feeds a trace, digest
+// or report makes every figure irreproducible. Time inside the
+// simulator is virtual (internal/simtime, sim's event clock); the only
+// legitimate wall-clock use is CLI progress timing that never reaches
+// an artifact, annotated //asmp:allow walltime.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, timers) — simulated time only",
+	Run:  runNoWallTime,
+}
+
+// wallClockNames are the package-time identifiers that read or schedule
+// against the wall clock. Pure types and constants (time.Duration,
+// time.Millisecond) remain usable for formatting virtual durations.
+var wallClockNames = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runNoWallTime(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPathOf(p.Info, sel) == "time" && wallClockNames[sel.Sel.Name] {
+				p.ReportFix(sel.Pos(),
+					"use virtual time (internal/simtime, the sim event clock); CLI-only progress timing may be annotated //asmp:allow walltime",
+					"wall-clock time.%s in a reproducible path: results must depend only on (config, seed)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

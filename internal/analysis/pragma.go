@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Pragma syntax:
+//
+//	//asmp:allow <rule>[,<rule>...] [justification]
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The rule list is one comma-separated token of
+// canonical analyzer names (nowalltime, norand, maporder, nogoroutine,
+// journalerr) or their documented shorthands (walltime, rand,
+// goroutine); everything after the first token is a free-text
+// justification. A rule name the engine does not know is itself a lint
+// error ([pragma]), so suppressions cannot silently rot when analyzers
+// are renamed or retired.
+const pragmaPrefix = "//asmp:allow"
+
+// pragmaRule is the reserved rule name under which pragma-syntax errors
+// are reported. It cannot itself be suppressed.
+const pragmaRule = "pragma"
+
+// pragmaAliases maps accepted shorthand rule names to canonical ones.
+var pragmaAliases = map[string]string{
+	"walltime":  "nowalltime",
+	"rand":      "norand",
+	"goroutine": "nogoroutine",
+}
+
+// knownRules builds the alias→canonical map a pragma index validates
+// against: every analyzer name maps to itself, plus the shorthands whose
+// target is in the suite.
+func knownRules(analyzers []*Analyzer) map[string]string {
+	known := map[string]string{}
+	for _, a := range analyzers {
+		known[a.Name] = a.Name
+	}
+	for alias, canon := range pragmaAliases {
+		if _, ok := known[canon]; ok {
+			known[alias] = canon
+		}
+	}
+	return known
+}
+
+// pragmaIndex records, per file and line, which rules an //asmp:allow
+// pragma on that line suppresses.
+type pragmaIndex struct {
+	byFile map[string]map[int]map[string]bool
+}
+
+// allows reports whether a diagnostic of rule at file:line is covered by
+// a pragma on the same line or the line directly above.
+func (x *pragmaIndex) allows(file string, line int, rule string) bool {
+	lines := x.byFile[file]
+	if lines == nil {
+		return false
+	}
+	return lines[line][rule] || lines[line-1][rule]
+}
+
+// indexPragmas scans every comment in files for //asmp:allow pragmas,
+// returning the suppression index plus a diagnostic for each malformed
+// pragma (empty rule list, unknown rule name). known maps accepted rule
+// spellings to canonical names.
+func indexPragmas(fset *token.FileSet, files []*ast.File, known map[string]string) (*pragmaIndex, []Diagnostic) {
+	idx := &pragmaIndex{byFile: map[string]map[int]map[string]bool{}}
+	var diags []Diagnostic
+	badPragma := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     fset.Position(pos),
+			Rule:    pragmaRule,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, pragmaPrefix)
+				if !ok {
+					continue
+				}
+				// Require end-of-comment or whitespace after the marker so
+				// "//asmp:allowance" is not a pragma.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					badPragma(c.Pos(), "%s pragma names no rule (expected %s <rule>[,<rule>...])",
+						pragmaPrefix, pragmaPrefix)
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx.byFile[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					canon, ok := known[name]
+					if !ok {
+						badPragma(c.Pos(), "unknown rule %q in %s pragma (known rules: %s)",
+							name, pragmaPrefix, strings.Join(sortedRules(known), ", "))
+						continue
+					}
+					rules[canon] = true
+				}
+			}
+		}
+	}
+	return idx, diags
+}
+
+// sortedRules lists the canonical rule names of known, sorted, for error
+// messages.
+func sortedRules(known map[string]string) []string {
+	set := map[string]bool{}
+	for _, canon := range known {
+		set[canon] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asmp/internal/analysis"
+)
+
+// findMarker returns the 1-based line of the first corpus line
+// containing marker.
+func findMarker(t *testing.T, file, marker string) int {
+	t.Helper()
+	data := readCorpusFile(t, file)
+	for i, line := range strings.Split(data, "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not found in %s", marker, file)
+	return 0
+}
+
+// TestPragmaUnknownRuleIsALintError is the anti-rot guarantee: a
+// suppression naming a rule the engine does not know is itself a
+// finding, and suppresses nothing.
+func TestPragmaUnknownRuleIsALintError(t *testing.T) {
+	diags := runCorpus(t, "pragma", "asmp/cmd/lintcorpus3")
+	file := filepath.Join("testdata", "src", "pragma", "pragma.go")
+
+	typoLine := findMarker(t, file, "asmp:allow nowalltme")
+	emptyLine := findMarker(t, file, "func empty")
+
+	var pragmaDiags, wallDiags []analysis.Diagnostic
+	for _, d := range diags {
+		switch d.Rule {
+		case "pragma":
+			pragmaDiags = append(pragmaDiags, d)
+		case "nowalltime":
+			wallDiags = append(wallDiags, d)
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+
+	// Two malformed pragmas: the typo'd rule name and the empty list.
+	if len(pragmaDiags) != 2 {
+		t.Fatalf("pragma diagnostics = %d, want 2: %v", len(pragmaDiags), pragmaDiags)
+	}
+	if d := pragmaDiags[0]; d.Pos.Line != typoLine ||
+		!strings.Contains(d.Message, `unknown rule "nowalltme"`) ||
+		!strings.Contains(d.Message, "nowalltime") { // known-rules list names the fix
+		t.Errorf("typo pragma diagnostic = %s (marker line %d)", d, typoLine)
+	}
+	if d := pragmaDiags[1]; d.Pos.Line != emptyLine+1 ||
+		!strings.Contains(d.Message, "names no rule") {
+		t.Errorf("empty pragma diagnostic = %s (expected line %d)", d, emptyLine+1)
+	}
+
+	// The typo'd and empty pragmas suppress nothing, so their time.Now
+	// calls still fire; the aliased and multi-rule pragmas suppress
+	// theirs. Net: exactly two nowalltime findings.
+	if len(wallDiags) != 2 {
+		t.Errorf("nowalltime diagnostics = %d, want 2 (typo and empty pragmas must not suppress): %v",
+			len(wallDiags), wallDiags)
+	}
+	for _, d := range wallDiags {
+		if d.Pos.Line != typoLine+1 && d.Pos.Line != emptyLine+2 {
+			t.Errorf("nowalltime diagnostic at unexpected line: %s", d)
+		}
+	}
+}
+
+func readCorpusFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

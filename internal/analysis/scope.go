@@ -1,0 +1,46 @@
+package analysis
+
+import "strings"
+
+// deterministicPrefixes lists the import paths (and their subtrees)
+// whose execution must be a pure function of (workload, config, policy,
+// seed): the packages whose behaviour feeds run digests, traces and
+// journals. Rules that only make sense inside the simulation core scope
+// themselves to this set; rules that protect artifacts wherever they are
+// produced (maporder, journalerr, nowalltime, norand) apply everywhere.
+var deterministicPrefixes = []string{
+	"asmp/internal/sim",
+	"asmp/internal/sched",
+	"asmp/internal/core",
+	"asmp/internal/workload",
+	"asmp/internal/digest",
+	"asmp/internal/trace",
+	"asmp/internal/simtime",
+}
+
+// Deterministic reports whether importPath is inside the deterministic
+// core.
+func Deterministic(importPath string) bool {
+	for _, p := range deterministicPrefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicExceptSim is the nogoroutine scope: the deterministic
+// core minus internal/sim itself, whose event loop owns the simulator's
+// execution primitives.
+func deterministicExceptSim(importPath string) bool {
+	return Deterministic(importPath) &&
+		importPath != "asmp/internal/sim" &&
+		!strings.HasPrefix(importPath, "asmp/internal/sim/")
+}
+
+// notXRand is the norand scope: everywhere except internal/xrand, the
+// one package allowed to implement randomness.
+func notXRand(importPath string) bool {
+	return importPath != "asmp/internal/xrand" &&
+		!strings.HasPrefix(importPath, "asmp/internal/xrand/")
+}

@@ -1,0 +1,34 @@
+// Package lintbad is the quarantined meta-test corpus: exactly one
+// seeded violation per analyzer, each tagged with a "seed:<rule>"
+// marker on its line. TestBadCorpusOneViolationPerRule loads this
+// package under a deterministic import path and asserts that each rule
+// fires exactly once, at exactly the marked position. Living under
+// testdata, the package is invisible to the go tool and to asmp-lint's
+// ./... walk, so the seeded violations never dirty the real gate.
+package lintbad
+
+import (
+	"fmt"
+	_ "math/rand" // seed:norand
+	"time"
+
+	"asmp/internal/journal"
+)
+
+func wall() time.Time {
+	return time.Now() // seed:nowalltime
+}
+
+func emit(m map[string]int) {
+	for k := range m { // seed:maporder
+		fmt.Println(k)
+	}
+}
+
+func spawn(done chan struct{}) {
+	go func() { close(done) }() // seed:nogoroutine
+}
+
+func drop(w *journal.Writer, c journal.Cell) {
+	w.WriteCell(c) // seed:journalerr
+}

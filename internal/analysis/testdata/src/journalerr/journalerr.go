@@ -1,0 +1,43 @@
+// Corpus for the journalerr analyzer: every internal/journal call that
+// returns an error must have that error checked.
+package journalerrx
+
+import (
+	"fmt"
+
+	"asmp/internal/journal"
+)
+
+func drops(w *journal.Writer, c journal.Cell) {
+	w.WriteCell(c)                     // want journalerr "journal.WriteCell discarded"
+	defer w.Close()                    // want journalerr "journal.Close discarded by defer"
+	go w.WriteHeader(journal.Header{}) // want journalerr "journal.WriteHeader discarded by go statement"
+	_ = w.WriteCell(c)                 // want journalerr "journal.WriteCell assigned to _"
+}
+
+func blankResume(path string) *journal.Log {
+	log, _, _ := journal.Resume(path) // want journalerr "journal.Resume assigned to _"
+	return log
+}
+
+func checked(w *journal.Writer, c journal.Cell) error {
+	if err := w.WriteCell(c); err != nil {
+		return fmt.Errorf("cell: %w", err)
+	}
+	return w.Close()
+}
+
+func bound(w *journal.Writer, h journal.Header) error {
+	err := w.WriteHeader(h)
+	return err
+}
+
+func suppressedClose(w *journal.Writer) {
+	//asmp:allow journalerr corpus: best-effort close on an already-failed path
+	w.Close()
+}
+
+// Path returns no error result — calling it bare is fine.
+func inspect(w *journal.Writer) string {
+	return w.Path()
+}

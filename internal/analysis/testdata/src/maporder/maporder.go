@@ -1,0 +1,84 @@
+// Corpus for the maporder analyzer: ranging over a map while writing to
+// an order-sensitive sink is the classic digest-divergence bug. The
+// sorted-keys idiom (collect, sort, range the slice) is the fix and must
+// stay clean.
+package maporderx
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"asmp/internal/digest"
+	"asmp/internal/report"
+	"asmp/internal/trace"
+)
+
+func printer(m map[string]int, w io.Writer) {
+	for k, v := range m { // want maporder "fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func table(m map[string]float64, t *report.Table) {
+	for k, v := range m { // want maporder "AddRow"
+		t.AddRow(k, report.F(v))
+	}
+}
+
+func hash(m map[int]int, h *digest.Hasher) {
+	for k := range m { // want maporder "Hasher..Int"
+		h.Int(k)
+	}
+}
+
+func tracer(m map[int]trace.Event, tr trace.Tracer) {
+	for _, e := range m { // want maporder "Record"
+		tr.Record(e)
+	}
+}
+
+func builder(m map[string]int, b *strings.Builder) {
+	for k := range m { // want maporder "WriteString"
+		b.WriteString(k)
+	}
+}
+
+// nested sinks are still found: the walk is lexical over the body.
+func nested(m map[string]int, w io.Writer) {
+	for k := range m { // want maporder "fmt.Fprintln"
+		if k != "" {
+			fmt.Fprintln(w, k)
+		}
+	}
+}
+
+// sortedKeys is the canonical fix: no sink inside the map range, and the
+// emitting loop ranges a sorted slice.
+func sortedKeys(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// collecting into another map or slice is order-insensitive — clean.
+func collect(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func suppressed(m map[string]struct{}, w io.Writer) {
+	//asmp:allow maporder corpus: single-key map, order cannot matter
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

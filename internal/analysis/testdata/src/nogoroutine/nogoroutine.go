@@ -1,0 +1,26 @@
+// Corpus for the nogoroutine analyzer. Loaded by the tests under a
+// deterministic import path (internal/sched/...) where every finding
+// below must fire, and again under internal/sim/... where the rule does
+// not apply and the same file must produce zero diagnostics.
+package nogoroutinex
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawn(done chan struct{}) {
+	go drain(done) // want nogoroutine "go statement"
+}
+
+func drain(done chan struct{}) { <-done }
+
+var mu sync.Mutex // want nogoroutine "sync.Mutex"
+
+var counter atomic.Int64 // want nogoroutine "sync/atomic.Int64"
+
+func suppressed() {
+	//asmp:allow goroutine corpus: documented harness-side exception
+	var wg sync.WaitGroup
+	wg.Wait()
+}

@@ -1,0 +1,15 @@
+// Corpus for the norand analyzer: every banned randomness import is
+// flagged at the import, regardless of how it is used.
+package norandx
+
+import (
+	crand "crypto/rand" // want norand "crypto/rand"
+	"math/rand"         // want norand "math/rand"
+	randv2 "math/rand/v2" // want norand "math/rand/v2"
+)
+
+func draws() int {
+	b := make([]byte, 8)
+	_, _ = crand.Read(b)
+	return rand.Int() + randv2.Int()
+}

@@ -1,0 +1,9 @@
+// Corpus for norand suppression: an annotated import is allowed (the
+// alias "rand" resolves to norand).
+package norandallowx
+
+import (
+	mrand "math/rand" //asmp:allow rand corpus: demonstrating an annotated exception
+)
+
+func draw() int { return mrand.Int() }

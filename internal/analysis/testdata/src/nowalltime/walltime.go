@@ -1,0 +1,32 @@
+// Corpus for the nowalltime analyzer. Each "want" comment asserts one
+// diagnostic (rule + message regexp) on its own line; lines without one
+// must stay clean.
+package walltimex
+
+import "time"
+
+// Durations and constants are pure values — allowed.
+const tick = 50 * time.Millisecond
+
+func violations() time.Time {
+	time.Sleep(tick)     // want nowalltime "wall-clock time.Sleep"
+	t0 := time.Now()     // want nowalltime "wall-clock time.Now"
+	_ = time.Since(t0)   // want nowalltime "wall-clock time.Since"
+	_ = time.Until(t0)   // want nowalltime "wall-clock time.Until"
+	_ = time.After(tick) // want nowalltime "wall-clock time.After"
+	_ = time.NewTimer(tick) // want nowalltime "wall-clock time.NewTimer"
+	f := time.Now        // want nowalltime "wall-clock time.Now"
+	return f()
+}
+
+func suppressedAbove() time.Time {
+	//asmp:allow walltime corpus: suppression on the line above (alias form)
+	return time.Now()
+}
+
+func suppressedTrailing() time.Time {
+	return time.Now() //asmp:allow nowalltime corpus: trailing suppression (canonical name)
+}
+
+// formatting virtual durations is fine: no clock is read.
+func formatting(d time.Duration) string { return d.String() }

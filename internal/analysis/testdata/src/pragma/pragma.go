@@ -1,0 +1,31 @@
+// Corpus for pragma validation, checked by explicit assertions in
+// pragma_test.go (not "want" comments: a pragma diagnostic lands on the
+// pragma's own comment line, which a line comment cannot share).
+package pragmax
+
+import "time"
+
+func typo() time.Time {
+	//asmp:allow nowalltme meant nowalltime: must NOT suppress, and is itself an error
+	return time.Now()
+}
+
+func empty() time.Time {
+	//asmp:allow
+	return time.Now()
+}
+
+func aliased() time.Time {
+	//asmp:allow walltime the alias resolves; this one is clean
+	return time.Now()
+}
+
+func multi(m map[string]int) time.Time {
+	//asmp:allow walltime,maporder a comma-separated list suppresses several rules
+	return time.Now()
+}
+
+// asmp:allowance — not a pragma (no comment marker match), ignored.
+func red() time.Time {
+	return time.Unix(0, 0) // ok: pure conversion, no clock read
+}

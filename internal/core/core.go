@@ -261,6 +261,11 @@ type Outcome struct {
 	HigherIsBetter bool
 	// PerConfig holds one entry per configuration, in sweep order.
 	PerConfig []ConfigResult
+	// JournalErr is the first journal append failure, or nil. A sweep
+	// never aborts on a journal problem (the Writer is sticky and later
+	// appends no-op) but the journal is then incomplete and must not be
+	// trusted for resume — callers surface this to the user.
+	JournalErr error
 }
 
 // normalized returns the experiment's effective configs, runs and base
@@ -314,8 +319,15 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 		panic("core: experiment without workload")
 	}
 	configs, runs, base := e.normalized()
+	var journalErr error
 	if e.Journal != nil && writeHeader {
-		e.Journal.WriteHeader(e.journalHeader(configs, runs, base))
+		if err := e.Journal.WriteHeader(e.journalHeader(configs, runs, base)); err != nil {
+			// A journal without its identity header can never be
+			// validated on resume; stop journaling entirely and surface
+			// the failure once via Outcome.JournalErr.
+			journalErr = err
+			e.Journal = nil
+		}
 	}
 
 	cells := make([]cellKey, 0, len(configs)*runs)
@@ -331,11 +343,15 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 	if e.Sequential || workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
+	// Cross-cell parallelism is intentional and digest-safe: each cell
+	// runs in its own environment with its own derived seed, so cells
+	// are independent pure functions and only their *scheduling* onto
+	// host CPUs varies between sweeps — never their results.
+	var wg sync.WaitGroup //asmp:allow goroutine harness parallelism across independent cells
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //asmp:allow goroutine harness parallelism across independent cells
 			defer wg.Done()
 			for i := range next {
 				cl := cells[i]
@@ -373,7 +389,12 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 					// Cancellation stops a run at a wall-clock-dependent
 					// point, so a cancelled cell is not a result — it is
 					// left out of the journal and re-executed on resume.
-					e.Journal.WriteCell(journalCell(cl, configs[cl.cfg], base, attempt, results[i], errs[i]))
+					if err := e.Journal.WriteCell(journalCell(cl, configs[cl.cfg], base, attempt, results[i], errs[i])); err != nil {
+						// The writer is sticky: this first failure is
+						// remembered, later appends no-op, and the sweep
+						// finishes. Surfaced below as Outcome.JournalErr.
+						continue
+					}
 				}
 			}
 		}()
@@ -384,7 +405,10 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 	close(next)
 	wg.Wait()
 
-	out := &Outcome{Name: e.Name}
+	if journalErr == nil && e.Journal != nil {
+		journalErr = e.Journal.Err()
+	}
+	out := &Outcome{Name: e.Name, JournalErr: journalErr}
 	for c, cfg := range configs {
 		cr := ConfigResult{Config: cfg}
 		sample := &stats.Sample{}

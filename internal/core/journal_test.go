@@ -250,3 +250,46 @@ func TestExperimentPreCancelled(t *testing.T) {
 		t.Errorf("Errors() = %d, want 4", len(out.Errors()))
 	}
 }
+
+// TestJournalFailureSurfacesOnOutcome: a failing journal must never
+// abort a sweep — the Writer is sticky, the cells all run — but the
+// failure has to surface exactly once, via Outcome.JournalErr, so a
+// caller never trusts (or resumes from) an incomplete journal.
+func TestJournalFailureSurfacesOnOutcome(t *testing.T) {
+	dir := t.TempDir()
+
+	// A healthy journal leaves JournalErr nil.
+	good, err := journal.Create(filepath.Join(dir, "good.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := Experiment{Workload: powerProbe{}, Configs: testConfigs(t), Runs: 2}
+	exp.Journal = good
+	if o := exp.Run(); o.JournalErr != nil {
+		t.Fatalf("healthy journal: JournalErr = %v", o.JournalErr)
+	}
+	if err := good.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing the writer up front makes every append fail, starting
+	// with the header.
+	bad, err := journal.Create(filepath.Join(dir, "bad.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Close(); err != nil {
+		t.Fatal(err)
+	}
+	exp.Journal = bad
+	o := exp.Run()
+	if o.JournalErr == nil {
+		t.Fatal("JournalErr = nil after appends to a closed journal")
+	}
+	if len(o.PerConfig) != len(testConfigs(t)) {
+		t.Fatalf("sweep incomplete: %d configs", len(o.PerConfig))
+	}
+	if n := len(o.Errors()); n != 0 {
+		t.Errorf("journal failure leaked into run errors: %v", o.Errors())
+	}
+}
