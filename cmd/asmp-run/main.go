@@ -32,6 +32,7 @@ import (
 
 	"asmp/internal/figures"
 	"asmp/internal/journal"
+	"asmp/internal/profiling"
 )
 
 // exitCancelled is the exit code for an interrupted run (128+SIGINT,
@@ -61,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runWith is run with an explicit cancel signal (closed by main's
 // SIGINT handler, or by tests). Cancellation is honoured at figure
 // granularity: the figure in flight completes, later ones are skipped.
-func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) int {
+func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (code int) {
 	fs := flag.NewFlagSet("asmp-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -74,6 +75,8 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		out      = fs.String("out", "", "directory to also write per-figure .txt and .csv files into")
 		journalP = fs.String("journal", "", "append every completed figure to this JSONL journal (enables -resume)")
 		resume   = fs.Bool("resume", false, "replay figures recorded in -journal, regenerating only missing ones")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (observability only; output is unaffected)")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +89,25 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		fmt.Fprintln(stderr, "asmp-run: -resume requires -journal")
 		return 2
 	}
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "asmp-run:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(stderr, "asmp-run:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(stderr, "asmp-run:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	var figs []figures.Figure
 	switch {
@@ -141,7 +163,6 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 	}
 
 	opt := figures.Options{Quick: *quick, Seed: *seed}
-	code := 0
 	for _, f := range figs {
 		if isCancelled(cancel) {
 			fmt.Fprintf(stderr, "asmp-run: interrupted before figure %s\n", f.ID)

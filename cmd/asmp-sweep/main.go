@@ -35,6 +35,7 @@ import (
 	"asmp/internal/cpu"
 	"asmp/internal/fault"
 	"asmp/internal/journal"
+	"asmp/internal/profiling"
 	"asmp/internal/report"
 	"asmp/internal/sched"
 	"asmp/internal/sim"
@@ -75,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runWith is run with an explicit cancel signal (closed by main's
 // SIGINT handler, or by tests).
-func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) int {
+func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (code int) {
 	fs := flag.NewFlagSet("asmp-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -92,6 +93,8 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		journalP = fs.String("journal", "", "append every completed cell to this JSONL journal (enables -resume)")
 		resume   = fs.Bool("resume", false, "resume the sweep recorded in -journal, re-executing only missing or failed cells")
 		verify   = fs.Int("verify", 0, "audit determinism instead of sweeping: run each cell N times (min 2) and require bit-identical digests")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (observability only; output is unaffected)")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,6 +103,25 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		fmt.Fprintf(stderr, "asmp-sweep: unexpected argument %q (flags only)\n", fs.Arg(0))
 		return 2
 	}
+	stopCPU, perr := profiling.StartCPU(*cpuProf)
+	if perr != nil {
+		fmt.Fprintln(stderr, "asmp-sweep:", perr)
+		return 2
+	}
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(stderr, "asmp-sweep:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(stderr, "asmp-sweep:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	if *list {
 		for _, n := range workload.Names() {

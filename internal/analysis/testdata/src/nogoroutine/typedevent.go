@@ -1,0 +1,39 @@
+// Typed-event dispatch shapes from the engine's hot-path overhaul. The
+// rule must keep firing when concurrency hides inside a HandleEvent
+// implementation or an event free-list — the structures the
+// allocation-free refactor introduced — not just on textbook worker
+// pools.
+package nogoroutinex
+
+import "sync"
+
+type handler interface {
+	HandleEvent(kind int, arg any)
+}
+
+type event struct {
+	h    handler
+	kind int
+	arg  any
+}
+
+// dispatchAsync fires an event on its own goroutine — precisely the
+// nondeterminism the single-threaded event loop exists to prevent.
+func dispatchAsync(e *event) {
+	go e.h.HandleEvent(e.kind, e.arg) // want nogoroutine "go statement"
+}
+
+// lockedPool guards an event free-list with a mutex. The engine's real
+// free-list is single-threaded per queue and needs no lock; a lock here
+// means events are crossing goroutines.
+type lockedPool struct {
+	mu   sync.Mutex // want nogoroutine "sync.Mutex"
+	free []*event
+}
+
+// dispatchInline drains a batch synchronously in order: clean.
+func dispatchInline(events []*event) {
+	for _, e := range events {
+		e.h.HandleEvent(e.kind, e.arg)
+	}
+}

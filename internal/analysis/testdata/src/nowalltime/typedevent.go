@@ -1,0 +1,53 @@
+// Typed-event dispatch shapes from the engine's allocation-free hot
+// path. The analyzer must see through Handler indirection: a wall-clock
+// read inside HandleEvent is exactly the bug that would make two runs of
+// the same (config, seed) cell diverge, and it hides one call level
+// deeper than the classic inline time.Now().
+package walltimex
+
+import "time"
+
+// handler mirrors simtime.Handler: payload events dispatch through a
+// (kind, arg) pair instead of a per-call closure.
+type handler interface {
+	HandleEvent(kind int, arg any)
+}
+
+// queue mirrors the scheduling side; its clock is virtual state, so
+// pure bookkeeping here must stay clean.
+type queue struct {
+	now int64 // virtual time — never the wall clock
+}
+
+func (q *queue) scheduleCall(at int64, h handler, kind int, arg any) { _ = at }
+
+// wallHandler stamps events with host time — every line must fire.
+type wallHandler struct {
+	started time.Time
+}
+
+func (h *wallHandler) HandleEvent(kind int, arg any) {
+	h.started = time.Now()       // want nowalltime "wall-clock time.Now"
+	time.Sleep(time.Millisecond) // want nowalltime "wall-clock time.Sleep"
+}
+
+// virtualHandler advances only virtual state: clean.
+type virtualHandler struct {
+	fired int
+	last  int64
+}
+
+func (h *virtualHandler) HandleEvent(kind int, arg any) {
+	h.fired++
+	if d, ok := arg.(time.Duration); ok {
+		h.last += int64(d) // Durations are pure values — allowed.
+	}
+}
+
+// profiled mirrors the CLI pprof sites: wall time around a dispatch is
+// tolerated only under an explicit, justified pragma.
+func profiled(q *queue, h handler) {
+	start := time.Now() //asmp:allow walltime corpus: profiling timestamps never reach the simulation
+	q.scheduleCall(q.now, h, 0, nil)
+	_ = start
+}

@@ -65,11 +65,27 @@ type RunSpec struct {
 
 // Execute performs one run on a fresh platform and returns its result.
 // Panics from workload code or tripped watchdogs propagate; use
-// ExecuteSafe to receive them as errors.
+// ExecuteSafe to receive them as errors. Memoizable cells (see memo.go)
+// are served from the process-wide cache when an identical cell already
+// ran.
 func Execute(spec RunSpec) workload.Result {
+	key, memoizable := memoKeyFor(spec)
+	if memoizable {
+		if res, hit := memoLookup(key); hit {
+			return res
+		}
+	}
 	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
 	defer pl.Close()
-	return executeOn(spec, pl)
+	res := executeOn(spec, pl)
+	// Close explicitly (idempotent) so the cache only ever holds runs
+	// whose teardown also succeeded; a teardown panic propagates here
+	// before the store.
+	pl.Close()
+	if memoizable {
+		memoStore(key, res)
+	}
+	return res
 }
 
 // executeOn arms limits, cancellation and faults on the platform, then
@@ -110,6 +126,12 @@ func executeOn(spec RunSpec, pl *workload.Platform) workload.Result {
 // never stack or goroutine state, so repeated failing runs produce
 // identical errors and sweeps stay deterministic.
 func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
+	key, memoizable := memoKeyFor(spec)
+	if memoizable {
+		if hit, found := memoLookup(key); found {
+			return hit, nil
+		}
+	}
 	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
 	defer func() {
 		if r := recover(); r != nil && err == nil {
@@ -120,6 +142,10 @@ func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
 		}
 		if err != nil {
 			res = workload.Result{}
+		} else if memoizable {
+			// Success only, after teardown: failures stay uncached so they
+			// re-execute (deterministically) and report the same error.
+			memoStore(key, res)
 		}
 	}()
 	res = executeOn(spec, pl)

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+)
+
+// Cell memoization.
+//
+// The paper's figures reuse cells heavily: the symmetric baselines
+// (4f-0s, 2f-0s, 1f-0s) recur in nearly every panel, and Quick and full
+// presets share their low-repetition prefixes. Because a run is a pure
+// function of (workload identity, config, scheduler options, seed, fault
+// plan, limits), its Result — digest included — can be cached under that
+// identity and replayed for free the next time any figure asks for the
+// exact same cell.
+//
+// Memoization can never change what a caller observes:
+//
+//   - The key covers every input that reaches the simulation. Workloads
+//     opt in by implementing workload.Identifier, whose contract requires
+//     Identity() to render every behaviour-affecting option.
+//   - Runs with a Tracer or Observe hook are never cached or served from
+//     cache — those callers want the run's side effects, not just its
+//     Result. core.VerifyDeterminism always sets a Tracer, so replay
+//     audits always re-execute.
+//   - Only successful runs are stored, and only after teardown succeeded;
+//     failures re-execute and fail identically (they are deterministic).
+//   - Results are defensively copied on store and on hit so no caller can
+//     mutate another's Extras map through the cache.
+type memoKey struct {
+	workload string
+	config   string
+	sched    sched.Options
+	seed     uint64
+	fault    string
+	limits   sim.Limits
+}
+
+// memoCache is the process-wide cell cache. Unbounded by design: a full
+// figure sweep stores a few thousand small Results, and the process exits
+// when the sweep does.
+var memoCache struct {
+	mu           sync.Mutex //asmp:allow goroutine guards harness parallelism: sweep workers share the cache; cached Results are identical regardless of arrival order
+	m            map[memoKey]workload.Result
+	hits, misses uint64
+}
+
+// memoKeyFor returns spec's cache key and whether spec is memoizable at
+// all. Non-memoizable specs (workload without an Identity, or a run with
+// observation hooks attached) always execute.
+func memoKeyFor(spec RunSpec) (memoKey, bool) {
+	if spec.Tracer != nil || spec.Observe != nil {
+		return memoKey{}, false
+	}
+	id, ok := spec.Workload.(workload.Identifier)
+	if !ok {
+		return memoKey{}, false
+	}
+	fp := ""
+	if !spec.Fault.Empty() {
+		fp = spec.Fault.String()
+	}
+	return memoKey{
+		workload: id.Identity(),
+		config:   spec.Config.String(),
+		sched:    spec.Sched,
+		seed:     spec.Seed,
+		fault:    fp,
+		limits:   spec.Limits,
+	}, true
+}
+
+// memoLookup returns the cached Result for key, if present.
+func memoLookup(key memoKey) (workload.Result, bool) {
+	memoCache.mu.Lock()
+	defer memoCache.mu.Unlock()
+	res, ok := memoCache.m[key]
+	if ok {
+		memoCache.hits++
+		return cloneResult(res), true
+	}
+	memoCache.misses++
+	return workload.Result{}, false
+}
+
+// memoStore records a successful run's Result under key.
+func memoStore(key memoKey, res workload.Result) {
+	memoCache.mu.Lock()
+	defer memoCache.mu.Unlock()
+	if memoCache.m == nil {
+		memoCache.m = map[memoKey]workload.Result{}
+	}
+	memoCache.m[key] = cloneResult(res)
+}
+
+// cloneResult deep-copies the one mutable field of a Result (the Extras
+// map) so cached entries and served hits never alias caller state.
+func cloneResult(r workload.Result) workload.Result {
+	if r.Extras != nil {
+		ex := make(map[string]float64, len(r.Extras))
+		for k, v := range r.Extras {
+			ex[k] = v
+		}
+		r.Extras = ex
+	}
+	return r
+}
+
+// MemoStats reports the process-wide cell-cache counters: entries held,
+// lookups served from cache and lookups that missed. Non-memoizable runs
+// count as neither.
+func MemoStats() (entries int, hits, misses uint64) {
+	memoCache.mu.Lock()
+	defer memoCache.mu.Unlock()
+	return len(memoCache.m), memoCache.hits, memoCache.misses
+}
+
+// ResetMemo empties the cell cache and zeroes its counters. Tests and
+// benchmarks use it to measure cold-path behaviour.
+func ResetMemo() {
+	memoCache.mu.Lock()
+	defer memoCache.mu.Unlock()
+	memoCache.m = nil
+	memoCache.hits, memoCache.misses = 0, 0
+}

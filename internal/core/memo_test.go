@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/trace"
+	"asmp/internal/workload"
+)
+
+// memoProbe is an Identifier workload that counts real executions, so
+// tests can tell a cache hit from a re-run. Each test uses a unique id
+// string to stay out of other tests' cache entries.
+type memoProbe struct {
+	id    string
+	execs *atomic.Int64
+}
+
+func (w memoProbe) Name() string     { return "memo-probe" }
+func (w memoProbe) Identity() string { return "memo-probe|" + w.id }
+
+func (w memoProbe) Run(pl *workload.Platform) workload.Result {
+	w.execs.Add(1)
+	pl.Env.Go("probe", func(p *sim.Proc) { p.Compute(1e5) })
+	pl.Env.Run()
+	res := workload.Result{
+		Metric:         "throughput",
+		Value:          pl.Config.ComputePower(),
+		HigherIsBetter: true,
+	}
+	res.AddExtra("probe-extra", 42)
+	return res
+}
+
+func memoSpec(id string, execs *atomic.Int64) RunSpec {
+	return RunSpec{
+		Workload: memoProbe{id: id, execs: execs},
+		Config:   cpu.MustParseConfig("2f-2s/8"),
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     1,
+	}
+}
+
+func TestMemoServesIdenticalCell(t *testing.T) {
+	var execs atomic.Int64
+	spec := memoSpec("identical-cell", &execs)
+
+	first := Execute(spec)
+	second := Execute(spec)
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (second call should hit the cache)", got)
+	}
+	if first.Digest != second.Digest || first.Value != second.Value {
+		t.Fatalf("cached result differs: %+v vs %+v", first, second)
+	}
+
+	// The safe path shares the same cache.
+	third, err := ExecuteSafe(spec)
+	if err != nil {
+		t.Fatalf("ExecuteSafe: %v", err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d after ExecuteSafe, want 1", got)
+	}
+	if third.Digest != first.Digest {
+		t.Fatalf("ExecuteSafe hit digest = %v, want %v", third.Digest, first.Digest)
+	}
+}
+
+func TestMemoKeyDiscriminates(t *testing.T) {
+	var execs atomic.Int64
+	base := memoSpec("discriminates", &execs)
+	Execute(base)
+
+	variants := []struct {
+		name string
+		spec RunSpec
+	}{
+		{"seed", func() RunSpec { s := base; s.Seed = 2; return s }()},
+		{"config", func() RunSpec { s := base; s.Config = cpu.MustParseConfig("4f-0s"); return s }()},
+		{"sched", func() RunSpec { s := base; s.Sched = sched.Defaults(sched.PolicyAsymmetryAware); return s }()},
+		{"limits", func() RunSpec { s := base; s.Limits = sim.Limits{MaxEvents: 1 << 30}; return s }()},
+		{"identity", func() RunSpec {
+			s := base
+			s.Workload = memoProbe{id: "discriminates-other", execs: &execs}
+			return s
+		}()},
+	}
+	for i, v := range variants {
+		Execute(v.spec)
+		if got, want := execs.Load(), int64(i+2); got != want {
+			t.Fatalf("after %q variant: executions = %d, want %d (variant must miss the cache)",
+				v.name, got, want)
+		}
+	}
+
+	// And every variant replays from cache on the second ask.
+	for _, v := range variants {
+		Execute(v.spec)
+	}
+	if got, want := execs.Load(), int64(len(variants)+1); got != want {
+		t.Fatalf("replay executions = %d, want %d", got, want)
+	}
+}
+
+func TestMemoBypassedByTracerAndObserve(t *testing.T) {
+	var execs atomic.Int64
+	spec := memoSpec("tracer-bypass", &execs)
+	spec.Tracer = trace.New(1024)
+	Execute(spec)
+	Execute(spec)
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("traced executions = %d, want 2 (tracer runs must never be served from cache)", got)
+	}
+
+	spec = memoSpec("observe-bypass", &execs)
+	spec.Observe = func(*sched.Scheduler) {}
+	execs.Store(0)
+	Execute(spec)
+	Execute(spec)
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("observed executions = %d, want 2", got)
+	}
+}
+
+func TestMemoHitsAreIsolatedCopies(t *testing.T) {
+	var execs atomic.Int64
+	spec := memoSpec("isolated-copies", &execs)
+	first := Execute(spec)
+	first.Extras["probe-extra"] = -1 // caller scribbles on its copy
+	second := Execute(spec)
+	if got := second.Extra("probe-extra"); got != 42 {
+		t.Fatalf("cached extra = %v, want 42 (hit must not alias earlier caller's map)", got)
+	}
+	second.Extras["fresh"] = 1
+	third := Execute(spec)
+	if _, leaked := third.Extras["fresh"]; leaked {
+		t.Fatal("mutation of a served hit leaked back into the cache")
+	}
+}
+
+// panicProbe is an Identifier workload that always fails.
+type panicProbe struct {
+	execs *atomic.Int64
+}
+
+func (w panicProbe) Name() string     { return "panic-probe" }
+func (w panicProbe) Identity() string { return "panic-probe" }
+
+func (w panicProbe) Run(pl *workload.Platform) workload.Result {
+	w.execs.Add(1)
+	panic("deliberate failure")
+}
+
+func TestMemoNeverCachesFailures(t *testing.T) {
+	var execs atomic.Int64
+	spec := RunSpec{
+		Workload: panicProbe{execs: &execs},
+		Config:   cpu.MustParseConfig("4f-0s"),
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     1,
+	}
+	if _, err := ExecuteSafe(spec); err == nil {
+		t.Fatal("expected error from panicking workload")
+	}
+	if _, err := ExecuteSafe(spec); err == nil {
+		t.Fatal("expected error from panicking workload (second run)")
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2 (failures must re-execute, never cache)", got)
+	}
+}
+
+func TestMemoVerifyDeterminismStillReExecutes(t *testing.T) {
+	var execs atomic.Int64
+	spec := memoSpec("verify-bypass", &execs)
+	Execute(spec) // warm the cache
+	if err := VerifyDeterminism(spec, 2); err != nil {
+		t.Fatalf("VerifyDeterminism: %v", err)
+	}
+	// 1 warm-up + 2 audited replays: the audit's Tracer bypasses the
+	// cache, otherwise it would be comparing a cache entry to itself.
+	if got := execs.Load(); got != 3 {
+		t.Fatalf("executions = %d, want 3 (verify runs must bypass the cache)", got)
+	}
+}
+
+func TestMemoStatsAndReset(t *testing.T) {
+	ResetMemo()
+	var execs atomic.Int64
+	spec := memoSpec("stats", &execs)
+	Execute(spec)
+	Execute(spec)
+	entries, hits, misses := MemoStats()
+	if entries != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d entries, %d hits, %d misses), want (1, 1, 1)", entries, hits, misses)
+	}
+	ResetMemo()
+	if entries, hits, misses := MemoStats(); entries != 0 || hits != 0 || misses != 0 {
+		t.Fatalf("post-reset stats = (%d, %d, %d), want zeros", entries, hits, misses)
+	}
+}

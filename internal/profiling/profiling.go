@@ -1,0 +1,58 @@
+// Package profiling wires the standard pprof collectors into the CLIs.
+// Profiles are pure observability: they never touch the simulation, so a
+// profiled run produces byte-identical figures and digests. Both helpers
+// treat an empty path as "profiling off" so call sites stay unconditional.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops the profiler and closes the file. With an empty path it
+// returns a no-op stop.
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeap dumps an allocation profile to path, forcing a collection
+// first so the numbers reflect live state rather than GC timing. A
+// no-op with an empty path.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

@@ -163,6 +163,28 @@ type Scheduler struct {
 	stalled      bool
 	stalledUntil simtime.Time
 	stallEv      *simtime.Event
+
+	// byDuty lists the cores fastest-first; core speeds are fixed for a
+	// run, so the order is computed once in New.
+	byDuty []*coreState
+
+	// Scratch buffers reused across balance ticks and placements so the
+	// steady-state scheduler allocates nothing per decision. Safe because
+	// the simulation is single-threaded: no two decisions overlap.
+	slotScratch []balanceSlot
+	pickScratch []int
+
+	// taskSlab hands out per-proc scheduler state a slab at a time, so
+	// spawning N procs costs N/32 allocations instead of N. Slots are
+	// never recycled; the slab just batches the backing allocations.
+	taskSlab []task
+}
+
+// balanceSlot pairs a core with its sampled load average inside one
+// naive balance pass.
+type balanceSlot struct {
+	c   *coreState
+	avg float64
 }
 
 // coreState is the per-core scheduler state.
@@ -194,7 +216,6 @@ type task struct {
 	p         *sim.Proc
 	remaining float64 // cycles left in the current burst
 	remMem    float64 // memory-stall seconds left (duty-cycle independent)
-	done      func()
 	inflight  bool
 	lastCore  int // core the task last ran on; -1 if never ran
 	queuedOn  int // core whose runq holds the task; -1 if running or not queued
@@ -230,6 +251,9 @@ func New(env *sim.Env, machine cpu.Machine, opt Options) *Scheduler {
 	}
 	s.stats.BusySeconds = make([]float64, machine.NumCores())
 	s.stats.RetiredCycles = make([]float64, machine.NumCores())
+	s.byDuty = make([]*coreState, len(s.cores))
+	copy(s.byDuty, s.cores)
+	sort.SliceStable(s.byDuty, func(i, j int) bool { return s.byDuty[i].core.Duty > s.byDuty[j].core.Duty })
 	env.SetExecutor(s)
 	return s
 }
@@ -382,7 +406,7 @@ func (s *Scheduler) Stall(d simtime.Duration) {
 		if until > s.stalledUntil {
 			s.env.CancelEvent(s.stallEv)
 			s.stalledUntil = until
-			s.stallEv = s.env.At(until, s.endStall)
+			s.stallEv = s.env.AtCall(until, s, evStall, nil)
 		}
 		return
 	}
@@ -406,7 +430,7 @@ func (s *Scheduler) Stall(d simtime.Duration) {
 		s.env.CancelEvent(s.balanceEv)
 		s.balanceEv = nil
 	}
-	s.stallEv = s.env.At(until, s.endStall)
+	s.stallEv = s.env.AtCall(until, s, evStall, nil)
 }
 
 // Stalled reports whether the machine is currently stalled.
@@ -476,20 +500,24 @@ func (s *Scheduler) taskOf(p *sim.Proc) *task {
 	if t, ok := p.SchedState.(*task); ok && t != nil {
 		return t
 	}
-	t := &task{p: p, lastCore: -1, queuedOn: -1}
+	if len(s.taskSlab) == 0 {
+		s.taskSlab = make([]task, 32)
+	}
+	t := &s.taskSlab[0]
+	s.taskSlab = s.taskSlab[1:]
+	*t = task{p: p, lastCore: -1, queuedOn: -1}
 	p.SchedState = t
 	return t
 }
 
 // Compute implements sim.Executor.
-func (s *Scheduler) Compute(p *sim.Proc, cycles, memSeconds float64, done func()) {
+func (s *Scheduler) Compute(p *sim.Proc, cycles, memSeconds float64) {
 	t := s.taskOf(p)
 	if t.inflight {
 		panic(fmt.Sprintf("sched: %v issued overlapping compute", p))
 	}
 	t.remaining = cycles
 	t.remMem = memSeconds
-	t.done = done
 	t.inflight = true
 	s.observeInvariant()
 	s.place(t)
@@ -516,7 +544,6 @@ func (s *Scheduler) Cancel(p *sim.Proc) {
 		s.onIdle(c)
 	}
 	t.inflight = false
-	t.done = nil
 }
 
 // ProcExit implements sim.Executor.
@@ -580,12 +607,13 @@ func (s *Scheduler) chooseCoreNaive(t *task) int {
 	// mostly-sleeping server process keeps this arbitrary home for the
 	// whole run.
 	if t.lastCore < 0 && s.opt.RandomWakeups {
-		var allowed []int
+		allowed := s.pickScratch[:0]
 		for i := range s.cores {
 			if t.allowed(i) && !s.cores[i].offline {
 				allowed = append(allowed, i)
 			}
 		}
+		s.pickScratch = allowed[:0]
 		if len(allowed) > 0 {
 			return allowed[s.rng.Intn(len(allowed))]
 		}
@@ -731,7 +759,12 @@ func (s *Scheduler) dispatch(c *coreState) {
 		return
 	}
 	t := c.runq[0]
-	c.runq = c.runq[1:]
+	// Shift in place instead of re-slicing: run queues are short, and
+	// keeping the backing array's head pinned means enqueue appends
+	// never re-allocate in steady state.
+	n := copy(c.runq, c.runq[1:])
+	c.runq[n] = nil
+	c.runq = c.runq[:n]
 	t.queuedOn = -1
 	id := c.core.ID
 	if t.lastCore != id {
@@ -750,6 +783,34 @@ func (s *Scheduler) dispatch(c *coreState) {
 	s.scheduleCoreEvent(c)
 }
 
+// The scheduler's typed event kinds, dispatched through HandleEvent:
+// evCore is the completion-or-slice event for a core's running task
+// (*coreState payload); evBalance is the periodic load-balancing tick;
+// evStall ends a machine-wide stall. All three ride the queue's
+// allocation-free payload path instead of a fresh closure per arming.
+const (
+	evCore = iota
+	evBalance
+	evStall
+)
+
+// HandleEvent implements simtime.Handler. Each case clears its pending
+// handle on entry (coreEvent clears c.ev, balanceTick clears balanceEv,
+// endStall clears stallEv), which satisfies the payload contract: the
+// handle dies when the event fires.
+func (s *Scheduler) HandleEvent(kind int, arg any) {
+	switch kind {
+	case evCore:
+		s.coreEvent(arg.(*coreState))
+	case evBalance:
+		s.balanceTick()
+	case evStall:
+		s.endStall()
+	default:
+		panic(fmt.Sprintf("sched: unknown event kind %d", kind))
+	}
+}
+
 // scheduleCoreEvent arms the completion-or-slice event for the running
 // task.
 func (s *Scheduler) scheduleCoreEvent(c *coreState) {
@@ -763,7 +824,7 @@ func (s *Scheduler) scheduleCoreEvent(c *coreState) {
 	if d < 0 {
 		d = 0
 	}
-	c.ev = s.env.After(d, func() { s.coreEvent(c) })
+	c.ev = s.env.AfterCall(d, s, evCore, c)
 }
 
 func (s *Scheduler) cancelCoreEvent(c *coreState) {
@@ -823,15 +884,11 @@ func (s *Scheduler) coreEvent(c *coreState) {
 		c.running = nil
 		t.inflight = false
 		s.emit(trace.Complete, c.core.ID, -1, t)
-		done := t.done
-		t.done = nil
 		s.observeInvariant()
-		if done != nil {
-			// May synchronously resume the proc, which may issue its next
-			// burst and re-enter the scheduler; dispatch below tolerates
-			// that.
-			done()
-		}
+		// May synchronously resume the proc, which may issue its next
+		// burst and re-enter the scheduler; dispatch below tolerates
+		// that.
+		t.p.FinishCompute()
 		s.dispatch(c)
 		s.onIdle(c)
 		return
@@ -985,7 +1042,7 @@ func (s *Scheduler) migrateRunningFromSlower(c *coreState) {
 // simulations terminate; Compute re-arms it.
 func (s *Scheduler) armBalance() {
 	if s.balanceEv == nil {
-		s.balanceEv = s.env.After(s.opt.BalanceInterval, s.balanceTick)
+		s.balanceEv = s.env.AfterCall(s.opt.BalanceInterval, s, evBalance, nil)
 	}
 }
 
@@ -1031,17 +1088,14 @@ func (s *Scheduler) balanceTick() {
 // choice ignores core speed, which on an asymmetric machine is precisely
 // what causes unstable placement.
 func (s *Scheduler) balanceNaive() {
-	type slot struct {
-		c   *coreState
-		avg float64
-	}
-	slots := make([]slot, 0, len(s.cores))
+	slots := s.slotScratch[:0]
 	for _, c := range s.cores {
 		if c.offline {
 			continue
 		}
-		slots = append(slots, slot{c, c.loadAvg})
+		slots = append(slots, balanceSlot{c, c.loadAvg})
 	}
+	s.slotScratch = slots[:0]
 	if len(slots) < 2 {
 		return
 	}
@@ -1072,11 +1126,9 @@ func (s *Scheduler) balanceNaive() {
 // balanceAware drains waiting work onto idle cores fastest-first and
 // keeps queue pressure proportional to core speed.
 func (s *Scheduler) balanceAware() {
-	// Fastest idle cores pull first.
-	order := make([]*coreState, len(s.cores))
-	copy(order, s.cores)
-	sort.SliceStable(order, func(i, j int) bool { return order[i].core.Duty > order[j].core.Duty })
-	for _, c := range order {
+	// Fastest idle cores pull first (s.byDuty is precomputed: speeds are
+	// fixed for the run).
+	for _, c := range s.byDuty {
 		if c.idle() {
 			s.onIdle(c)
 		}

@@ -11,8 +11,8 @@ import (
 // needed for engine-level tests).
 type nullExecutor struct{ env *Env }
 
-func (x *nullExecutor) Compute(p *Proc, cycles, mem float64, done func()) {
-	x.env.After(simtime.Millisecond, done)
+func (x *nullExecutor) Compute(p *Proc, cycles, mem float64) {
+	x.env.After(simtime.Millisecond, p.FinishCompute)
 }
 func (x *nullExecutor) Cancel(p *Proc)   {}
 func (x *nullExecutor) ProcExit(p *Proc) {}

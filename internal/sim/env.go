@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"strings"
 
 	"asmp/internal/simtime"
@@ -39,18 +40,20 @@ func Single(id int) CPUSet { return CPUSet(1) << uint(id) }
 
 // Executor models CPU execution for the engine. Implementations must be
 // single-threaded (they are only invoked from the kernel context or the
-// active proc's context, never concurrently) and must invoke the done
-// callback from a scheduled event, never synchronously from Compute.
+// active proc's context, never concurrently) and must invoke
+// p.FinishCompute from a scheduled event, never synchronously from
+// Compute.
 type Executor interface {
 	// Compute retires cycles of work for p, honouring p's affinity, and
-	// calls done at the simulated time the work completes. memSeconds is
-	// additional memory-stall time that occupies the core for a fixed
-	// wall-clock duration regardless of the core's clock duty cycle —
-	// the paper's stop-clock mechanism slows the processor but not the
-	// memory system.
-	Compute(p *Proc, cycles, memSeconds float64, done func())
-	// Cancel aborts an in-flight Compute for p; done must not be called
-	// afterwards. Cancelling a proc with no in-flight compute is a no-op.
+	// calls p.FinishCompute at the simulated time the work completes.
+	// memSeconds is additional memory-stall time that occupies the core
+	// for a fixed wall-clock duration regardless of the core's clock
+	// duty cycle — the paper's stop-clock mechanism slows the processor
+	// but not the memory system.
+	Compute(p *Proc, cycles, memSeconds float64)
+	// Cancel aborts an in-flight Compute for p; FinishCompute must not
+	// be called afterwards. Cancelling a proc with no in-flight compute
+	// is a no-op.
 	Cancel(p *Proc)
 	// ProcExit tells the executor p has exited and will never compute
 	// again, so any per-proc state can be released.
@@ -65,8 +68,12 @@ type Env struct {
 	rand  *xrand.Rand
 	exec  Executor
 
-	nextPID  int
-	live     map[int]*Proc
+	nextPID int
+	// live holds every spawned, not-yet-retired proc. Order is
+	// unspecified (retirement swap-removes); consumers that need
+	// determinism sort by PID. A slice beats a map here because spawn
+	// and exit are hot paths and membership is tracked by Proc.liveIdx.
+	live     []*Proc
 	running  *Proc
 	panicVal any
 	closed   bool
@@ -75,14 +82,30 @@ type Env struct {
 	cancel  <-chan struct{}
 	events  int
 	tripped error
+
+	// procSlab and randSlab batch the per-spawn allocations: spawning N
+	// procs costs N/32 backing allocations for the Proc structs and
+	// their random streams instead of 2N. Slots are handed out once and
+	// never recycled, so proc identity is unaffected.
+	procSlab []Proc
+	randSlab []xrand.Rand
+
+	// workerq feeds spawned procs to pooled worker goroutines, and
+	// idleWorkers counts workers parked on workerq. A worker that
+	// finishes one proc's body loops back for the next spawn, so
+	// churn-heavy workloads pay goroutine creation (and the go
+	// statement's closure) only at peak concurrency, not per proc. Only
+	// the kernel context touches idleWorkers.
+	workerq     chan *Proc
+	idleWorkers int
 }
 
 // NewEnv returns an environment whose randomness derives entirely from
 // seed.
 func NewEnv(seed uint64) *Env {
 	return &Env{
-		rand: xrand.New(seed),
-		live: map[int]*Proc{},
+		rand:    xrand.New(seed),
+		workerq: make(chan *Proc),
 	}
 }
 
@@ -110,12 +133,52 @@ func (e *Env) At(t simtime.Time, fn func()) *simtime.Event {
 	return e.queue.Schedule(t, fn)
 }
 
+// AfterCall schedules h.HandleEvent(kind, arg) to run in kernel context
+// d from now, through the queue's allocation-free payload path. The
+// returned handle is valid only while the event is pending (see
+// simtime.ScheduleCall); holders must drop it when the event fires.
+func (e *Env) AfterCall(d simtime.Duration, h simtime.Handler, kind int, arg any) *simtime.Event {
+	return e.queue.AfterCall(d, h, kind, arg)
+}
+
+// AtCall schedules h.HandleEvent(kind, arg) to run in kernel context at
+// time t, with AfterCall's allocation-free contract.
+func (e *Env) AtCall(t simtime.Time, h simtime.Handler, kind int, arg any) *simtime.Event {
+	return e.queue.ScheduleCall(t, h, kind, arg)
+}
+
 // CancelEvent cancels a pending event scheduled with After or At.
 func (e *Env) CancelEvent(ev *simtime.Event) { e.queue.Cancel(ev) }
 
 // NumLive returns the number of procs that have been spawned and have not
 // yet exited.
 func (e *Env) NumLive() int { return len(e.live) }
+
+// Event kinds for the engine's typed (allocation-free) events. The
+// payload is always the subject *Proc; Env is the simtime.Handler.
+const (
+	evStart = iota // first handoff to a freshly spawned proc
+	evWake         // resume a parked proc at the current time
+	evSleep        // a Proc.Sleep timer expired
+)
+
+// HandleEvent implements simtime.Handler, dispatching the engine's
+// typed events. The (kind, *Proc) payload replaces the per-call closure
+// the hot wake/start/sleep paths used to allocate.
+func (e *Env) HandleEvent(kind int, arg any) {
+	p := arg.(*Proc)
+	switch kind {
+	case evStart:
+		e.start(p)
+	case evWake:
+		e.resume(p)
+	case evSleep:
+		p.sleepEv = nil
+		e.resume(p)
+	default:
+		panic(fmt.Sprintf("sim: unknown event kind %d", kind))
+	}
+}
 
 // Go spawns a new proc running fn. The proc starts at the current
 // simulated time, after the caller yields control. Go may be called from
@@ -125,17 +188,29 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		panic("sim: Go on closed Env")
 	}
 	e.nextPID++
-	p := &Proc{
+	if len(e.procSlab) == 0 {
+		e.procSlab = make([]Proc, 32)
+	}
+	p := &e.procSlab[0]
+	e.procSlab = e.procSlab[1:]
+	if len(e.randSlab) == 0 {
+		e.randSlab = make([]xrand.Rand, 32)
+	}
+	rng := &e.randSlab[0]
+	e.randSlab = e.randSlab[1:]
+	e.rand.SplitInto(rng)
+	*p = Proc{
 		env:      e,
 		id:       e.nextPID,
 		name:     name,
 		fn:       fn,
-		rand:     e.rand.Split(),
+		rand:     rng,
 		toProc:   make(chan struct{}),
 		toKernel: make(chan struct{}),
 	}
-	e.live[p.id] = p
-	e.queue.After(0, func() { e.start(p) })
+	p.liveIdx = len(e.live)
+	e.live = append(e.live, p)
+	e.queue.AfterCall(0, e, evStart, p)
 	return p
 }
 
@@ -147,26 +222,28 @@ func (e *Env) start(p *Proc) {
 		e.finish(p)
 		return
 	}
-	go func() {
-		<-p.toProc
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(killSignal); !ok {
-					// A genuine bug in workload code: surface it in the
-					// kernel so tests fail loudly instead of deadlocking.
-					p.env.panicVal = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
-				}
-			}
-			p.done = true
-			p.toKernel <- struct{}{}
-		}()
-		if !p.killed {
-			p.fn(p)
-		}
-	}()
+	// Hand the proc to a pooled worker goroutine, growing the pool only
+	// when every worker is busy. The send is unbuffered: an idle worker
+	// is either parked on workerq or on its way back to it after
+	// reporting its previous proc done, so the handoff cannot deadlock.
+	if e.idleWorkers > 0 {
+		e.idleWorkers--
+	} else {
+		go e.procWorker()
+	}
+	e.workerq <- p
 	p.launched = true
 	p.waiting = true
 	e.resume(p)
+}
+
+// procWorker runs proc bodies from the spawn queue until the Env closes.
+// Proc panics (including the kill signal) are recovered inside
+// Proc.main, so one worker survives any number of procs.
+func (e *Env) procWorker() {
+	for p := range e.workerq {
+		p.main()
+	}
 }
 
 // resume transfers control to p until its next yield. Kernel context only.
@@ -181,6 +258,8 @@ func (e *Env) resume(p *Proc) {
 	<-p.toKernel
 	e.running = prev
 	if p.done {
+		// The worker goroutine that ran p is looping back to workerq.
+		e.idleWorkers++
 		e.finish(p)
 	}
 	if e.panicVal != nil {
@@ -192,10 +271,16 @@ func (e *Env) resume(p *Proc) {
 
 // finish retires an exited proc.
 func (e *Env) finish(p *Proc) {
-	if _, ok := e.live[p.id]; !ok {
+	if p.liveIdx < 0 {
 		return
 	}
-	delete(e.live, p.id)
+	last := len(e.live) - 1
+	moved := e.live[last]
+	e.live[p.liveIdx] = moved
+	moved.liveIdx = p.liveIdx
+	e.live[last] = nil
+	e.live = e.live[:last]
+	p.liveIdx = -1
 	if e.exec != nil {
 		e.exec.ProcExit(p)
 	}
@@ -206,12 +291,13 @@ func (e *Env) finish(p *Proc) {
 }
 
 // wake schedules p to be resumed at the current time, after the active
-// context yields. It is the only correct way to unblock a proc.
+// context yields. It is the only correct way to unblock a proc. The
+// typed event allocates nothing: the queue recycles it once it fires.
 func (e *Env) wake(p *Proc) {
 	if p.done {
 		return
 	}
-	e.queue.After(0, func() { e.resume(p) })
+	e.queue.AfterCall(0, e, evWake, p)
 }
 
 // Wake schedules a proc parked with Proc.Block to resume at the current
@@ -246,9 +332,15 @@ func (e *Env) Kill(p *Proc) {
 }
 
 // KillAll kills every live proc. Call Run afterwards (or let the caller's
-// Run continue) to let them unwind.
+// Run continue) to let them unwind. Procs are killed in ascending PID
+// order — never map-iteration order — so the wake events Kill schedules
+// get deterministic sequence numbers and teardown replays identically
+// run to run.
 func (e *Env) KillAll() {
-	for _, p := range e.live {
+	procs := make([]*Proc, len(e.live))
+	copy(procs, e.live)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	for _, p := range procs {
 		if p != e.running {
 			e.Kill(p)
 		}
@@ -293,6 +385,7 @@ func (e *Env) Close() {
 		e.queue.Run()
 	}
 	e.closed = true
+	close(e.workerq) // releases the idle worker goroutines
 	if len(e.live) > 0 {
 		panic(fmt.Sprintf("sim: %d procs failed to terminate on Close: %s",
 			len(e.live), strings.Join(e.liveNames(), ", ")))

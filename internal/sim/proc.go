@@ -19,6 +19,7 @@ type Proc struct {
 
 	toProc   chan struct{}
 	toKernel chan struct{}
+	liveIdx  int  // position in the env's live table; -1 once retired
 	launched bool // goroutine exists and first handoff is pending or done
 	waiting  bool // parked in yield, waiting for resume
 	killed   bool
@@ -32,6 +33,34 @@ type Proc struct {
 	// bookkeeping (run-queue links, placement history, ...).
 	SchedState any
 }
+
+// main is one proc's turn on a pooled worker goroutine: wait for the
+// first handoff, run the proc function, and report completion to the
+// kernel even when the function panics (the recover below is what lets
+// the worker survive and serve the next proc).
+func (p *Proc) main() {
+	<-p.toProc
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); !ok {
+				// A genuine bug in workload code: surface it in the
+				// kernel so tests fail loudly instead of deadlocking.
+				p.env.panicVal = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
+			}
+		}
+		p.done = true
+		p.toKernel <- struct{}{}
+	}()
+	if !p.killed {
+		p.fn(p)
+	}
+}
+
+// FinishCompute is the Executor's completion callback: it resumes p at
+// the simulated time an issued Compute finishes. Kernel context only,
+// and never synchronously from within Executor.Compute — always from a
+// scheduled event.
+func (p *Proc) FinishCompute() { p.env.resume(p) }
 
 // ID returns the proc's unique id (1-based, in spawn order).
 func (p *Proc) ID() int { return p.id }
@@ -114,20 +143,20 @@ func (p *Proc) ComputeMem(cycles float64, mem simtime.Duration) {
 	if exec == nil {
 		panic("sim: Compute with no executor installed")
 	}
-	exec.Compute(p, cycles, float64(mem), func() { p.env.resume(p) })
+	exec.Compute(p, cycles, float64(mem))
 	p.yield()
 }
 
 // Sleep suspends the proc for d of simulated time without consuming CPU.
+// The timer is a typed event (kind evSleep), so sleeping allocates
+// nothing; the handler clears sleepEv before the queue recycles the
+// event, keeping Kill's cancellation path safe.
 func (p *Proc) Sleep(d simtime.Duration) {
 	p.checkContext()
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.sleepEv = p.env.At(p.env.Now()+d, func() {
-		p.sleepEv = nil
-		p.env.resume(p)
-	})
+	p.sleepEv = p.env.queue.AfterCall(d, p.env, evSleep, p)
 	p.yield()
 }
 

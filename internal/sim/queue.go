@@ -5,9 +5,17 @@ package sim
 // the queue closes. Load generators running as kernel events use Put to
 // inject work into server procs, which is the backbone of every
 // request-driven workload model in this repository.
+// The backlog is a head-indexed slice, not a reslice-on-pop: popping with
+// items = items[1:] would strand the dead prefix in the backing array for
+// the queue's lifetime and force append to grow a fresh array every time
+// the old one's capacity slid out of reach. Instead head advances past
+// consumed slots (zeroed so they retain nothing) and the live suffix is
+// periodically compacted back to the front, so a steady-state queue
+// reaches a fixed-size backing array and stops allocating entirely.
 type Queue[T any] struct {
 	env      *Env
 	items    []T
+	head     int // items[:head] are consumed (zeroed); items[head:] are live
 	getters  []*Proc
 	closed   bool
 	lifoWake bool
@@ -25,7 +33,7 @@ func NewQueue[T any](e *Env) *Queue[T] { return &Queue[T]{env: e} }
 func NewAcceptQueue[T any](e *Env) *Queue[T] { return &Queue[T]{env: e, lifoWake: true} }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
@@ -35,6 +43,11 @@ func (q *Queue[T]) Closed() bool { return q.closed }
 func (q *Queue[T]) Put(v T) {
 	if q.closed {
 		panic("sim: Put on closed queue")
+	}
+	if q.items == nil {
+		// Skip append's 1→2→4→8 growth steps: queues that see any
+		// traffic at all almost always see more than a handful of items.
+		q.items = make([]T, 0, 16)
 	}
 	q.items = append(q.items, v)
 	q.wakeOne()
@@ -60,46 +73,67 @@ func (q *Queue[T]) Close() {
 // returns ok == false only when the queue is closed and drained.
 func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 	p.checkContext()
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		if q.closed {
 			return v, false
 		}
 		q.getters = append(q.getters, p)
 		p.block()
 	}
-	v = q.items[0]
-	// Avoid retaining the element in the backing array.
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.pop(), true
 }
 
 // TryGet dequeues without blocking, reporting whether an item was
 // available.
 func (q *Queue[T]) TryGet(p *Proc) (v T, ok bool) {
 	p.checkContext()
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
+	return q.pop(), true
+}
+
+// pop removes and returns the oldest item. The consumed slot is zeroed
+// immediately (so it retains nothing) and the dead prefix is reclaimed
+// either by rewinding to an empty slice when the backlog drains, or by
+// compacting the live suffix once the prefix reaches half the array —
+// each element moves at most once per time the backlog halves, so popping
+// stays amortized O(1).
+func (q *Queue[T]) pop() T {
+	v := q.items[q.head]
 	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	q.items[q.head] = zero
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head >= 64 && q.head*2 >= len(q.items):
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
 }
 
 // wakeOne wakes one live consumer: the longest-waiting one by default,
 // or the most recently parked one for accept queues.
 func (q *Queue[T]) wakeOne() {
 	for len(q.getters) > 0 {
+		// Both pops zero the vacated slot so no *Proc outlives its wait,
+		// and neither reslices the front away, so the array is reused.
 		var p *Proc
 		if q.lifoWake {
-			p = q.getters[len(q.getters)-1]
-			q.getters = q.getters[:len(q.getters)-1]
+			last := len(q.getters) - 1
+			p = q.getters[last]
+			q.getters[last] = nil
+			q.getters = q.getters[:last]
 		} else {
 			p = q.getters[0]
-			q.getters = q.getters[1:]
+			n := copy(q.getters, q.getters[1:])
+			q.getters[n] = nil
+			q.getters = q.getters[:n]
 		}
 		if p.done {
 			continue

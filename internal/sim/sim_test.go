@@ -22,10 +22,10 @@ func newUnitExec(env *Env) *unitExec {
 	return x
 }
 
-func (x *unitExec) Compute(p *Proc, cycles, memSeconds float64, done func()) {
+func (x *unitExec) Compute(p *Proc, cycles, memSeconds float64) {
 	x.pending[p] = x.env.After(simtime.Duration(cycles+memSeconds), func() {
 		delete(x.pending, p)
-		done()
+		p.FinishCompute()
 	})
 }
 

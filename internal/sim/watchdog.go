@@ -151,19 +151,17 @@ func (e *Env) drive(deadline simtime.Time) (int, error) {
 // liveNames returns "name#pid" for every live proc, in spawn order,
 // capped for readability.
 func (e *Env) liveNames() []string {
-	pids := make([]int, 0, len(e.live))
-	for id := range e.live {
-		pids = append(pids, id)
-	}
-	sort.Ints(pids)
+	procs := make([]*Proc, len(e.live))
+	copy(procs, e.live)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
 	const cap = 16
-	out := make([]string, 0, len(pids))
-	for i, id := range pids {
+	out := make([]string, 0, len(procs))
+	for i, p := range procs {
 		if i == cap {
-			out = append(out, fmt.Sprintf("… %d more", len(pids)-cap))
+			out = append(out, fmt.Sprintf("… %d more", len(procs)-cap))
 			break
 		}
-		out = append(out, fmt.Sprintf("%s#%d", e.live[id].name, id))
+		out = append(out, fmt.Sprintf("%s#%d", p.name, p.id))
 	}
 	return out
 }

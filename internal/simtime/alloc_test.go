@@ -1,0 +1,66 @@
+package simtime
+
+import "testing"
+
+// countHandler is a trivial Handler for exercising the payload path.
+type countHandler struct{ fired int }
+
+func (h *countHandler) HandleEvent(kind int, arg any) { h.fired++ }
+
+// TestAfterCallHeapSteadyStateAllocs pins the free-list contract: once a
+// queue has warmed up, scheduling and firing payload events through the
+// heap (non-zero delay) allocates nothing — every fired event is recycled
+// into the next ScheduleCall.
+func TestAfterCallHeapSteadyStateAllocs(t *testing.T) {
+	var q Queue
+	h := &countHandler{}
+	for i := 0; i < 64; i++ {
+		q.AfterCall(Duration(i+1), h, 0, nil)
+	}
+	q.Run()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		q.AfterCall(1, h, 0, nil)
+		q.AfterCall(2, h, 0, nil)
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("heap AfterCall steady state allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestAfterCallRingSteadyStateAllocs pins the same contract for the
+// at-now ring fast path (zero delay).
+func TestAfterCallRingSteadyStateAllocs(t *testing.T) {
+	var q Queue
+	h := &countHandler{}
+	for i := 0; i < 64; i++ {
+		q.AfterCall(0, h, 0, nil)
+	}
+	q.Run()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		q.AfterCall(0, h, 0, nil)
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("ring AfterCall steady state allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestFreeListReuse checks the recycling round-trip directly: a fired
+// payload event's storage is handed to the next ScheduleCall.
+func TestFreeListReuse(t *testing.T) {
+	var q Queue
+	h := &countHandler{}
+	ev := q.AfterCall(5, h, 0, nil)
+	q.Run()
+	ev2 := q.AfterCall(7, h, 1, nil)
+	if ev != ev2 {
+		t.Fatal("fired payload event was not recycled into the next ScheduleCall")
+	}
+	q.Run()
+	if h.fired != 2 {
+		t.Fatalf("fired = %d, want 2", h.fired)
+	}
+}

@@ -119,6 +119,14 @@ func New(opt Options) *Benchmark { return &Benchmark{opt: opt.withDefaults()} }
 // Name implements workload.Workload.
 func (b *Benchmark) Name() string { return "specjbb" }
 
+// Identity implements workload.Identifier. The Heap pointer is rendered
+// via the resolved collector configuration, never its address.
+func (b *Benchmark) Identity() string {
+	o := b.opt
+	o.Heap = nil
+	return fmt.Sprintf("specjbb|%+v|heap=%+v", o, b.opt.heapConfig())
+}
+
 // Options returns the resolved options.
 func (b *Benchmark) Options() Options { return b.opt }
 

@@ -164,6 +164,12 @@ func New(opt Options) *Benchmark {
 // Name implements workload.Workload.
 func (b *Benchmark) Name() string { return "omp-" + b.profile.Name }
 
+// Identity implements workload.Identifier. The profile is a fixed
+// function of opt.Benchmark, so rendering the options covers it.
+func (b *Benchmark) Identity() string {
+	return fmt.Sprintf("omp|%+v", b.opt)
+}
+
 // Options returns the resolved options.
 func (b *Benchmark) Options() Options { return b.opt }
 

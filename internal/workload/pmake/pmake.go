@@ -88,6 +88,11 @@ func New(opt Options) *Benchmark { return &Benchmark{opt: opt.withDefaults()} }
 // Name implements workload.Workload.
 func (b *Benchmark) Name() string { return "pmake" }
 
+// Identity implements workload.Identifier.
+func (b *Benchmark) Identity() string {
+	return fmt.Sprintf("pmake|%+v", b.opt)
+}
+
 // Options returns the resolved options.
 func (b *Benchmark) Options() Options { return b.opt }
 

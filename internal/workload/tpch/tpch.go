@@ -25,6 +25,7 @@ package tpch
 
 import (
 	"fmt"
+	"strconv"
 
 	"asmp/internal/cpu"
 	"asmp/internal/sim"
@@ -133,6 +134,12 @@ func New(opt Options) *Benchmark {
 
 // Name implements workload.Workload.
 func (b *Benchmark) Name() string { return "tpch" }
+
+// Identity implements workload.Identifier. The Queries slice renders by
+// value, so equal query lists (in order) compare equal.
+func (b *Benchmark) Identity() string {
+	return fmt.Sprintf("tpch|%+v", b.opt)
+}
 
 // Options returns the resolved options.
 func (b *Benchmark) Options() Options { return b.opt }
@@ -272,7 +279,11 @@ func (b *Benchmark) Run(pl *workload.Platform) workload.Result {
 			wg.Add(o.Parallelization)
 			for i := 0; i < o.Parallelization; i++ {
 				core := agentCore[i]
-				env.Go(fmt.Sprintf("db2-agent-q%d-%d", q, i), func(p *sim.Proc) {
+				// Same bytes as fmt.Sprintf("db2-agent-q%d-%d", q, i)
+				// without the boxing: agent spawn is the workload's
+				// hottest allocation site.
+				name := "db2-agent-q" + strconv.Itoa(q) + "-" + strconv.Itoa(i)
+				env.Go(name, func(p *sim.Proc) {
 					p.SetAffinity(sim.Single(core))
 					for {
 						frag, ok := frags.Get(p)
@@ -300,7 +311,12 @@ func (b *Benchmark) Run(pl *workload.Platform) workload.Result {
 		HigherIsBetter: false,
 	}
 	for q, t := range perQuery {
-		res.AddExtra(fmt.Sprintf("query_%02d_s", q), t)
+		// Same bytes as fmt.Sprintf("query_%02d_s", q): q is 1..22.
+		qs := strconv.Itoa(q)
+		if q < 10 {
+			qs = "0" + qs
+		}
+		res.AddExtra("query_"+qs+"_s", t)
 	}
 	return res
 }

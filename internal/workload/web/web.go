@@ -164,6 +164,11 @@ func (b *Benchmark) Name() string {
 	return b.opt.Server.String()
 }
 
+// Identity implements workload.Identifier.
+func (b *Benchmark) Identity() string {
+	return fmt.Sprintf("web|%+v", b.opt)
+}
+
 // Options returns the resolved options.
 func (b *Benchmark) Options() Options { return b.opt }
 

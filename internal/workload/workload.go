@@ -79,6 +79,19 @@ type Workload interface {
 	Run(pl *Platform) Result
 }
 
+// Identifier is implemented by workloads whose full parameterisation can
+// be rendered as a stable string. Two workloads with equal Identity()
+// values must be behaviourally identical: run on the same platform with
+// the same seed they produce the same event stream, metrics and digest.
+// core.Execute uses Identity to memoize repeated cells across figures;
+// workloads that do not implement it are simply never memoized.
+type Identifier interface {
+	// Identity returns a stable, collision-free rendering of the
+	// workload's name and every normalized option. It must not depend on
+	// pointer addresses, map iteration order or any per-process state.
+	Identity() string
+}
+
 // Factory builds a workload with default parameters.
 type Factory func() Workload
 

@@ -22,9 +22,14 @@ type Rand struct {
 // streams; the same seed always gives the same sequence.
 func New(seed uint64) *Rand {
 	r := &Rand{}
-	// Seed the xoshiro state with SplitMix64 as recommended by the
-	// xoshiro authors; this avoids the all-zero state and decorrelates
-	// close seeds.
+	r.seed(seed)
+	return r
+}
+
+// seed initialises the xoshiro state from seed with SplitMix64, as
+// recommended by the xoshiro authors; this avoids the all-zero state and
+// decorrelates close seeds.
+func (r *Rand) seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -33,7 +38,6 @@ func New(seed uint64) *Rand {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
 }
 
 // Split derives a child stream whose future output is independent of the
@@ -41,6 +45,13 @@ func New(seed uint64) *Rand {
 // yields distinct children.
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
+}
+
+// SplitInto seeds dst as an independent child stream — identical to
+// Split, but into caller-provided storage so hot spawn paths can batch
+// their Rand allocations.
+func (r *Rand) SplitInto(dst *Rand) {
+	dst.seed(r.Uint64())
 }
 
 // Uint64 returns the next 64 uniformly random bits.
