@@ -70,7 +70,7 @@ type RunSpec struct {
 // ran.
 func Execute(spec RunSpec) workload.Result {
 	key, memoizable := memoKeyFor(spec)
-	if memoizable {
+	if memoizable && !cancelRequested(spec.Cancel) {
 		if res, hit := memoLookup(key); hit {
 			return res
 		}
@@ -127,7 +127,7 @@ func executeOn(spec RunSpec, pl *workload.Platform) workload.Result {
 // identical errors and sweeps stay deterministic.
 func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
 	key, memoizable := memoKeyFor(spec)
-	if memoizable {
+	if memoizable && !cancelRequested(spec.Cancel) {
 		if hit, found := memoLookup(key); found {
 			return hit, nil
 		}

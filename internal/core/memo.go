@@ -27,6 +27,11 @@ import (
 //     cache — those callers want the run's side effects, not just its
 //     Result. core.VerifyDeterminism always sets a Tracer, so replay
 //     audits always re-execute.
+//   - A spec whose Cancel signal is already closed is never served from
+//     cache (see cancelRequested): it executes and deterministically
+//     fails with ErrCancelled at the first event boundary, exactly as it
+//     would have pre-cache, so cancelled sweeps stop recording cells
+//     instead of draining hits.
 //   - Only successful runs are stored, and only after teardown succeeded;
 //     failures re-execute and fail identically (they are deterministic).
 //   - Results are defensively copied on store and on hit so no caller can
@@ -72,6 +77,23 @@ func memoKeyFor(spec RunSpec) (memoKey, bool) {
 		fault:    fp,
 		limits:   spec.Limits,
 	}, true
+}
+
+// cancelRequested reports whether a cooperative cancel signal is already
+// closed, without blocking. A cancelled spec must not be served from the
+// cell cache: the pre-memoization contract is that it fails with
+// ErrCancelled at the first event boundary, so it has to execute (the
+// failure is deterministic and is never stored).
+func cancelRequested(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // memoLookup returns the cached Result for key, if present.

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 
 	"asmp/internal/cpu"
+	"asmp/internal/digest"
 	"asmp/internal/sched"
 	"asmp/internal/sim"
 	"asmp/internal/trace"
@@ -139,6 +141,36 @@ func TestMemoHitsAreIsolatedCopies(t *testing.T) {
 	third := Execute(spec)
 	if _, leaked := third.Extras["fresh"]; leaked {
 		t.Fatal("mutation of a served hit leaked back into the cache")
+	}
+}
+
+func TestMemoNeverServesCancelledSpec(t *testing.T) {
+	var execs atomic.Int64
+	spec := memoSpec("cancelled-spec", &execs)
+	Execute(spec) // warm the cache
+
+	cancel := make(chan struct{})
+	close(cancel)
+	spec.Cancel = cancel
+	if _, err := ExecuteSafe(spec); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("pre-cancelled cached cell: err = %v, want ErrCancelled", err)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2 (cancelled spec must re-execute, not drain the cache)", got)
+	}
+
+	// An open (never-closed) Cancel still allows cache hits, and the
+	// cancelled attempt above must not have poisoned the entry.
+	spec.Cancel = make(chan struct{})
+	res, err := ExecuteSafe(spec)
+	if err != nil {
+		t.Fatalf("ExecuteSafe with open Cancel: %v", err)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2 (open Cancel should still hit the cache)", got)
+	}
+	if res.Digest == digest.Digest(0) {
+		t.Fatal("cache hit carries no digest")
 	}
 }
 

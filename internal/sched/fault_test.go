@@ -259,6 +259,43 @@ func TestSetDutyReRanksAwarePolicy(t *testing.T) {
 	}
 }
 
+// TestSetDutyResortsByDuty: a throttle fault must rebuild the
+// fastest-first order balance passes drain idle cores in, and equal-duty
+// ties must break by core ID exactly as a fresh sort over the cores
+// would break them — not by whatever order a previous duty change left
+// behind.
+func TestSetDutyResortsByDuty(t *testing.T) {
+	_, s := newRig(t, 1, PolicyAsymmetryAware, 0.5, 1.0, 0.25)
+	order := func() []int {
+		ids := make([]int, len(s.byDuty))
+		for i, c := range s.byDuty {
+			ids[i] = c.core.ID
+		}
+		return ids
+	}
+	check := func(step string, want ...int) {
+		t.Helper()
+		got := order()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: byDuty order = %v, want %v", step, got, want)
+			}
+		}
+	}
+	check("initial", 1, 0, 2)
+
+	s.SetDuty(1, 0.25) // duties 0.5, 0.25, 0.25: tie 1-vs-2 breaks by ID
+	check("throttle core 1", 0, 1, 2)
+
+	s.SetDuty(2, 1.0) // duties 0.5, 0.25, 1.0
+	check("boost core 2", 2, 0, 1)
+
+	// The previous order put core 2 ahead of core 0; once they tie, a
+	// fresh sort puts core 0 first again (index-order tie-break).
+	s.SetDuty(2, 0.5) // duties 0.5, 0.25, 0.5
+	check("tie core 0 and 2", 0, 2, 1)
+}
+
 // TestFaultDeterminism: the same fault sequence under the same seed
 // yields byte-identical scheduler statistics.
 func TestFaultDeterminism(t *testing.T) {

@@ -154,7 +154,7 @@ type Scheduler struct {
 
 	lastInvariantCheck simtime.Time
 	invariantViolated  bool
-	balanceEv          *simtime.Event
+	balanceEv          simtime.Ref
 	tracer             trace.Tracer
 
 	// Machine-wide stall state (fault injection): while stalled, no core
@@ -162,10 +162,12 @@ type Scheduler struct {
 	// queues.
 	stalled      bool
 	stalledUntil simtime.Time
-	stallEv      *simtime.Event
+	stallEv      simtime.Ref
 
-	// byDuty lists the cores fastest-first; core speeds are fixed for a
-	// run, so the order is computed once in New.
+	// byDuty lists the cores fastest-first. It is computed in New and
+	// rebuilt by SetDuty whenever a throttle fault changes a core's
+	// speed, so balance passes always drain idle cores in current-speed
+	// order.
 	byDuty []*coreState
 
 	// Scratch buffers reused across balance ticks and placements so the
@@ -206,7 +208,7 @@ type coreState struct {
 	loadAvg float64
 
 	// Event for the running task: either its completion or its slice end.
-	ev         *simtime.Event
+	ev         simtime.Ref
 	runStart   simtime.Time // when the running task last started/was accounted
 	sliceStart simtime.Time // when the current timeslice began
 }
@@ -252,10 +254,18 @@ func New(env *sim.Env, machine cpu.Machine, opt Options) *Scheduler {
 	s.stats.BusySeconds = make([]float64, machine.NumCores())
 	s.stats.RetiredCycles = make([]float64, machine.NumCores())
 	s.byDuty = make([]*coreState, len(s.cores))
-	copy(s.byDuty, s.cores)
-	sort.SliceStable(s.byDuty, func(i, j int) bool { return s.byDuty[i].core.Duty > s.byDuty[j].core.Duty })
+	s.resortByDuty()
 	env.SetExecutor(s)
 	return s
+}
+
+// resortByDuty rebuilds the fastest-first core order. It always restarts
+// from index order before the stable sort, so equal-duty cores tie-break
+// by core ID regardless of what past duty changes did to the previous
+// order — the same order a fresh sort over s.cores produces.
+func (s *Scheduler) resortByDuty() {
+	copy(s.byDuty, s.cores)
+	sort.SliceStable(s.byDuty, func(i, j int) bool { return s.byDuty[i].core.Duty > s.byDuty[j].core.Duty })
 }
 
 // SetTracer attaches a tracer that will receive every scheduling event
@@ -303,6 +313,7 @@ func (s *Scheduler) SetDuty(core int, duty float64) {
 	}
 	c.core.Duty = duty
 	s.machine.Cores[core].Duty = duty
+	s.resortByDuty()
 	if c.running != nil {
 		s.scheduleCoreEvent(c)
 	}
@@ -404,7 +415,7 @@ func (s *Scheduler) Stall(d simtime.Duration) {
 	until := s.env.Now() + simtime.Time(d)
 	if s.stalled {
 		if until > s.stalledUntil {
-			s.env.CancelEvent(s.stallEv)
+			s.env.CancelCall(s.stallEv)
 			s.stalledUntil = until
 			s.stallEv = s.env.AtCall(until, s, evStall, nil)
 		}
@@ -426,10 +437,8 @@ func (s *Scheduler) Stall(d simtime.Duration) {
 		t.queuedOn = c.core.ID
 		c.runq = append([]*task{t}, c.runq...)
 	}
-	if s.balanceEv != nil {
-		s.env.CancelEvent(s.balanceEv)
-		s.balanceEv = nil
-	}
+	s.env.CancelCall(s.balanceEv)
+	s.balanceEv = simtime.Ref{}
 	s.stallEv = s.env.AtCall(until, s, evStall, nil)
 }
 
@@ -440,7 +449,7 @@ func (s *Scheduler) Stalled() bool { return s.stalled }
 func (s *Scheduler) endStall() {
 	s.observeInvariant()
 	s.stalled = false
-	s.stallEv = nil
+	s.stallEv = simtime.Ref{}
 	for _, c := range s.cores {
 		s.dispatch(c)
 	}
@@ -795,9 +804,9 @@ const (
 )
 
 // HandleEvent implements simtime.Handler. Each case clears its pending
-// handle on entry (coreEvent clears c.ev, balanceTick clears balanceEv,
-// endStall clears stallEv), which satisfies the payload contract: the
-// handle dies when the event fires.
+// Ref on entry (coreEvent clears c.ev, balanceTick clears balanceEv,
+// endStall clears stallEv); the Refs are generation-checked, so even a
+// handle that outlived its event would be inert rather than dangling.
 func (s *Scheduler) HandleEvent(kind int, arg any) {
 	switch kind {
 	case evCore:
@@ -828,10 +837,8 @@ func (s *Scheduler) scheduleCoreEvent(c *coreState) {
 }
 
 func (s *Scheduler) cancelCoreEvent(c *coreState) {
-	if c.ev != nil {
-		s.env.CancelEvent(c.ev)
-		c.ev = nil
-	}
+	s.env.CancelCall(c.ev)
+	c.ev = simtime.Ref{}
 }
 
 // accountRunning charges the running task for work done since runStart
@@ -873,7 +880,7 @@ func (s *Scheduler) coreEvent(c *coreState) {
 	// of it is torn down (load averages and the idle-invariant integral
 	// both depend on exact piecewise-constant attribution).
 	s.observeInvariant()
-	c.ev = nil
+	c.ev = simtime.Ref{}
 	s.accountRunning(c)
 	t := c.running
 	if t == nil {
@@ -1041,7 +1048,7 @@ func (s *Scheduler) migrateRunningFromSlower(c *coreState) {
 // pending. The tick self-suspends when the machine drains so that
 // simulations terminate; Compute re-arms it.
 func (s *Scheduler) armBalance() {
-	if s.balanceEv == nil {
+	if !s.balanceEv.Scheduled() {
 		s.balanceEv = s.env.AfterCall(s.opt.BalanceInterval, s, evBalance, nil)
 	}
 }
@@ -1058,7 +1065,7 @@ func (s *Scheduler) anyWork() bool {
 
 // balanceTick is the periodic load-balancing pass.
 func (s *Scheduler) balanceTick() {
-	s.balanceEv = nil
+	s.balanceEv = simtime.Ref{}
 	if s.stalled {
 		// Stall cancels the pending tick, but one already dispatched in
 		// the same instant can still land here; skip and let endStall
@@ -1126,8 +1133,8 @@ func (s *Scheduler) balanceNaive() {
 // balanceAware drains waiting work onto idle cores fastest-first and
 // keeps queue pressure proportional to core speed.
 func (s *Scheduler) balanceAware() {
-	// Fastest idle cores pull first (s.byDuty is precomputed: speeds are
-	// fixed for the run).
+	// Fastest idle cores pull first (s.byDuty tracks current speeds;
+	// SetDuty re-sorts it on throttle faults).
 	for _, c := range s.byDuty {
 		if c.idle() {
 			s.onIdle(c)

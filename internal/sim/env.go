@@ -135,20 +135,24 @@ func (e *Env) At(t simtime.Time, fn func()) *simtime.Event {
 
 // AfterCall schedules h.HandleEvent(kind, arg) to run in kernel context
 // d from now, through the queue's allocation-free payload path. The
-// returned handle is valid only while the event is pending (see
-// simtime.ScheduleCall); holders must drop it when the event fires.
-func (e *Env) AfterCall(d simtime.Duration, h simtime.Handler, kind int, arg any) *simtime.Event {
+// returned Ref is generation-checked (see simtime.ScheduleCall), so a
+// handle held past firing is inert rather than dangling.
+func (e *Env) AfterCall(d simtime.Duration, h simtime.Handler, kind int, arg any) simtime.Ref {
 	return e.queue.AfterCall(d, h, kind, arg)
 }
 
 // AtCall schedules h.HandleEvent(kind, arg) to run in kernel context at
 // time t, with AfterCall's allocation-free contract.
-func (e *Env) AtCall(t simtime.Time, h simtime.Handler, kind int, arg any) *simtime.Event {
+func (e *Env) AtCall(t simtime.Time, h simtime.Handler, kind int, arg any) simtime.Ref {
 	return e.queue.ScheduleCall(t, h, kind, arg)
 }
 
 // CancelEvent cancels a pending event scheduled with After or At.
 func (e *Env) CancelEvent(ev *simtime.Event) { e.queue.Cancel(ev) }
+
+// CancelCall cancels a pending payload event scheduled with AfterCall or
+// AtCall. A zero or stale Ref is a no-op.
+func (e *Env) CancelCall(r simtime.Ref) { e.queue.CancelRef(r) }
 
 // NumLive returns the number of procs that have been spawned and have not
 // yet exited.
@@ -173,7 +177,7 @@ func (e *Env) HandleEvent(kind int, arg any) {
 	case evWake:
 		e.resume(p)
 	case evSleep:
-		p.sleepEv = nil
+		p.sleepEv = simtime.Ref{}
 		e.resume(p)
 	default:
 		panic(fmt.Sprintf("sim: unknown event kind %d", kind))
@@ -321,10 +325,10 @@ func (e *Env) Kill(p *Proc) {
 		// it calls Exit. Nothing else to do here.
 		return
 	}
-	if p.sleepEv != nil {
-		e.queue.Cancel(p.sleepEv)
-		p.sleepEv = nil
-	}
+	// CancelRef is inert on a zero or stale Ref, so no pending-check is
+	// needed before cancelling a sleep timer that may have already fired.
+	e.queue.CancelRef(p.sleepEv)
+	p.sleepEv = simtime.Ref{}
 	if e.exec != nil {
 		e.exec.Cancel(p)
 	}

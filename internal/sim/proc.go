@@ -25,7 +25,7 @@ type Proc struct {
 	killed   bool
 	done     bool
 
-	sleepEv   *simtime.Event
+	sleepEv   simtime.Ref
 	affinity  CPUSet
 	exitHooks []func()
 
@@ -149,8 +149,9 @@ func (p *Proc) ComputeMem(cycles float64, mem simtime.Duration) {
 
 // Sleep suspends the proc for d of simulated time without consuming CPU.
 // The timer is a typed event (kind evSleep), so sleeping allocates
-// nothing; the handler clears sleepEv before the queue recycles the
-// event, keeping Kill's cancellation path safe.
+// nothing; the handle is a generation-checked Ref, so Kill's
+// cancellation path stays safe even if the timer already fired and the
+// event was recycled.
 func (p *Proc) Sleep(d simtime.Duration) {
 	p.checkContext()
 	if d < 0 {

@@ -49,18 +49,66 @@ func TestAfterCallRingSteadyStateAllocs(t *testing.T) {
 }
 
 // TestFreeListReuse checks the recycling round-trip directly: a fired
-// payload event's storage is handed to the next ScheduleCall.
+// payload event's storage is handed to the next ScheduleCall, and the
+// two Refs carry distinct generations for the shared Event.
 func TestFreeListReuse(t *testing.T) {
 	var q Queue
 	h := &countHandler{}
 	ev := q.AfterCall(5, h, 0, nil)
 	q.Run()
 	ev2 := q.AfterCall(7, h, 1, nil)
-	if ev != ev2 {
+	if ev.e != ev2.e {
 		t.Fatal("fired payload event was not recycled into the next ScheduleCall")
+	}
+	if ev.gen == ev2.gen {
+		t.Fatal("recycled event kept its generation; stale Refs would alias it")
 	}
 	q.Run()
 	if h.fired != 2 {
 		t.Fatalf("fired = %d, want 2", h.fired)
+	}
+}
+
+// TestStaleRefInert pins the generation check: a Ref held past firing
+// must not observe or cancel the unrelated pending event that recycled
+// its storage.
+func TestStaleRefInert(t *testing.T) {
+	var q Queue
+	h := &countHandler{}
+	stale := q.AfterCall(5, h, 0, nil)
+	q.Run()
+	fresh := q.AfterCall(7, h, 1, nil)
+	if fresh.e != stale.e {
+		t.Fatal("test setup: storage was not recycled")
+	}
+	if stale.Scheduled() {
+		t.Error("stale Ref reports the aliased event as scheduled")
+	}
+	if q.CancelRef(stale) {
+		t.Error("stale Ref cancelled the aliased event")
+	}
+	if !fresh.Scheduled() {
+		t.Error("fresh event no longer pending after stale-Ref operations")
+	}
+	q.Run()
+	if h.fired != 2 {
+		t.Fatalf("fired = %d, want 2 (the fresh event must still fire)", h.fired)
+	}
+
+	// A zero Ref is equally inert.
+	if (Ref{}).Scheduled() {
+		t.Error("zero Ref reports scheduled")
+	}
+	if q.CancelRef(Ref{}) {
+		t.Error("zero Ref cancelled something")
+	}
+
+	// A live Ref still cancels its own event exactly once.
+	live := q.AfterCall(3, h, 0, nil)
+	if !q.CancelRef(live) {
+		t.Error("live Ref failed to cancel its pending event")
+	}
+	if q.CancelRef(live) {
+		t.Error("double CancelRef reported a pending event")
 	}
 }

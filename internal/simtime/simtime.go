@@ -83,9 +83,8 @@ const (
 // Event is a callback scheduled to fire at a specific simulated time.
 // It carries either a closure (Schedule/After) or a handler plus
 // payload (ScheduleCall/AfterCall); the latter form is recycled through
-// the queue's free-list, so its *Event handle is valid only while the
-// event is pending — drop the handle once the event fires or is
-// cancelled.
+// the queue's free-list and is therefore handed out as a
+// generation-checked Ref rather than a bare pointer.
 type Event struct {
 	at  Time
 	seq uint64
@@ -95,8 +94,9 @@ type Event struct {
 	kind int
 	arg  any
 
-	where   int  // heap index, or a where* sentinel
-	recycle bool // payload events return to the free-list
+	where   int    // heap index, or a where* sentinel
+	recycle bool   // payload events return to the free-list
+	gen     uint64 // bumped by alloc; stale Refs carry an older value
 }
 
 // At returns the time the event is scheduled to fire.
@@ -104,6 +104,22 @@ func (e *Event) At() Time { return e.at }
 
 // Scheduled reports whether the event is still pending in a queue.
 func (e *Event) Scheduled() bool { return e.where >= 0 || e.where == whereRing }
+
+// Ref is a generation-checked handle to a payload event scheduled with
+// ScheduleCall/AfterCall. Payload events recycle through the queue's
+// free-list, so a bare *Event held past firing could alias a completely
+// unrelated pending event; a Ref additionally captures the event's
+// generation at scheduling time, and CancelRef/Scheduled on a stale Ref
+// are inert no-ops (one uint64 compare, no allocation). The zero Ref
+// refers to nothing.
+type Ref struct {
+	e   *Event
+	gen uint64
+}
+
+// Scheduled reports whether the referenced event is still pending.
+// A zero or stale Ref reports false.
+func (r Ref) Scheduled() bool { return r.e != nil && r.e.gen == r.gen && r.e.Scheduled() }
 
 // Queue is a time-ordered event queue. Events at equal times fire in the
 // order they were scheduled (FIFO), which keeps simulations deterministic.
@@ -156,6 +172,7 @@ func (q *Queue) alloc(at Time) *Event {
 	e.at = at
 	e.seq = q.seq
 	e.where = whereNone
+	e.gen++
 	return e
 }
 
@@ -204,10 +221,10 @@ func (q *Queue) After(d Duration, fn func()) *Event {
 // ScheduleCall enqueues h.HandleEvent(kind, arg) to run at time at.
 // Unlike Schedule it allocates nothing in steady state: the Event comes
 // from the queue's free-list and returns to it when the event fires or
-// is cancelled. The returned handle is therefore only valid while the
-// event is pending; holders must drop it once the event fires (the
-// handler runs exactly then, so it can clear the stored handle itself).
-func (q *Queue) ScheduleCall(at Time, h Handler, kind int, arg any) *Event {
+// is cancelled. The returned Ref is generation-checked, so holding it
+// past firing is harmless — CancelRef and Scheduled on a Ref whose event
+// has since fired (or been recycled into a new event) do nothing.
+func (q *Queue) ScheduleCall(at Time, h Handler, kind int, arg any) Ref {
 	if h == nil {
 		panic("simtime: nil event handler")
 	}
@@ -217,19 +234,30 @@ func (q *Queue) ScheduleCall(at Time, h Handler, kind int, arg any) *Event {
 	e.arg = arg
 	e.recycle = true
 	q.insert(e)
-	return e
+	return Ref{e: e, gen: e.gen}
 }
 
 // AfterCall enqueues h.HandleEvent(kind, arg) to run d seconds from the
 // current time, with ScheduleCall's allocation-free contract.
-func (q *Queue) AfterCall(d Duration, h Handler, kind int, arg any) *Event {
+func (q *Queue) AfterCall(d Duration, h Handler, kind int, arg any) Ref {
 	return q.ScheduleCall(q.now+d, h, kind, arg)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired
-// or was already cancelled is a no-op for closure events; for payload
-// events the handle is invalid after firing (see ScheduleCall). It
-// returns whether the event was pending.
+// CancelRef removes the pending payload event r refers to. A zero Ref,
+// or one whose event already fired, was already cancelled, or has been
+// recycled into a different event, is an inert no-op. It returns whether
+// the event was pending.
+func (q *Queue) CancelRef(r Ref) bool {
+	if r.e == nil || r.e.gen != r.gen {
+		return false
+	}
+	return q.Cancel(r.e)
+}
+
+// Cancel removes a pending closure event (Schedule/After). Cancelling an
+// event that already fired or was already cancelled is a no-op. Payload
+// events are cancelled through their Ref (see CancelRef). It returns
+// whether the event was pending.
 func (q *Queue) Cancel(e *Event) bool {
 	if e == nil {
 		return false
