@@ -6,13 +6,14 @@
 #
 #   make lint         # determinism lint suite only (cmd/asmp-lint)
 #   make test-race    # full test suite under the race detector
+#   make test-crash   # crash-consistency matrix, every byte-prefix (DESIGN.md §9)
 #   make bench        # one pass over every figure/ablation benchmark
 #   make bench-hot    # the engine hot-path benchmarks (see BENCH_4.json)
 #   make golden       # regenerate the committed seed-1 artifacts
 
 GO ?= go
 
-.PHONY: check vet lint test test-race bench bench-hot golden
+.PHONY: check vet lint test test-race test-crash bench bench-hot golden
 
 check: vet lint test
 
@@ -32,6 +33,15 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# The full crash-consistency matrix: every byte-prefix of a reference
+# sweep journal must resume byte-identically or be refused with a typed
+# error (DESIGN.md §9). The regular suite runs the same property over a
+# sampled matrix; ASMP_CRASH_FULL makes it walk every byte. Set
+# ASMP_CRASH_ARTIFACT_DIR to keep the failing journal prefix when the
+# property breaks.
+test-crash:
+	ASMP_CRASH_FULL=1 $(GO) test -v -run 'TestCrashMatrix|TestInjectedResume|TestTornNewline' ./internal/core ./internal/journal
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem .

@@ -175,6 +175,18 @@ func ResumeJournal(path string) (*JournalLog, *Journal, error) { return journal.
 // ReadJournal parses a journal without opening it for appending.
 func ReadJournal(path string) (*JournalLog, error) { return journal.Read(path) }
 
+// JournalDamagedError reports a journal corrupted somewhere other than
+// its torn tail; test with errors.As. Together with ResumeRefusedError
+// it closes the crash-consistency contract (DESIGN.md §9): resuming any
+// journal prefix either reproduces the uninterrupted sweep's outcome
+// byte-identically or fails with one of these two types.
+type JournalDamagedError = journal.DamagedError
+
+// ResumeRefusedError reports a journal that is intact but cannot be
+// trusted to extend a sweep (missing header, wrong identity, impossible
+// cells); test with errors.As.
+type ResumeRefusedError = core.ResumeRefusedError
+
 // FigureInfo describes one regenerable figure or table of the paper.
 type FigureInfo struct {
 	// ID is the paper's label ("1a" .. "10", "table1", "micro").

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"asmp/internal/faultio"
 	"asmp/internal/figures"
 	"asmp/internal/journal"
 	"asmp/internal/profiling"
@@ -63,6 +64,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 // SIGINT handler, or by tests). Cancellation is honoured at figure
 // granularity: the figure in flight completes, later ones are skipped.
 func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (code int) {
+	// -crashat N is a hidden flag (absent from -h): it tears the
+	// journal's write stream at byte N through an injected fault sink,
+	// for end-to-end crash-matrix exercise (DESIGN.md §9).
+	args, crashAt, crashSet, cerr := faultio.ExtractCrashAt(args)
+	if cerr != nil {
+		fmt.Fprintln(stderr, "asmp-run:", cerr)
+		return 2
+	}
 	fs := flag.NewFlagSet("asmp-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -88,6 +97,14 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 	if *resume && *journalP == "" {
 		fmt.Fprintln(stderr, "asmp-run: -resume requires -journal")
 		return 2
+	}
+	var wrap journal.WrapSink
+	if crashSet {
+		if *journalP == "" {
+			fmt.Fprintln(stderr, "asmp-run: -crashat requires -journal")
+			return 2
+		}
+		wrap = faultio.Plan{Tear: true, TearAt: crashAt, Seed: *seed}.Wrap()
 	}
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
@@ -138,7 +155,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 	if *journalP != "" {
 		var err error
 		if *resume {
-			jlog, jw, err = journal.Resume(*journalP)
+			jlog, jw, err = journal.ResumeVia(*journalP, wrap)
 			if err == nil {
 				if jlog.Dropped > 0 {
 					fmt.Fprintf(stderr, "asmp-run: journal had a corrupt tail (%d line(s), the interrupted write); truncated\n", jlog.Dropped)
@@ -146,7 +163,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 				err = validateHeader(jlog, *seed, *quick)
 			}
 		} else {
-			jw, err = journal.Create(*journalP)
+			jw, err = journal.CreateVia(*journalP, wrap)
 			if err == nil {
 				err = jw.WriteHeader(journal.Header{Tool: "asmp-run", BaseSeed: *seed, Quick: *quick})
 			}

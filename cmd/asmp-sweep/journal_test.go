@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -161,6 +162,83 @@ func TestCancelledSweepResumesByteIdentical(t *testing.T) {
 	}
 	if got != want {
 		t.Errorf("resumed report differs from uninterrupted sweep:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestCrashAtFlag drives the end-to-end crash path: a sweep whose
+// journal is torn at a byte offset by the hidden -crashat flag still
+// reports correctly, warns on stderr, and the torn journal resumes to
+// a byte-identical report.
+func TestCrashAtFlag(t *testing.T) {
+	dir := t.TempDir()
+	j := filepath.Join(dir, "run.jsonl")
+	code, want, _ := runCmd(sweepArgs()...)
+	if code != 0 {
+		t.Fatalf("reference sweep exit = %d", code)
+	}
+
+	// Size a complete journal first, then tear two thirds in — past the
+	// header and at least one cell, so the resume has both carried and
+	// re-executed work.
+	ref := filepath.Join(dir, "ref.jsonl")
+	if code, _, errOut := runCmd(sweepArgs("-journal", ref)...); code != 0 {
+		t.Fatalf("journaled sweep exit = %d: %s", code, errOut)
+	}
+	fi, err := os.Stat(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tear := fi.Size() * 2 / 3
+	tearArg := fmt.Sprintf("%d", tear)
+
+	code, got, errOut := runCmd(sweepArgs("-journal", j, "-crashat", tearArg)...)
+	if code != 0 {
+		t.Fatalf("torn sweep exit = %d: %s", code, errOut)
+	}
+	if got != want {
+		t.Errorf("journal tear changed the sweep report:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if !strings.Contains(errOut, "journal incomplete") ||
+		!strings.Contains(errOut, "injected crash: journal torn at byte "+tearArg) {
+		t.Errorf("stderr does not report the injected tear:\n%s", errOut)
+	}
+	if fi, err := os.Stat(j); err != nil {
+		t.Fatal(err)
+	} else if fi.Size() > tear {
+		t.Errorf("torn journal is %d bytes, want at most %d", fi.Size(), tear)
+	}
+
+	// The torn journal satisfies the crash contract: resume reproduces
+	// the reference report exactly.
+	code, resumed, errOut := runCmd(sweepArgs("-journal", j, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume of torn journal exit = %d: %s", code, errOut)
+	}
+	if resumed != want {
+		t.Errorf("resume of torn journal differs:\n--- want ---\n%s--- got ---\n%s", want, resumed)
+	}
+}
+
+func TestCrashAtRequiresJournal(t *testing.T) {
+	code, _, errOut := runCmd(sweepArgs("-crashat", "10")...)
+	if code != 2 || !strings.Contains(errOut, "-crashat requires -journal") {
+		t.Errorf("exit = %d, stderr = %s", code, errOut)
+	}
+	if code, _, errOut := runCmd(sweepArgs("-crashat", "-4")...); code != 2 ||
+		!strings.Contains(errOut, "non-negative") {
+		t.Errorf("negative offset: exit = %d, stderr = %s", code, errOut)
+	}
+}
+
+// TestCrashAtHidden: the flag is for the crash matrix, not for users —
+// it must not appear in -h output.
+func TestCrashAtHidden(t *testing.T) {
+	code, _, errOut := runCmd("-h")
+	if code != 2 {
+		t.Fatalf("-h exit = %d, want 2", code)
+	}
+	if strings.Contains(errOut, "crashat") {
+		t.Errorf("-crashat leaked into usage:\n%s", errOut)
 	}
 }
 

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +35,7 @@ import (
 	"asmp/internal/core"
 	"asmp/internal/cpu"
 	"asmp/internal/fault"
+	"asmp/internal/faultio"
 	"asmp/internal/journal"
 	"asmp/internal/profiling"
 	"asmp/internal/report"
@@ -77,6 +79,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runWith is run with an explicit cancel signal (closed by main's
 // SIGINT handler, or by tests).
 func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (code int) {
+	// -crashat N is a hidden flag (absent from -h): it tears the
+	// journal's write stream at byte N through an injected fault sink,
+	// leaving exactly the file a crash at that byte would leave. It
+	// exists so the crash-consistency matrix (DESIGN.md §9) can be
+	// exercised end to end against the real CLI.
+	args, crashAt, crashSet, cerr := faultio.ExtractCrashAt(args)
+	if cerr != nil {
+		fmt.Fprintln(stderr, "asmp-sweep:", cerr)
+		return 2
+	}
 	fs := flag.NewFlagSet("asmp-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -203,6 +215,14 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		fmt.Fprintln(stderr, "asmp-sweep: -resume requires -journal")
 		return 2
 	}
+	var wrap journal.WrapSink
+	if crashSet {
+		if *journalP == "" {
+			fmt.Fprintln(stderr, "asmp-sweep: -crashat requires -journal")
+			return 2
+		}
+		wrap = faultio.Plan{Tear: true, TearAt: crashAt, Seed: *seed}.Wrap()
+	}
 	if *verify > 0 && (*journalP != "" || *resume) {
 		fmt.Fprintln(stderr, "asmp-sweep: -verify is an audit, not a sweep; it does not combine with -journal/-resume")
 		return 2
@@ -229,7 +249,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 	var jw *journal.Writer
 	switch {
 	case *journalP != "" && *resume:
-		log, w2, err := journal.Resume(*journalP)
+		log, w2, err := journal.ResumeVia(*journalP, wrap)
 		if err != nil {
 			fmt.Fprintln(stderr, "asmp-sweep:", err)
 			return 2
@@ -249,7 +269,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		}
 	case *journalP != "":
 		var err error
-		jw, err = journal.Create(*journalP)
+		jw, err = journal.CreateVia(*journalP, wrap)
 		if err != nil {
 			fmt.Fprintln(stderr, "asmp-sweep:", err)
 			return 2
@@ -261,6 +281,9 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 	}
 	if out.JournalErr != nil {
 		fmt.Fprintf(stderr, "asmp-sweep: journal incomplete (do not resume from it): %v\n", out.JournalErr)
+		if errors.Is(out.JournalErr, faultio.ErrInjected) {
+			fmt.Fprintf(stderr, "asmp-sweep: injected crash: journal torn at byte %d\n", crashAt)
+		}
 	}
 	if jw != nil {
 		if err := jw.Close(); err != nil && out.JournalErr == nil {

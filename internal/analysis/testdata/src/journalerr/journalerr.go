@@ -41,3 +41,25 @@ func suppressedClose(w *journal.Writer) {
 func inspect(w *journal.Writer) string {
 	return w.Path()
 }
+
+// Calls through the Sink seam are journal calls too: the interface
+// methods are declared in internal/journal, so the analyzer must flag
+// discarded errors regardless of which implementation sits behind it.
+func sinkDrops(s journal.Sink, p []byte) {
+	s.Sync()            // want journalerr "journal.Sync discarded"
+	s.Truncate(0)       // want journalerr "journal.Truncate discarded"
+	defer s.Close()     // want journalerr "journal.Close discarded by defer"
+	n, _ := s.Write(p)  // want journalerr "journal.Write assigned to _"
+	_, _ = s.Seek(0, 0) // want journalerr "journal.Seek assigned to _"
+	_ = n
+}
+
+func sinkChecked(s journal.Sink, p []byte) error {
+	if _, err := s.Write(p); err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return s.Close()
+}

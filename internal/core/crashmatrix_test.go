@@ -1,0 +1,407 @@
+// Crash-matrix property test: the headline guarantee of DESIGN.md §9.
+//
+// For a recorded reference sweep, *every* byte-prefix of its journal —
+// every point a crash could have cut the file — must resume to an
+// Outcome byte-identical to the uninterrupted sweep (cell digests and
+// the rendered report both), or be refused with a typed error
+// (*journal.DamagedError or *core.ResumeRefusedError). There is no
+// third outcome: never a silently different result, never an untyped
+// failure.
+//
+// The test lives in package core_test because it renders reports
+// through internal/report, which itself imports internal/core.
+//
+// By default the matrix is sampled: every line boundary ±1 byte (where
+// the interesting transitions live) plus a stride over the interior.
+// With ASMP_CRASH_FULL set (make test-crash, CI's crash job) it walks
+// every byte. A failing prefix is written to $ASMP_CRASH_ARTIFACT_DIR
+// when set, so CI uploads the exact counterexample.
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/faultio"
+	"asmp/internal/journal"
+	"asmp/internal/report"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+)
+
+// matrixProbe is a fast deterministic workload for the crash matrix.
+// It implements workload.Identifier so re-executed cells hit the memo
+// cache — that is what makes walking every byte of the journal cheap.
+type matrixProbe struct{}
+
+func (matrixProbe) Name() string     { return "crash-matrix-probe" }
+func (matrixProbe) Identity() string { return "crash-matrix-probe/v1" }
+
+func (matrixProbe) Run(pl *workload.Platform) workload.Result {
+	pl.Env.Go("probe", func(p *sim.Proc) { p.Compute(1e5) })
+	pl.Env.Run()
+	v := pl.Config.ComputePower() * (1 + 0.01*(pl.Env.Rand().Float64()-0.5))
+	return workload.Result{
+		Metric:         "throughput",
+		Value:          v,
+		HigherIsBetter: true,
+		Extras:         map[string]float64{"power": pl.Config.ComputePower()},
+	}
+}
+
+var _ workload.Identifier = matrixProbe{}
+
+// matrixExperiment is the reference sweep: 3 configs × 3 runs.
+func matrixExperiment() core.Experiment {
+	return core.Experiment{
+		Name:     "crash matrix",
+		Workload: matrixProbe{},
+		Configs: []cpu.Config{
+			cpu.MustParseConfig("4f-0s/4"),
+			cpu.MustParseConfig("2f-2s/8"),
+			cpu.MustParseConfig("0f-4s/8"),
+		},
+		Runs:     3,
+		BaseSeed: 11,
+	}
+}
+
+// renderOutcome is the byte-exact form the property compares: every
+// cell digest plus the humanly rendered report table.
+func renderOutcome(o *core.Outcome) string {
+	s := report.OutcomeTable(o).String()
+	for _, cr := range o.PerConfig {
+		for r := range cr.Results {
+			s += fmt.Sprintf("%s/%d %s\n", cr.Config, r, cr.Results[r].Digest)
+		}
+	}
+	return s
+}
+
+// saveArtifact copies a failing journal into ASMP_CRASH_ARTIFACT_DIR
+// (when set) so CI can upload the counterexample.
+func saveArtifact(t *testing.T, data []byte, name string) {
+	t.Helper()
+	dir := os.Getenv("ASMP_CRASH_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Logf("artifact write: %v", err)
+		return
+	}
+	t.Logf("failing journal saved to %s", p)
+}
+
+// checkTwoOutcome asserts the crash-consistency contract for one
+// journal file: resume either reproduces wantRender exactly, or fails
+// with one of the two typed refusals. Returns true when the journal
+// resumed successfully.
+func checkTwoOutcome(t *testing.T, path, label, wantRender string) bool {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		if data, rerr := os.ReadFile(path); rerr == nil {
+			saveArtifact(t, data, label+".jsonl")
+		}
+		t.Errorf("[%s] "+format, append([]any{label}, args...)...)
+	}
+
+	log, w, err := journal.Resume(path)
+	if err != nil {
+		var de *journal.DamagedError
+		if !errors.As(err, &de) {
+			fail("journal.Resume: untyped refusal %T: %v", err, err)
+		}
+		return false
+	}
+	exp := matrixExperiment()
+	exp.Journal = w
+	out, err := exp.Resume(log)
+	if err != nil {
+		if cerr := w.Close(); cerr != nil {
+			fail("close after refusal: %v", cerr)
+		}
+		var rr *core.ResumeRefusedError
+		if !errors.As(err, &rr) {
+			fail("Experiment.Resume: untyped refusal %T: %v", err, err)
+		}
+		return false
+	}
+	if err := w.Close(); err != nil {
+		fail("journal close after resume: %v", err)
+		return true
+	}
+	if out.JournalErr != nil {
+		fail("JournalErr = %v on an uninjected resume", out.JournalErr)
+	}
+	if got := renderOutcome(out); got != wantRender {
+		fail("resumed outcome differs from the uninterrupted sweep:\n--- got ---\n%s--- want ---\n%s", got, wantRender)
+		return true
+	}
+	// The resume completed the journal: it must now read back clean and
+	// replay to the identical outcome with nothing re-executed.
+	log2, err := journal.Read(path)
+	if err != nil {
+		fail("completed journal unreadable: %v", err)
+		return true
+	}
+	if log2.Dropped != 0 {
+		fail("completed journal dropped %d line(s)", log2.Dropped)
+	}
+	out2, err := matrixExperiment().Resume(log2)
+	if err != nil {
+		fail("second resume refused: %v", err)
+		return true
+	}
+	if got := renderOutcome(out2); got != wantRender {
+		fail("second resume differs from the uninterrupted sweep")
+	}
+	return true
+}
+
+// referenceJournal runs the reference sweep once, journaled, and
+// returns the journal bytes plus the rendered reference outcome.
+func referenceJournal(t *testing.T) ([]byte, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ref.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := matrixExperiment()
+	exp.Journal = w
+	out := exp.Run()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.JournalErr != nil {
+		t.Fatalf("reference sweep JournalErr = %v", out.JournalErr)
+	}
+	if errs := out.Errors(); len(errs) != 0 {
+		t.Fatalf("reference sweep failed: %v", errs)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, renderOutcome(out)
+}
+
+// fullMatrix reports whether to walk every byte (make test-crash) or
+// the sampled matrix (the regular suite).
+func fullMatrix() bool {
+	return os.Getenv("ASMP_CRASH_FULL") != "" && !testing.Short()
+}
+
+// prefixOffsets picks which byte-prefixes to test: every byte in full
+// mode; otherwise, every line boundary ±1 plus a stride over the
+// interior (the boundaries are where validLen accounting can go wrong).
+func prefixOffsets(raw []byte, sampled bool) []int {
+	n := len(raw)
+	if !sampled {
+		offs := make([]int, 0, n+1)
+		for i := 0; i <= n; i++ {
+			offs = append(offs, i)
+		}
+		return offs
+	}
+	pick := make(map[int]bool, 64)
+	add := func(i int) {
+		if i >= 0 && i <= n {
+			pick[i] = true
+		}
+	}
+	add(0)
+	add(n)
+	for i, b := range raw {
+		if b == '\n' {
+			add(i)     // torn newline: record complete, terminator missing
+			add(i + 1) // clean boundary
+			add(i + 2) // one byte into the next record
+		}
+	}
+	for i := 0; i <= n; i += 37 {
+		add(i)
+	}
+	offs := make([]int, 0, len(pick))
+	for i := 0; i <= n; i++ {
+		if pick[i] {
+			offs = append(offs, i)
+		}
+	}
+	return offs
+}
+
+// TestCrashMatrixEveryPrefix is the headline property: every
+// byte-prefix of the reference journal either resumes byte-identically
+// or is refused with a typed error.
+func TestCrashMatrixEveryPrefix(t *testing.T) {
+	raw, want := referenceJournal(t)
+	offs := prefixOffsets(raw, !fullMatrix())
+	t.Logf("journal is %d bytes; testing %d prefixes", len(raw), len(offs))
+
+	dir := t.TempDir()
+	resumed, refused := 0, 0
+	for _, n := range offs {
+		path := filepath.Join(dir, fmt.Sprintf("prefix-%04d.jsonl", n))
+		if err := os.WriteFile(path, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if checkTwoOutcome(t, path, fmt.Sprintf("prefix-%04d", n), want) {
+			resumed++
+		} else {
+			refused++
+		}
+		if t.Failed() {
+			t.Fatalf("contract broken at prefix %d (of %d bytes)", n, len(raw))
+		}
+	}
+	t.Logf("%d prefixes resumed identically, %d refused with typed errors", resumed, refused)
+	// The matrix must not be vacuous: short prefixes (no header) refuse,
+	// long ones resume.
+	if resumed == 0 || refused == 0 {
+		t.Errorf("degenerate matrix: %d resumed, %d refused — expected both outcomes to occur", resumed, refused)
+	}
+}
+
+// TestCrashMatrixInjectedTears drives the same property through the
+// writer side: the sweep itself runs against a torn sink (the asmp-sweep
+// -crashat path), the journal dies mid-write, and whatever reached disk
+// must satisfy the two-outcome contract.
+func TestCrashMatrixInjectedTears(t *testing.T) {
+	raw, want := referenceJournal(t)
+	n := len(raw)
+	stride := 101
+	if fullMatrix() {
+		stride = 13
+	}
+	var tears []int64
+	for i := 0; i < n; i += stride {
+		tears = append(tears, int64(i))
+	}
+	tears = append(tears, int64(n-1))
+
+	dir := t.TempDir()
+	for _, at := range tears {
+		label := fmt.Sprintf("tear-%04d", at)
+		path := filepath.Join(dir, label+".jsonl")
+		w, err := journal.CreateVia(path, faultio.Plan{Tear: true, TearAt: at, Seed: 1}.Wrap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := matrixExperiment()
+		exp.Journal = w
+		out := exp.Run()
+		if cerr := w.Close(); cerr != nil && !errors.Is(cerr, faultio.ErrInjected) {
+			t.Fatalf("[%s] close: %v", label, cerr)
+		}
+		// A tear inside the stream must surface on the outcome, typed, and
+		// must never fail the sweep itself.
+		if out.JournalErr == nil {
+			t.Fatalf("[%s] sweep did not surface the injected tear", label)
+		}
+		if !errors.Is(out.JournalErr, faultio.ErrInjected) {
+			t.Fatalf("[%s] JournalErr = %v, want ErrInjected", label, out.JournalErr)
+		}
+		if errs := out.Errors(); len(errs) != 0 {
+			t.Fatalf("[%s] journal tear leaked into run errors: %v", label, errs)
+		}
+		if got := renderOutcome(out); got != want {
+			t.Fatalf("[%s] torn journal changed the sweep outcome", label)
+		}
+		checkTwoOutcome(t, path, label, want)
+		if t.Failed() {
+			t.Fatalf("contract broken at tear %d", at)
+		}
+	}
+}
+
+// TestCrashMatrixFailingControlCalls: sync and truncate failures during
+// the sweep (or its resume) also end in the two-outcome contract.
+func TestCrashMatrixFailingControlCalls(t *testing.T) {
+	_, want := referenceJournal(t)
+	plans := []faultio.Plan{
+		{FailSyncAt: 1, Seed: 1},
+		{FailSyncAt: 3, Seed: 1},
+		{FailTruncateAt: 1, Seed: 1},
+		{ShortWrites: 0.3, Seed: 5},
+	}
+	dir := t.TempDir()
+	for i, p := range plans {
+		label := fmt.Sprintf("plan-%d", i)
+		path := filepath.Join(dir, label+".jsonl")
+		w, err := journal.CreateVia(path, p.Wrap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := matrixExperiment()
+		exp.Journal = w
+		out := exp.Run()
+		if cerr := w.Close(); cerr != nil && !errors.Is(cerr, faultio.ErrInjected) {
+			t.Fatalf("[%s] close: %v", label, cerr)
+		}
+		if got := renderOutcome(out); got != want {
+			t.Fatalf("[%s] injected journal faults changed the sweep outcome", label)
+		}
+		checkTwoOutcome(t, path, label, want)
+		if t.Failed() {
+			t.Fatalf("contract broken for plan %+v", p)
+		}
+	}
+}
+
+// TestInjectedResumeFaultIsDeterministic: the same plan applied to the
+// same resume fails at the same point with the same error text — a
+// crash-matrix counterexample is a (plan, seed) pair, never a flake.
+func TestInjectedResumeFaultIsDeterministic(t *testing.T) {
+	raw, _ := referenceJournal(t)
+	// One fixed path for every replay: the error text embeds it, and the
+	// determinism claim is exact equality.
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	run := func() string {
+		// Cut mid-journal so the resume has real work to append.
+		if err := os.WriteFile(path, raw[:2*len(raw)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The sink counts bytes written through *it*: the tear offset is
+		// relative to the resume's own appends, not the file offset.
+		plan := faultio.Plan{Tear: true, TearAt: 40, Seed: 9}
+		log, w, err := journal.ResumeVia(path, plan.Wrap())
+		if err != nil {
+			return "resume: " + err.Error()
+		}
+		exp := matrixExperiment()
+		exp.Journal = w
+		out, err := exp.Resume(log)
+		if cerr := w.Close(); cerr != nil && !errors.Is(cerr, faultio.ErrInjected) {
+			t.Fatalf("close: %v", cerr)
+		}
+		if err != nil {
+			return "exp: " + err.Error()
+		}
+		if out.JournalErr == nil {
+			return "no journal error"
+		}
+		return out.JournalErr.Error()
+	}
+	first := run()
+	for i := 0; i < 2; i++ {
+		if got := run(); got != first {
+			t.Fatalf("replay %d diverged:\n%q\n%q", i+1, got, first)
+		}
+	}
+	if first == "no journal error" {
+		t.Fatalf("injected tear never fired (journal shorter than expected?)")
+	}
+}

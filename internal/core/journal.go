@@ -52,11 +52,35 @@ func journalCell(cl cellKey, cfg cpu.Config, base uint64, attempt int, res workl
 		return c
 	}
 	c.Metric = res.Metric
-	c.Value = res.Value
+	c.Value = journal.Float(res.Value)
 	c.Higher = res.HigherIsBetter
-	c.Extras = res.Extras
+	// MakeExtras copies: the journal record must never alias the
+	// caller's (and possibly the memo cache's) Extras map.
+	c.Extras = journal.MakeExtras(res.Extras)
 	c.Digest = res.Digest.String()
 	return c
+}
+
+// ResumeRefusedError is the typed refusal Experiment.Resume returns
+// when a journal cannot be trusted to extend this sweep: wrong
+// identity (workload, policy, configs, seeds), a missing header, or
+// records the sweep could not have produced. Together with
+// journal.DamagedError it closes the crash-consistency contract
+// (DESIGN.md §9): a resume either reproduces the uninterrupted sweep's
+// Outcome byte-identically or fails with one of these two types —
+// never a silently different result.
+type ResumeRefusedError struct {
+	// Path is the journal file.
+	Path string
+	// Msg is the complete message (Error returns it verbatim).
+	Msg string
+}
+
+func (e *ResumeRefusedError) Error() string { return e.Msg }
+
+// refuse builds a ResumeRefusedError for a journal.
+func refuse(path, format string, args ...any) error {
+	return &ResumeRefusedError{Path: path, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Resume completes the sweep recorded in log: cells the journal holds a
@@ -81,20 +105,28 @@ func (e Experiment) Resume(log *journal.Log) (*Outcome, error) {
 	seeded := make(map[cellKey]workload.Result, len(log.Cells))
 	for i := range log.Cells {
 		c := &log.Cells[i]
+		key := cellKey{c.Cfg, c.Run}
 		if c.Err != "" {
-			continue // failed cell: re-execute
+			// Last record wins, exactly as Log.Cell documents: a failure
+			// that supersedes an earlier success evicts it, so the cell
+			// re-executes instead of resurrecting the stale result.
+			delete(seeded, key)
+			continue
 		}
 		d, err := digest.Parse(c.Digest)
 		if err != nil {
-			return nil, fmt.Errorf("core: journal %s: cell (%d,%d) has bad digest %q: %w",
+			return nil, refuse(log.Path, "core: journal %s: cell (%d,%d) has bad digest %q: %v",
 				log.Path, c.Cfg, c.Run, c.Digest, err)
 		}
-		seeded[cellKey{c.Cfg, c.Run}] = workload.Result{
+		seeded[key] = workload.Result{
 			Metric:         c.Metric,
-			Value:          c.Value,
+			Value:          float64(c.Value),
 			HigherIsBetter: c.Higher,
-			Extras:         c.Extras,
-			Digest:         d,
+			// Floats copies: a caller mutating the Outcome's extras must
+			// never reach the parsed Log, nor vice versa — the same
+			// defensive-copy discipline as core.cloneResult.
+			Extras: c.Extras.Floats(),
+			Digest: d,
 		}
 	}
 	return e.run(seeded, false), nil
@@ -105,10 +137,10 @@ func (e Experiment) Resume(log *journal.Log) (*Outcome, error) {
 func (e Experiment) validateJournal(log *journal.Log, configs []cpu.Config, runs int, base uint64) error {
 	h := log.Header
 	if h == nil {
-		return fmt.Errorf("core: journal %s has no header; cannot verify it belongs to this sweep", log.Path)
+		return refuse(log.Path, "core: journal %s has no header; cannot verify it belongs to this sweep", log.Path)
 	}
 	mismatch := func(field, got, want string) error {
-		return fmt.Errorf("core: journal %s records a different sweep: %s is %s, this sweep has %s",
+		return refuse(log.Path, "core: journal %s records a different sweep: %s is %s, this sweep has %s",
 			log.Path, field, got, want)
 	}
 	if h.Workload != e.Workload.Name() {
@@ -141,15 +173,15 @@ func (e Experiment) validateJournal(log *journal.Log, configs []cpu.Config, runs
 	for i := range log.Cells {
 		c := &log.Cells[i]
 		if c.Cfg < 0 || c.Cfg >= len(configs) || c.Run < 0 || c.Run >= runs {
-			return fmt.Errorf("core: journal %s: cell (%d,%d) outside the %d×%d sweep",
+			return refuse(log.Path, "core: journal %s: cell (%d,%d) outside the %d×%d sweep",
 				log.Path, c.Cfg, c.Run, len(configs), runs)
 		}
 		if c.Config != configs[c.Cfg].String() {
-			return fmt.Errorf("core: journal %s: cell (%d,%d) records config %s, sweep has %s",
+			return refuse(log.Path, "core: journal %s: cell (%d,%d) records config %s, sweep has %s",
 				log.Path, c.Cfg, c.Run, c.Config, configs[c.Cfg])
 		}
 		if want := RetrySeed(base, c.Cfg, c.Run, c.Attempt); c.Seed != want {
-			return fmt.Errorf("core: journal %s: cell (%d,%d) attempt %d used seed %d, sweep derives %d",
+			return refuse(log.Path, "core: journal %s: cell (%d,%d) attempt %d used seed %d, sweep derives %d",
 				log.Path, c.Cfg, c.Run, c.Attempt, c.Seed, want)
 		}
 	}

@@ -251,6 +251,205 @@ func TestExperimentPreCancelled(t *testing.T) {
 	}
 }
 
+// TestResumeLastRecordWinsOnFailure is the regression for the stale
+// seeding bug: the journal may hold a success for a cell *followed* by
+// a failure (a later attempt that went bad before the crash). Log.Cell
+// documents last-record-wins, so seeding must evict the stale success
+// and re-execute the cell — the old code skipped failure records
+// entirely and resurrected it.
+func TestResumeLastRecordWinsOnFailure(t *testing.T) {
+	configs := testConfigs(t)[:1]
+	exp := Experiment{Workload: powerProbe{}, Configs: configs, Runs: 1, BaseSeed: 7}
+	want := exp.Run()
+
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, runs, base := exp.normalized()
+	if err := w.WriteHeader(exp.journalHeader(cfgs, runs, base)); err != nil {
+		t.Fatal(err)
+	}
+	// A success record with a deliberately wrong value: if resume trusts
+	// it, the outcome is visibly poisoned.
+	err = w.WriteCell(journal.Cell{
+		Config: configs[0].String(), Cfg: 0, Run: 0, Attempt: 0,
+		Seed:   RetrySeed(base, 0, 0, 0),
+		Metric: "throughput", Value: 9999, Higher: true,
+		Digest: "00000000deadbeef",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...superseded by a failed later attempt.
+	err = w.WriteCell(journal.Cell{
+		Config: configs[0].String(), Cfg: 0, Run: 0, Attempt: 1,
+		Seed: RetrySeed(base, 0, 0, 1), Err: "core: run failed: injected",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exp.Resume(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PerConfig[0].Values[0] == 9999 {
+		t.Fatal("stale superseded success resurrected into the outcome")
+	}
+	outcomesEqual(t, out, want)
+}
+
+// extrasProbe is powerProbe plus an Extras map, for aliasing tests.
+type extrasProbe struct{ powerProbe }
+
+func (w extrasProbe) Name() string { return "extras-probe" }
+
+func (w extrasProbe) Run(pl *workload.Platform) workload.Result {
+	res := w.powerProbe.Run(pl)
+	res.Extras = map[string]float64{"p95": res.Value * 2}
+	return res
+}
+
+// TestResumeCarriedExtrasAreCopies is the regression for the aliasing
+// bug: results carried over from the journal used to share their Extras
+// map with the parsed Log, so a caller mutating the Outcome silently
+// rewrote the Log (and vice versa). Resume must hand out fresh maps —
+// the same cloneResult discipline the memo cache follows.
+func TestResumeCarriedExtrasAreCopies(t *testing.T) {
+	configs := testConfigs(t)[:1]
+	exp := Experiment{Workload: extrasProbe{}, Configs: configs, Runs: 1, BaseSeed: 7}
+
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := exp
+	journaled.Journal = w
+	ref := journaled.Run()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantP95 := ref.PerConfig[0].Results[0].Extras["p95"]
+	if wantP95 == 0 {
+		t.Fatal("test setup: probe produced no p95 extra")
+	}
+
+	log, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exp.Resume(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.PerConfig[0].Results[0].Extras
+	if got["p95"] != wantP95 {
+		t.Fatalf("carried p95 = %v, want %v", got["p95"], wantP95)
+	}
+
+	// Mutating the outcome must not reach the parsed Log...
+	got["p95"] = -1
+	if v := float64(log.Cell(0, 0).Extras["p95"]); v != wantP95 {
+		t.Errorf("outcome mutation reached the Log: p95 = %v, want %v", v, wantP95)
+	}
+	// ...and a second resume from the same Log must still see the
+	// journal's value.
+	out2, err := exp.Resume(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := out2.PerConfig[0].Results[0].Extras["p95"]; v != wantP95 {
+		t.Errorf("second resume sees mutated extras: p95 = %v, want %v", v, wantP95)
+	}
+}
+
+// TestResumeRefusalsAreTyped: every identity refusal must be a
+// *ResumeRefusedError, so the crash-matrix property test (and any
+// caller) can separate "journal belongs to a different sweep" from
+// real failures with errors.As.
+func TestResumeRefusalsAreTyped(t *testing.T) {
+	configs := testConfigs(t)[:1]
+	exp := Experiment{Workload: powerProbe{}, Configs: configs, Runs: 1, BaseSeed: 7}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, runs, base := exp.normalized()
+	if err := w.WriteHeader(exp.journalHeader(cfgs, runs, base)); err != nil {
+		t.Fatal(err)
+	}
+	// A success record with an unparseable digest.
+	err = w.WriteCell(journal.Cell{
+		Config: configs[0].String(), Cfg: 0, Run: 0,
+		Seed:   RetrySeed(base, 0, 0, 0),
+		Metric: "throughput", Value: 1, Digest: "not-a-digest",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"bad digest", func() error { _, err := exp.Resume(log); return err }},
+		{"wrong seed", func() error {
+			other := exp
+			other.BaseSeed = 8
+			_, err := other.Resume(log)
+			return err
+		}},
+		{"cell outside sweep", func() error {
+			bigger := exp
+			bigger.Runs = 1
+			clipped := *log
+			clipped.Cells = append([]journal.Cell(nil), log.Cells...)
+			clipped.Cells[0].Run = 5
+			_, err := bigger.Resume(&clipped)
+			return err
+		}},
+		{"no header", func() error {
+			headless := *log
+			headless.Header = nil
+			_, err := exp.Resume(&headless)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("refusal did not fire")
+			}
+			var rr *ResumeRefusedError
+			if !errors.As(err, &rr) {
+				t.Fatalf("err = %T (%v), want *ResumeRefusedError", err, err)
+			}
+			if rr.Path != log.Path {
+				t.Errorf("refusal path = %q, want %q", rr.Path, log.Path)
+			}
+		})
+	}
+}
+
 // TestJournalFailureSurfacesOnOutcome: a failing journal must never
 // abort a sweep — the Writer is sticky, the cells all run — but the
 // failure has to surface exactly once, via Outcome.JournalErr, so a

@@ -21,6 +21,8 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -38,6 +40,134 @@ const (
 	KindCell   = "cell"
 	KindFigure = "figure"
 )
+
+// Sink is the journal's seam to the filesystem: the exact five
+// operations Writer and Resume perform on the backing file, and nothing
+// else. *os.File is the default implementation; internal/faultio wraps
+// one to inject torn writes and failing syncs, which is how the
+// crash-consistency contract (DESIGN.md §9) is tested. The methods are
+// declared here rather than embedded from io so every call through the
+// seam is covered by the journalerr lint rule.
+type Sink interface {
+	Write(p []byte) (n int, err error)
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// WrapSink optionally decorates the file a journal writes through; nil
+// means "use the file as is". Fault injectors (internal/faultio) are
+// the intended wrappers — production code always passes nil.
+type WrapSink func(Sink) Sink
+
+// wrapSink applies wrap to f, treating nil as the identity.
+func wrapSink(f Sink, wrap WrapSink) Sink {
+	if wrap == nil {
+		return f
+	}
+	return wrap(f)
+}
+
+// DamagedError reports corruption that cannot be a crash tail:
+// a corrupt record *followed by valid records*, or a structurally
+// impossible journal (duplicate header, header after data). Crashes
+// only ever tear the final append, so damage earlier in the file means
+// the journal cannot be trusted and Read/Resume refuse it rather than
+// guess.
+type DamagedError struct {
+	// Path is the journal file.
+	Path string
+	// Line is the offending line number (1-based).
+	Line int
+	// Reason is the complete human-readable explanation.
+	Reason string
+}
+
+func (e *DamagedError) Error() string {
+	return fmt.Sprintf("journal: %s: %s", e.Path, e.Reason)
+}
+
+// Float is a float64 whose JSON form round-trips non-finite values:
+// NaN and ±Inf encode as the quoted strings "NaN", "+Inf" and "-Inf"
+// (encoding/json rejects the bare tokens), finite values encode as
+// plain JSON numbers, byte-identical to an untyped float64. Without
+// this, one NaN metric in an otherwise successful run would fail
+// json.Marshal inside seal and sticky-kill the Writer — silently ending
+// journaling for the whole sweep.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = Float(math.NaN())
+		case "+Inf":
+			*f = Float(math.Inf(1))
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+		default:
+			return fmt.Errorf("journal: invalid float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Extras is a secondary-metric map in journal form (non-finite-safe).
+type Extras map[string]Float
+
+// MakeExtras converts a workload's secondary metrics to journal form.
+// The result is always a fresh map (nil in, nil out), so a journal
+// record never aliases caller state.
+func MakeExtras(m map[string]float64) Extras {
+	if m == nil {
+		return nil
+	}
+	e := make(Extras, len(m))
+	for k, v := range m {
+		e[k] = Float(v)
+	}
+	return e
+}
+
+// Floats converts back to a plain secondary-metric map, again as a
+// fresh copy (nil in, nil out): mutating the result never reaches the
+// parsed Log, and vice versa.
+func (e Extras) Floats() map[string]float64 {
+	if e == nil {
+		return nil
+	}
+	m := make(map[string]float64, len(e))
+	for k, v := range e {
+		m[k] = float64(v)
+	}
+	return m
+}
 
 // Header identifies the sweep (or figure run) the journal belongs to.
 // Unused fields stay empty: asmp-sweep journals fill the experiment
@@ -76,11 +206,13 @@ type Cell struct {
 	// try); Seed is the derived seed that attempt used.
 	Attempt int    `json:"attempt,omitempty"`
 	Seed    uint64 `json:"seed"`
-	// Metric/Value/Higher/Extras mirror workload.Result.
-	Metric string             `json:"metric,omitempty"`
-	Value  float64            `json:"value,omitempty"`
-	Higher bool               `json:"higher,omitempty"`
-	Extras map[string]float64 `json:"extras,omitempty"`
+	// Metric/Value/Higher/Extras mirror workload.Result. Value and
+	// Extras are journal.Float so non-finite metrics survive the JSON
+	// round trip; finite values encode byte-identically to float64.
+	Metric string `json:"metric,omitempty"`
+	Value  Float  `json:"value,omitempty"`
+	Higher bool   `json:"higher,omitempty"`
+	Extras Extras `json:"extras,omitempty"`
 	// Digest is the run digest in hex (empty for failed runs).
 	Digest string `json:"digest,omitempty"`
 	// Err records a failed run's error; failed cells are re-executed on
@@ -179,40 +311,73 @@ func verify(rec any, got string, setSum func(string)) bool {
 // problem — it finishes and reports the journal as incomplete.
 type Writer struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    Sink
 	path string
 	err  error
 }
 
 // Create truncates/creates a journal at path.
-func Create(path string) (*Writer, error) {
+func Create(path string) (*Writer, error) { return CreateVia(path, nil) }
+
+// CreateVia is Create with a sink wrapper applied to the backing file
+// (nil = none). It exists for the crash-consistency tests, which write
+// journals through internal/faultio injectors.
+func CreateVia(path string, wrap WrapSink) (*Writer, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{f: f, path: path}, nil
+	return &Writer{f: wrapSink(f, wrap), path: path}, nil
 }
 
 // Resume parses the journal at path, truncates any corrupt tail (the
 // torn line of a crash), and returns the parsed log plus a writer
 // positioned at the end of the valid prefix. It is the one call a
 // resuming CLI needs.
-func Resume(path string) (*Log, *Writer, error) {
-	log, validLen, err := read(path)
+func Resume(path string) (*Log, *Writer, error) { return ResumeVia(path, nil) }
+
+// ResumeVia is Resume with a sink wrapper applied to the write handle
+// (nil = none); parsing always reads the real file. Every repair Resume
+// performs — truncating the torn tail, restoring a missing final
+// newline — flows through the wrapped sink, so fault injectors exercise
+// the repair path too.
+func ResumeVia(path string, wrap WrapSink) (*Log, *Writer, error) {
+	log, validLen, tornNewline, err := read(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	raw, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	if err := f.Truncate(validLen); err != nil {
+	f := wrapSink(raw, wrap)
+	fail := func(err error) (*Log, *Writer, error) {
+		//asmp:allow journalerr best-effort close on an already-failed resume; the original error is the one to surface
 		f.Close()
-		return nil, nil, fmt.Errorf("journal: truncating corrupt tail: %w", err)
+		return nil, nil, err
 	}
-	if _, err := f.Seek(validLen, 0); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("journal: %w", err)
+	// validLen never exceeds the real file size (read accounts bytes
+	// exactly, newline or not), so this only ever shrinks the file —
+	// extending it would pad the journal with NUL bytes and fuse the
+	// next append onto the old record.
+	if err := f.Truncate(validLen); err != nil {
+		return fail(fmt.Errorf("journal: truncating corrupt tail: %w", err))
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		return fail(fmt.Errorf("journal: %w", err))
+	}
+	if tornNewline {
+		// The final record is complete and checksum-valid but its
+		// trailing newline never reached the disk — the signature of a
+		// single append torn one byte short. Repair it now so the next
+		// append starts on a fresh line instead of fusing onto the
+		// record.
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			return fail(fmt.Errorf("journal: repairing torn final newline: %w", err))
+		}
+		if err := f.Sync(); err != nil {
+			return fail(fmt.Errorf("journal: repairing torn final newline: %w", err))
+		}
 	}
 	return log, &Writer{f: f, path: path}, nil
 }
@@ -223,6 +388,10 @@ func (w *Writer) append(rec any, setSum func(string)) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		w.err = fmt.Errorf("journal: appending to %s: %w", w.path, os.ErrClosed)
 		return w.err
 	}
 	line, err := seal(rec, setSum)
@@ -285,9 +454,9 @@ func (w *Writer) Close() error {
 
 // Read parses the journal at path without modifying it. A corrupt tail
 // is tolerated (Log.Dropped counts the ignored lines); corruption
-// followed by valid records is an error.
+// followed by valid records is a *DamagedError.
 func Read(path string) (*Log, error) {
-	log, _, err := read(path)
+	log, _, _, err := read(path)
 	return log, err
 }
 
@@ -296,59 +465,83 @@ func Read(path string) (*Log, error) {
 const maxLine = 8 << 20
 
 // read parses path and additionally returns the byte length of the
-// valid prefix (for tail truncation on resume).
-func read(path string) (*Log, int64, error) {
+// valid prefix (for tail truncation on resume) and whether the final
+// valid record is missing its trailing newline (a torn single-syscall
+// append; Resume repairs it).
+//
+// Byte accounting is exact: validLen counts the bytes each accepted
+// line actually occupies in the file, so it can never exceed the real
+// file size — a line torn before its newline contributes only the
+// bytes present. The previous implementation charged every line a
+// newline it might not have, pushing validLen one byte past EOF, which
+// made Resume's Truncate *extend* the file with a NUL byte and fuse
+// the next append onto the old record.
+func read(path string) (log *Log, validLen int64, tornNewline bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("journal: %w", err)
+		return nil, 0, false, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
 
-	log := &Log{Path: path}
-	var offset, validLen int64
+	log = &Log{Path: path}
+	var offset int64
 	firstBad := -1
 	lineNo := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64<<10), maxLine)
-	for sc.Scan() {
-		lineNo++
-		raw := sc.Bytes()
-		offset += int64(len(raw)) + 1
-		line := strings.TrimSpace(string(raw))
-		if line == "" {
-			continue // blank lines are harmless
+	br := bufio.NewReaderSize(f, 64<<10)
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, 0, false, fmt.Errorf("journal: reading %s: %w", path, rerr)
 		}
-		rec, err := parseLine([]byte(line))
-		if err != nil {
-			if firstBad < 0 {
-				firstBad = lineNo
+		if len(raw) > 0 {
+			lineNo++
+			if len(raw) > maxLine {
+				return nil, 0, false, fmt.Errorf("journal: reading %s: line %d exceeds %d bytes", path, lineNo, maxLine)
 			}
-			log.Dropped++
-			continue
-		}
-		if firstBad >= 0 {
-			return nil, 0, fmt.Errorf("journal: %s: corrupt record at line %d followed by valid records (damaged journal, not a crash tail)", path, firstBad)
-		}
-		switch r := rec.(type) {
-		case *Header:
-			if log.Header != nil {
-				return nil, 0, fmt.Errorf("journal: %s: duplicate header at line %d", path, lineNo)
+			terminated := raw[len(raw)-1] == '\n'
+			offset += int64(len(raw))
+			line := strings.TrimSpace(string(raw))
+			switch {
+			case line == "":
+				// Blank lines are harmless (and never extend the valid
+				// prefix).
+			default:
+				rec, perr := parseLine([]byte(line))
+				if perr != nil {
+					if firstBad < 0 {
+						firstBad = lineNo
+					}
+					log.Dropped++
+					break
+				}
+				if firstBad >= 0 {
+					return nil, 0, false, &DamagedError{Path: path, Line: firstBad,
+						Reason: fmt.Sprintf("corrupt record at line %d followed by valid records (damaged journal, not a crash tail)", firstBad)}
+				}
+				switch r := rec.(type) {
+				case *Header:
+					if log.Header != nil {
+						return nil, 0, false, &DamagedError{Path: path, Line: lineNo,
+							Reason: fmt.Sprintf("duplicate header at line %d", lineNo)}
+					}
+					if len(log.Cells)+len(log.Figures) > 0 {
+						return nil, 0, false, &DamagedError{Path: path, Line: lineNo,
+							Reason: fmt.Sprintf("header at line %d after data records", lineNo)}
+					}
+					log.Header = r
+				case *Cell:
+					log.Cells = append(log.Cells, *r)
+				case *Figure:
+					log.Figures = append(log.Figures, *r)
+				}
+				validLen = offset
+				tornNewline = !terminated
 			}
-			if len(log.Cells)+len(log.Figures) > 0 {
-				return nil, 0, fmt.Errorf("journal: %s: header at line %d after data records", path, lineNo)
-			}
-			log.Header = r
-		case *Cell:
-			log.Cells = append(log.Cells, *r)
-		case *Figure:
-			log.Figures = append(log.Figures, *r)
 		}
-		validLen = offset
+		if rerr == io.EOF {
+			return log, validLen, tornNewline, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("journal: reading %s: %w", path, err)
-	}
-	return log, validLen, nil
 }
 
 // parseLine decodes and checksum-verifies one record line.

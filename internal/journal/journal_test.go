@@ -1,9 +1,14 @@
 package journal
 
 import (
+	"encoding/json"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -40,9 +45,9 @@ func writeSample(t *testing.T, path string, cells int) {
 			Run:    i / 2,
 			Seed:   uint64(100 + i),
 			Metric: "throughput",
-			Value:  1234.5 + float64(i),
+			Value:  1234.5 + Float(i),
 			Higher: true,
-			Extras: map[string]float64{"p95": 1.5},
+			Extras: Extras{"p95": 1.5},
 			Digest: "00000000deadbeef",
 		})
 		if err != nil {
@@ -166,10 +171,234 @@ func TestCorruptionMidJournalRefused(t *testing.T) {
 	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Resume(path); err == nil {
+	_, _, err = Resume(path)
+	if err == nil {
 		t.Fatal("mid-journal corruption accepted")
-	} else if !strings.Contains(err.Error(), "damaged journal") {
+	}
+	if !strings.Contains(err.Error(), "damaged journal") {
 		t.Errorf("err = %v, want a damaged-journal error", err)
+	}
+	// The refusal is typed: callers (and the crash-matrix property test)
+	// distinguish damage from every other failure with errors.As.
+	var de *DamagedError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T, want *DamagedError", err)
+	}
+	if de.Path != path || de.Line != 3 {
+		t.Errorf("DamagedError = %+v, want path %s line 3", de, path)
+	}
+}
+
+// TestTornNewlineTailRepaired pins the headline crash signature: an
+// append torn one byte short leaves a complete, checksum-valid final
+// record with no trailing newline. Resume must accept the record, must
+// NOT grow the file (the old implementation put validLen one byte past
+// EOF, so Truncate *extended* the journal with a NUL byte), and the
+// next append must read back valid instead of fusing onto the old
+// record.
+func TestTornNewlineTailRepaired(t *testing.T) {
+	path := tempPath(t)
+	writeSample(t, path, 3)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean[len(clean)-1] != '\n' {
+		t.Fatal("test setup: sample journal does not end in a newline")
+	}
+	// Tear the final append one byte short: record intact, newline gone.
+	if err := os.WriteFile(path, clean[:len(clean)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log, w, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) != 3 || log.Dropped != 0 {
+		t.Errorf("resumed with %d cells, %d dropped; want 3, 0 (the torn-newline record is valid)", len(log.Cells), log.Dropped)
+	}
+	if err := w.WriteCell(Cell{Cfg: 1, Run: 2, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := strings.IndexByte(string(final), 0); i >= 0 {
+		t.Fatalf("journal grew a NUL byte at offset %d", i)
+	}
+	if !strings.HasPrefix(string(final), string(clean)) {
+		t.Error("repair rewrote the surviving prefix instead of restoring the newline")
+	}
+	log2, err := Read(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after torn-newline resume: %v", err)
+	}
+	if len(log2.Cells) != 4 || log2.Dropped != 0 {
+		t.Errorf("after repair: %d cells, %d dropped; want 4, 0", len(log2.Cells), log2.Dropped)
+	}
+}
+
+// TestTornNewlineReadOnly: Read (no repair) must also accept the
+// torn-newline record, without touching the file.
+func TestTornNewlineReadOnly(t *testing.T) {
+	path := tempPath(t)
+	writeSample(t, path, 2)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, clean[:len(clean)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) != 2 || log.Dropped != 0 {
+		t.Errorf("read %d cells, %d dropped; want 2, 0", len(log.Cells), log.Dropped)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(clean)-1 {
+		t.Errorf("Read modified the file: %d bytes, want %d", len(after), len(clean)-1)
+	}
+}
+
+// TestNonFiniteMetricsKeepWriterHealthy is the regression for the
+// sticky-writer bug: one NaN (or ±Inf) metric used to fail json.Marshal
+// inside seal, permanently killing journaling for the whole sweep. The
+// journal.Float codec must round-trip the values and leave the writer
+// healthy.
+func TestNonFiniteMetricsKeepWriterHealthy(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := Cell{Cfg: 0, Run: 0, Value: Float(math.NaN()),
+		Extras: Extras{"pinf": Float(math.Inf(1)), "ninf": Float(math.Inf(-1)), "fin": 1.5}}
+	if err := w.WriteCell(nan); err != nil {
+		t.Fatalf("NaN cell failed to journal: %v", err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("writer unhealthy after NaN cell: %v", w.Err())
+	}
+	// Journaling must continue for later cells.
+	if err := w.WriteCell(Cell{Cfg: 0, Run: 1, Value: 2}); err != nil {
+		t.Fatalf("append after NaN cell failed: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Cells) != 2 || log.Dropped != 0 {
+		t.Fatalf("read %d cells, %d dropped; want 2, 0", len(log.Cells), log.Dropped)
+	}
+	c := log.Cell(0, 0)
+	if !math.IsNaN(float64(c.Value)) {
+		t.Errorf("Value = %v, want NaN", c.Value)
+	}
+	if !math.IsInf(float64(c.Extras["pinf"]), 1) || !math.IsInf(float64(c.Extras["ninf"]), -1) {
+		t.Errorf("Extras = %v, want ±Inf round-tripped", c.Extras)
+	}
+	if c.Extras["fin"] != 1.5 {
+		t.Errorf("finite extra = %v, want 1.5", c.Extras["fin"])
+	}
+}
+
+// TestFloatFiniteEncodingUnchanged: finite values must encode exactly
+// as bare float64 did, or every committed journal's checksums break.
+func TestFloatFiniteEncodingUnchanged(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 1234.5, 9801, 0.001, 1e30, -2.718281828459045} {
+		got, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("Float(%g) encodes %s, float64 encodes %s", v, got, want)
+		}
+	}
+}
+
+// TestConcurrentWriteCell hammers one Writer from GOMAXPROCS
+// goroutines — the exact shape of a parallel sweep's cell completions —
+// and asserts every line reads back checksum-valid and exactly once.
+// Run under -race (make test-race) this is also the journal's data-race
+// gate.
+func TestConcurrentWriteCell(t *testing.T) {
+	path := tempPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const perWorker = 20
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := w.WriteCell(Cell{
+					Cfg:    g,
+					Run:    i,
+					Seed:   uint64(g)<<32 | uint64(i),
+					Metric: "stress",
+					Value:  Float(g) + Float(i)/1000,
+					Extras: Extras{"worker": Float(g)},
+				})
+				if err != nil {
+					t.Errorf("worker %d cell %d: %v", g, i, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", log.Dropped)
+	}
+	if len(log.Cells) != workers*perWorker {
+		t.Fatalf("read %d cells, want %d", len(log.Cells), workers*perWorker)
+	}
+	seen := make(map[[2]int]int)
+	for i := range log.Cells {
+		c := &log.Cells[i]
+		seen[[2]int{c.Cfg, c.Run}]++
+		if c.Seed != uint64(c.Cfg)<<32|uint64(c.Run) {
+			t.Errorf("cell (%d,%d) carries seed %d", c.Cfg, c.Run, c.Seed)
+		}
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %v appears %d times, want exactly once", key, n)
+		}
 	}
 }
 
