@@ -7,13 +7,14 @@
 #   make lint         # determinism lint suite only (cmd/asmp-lint)
 #   make test-race    # full test suite under the race detector
 #   make test-crash   # crash-consistency matrix, every byte-prefix (DESIGN.md §9)
+#   make serve-smoke  # asmp-serve end-to-end: coalesce, drain, resume (DESIGN.md §10)
 #   make bench        # one pass over every figure/ablation benchmark
 #   make bench-hot    # the engine hot-path benchmarks (see BENCH_4.json)
 #   make golden       # regenerate the committed seed-1 artifacts
 
 GO ?= go
 
-.PHONY: check vet lint test test-race test-crash bench bench-hot golden
+.PHONY: check vet lint test test-race test-crash serve-smoke bench bench-hot golden
 
 check: vet lint test
 
@@ -42,6 +43,14 @@ test-race:
 # property breaks.
 test-crash:
 	ASMP_CRASH_FULL=1 $(GO) test -v -run 'TestCrashMatrix|TestInjectedResume|TestTornNewline' ./internal/core ./internal/journal
+
+# The asmp-serve end-to-end smoke: builds the real binaries, starts the
+# daemon, proves duplicate concurrent sweeps coalesce (via /stats),
+# checks server-rendered figure bytes against asmp-run's, SIGTERMs the
+# daemon mid-sweep and verifies the drain is clean and the journal
+# resumes on restart (DESIGN.md §10).
+serve-smoke:
+	$(GO) test -v -run TestServeSmoke ./cmd/asmp-serve
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem .

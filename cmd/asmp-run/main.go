@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"asmp/internal/core"
 	"asmp/internal/faultio"
 	"asmp/internal/figures"
 	"asmp/internal/journal"
@@ -86,6 +87,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		resume   = fs.Bool("resume", false, "replay figures recorded in -journal, regenerating only missing ones")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (observability only; output is unaffected)")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		workers  = fs.Int("workers", 0, "host worker-pool size for figure regeneration: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,6 +100,11 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		fmt.Fprintln(stderr, "asmp-run: -resume requires -journal")
 		return 2
 	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "asmp-run: -workers must be non-negative, got %d\n", *workers)
+		return 2
+	}
+	core.SetDefaultWorkers(*workers)
 	var wrap journal.WrapSink
 	if crashSet {
 		if *journalP == "" {

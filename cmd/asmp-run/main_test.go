@@ -35,6 +35,7 @@ func TestErrorPaths(t *testing.T) {
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 		{"bad seed", []string{"-seed", "banana"}, "invalid value"},
 		{"positional arg", []string{"-list", "extra"}, "unexpected argument"},
+		{"negative workers", []string{"-fig", "2a", "-workers", "-1"}, "-workers"},
 		{"no action", nil, "Usage"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the CLI entry point with captured streams and no
+// signal channel (flag errors return before the daemon starts).
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unexpected argument", []string{"serve"}, "unexpected argument"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"negative queue", []string{"-queue", "-1"}, "-queue"},
+		{"zero deadline", []string{"-deadline", "0s"}, "-deadline"},
+		{"max below default", []string{"-deadline", "1m", "-max-deadline", "30s"}, "-max-deadline"},
+		{"zero drain timeout", []string{"-drain-timeout", "0s"}, "-drain-timeout"},
+		{"malformed duration", []string{"-deadline", "eleven"}, "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCmd(tc.args...)
+			if code != 2 {
+				t.Fatalf("args %v: exit %d, want 2", tc.args, code)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("args %v: stderr %q does not contain %q", tc.args, errOut, tc.want)
+			}
+		})
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	code, _, errOut := runCmd("-addr", "not-an-address:nope")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(errOut, "asmp-serve:") {
+		t.Fatalf("stderr %q missing error prefix", errOut)
+	}
+}

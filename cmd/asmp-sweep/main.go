@@ -105,6 +105,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		journalP = fs.String("journal", "", "append every completed cell to this JSONL journal (enables -resume)")
 		resume   = fs.Bool("resume", false, "resume the sweep recorded in -journal, re-executing only missing or failed cells")
 		verify   = fs.Int("verify", 0, "audit determinism instead of sweeping: run each cell N times (min 2) and require bit-identical digests")
+		workers  = fs.Int("workers", 0, "host worker-pool size for cell execution: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (observability only; output is unaffected)")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -158,6 +159,11 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		fmt.Fprintf(stderr, "asmp-sweep: -retries must be non-negative, got %d\n", *retries)
 		return 2
 	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "asmp-sweep: -workers must be non-negative, got %d\n", *workers)
+		return 2
+	}
+	core.SetDefaultWorkers(*workers)
 
 	var pol sched.Policy
 	switch *policy {

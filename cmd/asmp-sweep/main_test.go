@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"asmp/internal/core"
 )
 
 // runCmd invokes the CLI entry point with captured streams.
@@ -41,6 +43,7 @@ func TestErrorPaths(t *testing.T) {
 		{"unknown policy", []string{"-workload", "specjbb", "-policy", "psychic"}, "unknown policy"},
 		{"zero runs", []string{"-workload", "specjbb", "-runs", "0"}, "-runs"},
 		{"negative retries", []string{"-workload", "specjbb", "-retries", "-1"}, "-retries"},
+		{"negative workers", []string{"-workload", "specjbb", "-workers", "-1"}, "-workers"},
 		{"malformed fault plan", []string{"-workload", "specjbb", "-fault", "explode@1s:0"}, "unknown kind"},
 		{"fault plan core out of range", []string{"-workload", "specjbb", "-configs", "4f-0s", "-fault", "offline@1s:7"}, "does not fit"},
 		{"fault plan outside default sweep", []string{"-workload", "specjbb", "-fault", "offline@1s:5"}, "does not fit"},
@@ -72,5 +75,23 @@ func TestFaultSweepRuns(t *testing.T) {
 	}
 	if !strings.Contains(out, "fault plan: throttle@1.5s:0:0.125") {
 		t.Fatalf("output does not echo the fault plan:\n%s", out)
+	}
+}
+
+// TestWorkersFlagDoesNotChangeOutput pins the -workers contract: host
+// parallelism only changes wall-clock time, never a byte of output.
+func TestWorkersFlagDoesNotChangeOutput(t *testing.T) {
+	defer core.SetDefaultWorkers(0)
+	args := []string{"-workload", "specjbb", "-configs", "4f-0s,2f-2s/4", "-runs", "2"}
+	code, seq, errOut := runCmd(append(args, "-workers", "1")...)
+	if code != 0 {
+		t.Fatalf("sequential sweep exit = %d, stderr: %s", code, errOut)
+	}
+	code, par, errOut := runCmd(append(args, "-workers", "4")...)
+	if code != 0 {
+		t.Fatalf("parallel sweep exit = %d, stderr: %s", code, errOut)
+	}
+	if seq != par {
+		t.Fatalf("-workers changed the output:\n--- workers=1\n%s\n--- workers=4\n%s", seq, par)
 	}
 }

@@ -151,6 +151,26 @@ func TestNoGoroutineExemptsSim(t *testing.T) {
 	}
 }
 
+func TestNoGoroutineExemptsServer(t *testing.T) {
+	// internal/server is a harness package (see harnessPackages): its
+	// goroutines carry requests, never simulation state, so the same
+	// file that fires under sched is clean there — no per-line pragmas.
+	diags := runCorpus(t, "nogoroutine", "asmp/internal/server/lintcorpus")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic under server: %s", d)
+	}
+}
+
+func TestNoGoroutineStillFiresInsideDeterministicCore(t *testing.T) {
+	// The harness exemption is an allowlist, not a scope retreat: the
+	// corpus still fires under core, which sits in the deterministic
+	// scope and is NOT a harness package.
+	diags := runCorpus(t, "nogoroutine", "asmp/internal/core/lintcorpus")
+	if len(diags) == 0 {
+		t.Fatal("nogoroutine corpus produced no diagnostics under core: the harness exemption swallowed the rule")
+	}
+}
+
 func TestJournalErrCorpus(t *testing.T) {
 	checkCorpus(t, "journalerr", "asmp/internal/figures/lintcorpus2")
 }

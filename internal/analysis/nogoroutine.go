@@ -3,18 +3,20 @@ package analysis
 import "go/ast"
 
 // NoGoroutine forbids raw goroutines and sync primitives inside the
-// deterministic core (outside internal/sim, which owns the simulator's
-// own execution primitives). The simulator is single-threaded by
-// construction: every interleaving decision is made by the event loop
-// so that a (config, seed) pair replays identically. A goroutine or
-// mutex in sched, workload or digest code reintroduces host-scheduler
-// nondeterminism that no seed controls. Harness-level parallelism
-// *across* independent cells (core.Experiment) is intentional and
-// annotated //asmp:allow goroutine.
+// deterministic core, outside the harness packages (harnessPackages):
+// internal/sim, which owns the simulator's own execution primitives,
+// and internal/server, whose goroutines carry requests over the
+// deterministic core but never simulation state. The simulator is
+// single-threaded by construction: every interleaving decision is made
+// by the event loop so that a (config, seed) pair replays identically.
+// A goroutine or mutex in sched, workload or digest code reintroduces
+// host-scheduler nondeterminism that no seed controls. Harness-level
+// parallelism *across* independent cells (core.Experiment) is
+// intentional and annotated //asmp:allow goroutine.
 var NoGoroutine = &Analyzer{
 	Name:    "nogoroutine",
-	Doc:     "forbid go statements and sync primitives in deterministic packages (outside internal/sim)",
-	Applies: deterministicExceptSim,
+	Doc:     "forbid go statements and sync primitives in deterministic packages (outside the harness packages sim and server)",
+	Applies: noGoroutineScope,
 	Run:     runNoGoroutine,
 }
 

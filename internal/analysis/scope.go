@@ -16,6 +16,22 @@ var deterministicPrefixes = []string{
 	"asmp/internal/digest",
 	"asmp/internal/trace",
 	"asmp/internal/simtime",
+	"asmp/internal/server",
+}
+
+// harnessPackages are deterministic-scope packages whose *artifacts*
+// must be pure functions of their inputs but whose *machinery* is
+// inherently concurrent, so nogoroutine exempts them wholesale instead
+// of demanding a pragma on every line. Membership is the principled
+// claim; each entry records why it holds.
+var harnessPackages = map[string]string{
+	// The event loop owns the simulator's execution primitives; every
+	// interleaving it chooses is replayed from the seed.
+	"asmp/internal/sim": "owns the simulator's execution primitives",
+	// The daemon serves concurrent requests over the same deterministic
+	// core; goroutines carry requests, never simulation state, and every
+	// response body is a pure function of the request identity.
+	"asmp/internal/server": "serving goroutines are harness, not simulation",
 }
 
 // Deterministic reports whether importPath is inside the deterministic
@@ -29,13 +45,23 @@ func Deterministic(importPath string) bool {
 	return false
 }
 
-// deterministicExceptSim is the nogoroutine scope: the deterministic
-// core minus internal/sim itself, whose event loop owns the simulator's
-// execution primitives.
-func deterministicExceptSim(importPath string) bool {
-	return Deterministic(importPath) &&
-		importPath != "asmp/internal/sim" &&
-		!strings.HasPrefix(importPath, "asmp/internal/sim/")
+// Harness reports whether importPath is (inside) a harness package: in
+// the deterministic scope for its artifacts, exempt from nogoroutine
+// for its machinery.
+func Harness(importPath string) bool {
+	for p := range harnessPackages {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// noGoroutineScope is the nogoroutine scope: the deterministic core
+// minus the harness packages (see harnessPackages for the rationale
+// behind each exemption).
+func noGoroutineScope(importPath string) bool {
+	return Deterministic(importPath) && !Harness(importPath)
 }
 
 // notXRand is the norand scope: everywhere except internal/xrand, the

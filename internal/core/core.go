@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"asmp/internal/cpu"
@@ -67,13 +66,25 @@ type RunSpec struct {
 // Panics from workload code or tripped watchdogs propagate; use
 // ExecuteSafe to receive them as errors. Memoizable cells (see memo.go)
 // are served from the process-wide cache when an identical cell already
-// ran.
+// ran, and concurrent executions of the same still-cold cell coalesce
+// into one (see flight.go): exactly one caller simulates, the rest are
+// served its Result.
 func Execute(spec RunSpec) workload.Result {
 	key, memoizable := memoKeyFor(spec)
 	if memoizable && !cancelRequested(spec.Cancel) {
 		if res, hit := memoLookup(key); hit {
 			return res
 		}
+		res, state := enterFlight(key, spec.Cancel)
+		switch state {
+		case flightServed:
+			return res
+		case flightLead:
+			return executeLead(spec, key)
+		}
+		// flightRetry: the leader failed or our cancel fired while
+		// waiting; fall through and execute directly (deterministically
+		// reproducing the failure, or failing ErrCancelled).
 	}
 	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
 	defer pl.Close()
@@ -85,6 +96,24 @@ func Execute(spec RunSpec) workload.Result {
 	if memoizable {
 		memoStore(key, res)
 	}
+	return res
+}
+
+// executeLead is Execute's leader path: it runs the cell and publishes
+// the outcome to the flight's waiters on every exit, panics included
+// (a waiter of a failed flight re-executes and fails identically).
+func executeLead(spec RunSpec, key memoKey) (res workload.Result) {
+	ok := false
+	defer func() { finishFlight(key, res, ok) }()
+	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
+	defer pl.Close()
+	res = executeOn(spec, pl)
+	pl.Close()
+	// Store before finishFlight's deferred retire: enterFlight re-checks
+	// the memo under the flight lock, closing the window where a new
+	// arrival would find neither the flight nor the cached Result.
+	memoStore(key, res)
+	ok = true
 	return res
 }
 
@@ -131,6 +160,18 @@ func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
 		if hit, found := memoLookup(key); found {
 			return hit, nil
 		}
+		shared, state := enterFlight(key, spec.Cancel)
+		switch state {
+		case flightServed:
+			return shared, nil
+		case flightLead:
+			// Registered before the recover/memoStore defer below, so it
+			// runs last: waiters are only released once the Result is in
+			// the memo (or the failure is final).
+			defer func() { finishFlight(key, res, err == nil) }()
+		}
+		// flightRetry falls through: execute directly, deterministically
+		// reproducing the leader's failure or our own cancellation.
 	}
 	pl := workload.NewPlatform(spec.Config, spec.Sched, spec.Seed)
 	defer func() {
@@ -218,6 +259,11 @@ type Experiment struct {
 	// Sequential disables parallel execution across runs (used by tests
 	// that need strict run ordering; results are identical either way).
 	Sequential bool
+	// Workers bounds host parallelism across cells: 0 means the
+	// process-wide default (SetDefaultWorkers, itself defaulting to
+	// GOMAXPROCS), 1 means sequential. Like Sequential, it only affects
+	// wall-clock time, never results.
+	Workers int
 	// Fault optionally injects the same fault plan into every run.
 	Fault *fault.Plan
 	// Limits optionally arms the simulator watchdogs on every run, so a
@@ -365,8 +411,11 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 	results := make([]workload.Result, len(cells))
 	errs := make([]error, len(cells))
 
-	workers := runtime.GOMAXPROCS(0)
-	if e.Sequential || workers < 1 {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if e.Sequential {
 		workers = 1
 	}
 	// Cross-cell parallelism is intentional and digest-safe: each cell

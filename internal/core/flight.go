@@ -1,0 +1,164 @@
+package core
+
+// Request coalescing (singleflight) for memoizable cells.
+//
+// The memo (memo.go) deduplicates executions *across time*: once a cell
+// has run, identical specs replay from cache. This file deduplicates
+// them *across concurrent callers*: when N goroutines ask for the same
+// memoizable cell while none has finished yet, exactly one — the
+// leader — executes it; the rest wait and are served the leader's
+// Result. Without this, a thundering herd of identical requests (the
+// asmp-serve daemon's load profile) would all miss the still-cold cache
+// and simulate the same cell N times.
+//
+// The coalescing layer can never change what a caller observes, by the
+// same argument as the memo: a run is a pure function of its spec, so
+// the leader's Result is bit-identical (digest included) to the one any
+// waiter would have computed. The memo's caveats carry over unchanged:
+//
+//   - Non-memoizable specs (no workload Identity, or Tracer/Observe
+//     hooks attached) never join a flight — they want the run's side
+//     effects, not just its Result.
+//   - A spec whose Cancel is already closed executes directly and fails
+//     ErrCancelled, exactly as it would have before coalescing existed.
+//     A waiter whose Cancel fires *while waiting* abandons the flight
+//     and executes directly, deterministically failing the same way.
+//   - A leader's failure is never shared: waiters of a failed flight
+//     re-execute and fail identically (runs are deterministic), so
+//     error semantics match the uncoalesced path.
+//   - Results are defensively copied on publish and on receipt, so the
+//     leader, the waiters and the cache never alias one Extras map.
+//
+// Exactly-once guarantee: the leader stores its Result in the memo
+// *before* retiring the flight, and enterFlight re-checks the memo
+// under the flight lock, so an arrival can never slip between "flight
+// gone" and "memo filled" and start a second execution of a
+// successfully completed cell.
+
+import (
+	"sync"
+
+	"asmp/internal/workload"
+)
+
+// flightCall is one in-flight execution of a memoizable cell. res and
+// ok are written by the leader before done is closed and only read by
+// waiters after it is closed.
+type flightCall struct {
+	done chan struct{}
+	res  workload.Result
+	ok   bool
+}
+
+// flights is the process-wide coalescing table.
+var flights struct {
+	mu sync.Mutex //asmp:allow goroutine guards harness coalescing state: sweep workers and server requests share the table; the shared Result is identical regardless of arrival order
+	m  map[memoKey]*flightCall
+	// led counts flights started (unique executions of coalescible
+	// keys); coalesced counts calls served by waiting on a leader.
+	led, coalesced uint64
+}
+
+// flightOutcome says how enterFlight resolved a memo miss.
+type flightOutcome int
+
+const (
+	// flightLead: the caller is the leader — it must execute and call
+	// finishFlight (on every path, including panics).
+	flightLead flightOutcome = iota
+	// flightServed: the returned Result is the answer (the memo filled
+	// while entering, or a leader completed successfully).
+	flightServed
+	// flightRetry: the leader failed, or the caller's Cancel fired while
+	// waiting — execute directly, without coalescing.
+	flightRetry
+)
+
+// enterFlight resolves a memo miss for key: join an existing flight,
+// lead a new one, or get served by the memo re-check.
+func enterFlight(key memoKey, cancel <-chan struct{}) (workload.Result, flightOutcome) {
+	flights.mu.Lock()
+	if c, ok := flights.m[key]; ok {
+		flights.mu.Unlock()
+		return waitFlight(c, cancel)
+	}
+	// Re-check the memo under the flight lock: a leader that just
+	// finished stored its Result before deleting its flight entry, so a
+	// miss on both the cache and the table here really means nobody has
+	// executed this cell yet.
+	if res, hit := memoRecheck(key); hit {
+		flights.mu.Unlock()
+		return res, flightServed
+	}
+	if flights.m == nil {
+		flights.m = map[memoKey]*flightCall{}
+	}
+	flights.m[key] = &flightCall{done: make(chan struct{})}
+	flights.led++
+	flights.mu.Unlock()
+	return workload.Result{}, flightLead
+}
+
+// waitFlight blocks until the flight completes or the caller's cancel
+// fires, whichever is first. A waiter whose cancel has fired is never
+// served the flight's Result — even when both arrive together — so the
+// pre-coalescing contract (a cancelled spec fails ErrCancelled) holds.
+func waitFlight(c *flightCall, cancel <-chan struct{}) (workload.Result, flightOutcome) {
+	if cancel != nil {
+		select {
+		case <-c.done:
+		case <-cancel:
+			return workload.Result{}, flightRetry
+		}
+		if cancelRequested(cancel) {
+			return workload.Result{}, flightRetry
+		}
+	} else {
+		<-c.done
+	}
+	if !c.ok {
+		return workload.Result{}, flightRetry
+	}
+	flights.mu.Lock()
+	flights.coalesced++
+	flights.mu.Unlock()
+	return cloneResult(c.res), flightServed
+}
+
+// finishFlight publishes the leader's outcome and retires the flight.
+// On success it must run *after* memoStore (see enterFlight's re-check)
+// — both Execute and ExecuteSafe arrange their defers accordingly. The
+// published Result is a private clone so waiters never alias the
+// leader's copy.
+func finishFlight(key memoKey, res workload.Result, ok bool) {
+	flights.mu.Lock()
+	c := flights.m[key]
+	delete(flights.m, key)
+	flights.mu.Unlock()
+	if c == nil {
+		return
+	}
+	if ok {
+		c.res = cloneResult(res)
+	}
+	c.ok = ok
+	close(c.done)
+}
+
+// FlightStats reports the process-wide coalescing counters: flights led
+// (unique executions started for coalescible keys) and calls served by
+// waiting on a leader's in-flight execution. Memo hits count as
+// neither. ResetMemo zeroes both.
+func FlightStats() (led, coalesced uint64) {
+	flights.mu.Lock()
+	defer flights.mu.Unlock()
+	return flights.led, flights.coalesced
+}
+
+// resetFlightStats zeroes the coalescing counters. In-flight calls are
+// left untouched: dropping them would strand their waiters.
+func resetFlightStats() {
+	flights.mu.Lock()
+	flights.led, flights.coalesced = 0, 0
+	flights.mu.Unlock()
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+)
+
+// Coalescing stress tests: GOMAXPROCS goroutines executing the same
+// still-cold RunSpec must yield exactly one underlying execution and
+// identical digests. Under `make test-race` these also prove the flight
+// table is race-free — the de-risking the asmp-serve daemon's
+// thundering-herd path rests on.
+
+// herd releases n goroutines through a starting barrier, runs f(i) in
+// each, and waits for all of them.
+func herd(n int, f func(i int)) {
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			f(i)
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+}
+
+func herdSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+func TestFlightConcurrentIdenticalSpecsExecuteOnce(t *testing.T) {
+	ResetMemo()
+	var execs atomic.Int64
+	spec := memoSpec("flight-herd", &execs)
+	n := herdSize()
+
+	results := make([]workload.Result, n)
+	errs := make([]error, n)
+	herd(n, func(i int) {
+		results[i], errs[i] = ExecuteSafe(spec)
+	})
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("underlying executions = %d, want exactly 1 for %d concurrent identical specs", got, n)
+	}
+	led, coalesced := FlightStats()
+	if led != 1 {
+		t.Fatalf("flights led = %d, want 1", led)
+	}
+	_, hits, _ := MemoStats()
+	// Everybody but the leader was served either by waiting on the
+	// flight or, if it arrived after the flight retired, by the memo.
+	if coalesced+hits != uint64(n-1) {
+		t.Fatalf("coalesced (%d) + memo hits (%d) = %d, want %d", coalesced, hits, coalesced+hits, n-1)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i].Digest != results[0].Digest {
+			t.Fatalf("goroutine %d digest = %v, others %v: coalesced results diverge", i, results[i].Digest, results[0].Digest)
+		}
+		if results[i].Value != results[0].Value {
+			t.Fatalf("goroutine %d value = %v, others %v", i, results[i].Value, results[0].Value)
+		}
+	}
+
+	// A second herd is served entirely from the memo: no new execution,
+	// no new flight.
+	herd(n, func(int) {
+		if _, err := ExecuteSafe(spec); err != nil {
+			t.Errorf("warm herd: %v", err)
+		}
+	})
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions after warm herd = %d, want still 1", got)
+	}
+	if led, _ := FlightStats(); led != 1 {
+		t.Fatalf("flights led after warm herd = %d, want still 1", led)
+	}
+}
+
+func TestFlightServedCopiesDoNotAlias(t *testing.T) {
+	ResetMemo()
+	var execs atomic.Int64
+	spec := memoSpec("flight-alias", &execs)
+	herd(herdSize(), func(int) {
+		res, err := ExecuteSafe(spec)
+		if err != nil {
+			t.Errorf("ExecuteSafe: %v", err)
+			return
+		}
+		// Every caller owns its Extras: concurrent scribbling must not
+		// race (the race detector proves it) nor corrupt the cache.
+		res.Extras["scribble"] = 1
+	})
+	res, err := ExecuteSafe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := res.Extras["scribble"]; leaked {
+		t.Fatal("a herd member's mutation leaked into the shared cache")
+	}
+}
+
+func TestFlightLeaderFailureNeverShared(t *testing.T) {
+	ResetMemo()
+	var execs atomic.Int64
+	spec := RunSpec{
+		Workload: panicProbe{execs: &execs},
+		Config:   cpu.MustParseConfig("4f-0s"),
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     1,
+	}
+	n := herdSize()
+	var fails atomic.Int64
+	herd(n, func(int) {
+		if _, err := ExecuteSafe(spec); err != nil {
+			fails.Add(1)
+		}
+	})
+	if got := fails.Load(); got != int64(n) {
+		t.Fatalf("failures = %d, want %d (a leader's failure must never be served to waiters as success)", got, n)
+	}
+	// Failures re-execute deterministically; none may be cached.
+	if entries, _, _ := MemoStats(); entries != 0 {
+		t.Fatalf("memo entries after failing herd = %d, want 0", entries)
+	}
+}
+
+// gateProbe is an Identifier workload that blocks on a real channel
+// before simulating, letting tests hold a flight open deterministically.
+type gateProbe struct {
+	id    string
+	gate  <-chan struct{}
+	execs *atomic.Int64
+}
+
+func (w gateProbe) Name() string     { return "gate-probe" }
+func (w gateProbe) Identity() string { return "gate-probe|" + w.id }
+
+func (w gateProbe) Run(pl *workload.Platform) workload.Result {
+	w.execs.Add(1)
+	<-w.gate
+	pl.Env.Go("probe", func(p *sim.Proc) { p.Compute(1e5) })
+	pl.Env.Run()
+	return workload.Result{
+		Metric:         "throughput",
+		Value:          pl.Config.ComputePower(),
+		HigherIsBetter: true,
+	}
+}
+
+func TestFlightWaiterCancelledMidFlight(t *testing.T) {
+	ResetMemo()
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	spec := RunSpec{
+		Workload: gateProbe{id: "waiter-cancel", gate: gate, execs: &execs},
+		Config:   cpu.MustParseConfig("2f-2s/8"),
+		Sched:    sched.Defaults(sched.PolicyNaive),
+		Seed:     1,
+	}
+
+	// Leader enters and blocks on the gate mid-execution.
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := ExecuteSafe(spec)
+		leaderErr <- err
+	}()
+	for execs.Load() == 0 {
+		runtime.Gosched()
+	}
+
+	// Waiter joins the live flight, then its Cancel fires. It must
+	// abandon the flight and fail ErrCancelled — regardless of whether
+	// it was already waiting or arrives after the cancel.
+	cancel := make(chan struct{})
+	waiter := spec
+	waiter.Cancel = cancel
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := ExecuteSafe(waiter)
+		waiterErr <- err
+	}()
+	close(cancel)
+	close(gate)
+
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-waiterErr; !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled waiter: err = %v, want ErrCancelled", err)
+	}
+	// The leader's success is cached despite the waiter's abandonment.
+	res, err := ExecuteSafe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value == 0 {
+		t.Fatal("cached leader result is empty")
+	}
+}
+
+func TestFlightPreCancelledSpecNeverJoins(t *testing.T) {
+	ResetMemo()
+	var execs atomic.Int64
+	spec := memoSpec("flight-precancel", &execs)
+	cancel := make(chan struct{})
+	close(cancel)
+	cancelled := spec
+	cancelled.Cancel = cancel
+	if _, err := ExecuteSafe(cancelled); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("pre-cancelled spec: err = %v, want ErrCancelled", err)
+	}
+	if led, coalesced := FlightStats(); led != 0 || coalesced != 0 {
+		t.Fatalf("flight stats = (%d led, %d coalesced), want zeros: cancelled specs execute directly", led, coalesced)
+	}
+}

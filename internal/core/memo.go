@@ -109,6 +109,20 @@ func memoLookup(key memoKey) (workload.Result, bool) {
 	return workload.Result{}, false
 }
 
+// memoRecheck is memoLookup for the coalescing layer's second look (see
+// enterFlight): a hit counts — the caller is served from the cache — but
+// a miss does not, because the caller's first lookup already counted it.
+func memoRecheck(key memoKey) (workload.Result, bool) {
+	memoCache.mu.Lock()
+	defer memoCache.mu.Unlock()
+	res, ok := memoCache.m[key]
+	if ok {
+		memoCache.hits++
+		return cloneResult(res), true
+	}
+	return workload.Result{}, false
+}
+
 // memoStore records a successful run's Result under key.
 func memoStore(key memoKey, res workload.Result) {
 	memoCache.mu.Lock()
@@ -141,11 +155,14 @@ func MemoStats() (entries int, hits, misses uint64) {
 	return len(memoCache.m), memoCache.hits, memoCache.misses
 }
 
-// ResetMemo empties the cell cache and zeroes its counters. Tests and
-// benchmarks use it to measure cold-path behaviour.
+// ResetMemo empties the cell cache and zeroes its counters, including
+// the coalescing counters (FlightStats). Tests and benchmarks use it to
+// measure cold-path behaviour. In-flight coalesced executions are not
+// interrupted: they complete and retire normally.
 func ResetMemo() {
 	memoCache.mu.Lock()
-	defer memoCache.mu.Unlock()
 	memoCache.m = nil
 	memoCache.hits, memoCache.misses = 0, 0
+	memoCache.mu.Unlock()
+	resetFlightStats()
 }

@@ -1,0 +1,48 @@
+package core
+
+// The process-wide host-parallelism bound. Cells of a sweep execute on
+// a pool of harness workers (Experiment.run); figure regeneration fans
+// experiments out the same way (internal/figures). Both size their
+// pools from this knob so one flag — the CLIs' and asmp-serve's
+// -workers — bounds every source of host parallelism in the process.
+// Host parallelism never affects results: cells are independent pure
+// functions of their seeds, so only wall-clock time varies.
+
+import (
+	"runtime"
+	"sync"
+)
+
+var defaultWorkers struct {
+	mu sync.Mutex //asmp:allow goroutine guards the harness pool-size knob; it never influences simulation results
+	n  int
+}
+
+// SetDefaultWorkers sets the process-wide worker-pool bound used by
+// Experiment.Run (when Experiment.Workers is 0) and by figure
+// regeneration: 0 restores the default (GOMAXPROCS), 1 means
+// sequential, negative values are treated as 0. CLIs expose it as
+// -workers.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.mu.Lock()
+	defaultWorkers.n = n
+	defaultWorkers.mu.Unlock()
+}
+
+// DefaultWorkers resolves the process-wide bound: the value set by
+// SetDefaultWorkers, or GOMAXPROCS when unset; never below 1.
+func DefaultWorkers() int {
+	defaultWorkers.mu.Lock()
+	n := defaultWorkers.n
+	defaultWorkers.mu.Unlock()
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
+}

@@ -65,6 +65,7 @@ func init() {
 					Runs:     runs,
 					Sched:    sched.Defaults(sched.PolicyNaive),
 					BaseSeed: o.seed() + uint64(i),
+					Cancel:   o.Cancel,
 				}.Run()
 				covs[i] = make([]float64, len(configs))
 				for c := range configs {

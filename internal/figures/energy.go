@@ -42,6 +42,9 @@ func init() {
 				pl := workload.NewPlatform(cfg, sched.Defaults(sched.PolicyAsymmetryAware),
 					core.RunSeed(o.seed(), 900+i, 0))
 				defer pl.Close()
+				if o.Cancel != nil {
+					pl.Env.SetCancel(o.Cancel)
+				}
 				res := w.Run(pl)
 				st := pl.Sched.Stats()
 				elapsed := float64(pl.Env.Now())

@@ -93,6 +93,7 @@ func init() {
 					BaseSeed: o.seed() + uint64(c.w),
 					Fault:    plan,
 					Limits:   sim.Limits{MaxVirtualTime: 5 * simtime.Minute},
+					Cancel:   o.Cancel,
 				}.Run()
 				cr := out.PerConfig[0]
 				results[i] = res{cov: cr.Summary.CoV, mean: cr.Summary.Mean, failed: cr.Failed()}

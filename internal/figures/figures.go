@@ -12,7 +12,6 @@ package figures
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -30,6 +29,12 @@ type Options struct {
 	Quick bool
 	// Seed anchors all randomness (default 1).
 	Seed uint64
+	// Cancel, when non-nil, cooperatively stops regeneration when
+	// closed: sweeps record their remaining cells as CANCELLED and
+	// single-cell figures abort with *sim.CancelledError (surfaced as a
+	// panic through Figure.Run; asmp-serve maps it to a typed timeout).
+	// Cancellation never affects completed cells' values.
+	Cancel <-chan struct{}
 }
 
 func (o Options) seed() uint64 {
@@ -125,23 +130,39 @@ func splitID(s string) (int, string) {
 	return n, s[i:]
 }
 
-// pmap runs f(0..n-1) on all CPUs and waits.
+// pmap runs f(0..n-1) on a pool bounded by core.DefaultWorkers and
+// waits. A panic inside f — e.g. *sim.CancelledError from a cancelled
+// single-cell run — is caught in the worker (so feeding never stalls),
+// and the first one re-panics on the caller's goroutine after all
+// iterations settle, preserving the uncancelled iterations' results.
 func pmap(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := core.DefaultWorkers()
 	if workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup //asmp:allow goroutine harness parallelism across independent cells
+		panicOnce sync.Once      //asmp:allow goroutine records the first worker panic for re-raise on the caller
+		panicked  any
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicked = r })
+			}
+		}()
+		f(i)
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //asmp:allow goroutine harness parallelism across independent cells
 			defer wg.Done()
 			for i := range next {
-				f(i)
+				call(i)
 			}
 		}()
 	}
@@ -150,27 +171,34 @@ func pmap(n int, f func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // standardExperiment sweeps a workload over the nine standard
-// configurations under the given policy.
-func standardExperiment(name string, w workload.Workload, runs int, policy sched.Policy, seed uint64) *core.Outcome {
+// configurations under the given policy, honouring o.Cancel.
+func standardExperiment(o Options, name string, w workload.Workload, runs int, policy sched.Policy, seed uint64) *core.Outcome {
 	return core.Experiment{
 		Name:     name,
 		Workload: w,
 		Runs:     runs,
 		Sched:    sched.Defaults(policy),
 		BaseSeed: seed,
+		Cancel:   o.Cancel,
 	}.Run()
 }
 
-// runCell executes one (workload, config, policy, seed) cell.
-func runCell(w workload.Workload, cfg cpu.Config, policy sched.Policy, seed uint64) workload.Result {
+// runCell executes one (workload, config, policy, seed) cell. If
+// o.Cancel fires the cell panics *sim.CancelledError (core.Execute's
+// contract); pmap carries that to the figure's caller.
+func runCell(o Options, w workload.Workload, cfg cpu.Config, policy sched.Policy, seed uint64) workload.Result {
 	return core.Execute(core.RunSpec{
 		Workload: w,
 		Config:   cfg,
 		Sched:    sched.Defaults(policy),
 		Seed:     seed,
+		Cancel:   o.Cancel,
 	})
 }
 

@@ -17,7 +17,7 @@ func init() {
 		Paper: "Manufacturing and customer (NewOrder) throughput across the nine configurations: roughly constant while the machine sustains the specified injection rate (4f-0s, 3f-1s/4, 3f-1s/8), then a linear reduction as the feedback loop scales the rate down.",
 		Run: func(o Options) []*report.Table {
 			w := jappserver.New(jappserver.Options{})
-			out := standardExperiment("Figure 3(a): SPECjAppServer throughput (injection rate 320)",
+			out := standardExperiment(o, "Figure 3(a): SPECjAppServer throughput (injection rate 320)",
 				w, o.runs(3), sched.PolicyNaive, o.seed())
 			t := &report.Table{
 				Title:   out.Name,
@@ -65,7 +65,7 @@ func init() {
 				cl := cells[i]
 				w := jappserver.New(jappserver.Options{InjectionRate: rates[cl.rateIdx]})
 				seed := core.RunSeed(o.seed(), 300+cl.cfgIdx, cl.rateIdx)
-				r := runCell(w, cpu.StandardConfigs[cl.cfgIdx], sched.PolicyNaive, seed)
+				r := runCell(o, w, cpu.StandardConfigs[cl.cfgIdx], sched.PolicyNaive, seed)
 				res[i] = rtrip{r.Extra("resp_avg_ms"), r.Extra("resp_p90_ms"), r.Extra("resp_max_ms")}
 			})
 			for i, cl := range cells {

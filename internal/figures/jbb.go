@@ -40,7 +40,7 @@ func jbbSweep(o Options, cfg cpu.Config, jvm jbb.JVM, kind gc.Kind, policy sched
 		c := cells[i]
 		w := jbb.New(jbb.Options{Warehouses: pts[c.wi], JVM: jvm, GC: kind})
 		seed := core.RunSeed(o.seed(), seedLane*1000+c.wi, c.run)
-		vals[i] = runCell(w, cfg, policy, seed).Value
+		vals[i] = runCell(o, w, cfg, policy, seed).Value
 	})
 	out := map[int][]float64{}
 	for _, w := range pts {
@@ -129,7 +129,7 @@ func init() {
 		Paper: "Average throughput with error bars over the nine configurations: symmetric points scale linearly and tightly; asymmetric points scale but with large variability.",
 		Run: func(o Options) []*report.Table {
 			w := jbb.New(jbb.Options{Warehouses: 12, JVM: jbb.JRockit, GC: gc.ConcurrentGenerational})
-			out := standardExperiment("Figure 2(a): SPECjbb across configurations (12 warehouses, concurrent GC)",
+			out := standardExperiment(o, "Figure 2(a): SPECjbb across configurations (12 warehouses, concurrent GC)",
 				w, o.runs(5), sched.PolicyNaive, o.seed())
 			bars := make([]report.Bar, len(out.PerConfig))
 			for i, cr := range out.PerConfig {

@@ -13,7 +13,7 @@ func init() {
 		Title: "H.264 multithreaded encoding",
 		Paper: "Four runs per configuration: stable everywhere and predictably scalable; replacing a fast core with a slow one hurts, but one fast core among slow ones (1f-3s/8) clearly beats all-slow systems.",
 		Run: func(o Options) []*report.Table {
-			out := standardExperiment("Figure 9(a): H.264 encoding runtime",
+			out := standardExperiment(o, "Figure 9(a): H.264 encoding runtime",
 				h264.New(h264.Options{}), o.runs(4), sched.PolicyNaive, o.seed())
 			t := report.OutcomeTable(out)
 			if one := out.Find(mustCfg("1f-3s/8")); one != nil {
@@ -31,7 +31,7 @@ func init() {
 		Title: "PMAKE parallel kernel build",
 		Paper: "Two runs per configuration: stable and scalable; one fast processor significantly improves performance over all-slow systems because it serves the build's serial portions and soaks up extra jobs.",
 		Run: func(o Options) []*report.Table {
-			out := standardExperiment("Figure 9(b): PMAKE build time (make -j4)",
+			out := standardExperiment(o, "Figure 9(b): PMAKE build time (make -j4)",
 				pmake.New(pmake.Options{}), o.runs(2), sched.PolicyNaive, o.seed())
 			t := report.OutcomeTable(out)
 			if one := out.Find(mustCfg("1f-3s/8")); one != nil {

@@ -50,6 +50,9 @@ func init() {
 				machine := cpu.NewMachine(duty)
 				run := func(m microbench) float64 {
 					env := sim.NewEnv(o.seed())
+					if o.Cancel != nil {
+						env.SetCancel(o.Cancel)
+					}
 					sched.New(env, machine, sched.Defaults(sched.PolicyNaive))
 					pl := &workload.Platform{Env: env, Config: cpu.Config{Fast: 0, Slow: 1, Scale: 1}}
 					defer env.Close()

@@ -53,7 +53,7 @@ func ompTable(o Options, title string, forceDynamic bool, seedLane int) *report.
 		c := cells[i]
 		w := omp.New(omp.Options{Benchmark: benches[c.bi], ForceDynamic: forceDynamic})
 		seed := core.RunSeed(o.seed(), seedLane*100+c.bi*10+c.ci, c.run)
-		vals[i] = runCell(w, cpu.MustParseConfig(fig8Configs[c.ci]), sched.PolicyNaive, seed).Value
+		vals[i] = runCell(o, w, cpu.MustParseConfig(fig8Configs[c.ci]), sched.PolicyNaive, seed).Value
 	})
 	rowFor := map[int][]string{}
 	for bi, b := range benches {

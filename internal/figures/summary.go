@@ -110,7 +110,7 @@ func init() {
 			runs := o.runs(3)
 			outs := make([]*core.Outcome, len(entries))
 			pmap(len(entries), func(i int) {
-				outs[i] = standardExperiment(entries[i].label, entries[i].build(), runs,
+				outs[i] = standardExperiment(o, entries[i].label, entries[i].build(), runs,
 					sched.PolicyNaive, o.seed()+uint64(i))
 			})
 			t := &report.Table{
@@ -183,10 +183,10 @@ func init() {
 			rows := make([]rowData, len(entries))
 			pmap(len(entries), func(i int) {
 				e := entries[i]
-				out := standardExperiment(e.label, e.build(), runs, sched.PolicyNaive, o.seed()+uint64(i))
+				out := standardExperiment(o, e.label, e.build(), runs, sched.PolicyNaive, o.seed()+uint64(i))
 				rows[i].base = core.Classify(out)
 				if e.fixBuild != nil {
-					fixedOut := standardExperiment(e.label+"+fix", e.fixBuild(), runs, e.fixPolicy, o.seed()+uint64(i))
+					fixedOut := standardExperiment(o, e.label+"+fix", e.fixBuild(), runs, e.fixPolicy, o.seed()+uint64(i))
 					cl := core.Classify(fixedOut)
 					rows[i].fixed = &cl
 				}

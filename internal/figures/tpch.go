@@ -13,7 +13,7 @@ func init() {
 		Paper: "Power-run runtime for 4 runs on each configuration: symmetric points cluster tightly; asymmetric points spread widely.",
 		Run: func(o Options) []*report.Table {
 			w := tpch.New(tpch.Options{Parallelization: 4, Optimization: 7})
-			out := standardExperiment("Figure 4(a): TPC-H power run, par=4 opt=7",
+			out := standardExperiment(o, "Figure 4(a): TPC-H power run, par=4 opt=7",
 				w, o.runs(4), sched.PolicyNaive, o.seed())
 			return []*report.Table{report.OutcomeTable(out)}
 		},
@@ -25,7 +25,7 @@ func init() {
 		Paper: "13 runs of query 3 per configuration: stable on symmetric machines, significantly unstable on asymmetric ones.",
 		Run: func(o Options) []*report.Table {
 			w := tpch.New(tpch.Options{Parallelization: 4, Optimization: 7, Queries: []int{3}})
-			out := standardExperiment("Figure 4(b): TPC-H query 3, par=4 opt=7",
+			out := standardExperiment(o, "Figure 4(b): TPC-H query 3, par=4 opt=7",
 				w, o.runs(13), sched.PolicyNaive, o.seed())
 			return []*report.Table{report.OutcomeTable(out)}
 		},
@@ -37,12 +37,12 @@ func init() {
 		Paper: "Raising the intra-query parallelization degree to 8 increases the run-to-run variance on asymmetric configurations, at times to twice that of degree 4.",
 		Run: func(o Options) []*report.Table {
 			w8 := tpch.New(tpch.Options{Parallelization: 8, Optimization: 7})
-			out8 := standardExperiment("Figure 5(a): TPC-H power run, par=8 opt=7",
+			out8 := standardExperiment(o, "Figure 5(a): TPC-H power run, par=8 opt=7",
 				w8, o.runs(4), sched.PolicyNaive, o.seed())
 			t := report.OutcomeTable(out8)
 			// Comparison note against degree 4.
 			w4 := tpch.New(tpch.Options{Parallelization: 4, Optimization: 7})
-			out4 := standardExperiment("par=4 reference", w4, o.runs(4), sched.PolicyNaive, o.seed())
+			out4 := standardExperiment(o, "par=4 reference", w4, o.runs(4), sched.PolicyNaive, o.seed())
 			t.AddNote("max asymmetric CoV: par=8 %s vs par=4 %s",
 				report.F(out8.MaxCoV(true)), report.F(out4.MaxCoV(true)))
 			return []*report.Table{t}
@@ -55,11 +55,11 @@ func init() {
 		Paper: "Dropping the optimization degree to 2 slows every configuration down but removes most of the instability (up to ~10x less).",
 		Run: func(o Options) []*report.Table {
 			w2 := tpch.New(tpch.Options{Parallelization: 4, Optimization: 2})
-			out2 := standardExperiment("Figure 5(b): TPC-H power run, par=4 opt=2",
+			out2 := standardExperiment(o, "Figure 5(b): TPC-H power run, par=4 opt=2",
 				w2, o.runs(4), sched.PolicyNaive, o.seed())
 			t := report.OutcomeTable(out2)
 			w7 := tpch.New(tpch.Options{Parallelization: 4, Optimization: 7})
-			out7 := standardExperiment("opt=7 reference", w7, o.runs(4), sched.PolicyNaive, o.seed())
+			out7 := standardExperiment(o, "opt=7 reference", w7, o.runs(4), sched.PolicyNaive, o.seed())
 			t.AddNote("max asymmetric CoV: opt=2 %s vs opt=7 %s (slower but stable)",
 				report.F(out2.MaxCoV(true)), report.F(out7.MaxCoV(true)))
 			t.AddNote("kernel fix is ineffective here: DB2 binds its own processes (see tests)")

@@ -12,10 +12,10 @@ func init() {
 		Title: "Apache throughput under light and heavy load",
 		Paper: "Six runs per configuration: light load (10 concurrent clients) is unstable on asymmetric machines; heavy load (60 clients) keeps every processor busy and is stable and scalable.",
 		Run: func(o Options) []*report.Table {
-			light := standardExperiment("Figure 6(a): Apache light load (10 concurrent)",
+			light := standardExperiment(o, "Figure 6(a): Apache light load (10 concurrent)",
 				web.New(web.Options{Server: web.Apache, Load: web.LightLoad}),
 				o.runs(6), sched.PolicyNaive, o.seed())
-			heavy := standardExperiment("Figure 6(a) companion: Apache heavy load (60 concurrent)",
+			heavy := standardExperiment(o, "Figure 6(a) companion: Apache heavy load (60 concurrent)",
 				web.New(web.Options{Server: web.Apache, Load: web.HeavyLoad}),
 				o.runs(6), sched.PolicyNaive, o.seed()+1)
 			tl := report.OutcomeTable(light)
@@ -31,10 +31,10 @@ func init() {
 		Title: "Apache with two mitigation techniques",
 		Paper: "Light load with (i) the asymmetry-aware kernel: runs become repeatable at full throughput; (ii) fine-grained threading (recycle every 50 requests): stable too, but throughput is much lower and no longer scales.",
 		Run: func(o Options) []*report.Table {
-			aware := standardExperiment("Figure 6(b): Apache light load, asymmetry-aware kernel",
+			aware := standardExperiment(o, "Figure 6(b): Apache light load, asymmetry-aware kernel",
 				web.New(web.Options{Server: web.Apache, Load: web.LightLoad}),
 				o.runs(6), sched.PolicyAsymmetryAware, o.seed())
-			fine := standardExperiment("Figure 6(b): Apache light load, fine-grained threads (MaxRequestsPerChild=50)",
+			fine := standardExperiment(o, "Figure 6(b): Apache light load, fine-grained threads (MaxRequestsPerChild=50)",
 				web.New(web.Options{Server: web.Apache, Load: web.LightLoad, MaxRequestsPerChild: 50}),
 				o.runs(6), sched.PolicyNaive, o.seed()+1)
 			ta := report.OutcomeTable(aware)
@@ -50,10 +50,10 @@ func init() {
 		Title: "Zeus throughput under light load",
 		Paper: "Six runs per configuration: significant variance on asymmetric machines even though Zeus is faster than Apache; the kernel fix has no effect because Zeus schedules and binds its own processes.",
 		Run: func(o Options) []*report.Table {
-			light := standardExperiment("Figure 7(a): Zeus light load (10 concurrent)",
+			light := standardExperiment(o, "Figure 7(a): Zeus light load (10 concurrent)",
 				web.New(web.Options{Server: web.Zeus, Load: web.LightLoad}),
 				o.runs(6), sched.PolicyNaive, o.seed())
-			aware := standardExperiment("Zeus light load under the asymmetry-aware kernel (no effect)",
+			aware := standardExperiment(o, "Zeus light load under the asymmetry-aware kernel (no effect)",
 				web.New(web.Options{Server: web.Zeus, Load: web.LightLoad}),
 				o.runs(6), sched.PolicyAsymmetryAware, o.seed())
 			tl := report.OutcomeTable(light)
@@ -70,7 +70,7 @@ func init() {
 		Title: "Zeus throughput under heavy load",
 		Paper: "Unlike Apache, Zeus stays unstable even fully loaded: its static connection partition cannot move work off a slow core.",
 		Run: func(o Options) []*report.Table {
-			heavy := standardExperiment("Figure 7(b): Zeus heavy load (60 concurrent)",
+			heavy := standardExperiment(o, "Figure 7(b): Zeus heavy load (60 concurrent)",
 				web.New(web.Options{Server: web.Zeus, Load: web.HeavyLoad}),
 				o.runs(6), sched.PolicyNaive, o.seed())
 			t := report.OutcomeTable(heavy)

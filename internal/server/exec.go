@@ -1,0 +1,361 @@
+package server
+
+// Executors: the functions workers run for each request kind, plus the
+// durable journal store they flush through. Every executor honours its
+// flight's cancel signal via core's cooperative cancellation and
+// returns a result whose bytes depend only on the request identity.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"asmp/internal/core"
+	"asmp/internal/digest"
+	"asmp/internal/figures"
+	"asmp/internal/journal"
+	"asmp/internal/report"
+	"asmp/internal/sim"
+	"asmp/internal/workload"
+)
+
+const (
+	ctJSON = "application/json"
+	ctText = "text/plain; charset=utf-8"
+)
+
+// journalPath maps a canonical request key to its durable journal file.
+// The digest keeps filenames short and filesystem-safe while still
+// unique per identity; kind prefixes keep the directory browsable.
+func (s *Server) journalPath(kind, key string) string {
+	return filepath.Join(s.opts.JournalDir, kind+"-"+digest.OfBytes([]byte(key)).String()+".jsonl")
+}
+
+// setAside moves a journal that cannot be trusted out of the way
+// (path.damaged) so the execution can start a fresh one. Failures to
+// rename are logged and otherwise ignored: the store is an
+// optimisation, never a correctness dependency.
+func (s *Server) setAside(path string, why error) {
+	s.mu.Lock()
+	s.counters.journalDamaged++
+	s.mu.Unlock()
+	s.opts.Logf("journal %s set aside: %v", path, why)
+	if err := os.Rename(path, path+".damaged"); err != nil {
+		s.opts.Logf("journal %s: %v", path, err)
+	}
+}
+
+// ---- run ----
+
+// runResponse is the POST /v1/run success body.
+type runResponse struct {
+	Workload       string         `json:"workload"`
+	Config         string         `json:"config"`
+	Policy         string         `json:"policy"`
+	Seed           uint64         `json:"seed"`
+	Metric         string         `json:"metric"`
+	Value          journal.Float  `json:"value"`
+	HigherIsBetter bool           `json:"higherIsBetter"`
+	Extras         journal.Extras `json:"extras,omitempty"`
+	Digest         string         `json:"digest"`
+}
+
+// runExec executes one cell.
+func (s *Server) runExec(spec core.RunSpec) func(<-chan struct{}) *result {
+	return func(cancel <-chan struct{}) *result {
+		spec.Cancel = cancel
+		res, err := core.ExecuteSafe(spec)
+		if errors.Is(err, core.ErrCancelled) {
+			return &result{cancelled: true}
+		}
+		if err != nil {
+			return &result{status: 500, errCode: "run_failed", errMsg: err.Error()}
+		}
+		body, merr := json.Marshal(runResponse{
+			Workload:       spec.Workload.Name(),
+			Config:         spec.Config.String(),
+			Policy:         spec.Sched.Policy.String(),
+			Seed:           spec.Seed,
+			Metric:         res.Metric,
+			Value:          journal.Float(res.Value),
+			HigherIsBetter: res.HigherIsBetter,
+			Extras:         journal.MakeExtras(res.Extras),
+			Digest:         res.Digest.String(),
+		})
+		if merr != nil {
+			return &result{status: 500, errCode: "internal", errMsg: merr.Error()}
+		}
+		return &result{status: 200, ctype: ctJSON, body: body}
+	}
+}
+
+// ---- sweep ----
+
+// sweepConfig is one configuration's row in a sweepResponse.
+type sweepConfig struct {
+	Config string `json:"config"`
+	// Values holds the per-run metric values in run order (null for
+	// failed or cancelled runs); Errors the matching error strings
+	// (empty for successes).
+	Values []journal.Float `json:"values"`
+	Errors []string        `json:"errors,omitempty"`
+	Mean   journal.Float   `json:"mean"`
+	CoV    journal.Float   `json:"cov"`
+	// Failed counts failed runs (cancelled included); Cancelled the
+	// cancelled subset.
+	Failed    int `json:"failed,omitempty"`
+	Cancelled int `json:"cancelled,omitempty"`
+}
+
+// sweepResponse is the POST /v1/sweep body — complete on 200, partial
+// inside the 504/503 envelope when the sweep was cancelled mid-flight.
+type sweepResponse struct {
+	Name           string        `json:"name"`
+	Workload       string        `json:"workload"`
+	Policy         string        `json:"policy"`
+	Runs           int           `json:"runs"`
+	Seed           uint64        `json:"seed"`
+	Fault          string        `json:"fault,omitempty"`
+	Metric         string        `json:"metric"`
+	HigherIsBetter bool          `json:"higherIsBetter"`
+	Configs        []sweepConfig `json:"configs"`
+	// MaxAsymmetricCoV and SymmetricMaxCoV are the paper's headline
+	// predictability scores (see core.Outcome).
+	MaxAsymmetricCoV journal.Float `json:"maxAsymmetricCoV"`
+	SymmetricMaxCoV  journal.Float `json:"symmetricMaxCoV"`
+	// Table is the rendered text report, byte-identical to asmp-sweep's
+	// stdout table for the same request.
+	Table string `json:"table"`
+	// Failed and Cancelled count runs across the whole sweep.
+	Failed    int `json:"failed,omitempty"`
+	Cancelled int `json:"cancelled,omitempty"`
+	// JournalIncomplete is set when the durable store failed mid-sweep;
+	// the response is still complete, but the stored journal must not
+	// be trusted (the server sets it aside on the next request).
+	JournalIncomplete bool `json:"journalIncomplete,omitempty"`
+}
+
+// sweepExec executes a sweep, resuming from the durable store when an
+// identical earlier request left a journal behind.
+func (s *Server) sweepExec(exp core.Experiment, key string) func(<-chan struct{}) *result {
+	return func(cancel <-chan struct{}) *result {
+		exp.Cancel = cancel
+		out := s.runSweep(exp, key)
+		resp := buildSweepResponse(exp, out)
+		body, merr := json.Marshal(resp)
+		if merr != nil {
+			return &result{status: 500, errCode: "internal", errMsg: merr.Error()}
+		}
+		if resp.Cancelled > 0 {
+			return &result{cancelled: true, partial: body}
+		}
+		return &result{status: 200, ctype: ctJSON, body: body}
+	}
+}
+
+// runSweep runs (or resumes) the experiment, wiring the journal store
+// when configured. The store never gates correctness: any problem with
+// it falls back to a fresh, unjournaled (or re-journaled) run.
+func (s *Server) runSweep(exp core.Experiment, key string) *core.Outcome {
+	if s.opts.JournalDir == "" {
+		return exp.Run()
+	}
+	path := s.journalPath("sweep", key)
+	if _, err := os.Stat(path); err == nil {
+		log, w, err := journal.Resume(path)
+		if err == nil {
+			exp.Journal = w
+			out, rerr := exp.Resume(log)
+			if rerr == nil {
+				s.mu.Lock()
+				s.counters.journalResumes++
+				s.mu.Unlock()
+				closeJournal(s, w, out)
+				return out
+			}
+			// The key pins the identity, so a refusal means the file is
+			// not what its name claims; set it aside and start fresh.
+			if cerr := w.Close(); cerr != nil {
+				s.opts.Logf("journal %s: %v", path, cerr)
+			}
+			s.setAside(path, rerr)
+		} else {
+			s.setAside(path, err)
+		}
+	}
+	w, err := journal.Create(path)
+	if err != nil {
+		s.opts.Logf("journal %s: %v (sweep runs unjournaled)", path, err)
+		return exp.Run()
+	}
+	exp.Journal = w
+	out := exp.Run()
+	closeJournal(s, w, out)
+	return out
+}
+
+// closeJournal flushes a sweep's journal, folding a close failure into
+// the outcome's JournalErr so the response can flag the store as
+// untrustworthy.
+func closeJournal(s *Server, w *journal.Writer, out *core.Outcome) {
+	if err := w.Close(); err != nil && out.JournalErr == nil {
+		out.JournalErr = err
+	}
+	if out.JournalErr != nil {
+		s.opts.Logf("journal %s incomplete: %v", w.Path(), out.JournalErr)
+	}
+}
+
+// buildSweepResponse renders an outcome — complete or partial — into
+// the response shape, including the same text table asmp-sweep prints.
+func buildSweepResponse(exp core.Experiment, out *core.Outcome) sweepResponse {
+	resp := sweepResponse{
+		Name:              out.Name,
+		Workload:          exp.Workload.Name(),
+		Policy:            exp.Sched.Policy.String(),
+		Runs:              exp.Runs,
+		Seed:              exp.BaseSeed,
+		Metric:            out.Metric,
+		HigherIsBetter:    out.HigherIsBetter,
+		MaxAsymmetricCoV:  journal.Float(out.MaxCoV(true)),
+		SymmetricMaxCoV:   journal.Float(out.SymmetricMaxCoV()),
+		JournalIncomplete: out.JournalErr != nil,
+	}
+	if !exp.Fault.Empty() {
+		resp.Fault = exp.Fault.String()
+	}
+	for i := range out.PerConfig {
+		cr := &out.PerConfig[i]
+		sc := sweepConfig{
+			Config:    cr.Config.String(),
+			Mean:      journal.Float(cr.Summary.Mean),
+			CoV:       journal.Float(cr.Summary.CoV),
+			Failed:    cr.Failed(),
+			Cancelled: cr.Cancelled(),
+		}
+		for _, v := range cr.Values {
+			sc.Values = append(sc.Values, journal.Float(v))
+		}
+		for _, err := range cr.Errs {
+			if err != nil {
+				sc.Errors = append(sc.Errors, err.Error())
+			} else {
+				sc.Errors = append(sc.Errors, "")
+			}
+		}
+		if sc.Failed == 0 {
+			sc.Errors = nil
+		}
+		resp.Failed += sc.Failed
+		resp.Cancelled += sc.Cancelled
+		resp.Configs = append(resp.Configs, sc)
+	}
+	t := report.OutcomeTable(out)
+	t.AddNote("max asymmetric CoV = %s, symmetric noise floor = %s",
+		report.F(out.MaxCoV(true)), report.F(out.SymmetricMaxCoV()))
+	if len(out.PerConfig) >= 2 {
+		t.AddNote("scalability fit R² = %.3f", out.ScalabilityFit().R2)
+	}
+	if !exp.Fault.Empty() {
+		t.AddNote("fault plan: %s", exp.Fault)
+	}
+	resp.Table = t.String() + "\n"
+	return resp
+}
+
+// ---- figure ----
+
+// figureExec renders a figure (both text and CSV; waiters pick their
+// format), serving the durable store when an identical earlier request
+// already rendered it.
+func (s *Server) figureExec(f figures.Figure, opt figures.Options, key string) func(<-chan struct{}) *result {
+	return func(cancel <-chan struct{}) (res *result) {
+		if s.opts.JournalDir != "" {
+			if fig := s.readFigureJournal(key, f.ID); fig != nil {
+				return &result{status: 200, figure: fig}
+			}
+		}
+		// core.Execute surfaces cooperative cancellation as a
+		// *sim.CancelledError panic; pmap carries it here.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*sim.CancelledError); ok {
+					res = &result{cancelled: true}
+					return
+				}
+				panic(r)
+			}
+		}()
+		opt.Cancel = cancel
+		tables := f.Run(opt)
+		// Render exactly as asmp-run does (runOne): the server's figure
+		// bytes and the CLI's are the same bytes.
+		var txt, csv strings.Builder
+		for _, t := range tables {
+			txt.WriteString(t.String())
+			txt.WriteByte('\n')
+			csv.WriteString(t.CSV())
+		}
+		fig := &journal.Figure{ID: f.ID, Txt: txt.String(), Csv: csv.String()}
+		if s.opts.JournalDir != "" {
+			s.writeFigureJournal(key, opt, fig)
+		}
+		return &result{status: 200, figure: fig}
+	}
+}
+
+// readFigureJournal serves a rendered figure from the durable store, or
+// nil if absent/untrustworthy (damaged files are set aside).
+func (s *Server) readFigureJournal(key, id string) *journal.Figure {
+	path := s.journalPath("figure", key)
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	log, err := journal.Read(path)
+	if err != nil {
+		s.setAside(path, err)
+		return nil
+	}
+	if log.Header == nil || log.Header.Tool != "asmp-serve" {
+		s.setAside(path, fmt.Errorf("missing or foreign header"))
+		return nil
+	}
+	fig := log.Figure(id)
+	if fig == nil {
+		// Crash between header and figure record: render afresh over it.
+		return nil
+	}
+	s.mu.Lock()
+	s.counters.journalResumes++
+	s.mu.Unlock()
+	return fig
+}
+
+// writeFigureJournal persists a rendered figure. Best-effort: failures
+// are logged, the response is unaffected.
+func (s *Server) writeFigureJournal(key string, opt figures.Options, fig *journal.Figure) {
+	path := s.journalPath("figure", key)
+	w, err := journal.Create(path)
+	if err != nil {
+		s.opts.Logf("journal %s: %v", path, err)
+		return
+	}
+	werr := w.WriteHeader(journal.Header{Tool: "asmp-serve", BaseSeed: opt.Seed, Quick: opt.Quick})
+	if werr == nil {
+		werr = w.WriteFigure(*fig)
+	}
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		s.opts.Logf("journal %s incomplete: %v", path, werr)
+	}
+}
+
+// workloadByName resolves a registered workload, mirroring the CLIs.
+func workloadByName(name string) (workload.Workload, error) {
+	return workload.New(name)
+}

@@ -1,0 +1,476 @@
+package server
+
+// End-to-end tests over the real HTTP surface with real simulations:
+// determinism of the bytes, the journal store (read-through, resume
+// after drain), deadline and drain envelopes, and the error paths.
+// Interleaving-sensitive machinery is covered deterministically in
+// flight_test.go; the timing-dependent tests here lean on sweeps that
+// take hundreds of milliseconds cold against polls of a few
+// milliseconds.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"asmp/internal/figures"
+)
+
+// startServer launches a daemon over httptest. Unless drainManually is
+// set, cleanup drains it (Drain must be called exactly once).
+func startServer(t *testing.T, opts Options, drainManually bool) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	if !drainManually {
+		t.Cleanup(func() { s.Drain() })
+	}
+	return s, ts
+}
+
+// postResult is a goroutine-safe POST outcome (no *testing.T involved,
+// so helpers can run off the test goroutine).
+type postResult struct {
+	code int
+	hdr  http.Header
+	body []byte
+	err  error
+}
+
+func post(url, body string) postResult {
+	resp, err := http.Post(url, ctJSON, strings.NewReader(body))
+	if err != nil {
+		return postResult{err: err}
+	}
+	defer resp.Body.Close()
+	b, rerr := io.ReadAll(resp.Body)
+	return postResult{code: resp.StatusCode, hdr: resp.Header, body: b, err: rerr}
+}
+
+func postJSON(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	r := post(url, body)
+	if r.err != nil {
+		t.Fatalf("POST %s: %v", url, r.err)
+	}
+	return r.code, r.hdr, r.body
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, b
+}
+
+// stats fetches and decodes /stats.
+func stats(t *testing.T, ts *httptest.Server) Stats {
+	t.Helper()
+	_, b := getBody(t, ts.URL+"/stats")
+	var st Stats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	return st
+}
+
+func TestControlEndpoints(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 2}, false)
+
+	if code, b := getBody(t, ts.URL+"/healthz"); code != 200 || string(b) != "ok\n" {
+		t.Fatalf("healthz = %d %q, want 200 ok", code, b)
+	}
+	if code, b := getBody(t, ts.URL+"/readyz"); code != 200 || string(b) != "ready\n" {
+		t.Fatalf("readyz = %d %q, want 200 ready", code, b)
+	}
+
+	st := stats(t, ts)
+	if st.Workers != 2 || st.QueueCapacity != 4 {
+		t.Fatalf("stats workers/queueCapacity = %d/%d, want 2/4", st.Workers, st.QueueCapacity)
+	}
+
+	code, b := getBody(t, ts.URL+"/v1/workloads")
+	if code != 200 || !strings.Contains(string(b), `"specjbb"`) {
+		t.Fatalf("workloads = %d %q, want 200 listing specjbb", code, b)
+	}
+	code, b = getBody(t, ts.URL+"/v1/figures")
+	if code != 200 || !strings.Contains(string(b), `"2a"`) {
+		t.Fatalf("figures = %d %q, want 200 listing 2a", code, b)
+	}
+}
+
+func TestRunEndpointDeterministic(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 2}, false)
+	req := `{"workload":"specjbb","config":"4f-0s","policy":"naive"}`
+
+	code, _, b1 := postJSON(t, ts.URL+"/v1/run", req)
+	if code != 200 {
+		t.Fatalf("run = %d: %s", code, b1)
+	}
+	var r runResponse
+	if err := json.Unmarshal(b1, &r); err != nil {
+		t.Fatalf("run body %q: %v", b1, err)
+	}
+	if r.Digest == "" || r.Metric == "" || r.Seed != 1 {
+		t.Fatalf("run response incomplete: %+v", r)
+	}
+	// Identical request, identical bytes (memo or not).
+	if _, _, b2 := postJSON(t, ts.URL+"/v1/run", req); !bytes.Equal(b1, b2) {
+		t.Fatalf("identical run requests differ:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 1}, false)
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		code, msg                string
+	}{
+		{"unknown workload", "POST", "/v1/run", `{"workload":"nope","config":"4f-0s"}`, 400, "bad_request", "unknown workload"},
+		{"bad config", "POST", "/v1/run", `{"workload":"specjbb","config":"lots"}`, 400, "bad_request", "cpu"},
+		{"bad policy", "POST", "/v1/run", `{"workload":"specjbb","config":"4f-0s","policy":"psychic"}`, 400, "bad_request", "unknown policy"},
+		{"unknown field", "POST", "/v1/run", `{"workload":"specjbb","config":"4f-0s","wokers":3}`, 400, "bad_request", "unknown field"},
+		{"negative deadline", "POST", "/v1/run", `{"workload":"specjbb","config":"4f-0s","deadlineMs":-1}`, 400, "bad_request", "non-negative"},
+		{"sweep negative runs", "POST", "/v1/sweep", `{"workload":"specjbb","runs":-1}`, 400, "bad_request", "runs"},
+		{"sweep bad retries", "POST", "/v1/sweep", `{"workload":"specjbb","retries":-1}`, 400, "bad_request", "retries"},
+		{"sweep bad fault", "POST", "/v1/sweep", `{"workload":"specjbb","fault":"explode@1s:0"}`, 400, "bad_request", "unknown kind"},
+		{"sweep fault misfit", "POST", "/v1/sweep", `{"workload":"specjbb","configs":["4f-0s"],"fault":"offline@1s:7"}`, 400, "bad_request", "does not fit"},
+		{"sweep bad timeout", "POST", "/v1/sweep", `{"workload":"specjbb","timeout":"eleven"}`, 400, "bad_request", "timeout"},
+		{"unknown figure", "GET", "/v1/figure/99z", "", 404, "not_found", "unknown figure"},
+		{"bad figure format", "GET", "/v1/figure/2a?format=pdf", "", 400, "bad_request", "format"},
+		{"bad figure seed", "GET", "/v1/figure/2a?seed=banana", "", 400, "bad_request", "seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var code int
+			var b []byte
+			if tc.method == "GET" {
+				code, b = getBody(t, ts.URL+tc.path)
+			} else {
+				code, _, b = postJSON(t, ts.URL+tc.path, tc.body)
+			}
+			if code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", code, tc.status, b)
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(b, &env); err != nil {
+				t.Fatalf("body %q is not an envelope: %v", b, err)
+			}
+			if env.Error.Code != tc.code || !strings.Contains(env.Error.Message, tc.msg) {
+				t.Fatalf("envelope = %s/%q, want %s/*%s*", env.Error.Code, env.Error.Message, tc.code, tc.msg)
+			}
+		})
+	}
+}
+
+func TestSweepJournalReadThrough(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := startServer(t, Options{Workers: 2, JournalDir: dir}, false)
+	req := `{"workload":"specjbb","configs":["4f-0s"],"runs":2}`
+
+	code, _, b1 := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != 200 {
+		t.Fatalf("sweep = %d: %s", code, b1)
+	}
+	var resp sweepResponse
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatalf("sweep body: %v", err)
+	}
+	if len(resp.Configs) != 1 || len(resp.Configs[0].Values) != 2 {
+		t.Fatalf("sweep shape = %d configs / %d values, want 1/2", len(resp.Configs), len(resp.Configs[0].Values))
+	}
+	if !strings.Contains(resp.Table, "max asymmetric CoV") {
+		t.Fatalf("sweep table missing CoV note:\n%s", resp.Table)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "sweep-*.jsonl"))
+	if len(files) != 1 {
+		t.Fatalf("journal files = %v, want exactly one sweep journal", files)
+	}
+
+	// Identical request: byte-identical answer, resumed from the store.
+	_, _, b2 := postJSON(t, ts.URL+"/v1/sweep", req)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("journal-resumed sweep differs:\n%s\n%s", b1, b2)
+	}
+	if st := stats(t, ts); st.JournalResumes < 1 {
+		t.Fatalf("journalResumes = %d, want >= 1", st.JournalResumes)
+	}
+}
+
+func TestSweepDeadlineReturnsTypedTimeoutWithPartial(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 2}, false)
+	// A cold full-grid sweep (~hundreds of ms) against a 1ms deadline:
+	// the deadline always wins. rank-policy cells are unique to this
+	// test, so no other test warms them.
+	req := `{"workload":"specjbb","policy":"rank","deadlineMs":1}`
+	code, _, b := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", code, b)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("body %q: %v", b, err)
+	}
+	if env.Error.Code != "deadline_exceeded" {
+		t.Fatalf("error code = %q, want deadline_exceeded", env.Error.Code)
+	}
+	if env.Partial == nil {
+		t.Fatal("504 carried no partial sweep")
+	}
+	var partial sweepResponse
+	if err := json.Unmarshal(env.Partial, &partial); err != nil {
+		t.Fatalf("partial %q: %v", env.Partial, err)
+	}
+	if partial.Cancelled == 0 {
+		t.Fatalf("partial reports no cancelled runs: %+v", partial)
+	}
+}
+
+func TestConcurrentIdenticalSweepsCoalesce(t *testing.T) {
+	s, ts := startServer(t, Options{Workers: 1, QueueDepth: 8}, false)
+
+	// Occupy the only worker with a cold full-grid sweep (aware-policy
+	// cells are unique to this test), so the duplicates below all
+	// arrive while their shared flight is still pending.
+	blockerDone := make(chan postResult, 1)
+	go func() {
+		blockerDone <- post(ts.URL+"/v1/sweep", `{"workload":"specjbb","policy":"aware"}`)
+	}()
+	for s.StatsSnapshot().ActiveFlights == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	const n = 4
+	req := `{"workload":"specjbb","configs":["4f-0s"],"runs":1}`
+	results := make(chan postResult, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			results <- post(ts.URL+"/v1/sweep", req)
+		}()
+	}
+	var first []byte
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil || r.code != 200 {
+			t.Fatalf("duplicate sweep = %d (err %v): %s", r.code, r.err, r.body)
+		}
+		if first == nil {
+			first = r.body
+		} else if !bytes.Equal(first, r.body) {
+			t.Fatalf("coalesced sweeps returned different bytes:\n%s\n%s", first, r.body)
+		}
+	}
+	if r := <-blockerDone; r.err != nil || r.code != 200 {
+		t.Fatalf("blocker sweep = %d (err %v)", r.code, r.err)
+	}
+
+	if st := s.StatsSnapshot(); st.Coalesced < n-1 {
+		t.Fatalf("coalesced = %d, want >= %d (the %d duplicates shared one flight)", st.Coalesced, n-1, n)
+	}
+}
+
+func TestDrainMidSweepThenResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	req := `{"workload":"specjbb","seed":7,"runs":3}`
+
+	// Server 1: drain lands mid-sweep (the sweep is ~600ms cold; we
+	// drain as soon as the journal holds its first records, with a 30ms
+	// grace).
+	s1, ts1 := startServer(t, Options{Workers: 1, DrainTimeout: 30 * time.Millisecond, JournalDir: dir}, true)
+	got := make(chan postResult, 1)
+	go func() {
+		got <- post(ts1.URL+"/v1/sweep", req)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		files, _ := filepath.Glob(filepath.Join(dir, "sweep-*.jsonl"))
+		if len(files) == 1 {
+			if fi, err := os.Stat(files[0]); err == nil && fi.Size() > 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never grew; sweep did not start")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	forced := s1.Drain()
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("drained sweep: %v", r.err)
+	}
+	if forced != 1 {
+		t.Fatalf("Drain forced %d executions, want 1 (response was %d: %s)", forced, r.code, r.body)
+	}
+	if r.code != http.StatusServiceUnavailable {
+		t.Fatalf("drained sweep status = %d, want 503 (body %s)", r.code, r.body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(r.body, &env); err != nil {
+		t.Fatalf("body %q: %v", r.body, err)
+	}
+	if env.Error.Code != "draining" || env.Partial == nil {
+		t.Fatalf("envelope = %s (partial present: %t), want draining with partial", env.Error.Code, env.Partial != nil)
+	}
+
+	// Server 2, same store: the journal resumes and the answer is
+	// byte-identical to a never-interrupted sweep (server 3, fresh
+	// store).
+	s2, ts2 := startServer(t, Options{Workers: 1, JournalDir: dir}, false)
+	code2, _, b2 := postJSON(t, ts2.URL+"/v1/sweep", req)
+	if code2 != 200 {
+		t.Fatalf("resumed sweep = %d: %s", code2, b2)
+	}
+	if st := s2.StatsSnapshot(); st.JournalResumes < 1 {
+		t.Fatalf("journalResumes = %d, want >= 1", st.JournalResumes)
+	}
+
+	_, ts3 := startServer(t, Options{Workers: 1, JournalDir: t.TempDir()}, false)
+	code3, _, b3 := postJSON(t, ts3.URL+"/v1/sweep", req)
+	if code3 != 200 {
+		t.Fatalf("reference sweep = %d: %s", code3, b3)
+	}
+	if !bytes.Equal(b2, b3) {
+		t.Fatalf("resumed sweep differs from uninterrupted sweep:\n%s\n%s", b2, b3)
+	}
+	var resumed sweepResponse
+	if err := json.Unmarshal(b2, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Cancelled != 0 || resumed.JournalIncomplete {
+		t.Fatalf("resumed sweep not clean: %+v", resumed)
+	}
+}
+
+func TestFigureBytesMatchDirectRender(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := startServer(t, Options{Workers: 2, JournalDir: dir}, false)
+
+	code, b := getBody(t, ts.URL+"/v1/figure/2a?quick=1")
+	if code != 200 {
+		t.Fatalf("figure = %d: %s", code, b)
+	}
+
+	// Render the same figure directly, exactly as asmp-run does.
+	fig, ok := figures.Get("2a")
+	if !ok {
+		t.Fatal("figure 2a not registered")
+	}
+	var txt, csv strings.Builder
+	for _, tab := range fig.Run(figures.Options{Quick: true, Seed: 1}) {
+		txt.WriteString(tab.String())
+		txt.WriteByte('\n')
+		csv.WriteString(tab.CSV())
+	}
+	if string(b) != txt.String() {
+		t.Fatalf("server figure bytes differ from direct render:\n--- server\n%s\n--- direct\n%s", b, txt.String())
+	}
+
+	// CSV rendering comes from the same flight's result.
+	code, bcsv := getBody(t, ts.URL+"/v1/figure/2a?quick=1&format=csv")
+	if code != 200 || string(bcsv) != csv.String() {
+		t.Fatalf("server CSV differs from direct render (status %d)", code)
+	}
+
+	// And the second fetch above came from the durable store.
+	if st := s.StatsSnapshot(); st.JournalResumes < 1 {
+		t.Fatalf("journalResumes = %d, want >= 1", st.JournalResumes)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "figure-*.jsonl"))
+	if len(files) != 1 {
+		t.Fatalf("figure journals = %v, want exactly one", files)
+	}
+}
+
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s, ts := startServer(t, Options{Workers: 1}, true)
+	if code, _ := getBody(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz before drain = %d, want 200", code)
+	}
+	s.Drain()
+	code, b := getBody(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || string(b) != "draining\n" {
+		t.Fatalf("readyz after drain = %d %q, want 503 draining", code, b)
+	}
+	// Data requests now answer the typed draining envelope.
+	code, _, body := postJSON(t, ts.URL+"/v1/sweep", `{"workload":"specjbb","configs":["4f-0s"],"runs":1}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("sweep during drain = %d, want 503", code)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "draining" {
+		t.Fatalf("sweep during drain envelope = %s (err %v), want draining", body, err)
+	}
+}
+
+func TestShedReturns429WithRetryAfter(t *testing.T) {
+	// One worker, minimal queue, worker held busy by a cold sweep: a
+	// concurrent burst of distinct requests overflows the queue and at
+	// least one is shed with the typed 429.
+	s, ts := startServer(t, Options{Workers: 1, QueueDepth: 1}, false)
+	blockerDone := make(chan postResult, 1)
+	go func() {
+		blockerDone <- post(ts.URL+"/v1/sweep", `{"workload":"specjbb","policy":"aware","seed":3}`)
+	}()
+	for s.StatsSnapshot().ActiveFlights == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	const n = 4
+	results := make(chan postResult, n)
+	for i := 0; i < n; i++ {
+		// Distinct keys (seed varies) so none coalesce.
+		body := fmt.Sprintf(`{"workload":"specjbb","configs":["4f-0s"],"runs":1,"seed":%d,"deadlineMs":30000}`, 100+i)
+		go func() {
+			results <- post(ts.URL+"/v1/sweep", body)
+		}()
+	}
+	var shed429 int
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("burst request: %v", r.err)
+		}
+		switch r.code {
+		case http.StatusTooManyRequests:
+			shed429++
+			if r.hdr.Get("Retry-After") != "1" {
+				t.Fatalf("429 without Retry-After: %v", r.hdr)
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(r.body, &env); err != nil || env.Error.Code != "overloaded" {
+				t.Fatalf("429 envelope = %s (err %v), want overloaded", r.body, err)
+			}
+		case http.StatusOK:
+			// Fit in the queue and completed after the blocker.
+		default:
+			t.Fatalf("burst request = %d: %s", r.code, r.body)
+		}
+	}
+	if shed429 == 0 {
+		t.Fatalf("no request was shed (stats: %+v)", s.StatsSnapshot())
+	}
+	if r := <-blockerDone; r.err != nil || r.code != 200 {
+		t.Fatalf("blocker sweep = %d (err %v)", r.code, r.err)
+	}
+	if st := s.StatsSnapshot(); st.Shed == 0 {
+		t.Fatal("stats.shed = 0 after a 429")
+	}
+}
