@@ -122,6 +122,13 @@ func executeLead(spec RunSpec, key memoKey) (res workload.Result) {
 // scheduler's tracer, so Result.Digest is always populated: it folds the
 // run identity, every scheduler event, and the final metrics.
 func executeOn(spec RunSpec, pl *workload.Platform) workload.Result {
+	// Hold one of the process-wide execution slots (workers.go) for the
+	// duration of the simulation, so concurrent pools — sweeps, figure
+	// fan-outs, server requests — share the -workers bound in aggregate
+	// instead of multiplying it. Leaf-only: nothing below this point
+	// acquires another slot, so holders always progress and release.
+	acquireHostSlot()
+	defer releaseHostSlot()
 	if !spec.Limits.Zero() {
 		pl.Env.SetLimits(spec.Limits)
 	}

@@ -1,0 +1,71 @@
+package core
+
+// Tests for the process-wide execution-slot semaphore (workers.go):
+// the -workers bound must hold in aggregate across concurrent pools,
+// and changing the bound must take effect on live waiters.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHostSlotsBoundAggregateParallelism(t *testing.T) {
+	SetDefaultWorkers(2)
+	defer SetDefaultWorkers(0)
+
+	var (
+		mu       sync.Mutex
+		cur, max int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acquireHostSlot()
+			mu.Lock()
+			cur++
+			if cur > max {
+				max = cur
+			}
+			mu.Unlock()
+			runtime.Gosched() // let the others pile up against the bound
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			releaseHostSlot()
+		}()
+	}
+	wg.Wait()
+	if max > 2 {
+		t.Fatalf("observed %d concurrent slot holders, want at most 2", max)
+	}
+}
+
+func TestHostSlotsWakeOnRaisedBound(t *testing.T) {
+	SetDefaultWorkers(1)
+	defer SetDefaultWorkers(0)
+
+	acquireHostSlot()
+	got := make(chan struct{})
+	go func() {
+		acquireHostSlot()
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("second slot acquired while the bound of 1 was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	SetDefaultWorkers(2)
+	select {
+	case <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("raising the bound never woke the waiting acquire")
+	}
+	releaseHostSlot()
+	releaseHostSlot()
+}

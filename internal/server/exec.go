@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"asmp/internal/core"
 	"asmp/internal/digest"
@@ -26,6 +27,45 @@ const (
 	ctJSON = "application/json"
 	ctText = "text/plain; charset=utf-8"
 )
+
+// journalLock serializes journal access for one canonical key. A
+// flight whose last waiter left is cancelled and unlinked immediately,
+// but its execution can still be appending to (and closing) its
+// journal when an identical new request admits a fresh flight for the
+// same key; without the lock the fresh execution could Resume or
+// Create the same file while the dying writer is mid-append —
+// corrupting it, or seeding the resume from a half-written tail. Each
+// execution holds its key's lock for its whole journal lifetime
+// (resume/create through close), so a fresh flight waits for the dying
+// writer instead of racing it. Entries are refcounted away, so the
+// table only holds keys with an execution in (or waiting for) the
+// critical section.
+type journalLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockJournal acquires key's journal lock and returns the unlock.
+func (s *Server) lockJournal(key string) (unlock func()) {
+	s.mu.Lock()
+	l := s.journalLocks[key]
+	if l == nil {
+		l = &journalLock{}
+		s.journalLocks[key] = l
+	}
+	l.refs++
+	s.mu.Unlock()
+	l.mu.Lock()
+	return func() {
+		l.mu.Unlock()
+		s.mu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(s.journalLocks, key)
+		}
+		s.mu.Unlock()
+	}
+}
 
 // journalPath maps a canonical request key to its durable journal file.
 // The digest keeps filenames short and filesystem-safe while still
@@ -143,6 +183,9 @@ type sweepResponse struct {
 func (s *Server) sweepExec(exp core.Experiment, key string) func(<-chan struct{}) *result {
 	return func(cancel <-chan struct{}) *result {
 		exp.Cancel = cancel
+		if s.opts.JournalDir != "" {
+			defer s.lockJournal(key)()
+		}
 		out := s.runSweep(exp, key)
 		resp := buildSweepResponse(exp, out)
 		body, merr := json.Marshal(resp)
@@ -274,6 +317,7 @@ func buildSweepResponse(exp core.Experiment, out *core.Outcome) sweepResponse {
 func (s *Server) figureExec(f figures.Figure, opt figures.Options, key string) func(<-chan struct{}) *result {
 	return func(cancel <-chan struct{}) (res *result) {
 		if s.opts.JournalDir != "" {
+			defer s.lockJournal(key)()
 			if fig := s.readFigureJournal(key, f.ID); fig != nil {
 				return &result{status: 200, figure: fig}
 			}
@@ -291,6 +335,19 @@ func (s *Server) figureExec(f figures.Figure, opt figures.Options, key string) f
 		}()
 		opt.Cancel = cancel
 		tables := f.Run(opt)
+		// Experiment-backed figures surface cancellation as CANCELLED
+		// rows in their tables rather than a panic (core.Experiment
+		// degrades, it doesn't abort), so a Run that returned after its
+		// cancel fired may be a partial rendering. It must never be
+		// answered 200 or journaled — an identical later request has to
+		// re-render. The check is conservative: a cancel that raced a
+		// fully completed Run also discards it, which only costs a
+		// recomputation nobody was waiting for.
+		select {
+		case <-cancel:
+			return &result{cancelled: true}
+		default:
+		}
 		// Render exactly as asmp-run does (runOne): the server's figure
 		// bytes and the CLI's are the same bytes.
 		var txt, csv strings.Builder

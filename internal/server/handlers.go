@@ -116,6 +116,15 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, ex
 	case <-f.done:
 		s.respond(w, f, format)
 	case <-timer.C:
+		// The timer and completion can be ready together (select picks
+		// at random): prefer the finished result over 504-ing a response
+		// that is already in hand.
+		select {
+		case <-f.done:
+			s.respond(w, f, format)
+			return
+		default:
+		}
 		s.mu.Lock()
 		s.counters.expired++
 		s.mu.Unlock()

@@ -46,7 +46,10 @@ import (
 type Options struct {
 	// Workers is the number of pool goroutines executing admitted
 	// requests; 0 means core.DefaultWorkers() (the process-wide -workers
-	// knob, defaulting to GOMAXPROCS).
+	// knob, defaulting to GOMAXPROCS). Request concurrency does not
+	// multiply simulation concurrency: however many requests execute at
+	// once, core's execution slots cap actual simulation parallelism at
+	// the same -workers bound process-wide.
 	Workers int
 	// QueueDepth bounds requests admitted but not yet executing; 0
 	// means 2×Workers. A full queue sheds new work with 429.
@@ -101,6 +104,11 @@ type Server struct {
 	draining bool
 	counters counters
 
+	// journalLocks serialize journal access per canonical key (exec.go:
+	// lockJournal); the map is guarded by mu, each entry's own mutex is
+	// held across an execution's journal lifetime.
+	journalLocks map[string]*journalLock
+
 	jobs    chan *flight
 	workers sync.WaitGroup
 
@@ -130,6 +138,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:         o,
 		flights:      map[string]*flight{},
+		journalLocks: map[string]*journalLock{},
 		jobs:         make(chan *flight, o.QueueDepth),
 		drainStarted: make(chan struct{}),
 	}

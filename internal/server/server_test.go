@@ -474,3 +474,41 @@ func TestShedReturns429WithRetryAfter(t *testing.T) {
 		t.Fatal("stats.shed = 0 after a 429")
 	}
 }
+
+func TestFigureDeadlineNeverPoisonsJournal(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := startServer(t, Options{Workers: 2, JournalDir: dir}, false)
+
+	// An experiment-backed figure (9b, unique to this test so no other
+	// test warms its cells) against a 1ms deadline: cancellation lands
+	// mid-sweep and surfaces as CANCELLED table rows, not a panic. The
+	// partial rendering must be discarded — never answered 200, never
+	// journaled as the figure's durable bytes.
+	code, b := getBody(t, ts.URL+"/v1/figure/9b?quick=1&deadline_ms=1")
+	if code != http.StatusGatewayTimeout && code != 200 {
+		t.Fatalf("short-deadline figure = %d, want 504 (or 200 if the render won the race): %s", code, b)
+	}
+	if code == 200 {
+		t.Log("figure finished inside 1ms; the byte check below still pins the journal")
+	}
+
+	// An identical request with an ample deadline must yield the full
+	// figure, byte-identical to a direct render — not a poisoned partial
+	// served back out of the journal.
+	code, b = getBody(t, ts.URL+"/v1/figure/9b?quick=1")
+	if code != 200 {
+		t.Fatalf("figure = %d: %s", code, b)
+	}
+	fig, ok := figures.Get("9b")
+	if !ok {
+		t.Fatal("figure 9b not registered")
+	}
+	var txt strings.Builder
+	for _, tab := range fig.Run(figures.Options{Quick: true, Seed: 1}) {
+		txt.WriteString(tab.String())
+		txt.WriteByte('\n')
+	}
+	if string(b) != txt.String() {
+		t.Fatalf("figure after a cancelled render differs from direct render:\n--- server\n%s\n--- direct\n%s", b, txt.String())
+	}
+}
