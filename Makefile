@@ -7,6 +7,7 @@
 #   make lint         # determinism lint suite only (cmd/asmp-lint)
 #   make test-race    # full test suite under the race detector
 #   make test-crash   # crash-consistency matrix, every byte-prefix (DESIGN.md §9)
+#   make test-shard   # shard-supervision chaos matrix, SIGKILLed workers (DESIGN.md §11)
 #   make serve-smoke  # asmp-serve end-to-end: coalesce, drain, resume (DESIGN.md §10)
 #   make bench        # one pass over every figure/ablation benchmark
 #   make bench-hot    # the engine hot-path benchmarks (see BENCH_4.json)
@@ -14,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test test-race test-crash serve-smoke bench bench-hot golden
+.PHONY: check vet lint test test-race test-crash test-shard serve-smoke bench bench-hot golden
 
 check: vet lint test
 
@@ -43,6 +44,17 @@ test-race:
 # property breaks.
 test-crash:
 	ASMP_CRASH_FULL=1 $(GO) test -v -run 'TestCrashMatrix|TestInjectedResume|TestTornNewline' ./internal/core ./internal/journal
+
+# The shard-supervision chaos matrix (DESIGN.md §11): real worker
+# processes SIGKILL themselves at a widened sweep of byte offsets (or
+# suffer injected sink faults), and every interleaving must either
+# converge to a merged journal byte-identical to the unsharded run or
+# degrade to typed ERR cells naming the dead shard — under the race
+# detector, since supervision is concurrent. The regular suite runs the
+# sampled version of the same property. Set ASMP_CRASH_ARTIFACT_DIR to
+# keep the counterexample journals when the property breaks.
+test-shard:
+	ASMP_SHARD_CHAOS_FULL=1 $(GO) test -race -v -run 'TestChaos|TestSupervise|TestSharded|TestRetryBudget' ./internal/shard ./cmd/asmp-sweep
 
 # The asmp-serve end-to-end smoke: builds the real binaries, starts the
 # daemon, proves duplicate concurrent sweeps coalesce (via /stats),

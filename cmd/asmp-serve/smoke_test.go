@@ -55,6 +55,12 @@ type smokeStats struct {
 	Coalesced      uint64 `json:"coalesced"`
 	ActiveFlights  int    `json:"activeFlights"`
 	JournalResumes uint64 `json:"journalResumes"`
+	// Shard decodes the supervision counters as pointers so the test can
+	// distinguish "present and zero" from "missing".
+	Shard struct {
+		Retried       *uint64 `json:"retried"`
+		ResumedShards *uint64 `json:"resumed_shards"`
+	} `json:"shard"`
 }
 
 func readStats(t *testing.T, base string) smokeStats {
@@ -205,6 +211,12 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("stats.coalesced = %d, want >= %d", st.Coalesced, n-1)
 	}
 
+	// --- Shard supervision counters: present in /stats and monotone. ---
+	shardBefore := readStats(t, d.base).Shard
+	if shardBefore.Retried == nil || shardBefore.ResumedShards == nil {
+		t.Fatal("stats.shard.retried / stats.shard.resumed_shards missing from /stats")
+	}
+
 	// --- Figure parity: server bytes == CLI bytes. ---
 	figDir := t.TempDir()
 	if out, err := exec.Command(runBin, "-fig", "2a", "-quick", "-out", figDir).CombinedOutput(); err != nil {
@@ -220,6 +232,11 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if !bytes.Equal(srv.body, cli) {
 		t.Fatalf("server figure differs from asmp-run's:\n--- server\n%s\n--- cli\n%s", srv.body, cli)
+	}
+	if after := readStats(t, d.base).Shard; after.Retried == nil || after.ResumedShards == nil ||
+		*after.Retried < *shardBefore.Retried || *after.ResumedShards < *shardBefore.ResumedShards {
+		t.Fatalf("shard counters not monotone: before %v/%v, after %v/%v",
+			shardBefore.Retried, shardBefore.ResumedShards, after.Retried, after.ResumedShards)
 	}
 
 	// --- SIGTERM mid-sweep: clean drain, typed 503 to the client. ---

@@ -40,6 +40,7 @@ import (
 	"asmp/internal/profiling"
 	"asmp/internal/report"
 	"asmp/internal/sched"
+	"asmp/internal/shard"
 	"asmp/internal/sim"
 	"asmp/internal/workload"
 	_ "asmp/internal/workload/h264"
@@ -89,6 +90,15 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		fmt.Fprintln(stderr, "asmp-sweep:", cerr)
 		return 2
 	}
+	// -shardworker index/of:lo-hi is the other hidden flag: it puts the
+	// process in shard-worker mode — execute and journal one slice of
+	// the cell grid, print no report. Only the -shards supervisor spawns
+	// it (see internal/shard.ExecRunner).
+	args, workerRange, isWorker, serr := shard.ExtractWorker(args)
+	if serr != nil {
+		fmt.Fprintln(stderr, "asmp-sweep:", serr)
+		return 2
+	}
 	fs := flag.NewFlagSet("asmp-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -104,6 +114,8 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		retries  = fs.Int("retries", 0, "retry each failed run up to N times with a fresh derived seed")
 		journalP = fs.String("journal", "", "append every completed cell to this JSONL journal (enables -resume)")
 		resume   = fs.Bool("resume", false, "resume the sweep recorded in -journal, re-executing only missing or failed cells")
+		shards   = fs.Int("shards", 0, "partition the sweep across N worker processes with per-shard journals, supervised respawn and a byte-identical merge into -journal (requires -journal; rerunning the same command resumes)")
+		shardRet = fs.Int("shardretries", 2, "respawn budget per shard before its cells degrade to ERR (with -shards)")
 		verify   = fs.Int("verify", 0, "audit determinism instead of sweeping: run each cell N times (min 2) and require bit-identical digests")
 		workers  = fs.Int("workers", 0, "host worker-pool size for cell execution: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (observability only; output is unaffected)")
@@ -221,6 +233,18 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		fmt.Fprintln(stderr, "asmp-sweep: -resume requires -journal")
 		return 2
 	}
+	if *shards < 0 || *shardRet < 0 {
+		fmt.Fprintln(stderr, "asmp-sweep: -shards and -shardretries must be non-negative")
+		return 2
+	}
+	if (*shards > 0 || isWorker) && *journalP == "" {
+		fmt.Fprintln(stderr, "asmp-sweep: -shards requires -journal (the merged journal path)")
+		return 2
+	}
+	if *shards > 0 && isWorker {
+		fmt.Fprintln(stderr, "asmp-sweep: a shard worker cannot itself be a supervisor")
+		return 2
+	}
 	var wrap journal.WrapSink
 	if crashSet {
 		if *journalP == "" {
@@ -229,8 +253,8 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		}
 		wrap = faultio.Plan{Tear: true, TearAt: crashAt, Seed: *seed}.Wrap()
 	}
-	if *verify > 0 && (*journalP != "" || *resume) {
-		fmt.Fprintln(stderr, "asmp-sweep: -verify is an audit, not a sweep; it does not combine with -journal/-resume")
+	if *verify > 0 && (*journalP != "" || *resume || *shards > 0) {
+		fmt.Fprintln(stderr, "asmp-sweep: -verify is an audit, not a sweep; it does not combine with -journal/-resume/-shards")
 		return 2
 	}
 
@@ -250,13 +274,56 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 	if *verify > 0 {
 		return runVerify(exp, *verify, stdout, stderr)
 	}
+	if isWorker {
+		return runWorker(exp, workerRange, *journalP, *resume, wrap, stderr)
+	}
 
 	var out *core.Outcome
 	var jw *journal.Writer
 	switch {
+	case *shards > 0:
+		// Re-exec this binary per shard with the sweep's own identity
+		// flags; -journal/-resume/-shardworker are appended per spawn.
+		workerArgs := []string{
+			"-workload", *name,
+			"-runs", fmt.Sprint(*runs),
+			"-policy", *policy,
+			"-seed", fmt.Sprint(*seed),
+			"-retries", fmt.Sprint(*retries),
+		}
+		if *configs != "" {
+			workerArgs = append(workerArgs, "-configs", *configs)
+		}
+		if *faultStr != "" {
+			workerArgs = append(workerArgs, "-fault", *faultStr)
+		}
+		if *timeout != "" {
+			workerArgs = append(workerArgs, "-timeout", *timeout)
+		}
+		if *workers != 0 {
+			workerArgs = append(workerArgs, "-workers", fmt.Sprint(*workers))
+		}
+		var failed int
+		out, failed = runSharded(exp, *shards, *shardRet, *journalP, workerArgs, wrap, stderr, cancel)
+		if out == nil {
+			return failed
+		}
 	case *journalP != "" && *resume:
 		log, w2, err := journal.ResumeVia(*journalP, wrap)
 		if err != nil {
+			var de *journal.DamagedError
+			if errors.As(err, &de) {
+				// The message carries the first-invalid byte offset; set
+				// the file aside so the operator can rerun immediately
+				// and still inspect the damage.
+				fmt.Fprintln(stderr, "asmp-sweep:", err)
+				if aside, aerr := journal.SetAside(*journalP); aerr != nil {
+					fmt.Fprintf(stderr, "asmp-sweep: could not set the damaged journal aside: %v\n", aerr)
+				} else {
+					fmt.Fprintf(stderr, "asmp-sweep: damaged journal set aside to %s; rerun with -journal %s to start a fresh sweep\n", aside, *journalP)
+				}
+				return 2
+			}
 			fmt.Fprintln(stderr, "asmp-sweep:", err)
 			return 2
 		}

@@ -1,0 +1,294 @@
+package main
+
+// CLI tests for sharded sweeps (-shards) and the resume/damage
+// satellites: the merge proof (shard counts 1, 2 and 4 produce a
+// report and journal byte-identical to the unsharded run), flag
+// validation, the hidden worker mode, the damaged-resume operator
+// message, and -crashat under a parallel worker pool.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asmp/internal/journal"
+	"asmp/internal/shard"
+)
+
+// TestMain diverts re-exec'd shard workers into the real CLI entry
+// point: the supervisor spawns os.Executable() — this test binary —
+// with shard.WorkerEnv set.
+func TestMain(m *testing.M) {
+	if os.Getenv(shard.WorkerEnv) != "" {
+		os.Exit(runWith(os.Args[1:], os.Stdout, os.Stderr, nil))
+	}
+	os.Exit(m.Run())
+}
+
+// shard3x3Args is the 3×3 reference sweep of the sharding acceptance
+// criteria.
+func shard3x3Args(extra ...string) []string {
+	args := []string{"-workload", "specjbb", "-configs", "4f-0s/4,2f-2s/8,0f-4s/8", "-runs", "3", "-seed", "1"}
+	return append(args, extra...)
+}
+
+func TestShardedSweepByteIdenticalAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	code, want, _ := runCmd(shard3x3Args()...)
+	if code != 0 {
+		t.Fatalf("reference sweep exit = %d", code)
+	}
+	// The journal reference runs sequentially so its record order is the
+	// canonical flattened order the merge emits.
+	refJ := filepath.Join(dir, "ref.jsonl")
+	if code, _, errOut := runCmd(shard3x3Args("-journal", refJ, "-workers", "1")...); code != 0 {
+		t.Fatalf("reference journal sweep exit = %d: %s", code, errOut)
+	}
+	refRaw, err := os.ReadFile(refJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		j := filepath.Join(dir, fmt.Sprintf("run-%d.jsonl", k))
+		code, got, errOut := runCmd(shard3x3Args("-journal", j, "-shards", fmt.Sprint(k))...)
+		if code != 0 {
+			t.Fatalf("-shards %d exit = %d: %s", k, code, errOut)
+		}
+		if got != want {
+			t.Errorf("-shards %d report differs from the unsharded run:\n--- want ---\n%s--- got ---\n%s", k, want, got)
+		}
+		raw, err := os.ReadFile(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(refRaw) {
+			t.Errorf("-shards %d merged journal differs from the unsharded journal", k)
+		}
+		// The run digests came through the shard journals unchanged.
+		log, err := journal.Read(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refLog, err := journal.Read(refJ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range refLog.Cells {
+			if log.Cells[i].Digest != refLog.Cells[i].Digest {
+				t.Errorf("-shards %d: cell (%d,%d) digest differs", k, refLog.Cells[i].Cfg, refLog.Cells[i].Run)
+			}
+		}
+	}
+
+	// A plain -resume of the merged journal is indistinguishable from
+	// resuming an unsharded one: nothing re-executes, the report matches.
+	code, resumed, errOut := runCmd(shard3x3Args("-journal", filepath.Join(dir, "run-2.jsonl"), "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume of merged journal exit = %d: %s", code, errOut)
+	}
+	if resumed != want {
+		t.Error("resume of the merged journal differs from the unsharded report")
+	}
+}
+
+func TestShardedSweepCSVByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	code, want, _ := runCmd(shard3x3Args("-csv")...)
+	if code != 0 {
+		t.Fatalf("reference exit = %d", code)
+	}
+	j := filepath.Join(dir, "run.jsonl")
+	code, got, errOut := runCmd(shard3x3Args("-csv", "-journal", j, "-shards", "2")...)
+	if code != 0 {
+		t.Fatalf("-shards 2 -csv exit = %d: %s", code, errOut)
+	}
+	if got != want {
+		t.Errorf("sharded CSV differs:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestShardedRestartAdoptsManifestAndSkipsCompleteShards(t *testing.T) {
+	dir := t.TempDir()
+	j := filepath.Join(dir, "run.jsonl")
+	code, want, _ := runCmd(shard3x3Args()...)
+	if code != 0 {
+		t.Fatalf("reference exit = %d", code)
+	}
+	if code, _, errOut := runCmd(shard3x3Args("-journal", j, "-shards", "2")...); code != 0 {
+		t.Fatalf("first sharded run exit = %d: %s", code, errOut)
+	}
+	// Rerun with a different -shards count: the committed 2-shard plan
+	// wins, complete shard journals are not re-executed, and the report
+	// still matches.
+	code, got, errOut := runCmd(shard3x3Args("-journal", j, "-shards", "4")...)
+	if code != 0 {
+		t.Fatalf("restart exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "ignoring -shards 4") {
+		t.Errorf("manifest adoption not reported: %s", errOut)
+	}
+	if got != want {
+		t.Error("restarted sharded sweep report differs")
+	}
+}
+
+func TestShardsFlagValidation(t *testing.T) {
+	if code, _, errOut := runCmd(sweepArgs("-shards", "2")...); code != 2 ||
+		!strings.Contains(errOut, "-shards requires -journal") {
+		t.Errorf("missing -journal: exit = %d, stderr = %s", code, errOut)
+	}
+	if code, _, errOut := runCmd(sweepArgs("-shards", "-1", "-journal", "x")...); code != 2 ||
+		!strings.Contains(errOut, "non-negative") {
+		t.Errorf("negative shards: exit = %d, stderr = %s", code, errOut)
+	}
+	if code, _, errOut := runCmd(sweepArgs("-verify", "2", "-shards", "2", "-journal", "x")...); code != 2 ||
+		!strings.Contains(errOut, "-verify is an audit") {
+		t.Errorf("verify+shards: exit = %d, stderr = %s", code, errOut)
+	}
+}
+
+// TestShardWorkerHidden: -shardworker is supervisor plumbing, not a
+// user flag — it must not appear in -h output (while -shards must).
+func TestShardWorkerHidden(t *testing.T) {
+	code, _, errOut := runCmd("-h")
+	if code != 2 {
+		t.Fatalf("-h exit = %d, want 2", code)
+	}
+	if strings.Contains(errOut, "shardworker") {
+		t.Errorf("-shardworker leaked into usage:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "-shards") {
+		t.Errorf("-shards missing from usage:\n%s", errOut)
+	}
+}
+
+// TestDamagedResumeReportsOffsetAndSetAside: a mid-file corruption is
+// not a crash signature, so -resume refuses — and the message must
+// carry the first-invalid byte offset plus where the file was set
+// aside, so the operator can rerun immediately.
+func TestDamagedResumeReportsOffsetAndSetAside(t *testing.T) {
+	dir := t.TempDir()
+	j := filepath.Join(dir, "run.jsonl")
+	if code, _, errOut := runCmd(sweepArgs("-journal", j)...); code != 0 {
+		t.Fatalf("journaled sweep exit = %d: %s", code, errOut)
+	}
+	raw, err := os.ReadFile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	corrupt := lines[0] + "{broken}\n" + strings.Join(lines[2:], "")
+	if err := os.WriteFile(j, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, errOut := runCmd(sweepArgs("-journal", j, "-resume")...)
+	if code != 2 {
+		t.Fatalf("resume of damaged journal exit = %d, want 2\n%s", code, errOut)
+	}
+	wantOff := fmt.Sprintf("byte offset %d", len(lines[0]))
+	if !strings.Contains(errOut, wantOff) {
+		t.Errorf("stderr lacks %q:\n%s", wantOff, errOut)
+	}
+	if !strings.Contains(errOut, "set aside to "+j+".damaged") {
+		t.Errorf("stderr lacks the set-aside path:\n%s", errOut)
+	}
+	if _, err := os.Stat(j + ".damaged"); err != nil {
+		t.Errorf("damaged journal not set aside: %v", err)
+	}
+	if _, err := os.Stat(j); !os.IsNotExist(err) {
+		t.Errorf("damaged journal still at the original path (err %v)", err)
+	}
+
+	// A second damage at the same path lands beside the first, never
+	// over it.
+	if code, _, _ := runCmd(sweepArgs("-journal", j)...); code != 0 {
+		t.Fatal("fresh sweep after set-aside failed")
+	}
+	if err := os.WriteFile(j, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runCmd(sweepArgs("-journal", j, "-resume")...); code != 2 ||
+		!strings.Contains(errOut, "set aside to "+j+".damaged.1") {
+		t.Errorf("second set-aside: exit = %d, stderr = %s", code, errOut)
+	}
+	for _, p := range []string{j + ".damaged", j + ".damaged.1"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+// TestCrashAtWithParallelWorkers: the crash-matrix invariant — resume
+// is byte-identical or a typed refusal — must hold when the tear lands
+// while a parallel worker pool is mid-flight, not just under the
+// sequential writer the original matrix used.
+func TestCrashAtWithParallelWorkers(t *testing.T) {
+	dir := t.TempDir()
+	code, want, _ := runCmd(shard3x3Args()...)
+	if code != 0 {
+		t.Fatalf("reference sweep exit = %d", code)
+	}
+	ref := filepath.Join(dir, "ref.jsonl")
+	if code, _, errOut := runCmd(shard3x3Args("-journal", ref, "-workers", "4")...); code != 0 {
+		t.Fatalf("journaled sweep exit = %d: %s", code, errOut)
+	}
+	fi, err := os.Stat(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample tears across the file: early (header region), mid-sweep
+	// (several cells in flight and complete), and late.
+	for _, frac := range []int64{5, 2} {
+		tear := fi.Size() / frac
+		j := filepath.Join(dir, fmt.Sprintf("run-%d.jsonl", frac))
+		code, got, errOut := runCmd(shard3x3Args("-journal", j, "-workers", "4", "-crashat", fmt.Sprint(tear))...)
+		if code != 0 {
+			t.Fatalf("torn sweep (byte %d) exit = %d: %s", tear, code, errOut)
+		}
+		if got != want {
+			t.Errorf("tear at byte %d changed the live report", tear)
+		}
+		if !strings.Contains(errOut, "journal incomplete") {
+			t.Errorf("tear at byte %d not reported: %s", tear, errOut)
+		}
+		code, resumed, errOut := runCmd(shard3x3Args("-journal", j, "-resume")...)
+		if code != 0 {
+			t.Fatalf("resume of journal torn at %d under -workers 4: exit = %d: %s", tear, code, errOut)
+		}
+		if resumed != want {
+			t.Errorf("resume of journal torn at byte %d differs from the reference", tear)
+		}
+	}
+}
+
+// TestShardedCrashAtManifestConverges: -crashat with -shards applies
+// the tear to the supervisor's own writes (manifest, merged journal).
+// A torn manifest commit is refused; the rerun sets the remnant aside,
+// recommits and converges byte-identically.
+func TestShardedCrashAtManifestConverges(t *testing.T) {
+	dir := t.TempDir()
+	code, want, _ := runCmd(shard3x3Args()...)
+	if code != 0 {
+		t.Fatalf("reference exit = %d", code)
+	}
+	j := filepath.Join(dir, "run.jsonl")
+	code, _, errOut := runCmd(shard3x3Args("-journal", j, "-shards", "2", "-crashat", "10")...)
+	if code == 0 {
+		t.Fatalf("sharded sweep with manifest torn at byte 10 succeeded:\n%s", errOut)
+	}
+	code, got, errOut := runCmd(shard3x3Args("-journal", j, "-shards", "2")...)
+	if code != 0 {
+		t.Fatalf("rerun after torn manifest exit = %d: %s", code, errOut)
+	}
+	if got != want {
+		t.Error("rerun after torn manifest differs from the unsharded report")
+	}
+}

@@ -17,6 +17,7 @@ var deterministicPrefixes = []string{
 	"asmp/internal/trace",
 	"asmp/internal/simtime",
 	"asmp/internal/server",
+	"asmp/internal/shard",
 }
 
 // harnessPackages are deterministic-scope packages whose *artifacts*
@@ -32,6 +33,10 @@ var harnessPackages = map[string]string{
 	// core; goroutines carry requests, never simulation state, and every
 	// response body is a pure function of the request identity.
 	"asmp/internal/server": "serving goroutines are harness, not simulation",
+	// The shard supervisor monitors child processes; goroutines carry
+	// worker lifecycles, never simulation state, and the merged journal
+	// is a pure function of the partition plan and the cell seeds.
+	"asmp/internal/shard": "supervision goroutines are harness, not simulation",
 }
 
 // Deterministic reports whether importPath is inside the deterministic

@@ -245,6 +245,54 @@ func RetrySeed(base uint64, configIdx, runIdx, attempt int) uint64 {
 	return RunSeed(base+0x6c62272e07bb0142*uint64(attempt), configIdx, runIdx)
 }
 
+// ShardRange assigns one shard worker a contiguous slice of a sweep's
+// flattened cell grid (index = cfg*runs + run, row-major). It is the
+// worker side of sharded sweeps: internal/shard plans the partition,
+// and an Experiment with Shard set executes and journals only the
+// cells in [Lo, Hi).
+type ShardRange struct {
+	// Index and Of identify the shard within its plan (Index in [0, Of)).
+	Index, Of int
+	// Lo and Hi bound the flattened cell range [Lo, Hi).
+	Lo, Hi int
+}
+
+// String renders the canonical "index/of:lo-hi" form — the form
+// journal headers record and ParseShardRange accepts.
+func (s ShardRange) String() string {
+	return fmt.Sprintf("%d/%d:%d-%d", s.Index, s.Of, s.Lo, s.Hi)
+}
+
+// ParseShardRange parses the canonical "index/of:lo-hi" form.
+func ParseShardRange(str string) (ShardRange, error) {
+	var s ShardRange
+	n, err := fmt.Sscanf(str, "%d/%d:%d-%d", &s.Index, &s.Of, &s.Lo, &s.Hi)
+	if err != nil || n != 4 {
+		return ShardRange{}, fmt.Errorf("core: bad shard range %q (want index/of:lo-hi)", str)
+	}
+	if err := s.validate(); err != nil {
+		return ShardRange{}, err
+	}
+	return s, nil
+}
+
+// validate checks the range's internal consistency (grid bounds are
+// the experiment's to check).
+func (s ShardRange) validate() error {
+	if s.Of < 1 || s.Index < 0 || s.Index >= s.Of || s.Lo < 0 || s.Hi < s.Lo {
+		return fmt.Errorf("core: invalid shard range %s", s)
+	}
+	return nil
+}
+
+// Contains reports whether flattened cell index i is in the range.
+func (s ShardRange) Contains(i int) bool { return i >= s.Lo && i < s.Hi }
+
+// ErrNotInShard marks cells outside a shard worker's assigned range:
+// they are neither executed nor journaled, and a worker's Outcome
+// carries this sentinel in their place.
+var ErrNotInShard = errors.New("core: cell outside this shard")
+
 // Experiment sweeps one workload over a set of machine configurations,
 // repeating each cell Runs times with independent seeds.
 type Experiment struct {
@@ -288,6 +336,13 @@ type Experiment struct {
 	// a header identifying it plus one cell per completed run (success or
 	// failure, but never cancellation), enabling Resume.
 	Journal *journal.Writer
+	// Shard, when non-nil, restricts execution and journaling to the
+	// flattened cell range [Shard.Lo, Shard.Hi) — the worker side of
+	// sharded sweeps (internal/shard). Cells outside the range are
+	// recorded as ErrNotInShard in the Outcome and never journaled, and
+	// the journal header carries the range so a shard journal is never
+	// mistaken for a full sweep's.
+	Shard *ShardRange
 }
 
 // ConfigResult holds all runs of one configuration.
@@ -417,6 +472,19 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 	}
 	results := make([]workload.Result, len(cells))
 	errs := make([]error, len(cells))
+	if e.Shard != nil {
+		if err := e.Shard.validate(); err != nil || e.Shard.Hi > len(cells) {
+			panic(fmt.Sprintf("core: shard range %s outside the %d-cell grid", e.Shard, len(cells)))
+		}
+		// Pre-mark every cell outside the range before any worker starts:
+		// workers skip marked cells, so out-of-range cells are neither
+		// executed nor journaled.
+		for i := range cells {
+			if !e.Shard.Contains(i) {
+				errs[i] = ErrNotInShard
+			}
+		}
+	}
 
 	workers := e.Workers
 	if workers <= 0 {
@@ -436,6 +504,10 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 		go func() { //asmp:allow goroutine harness parallelism across independent cells
 			defer wg.Done()
 			for i := range next {
+				if errs[i] != nil {
+					// Pre-marked ErrNotInShard: another shard's cell.
+					continue
+				}
 				cl := cells[i]
 				if res, ok := seeded[cl]; ok {
 					// Carried over from the journal: neither re-executed
@@ -490,7 +562,14 @@ func (e Experiment) run(seeded map[cellKey]workload.Result, writeHeader bool) *O
 	if journalErr == nil && e.Journal != nil {
 		journalErr = e.Journal.Err()
 	}
-	out := &Outcome{Name: e.Name, JournalErr: journalErr}
+	return assemble(e.Name, configs, runs, results, errs, journalErr)
+}
+
+// assemble folds flattened per-cell results and errors into an Outcome.
+// It is shared by run (after execution) and Replay (from a journal
+// alone), so both paths aggregate — and therefore render — identically.
+func assemble(name string, configs []cpu.Config, runs int, results []workload.Result, errs []error, journalErr error) *Outcome {
+	out := &Outcome{Name: name, JournalErr: journalErr}
 	for c, cfg := range configs {
 		cr := ConfigResult{Config: cfg}
 		sample := &stats.Sample{}

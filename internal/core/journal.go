@@ -12,6 +12,7 @@ package core
 //     Outcome is identical to an uninterrupted one.
 
 import (
+	"errors"
 	"fmt"
 
 	"asmp/internal/cpu"
@@ -35,7 +36,25 @@ func (e Experiment) journalHeader(configs []cpu.Config, runs int, base uint64) j
 	if !e.Fault.Empty() {
 		h.Fault = e.Fault.String()
 	}
+	if e.Shard != nil {
+		// A shard journal declares its range so it can never be mistaken
+		// for (or resumed as) the full sweep's journal.
+		h.Shard = e.Shard.String()
+	}
 	return h
+}
+
+// Grid returns the experiment's effective configuration list,
+// repetition count and base seed with defaults applied — the identity
+// journals record and internal/shard partitions.
+func (e Experiment) Grid() (configs []cpu.Config, runs int, base uint64) {
+	return e.normalized()
+}
+
+// JournalHeader returns the identity header this experiment writes to
+// a fresh journal, including the shard range when Shard is set.
+func (e Experiment) JournalHeader() journal.Header {
+	return e.journalHeader(e.normalized())
 }
 
 // journalCell builds the record for one completed cell.
@@ -162,6 +181,15 @@ func (e Experiment) validateJournal(log *journal.Log, configs []cpu.Config, runs
 	if h.Fault != faultStr {
 		return mismatch("fault plan", fmt.Sprintf("%q", h.Fault), fmt.Sprintf("%q", faultStr))
 	}
+	shardStr := ""
+	if e.Shard != nil {
+		shardStr = e.Shard.String()
+	}
+	if h.Shard != shardStr {
+		// A plain resume of a shard journal (or a shard worker handed the
+		// wrong shard's journal) is refused typed, never silently merged.
+		return mismatch("shard range", fmt.Sprintf("%q", h.Shard), fmt.Sprintf("%q", shardStr))
+	}
 	if len(h.Configs) != len(configs) {
 		return mismatch("config count", fmt.Sprint(len(h.Configs)), fmt.Sprint(len(configs)))
 	}
@@ -176,6 +204,10 @@ func (e Experiment) validateJournal(log *journal.Log, configs []cpu.Config, runs
 			return refuse(log.Path, "core: journal %s: cell (%d,%d) outside the %d×%d sweep",
 				log.Path, c.Cfg, c.Run, len(configs), runs)
 		}
+		if e.Shard != nil && !e.Shard.Contains(c.Cfg*runs+c.Run) {
+			return refuse(log.Path, "core: journal %s: cell (%d,%d) outside shard %s",
+				log.Path, c.Cfg, c.Run, e.Shard)
+		}
 		if c.Config != configs[c.Cfg].String() {
 			return refuse(log.Path, "core: journal %s: cell (%d,%d) records config %s, sweep has %s",
 				log.Path, c.Cfg, c.Run, c.Config, configs[c.Cfg])
@@ -186,4 +218,60 @@ func (e Experiment) validateJournal(log *journal.Log, configs []cpu.Config, runs
 		}
 	}
 	return nil
+}
+
+// Replay reconstructs the Outcome a complete journal records without
+// executing anything: successes are carried over verbatim, failures
+// become errors with the recorded message. Because assemble is shared
+// with run, a replayed Outcome renders byte-identically to the live
+// sweep's — the property the sharded merge (internal/shard) relies on
+// to prove a stitched journal equivalent to an unsharded run.
+//
+// The journal must belong to this experiment and must hold a record
+// for every cell; an incomplete journal is refused (use Resume to
+// finish it instead).
+func (e Experiment) Replay(log *journal.Log) (*Outcome, error) {
+	if e.Workload == nil {
+		panic("core: experiment without workload")
+	}
+	configs, runs, base := e.normalized()
+	if err := e.validateJournal(log, configs, runs, base); err != nil {
+		return nil, err
+	}
+	n := len(configs) * runs
+	results := make([]workload.Result, n)
+	errs := make([]error, n)
+	have := make([]bool, n)
+	for i := range log.Cells {
+		c := &log.Cells[i]
+		idx := c.Cfg*runs + c.Run
+		// Last record wins, exactly as Resume: a later failure evicts an
+		// earlier success and vice versa.
+		have[idx] = true
+		if c.Err != "" {
+			errs[idx] = errors.New(c.Err)
+			results[idx] = workload.Result{}
+			continue
+		}
+		d, err := digest.Parse(c.Digest)
+		if err != nil {
+			return nil, refuse(log.Path, "core: journal %s: cell (%d,%d) has bad digest %q: %v",
+				log.Path, c.Cfg, c.Run, c.Digest, err)
+		}
+		errs[idx] = nil
+		results[idx] = workload.Result{
+			Metric:         c.Metric,
+			Value:          float64(c.Value),
+			HigherIsBetter: c.Higher,
+			Extras:         c.Extras.Floats(),
+			Digest:         d,
+		}
+	}
+	for idx, ok := range have {
+		if !ok {
+			return nil, refuse(log.Path, "core: journal %s is incomplete: cell (%d,%d) has no record; replay never executes — use resume to finish the sweep",
+				log.Path, idx/runs, idx%runs)
+		}
+	}
+	return assemble(e.Name, configs, runs, results, errs, nil), nil
 }

@@ -54,6 +54,14 @@ type Plan struct {
 	ShortWrites float64
 	// Seed seeds the short-write coin and cut points.
 	Seed uint64
+	// Kill upgrades a tear from a simulated crash to a real one: after
+	// the prefix below TearAt is written, the process SIGKILLs itself —
+	// no deferred cleanup, no error path, exactly the signature a dead
+	// shard worker leaves behind. The prefix reaches the page cache
+	// before the kill, so the supervisor observes the same torn file a
+	// tear would have produced. Only meaningful with Tear set; used by
+	// the shard chaos harness.
+	Kill bool
 }
 
 // Empty reports whether the plan injects nothing.
@@ -121,6 +129,9 @@ func (s *Sink) Write(p []byte) (int, error) {
 			}
 		}
 		s.written += int64(n)
+		if s.plan.Kill {
+			killSelf()
+		}
 		return n, s.die(fmt.Errorf("%w: write torn at byte %d", ErrInjected, s.plan.TearAt))
 	}
 	if s.plan.ShortWrites > 0 && len(p) > 0 && s.rng.Bool(s.plan.ShortWrites) {

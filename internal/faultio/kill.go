@@ -1,0 +1,15 @@
+package faultio
+
+import "os"
+
+// killSelf delivers SIGKILL to the current process — the real crash
+// behind Plan.Kill. kill(2) aimed at the calling process terminates it
+// before the syscall returns, so this never comes back; the panic is a
+// compiler-visible dead end for the impossible failure path.
+func killSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = p.Kill()
+	}
+	panic("faultio: could not SIGKILL self")
+}

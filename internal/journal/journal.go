@@ -39,6 +39,7 @@ const (
 	KindHeader = "header"
 	KindCell   = "cell"
 	KindFigure = "figure"
+	KindShard  = "shard"
 )
 
 // Sink is the journal's seam to the filesystem: the exact five
@@ -80,7 +81,11 @@ type DamagedError struct {
 	Path string
 	// Line is the offending line number (1-based).
 	Line int
-	// Reason is the complete human-readable explanation.
+	// Offset is the byte offset at which the offending line starts —
+	// the first byte an operator would inspect or cut at.
+	Offset int64
+	// Reason is the complete human-readable explanation (it embeds Line
+	// and Offset).
 	Reason string
 }
 
@@ -190,7 +195,33 @@ type Header struct {
 	// Quick records asmp-run's -quick flag (resolution must match on
 	// resume).
 	Quick bool `json:"quick,omitempty"`
+	// Shard marks a shard worker's journal ("index/of:lo-hi", the
+	// canonical core.ShardRange form): the journal records only that
+	// slice of the sweep's cell grid. Empty for unsharded journals, so
+	// a shard journal is never silently resumed as a full sweep (and
+	// vice versa).
+	Shard string `json:"shard,omitempty"`
+	// Shards marks a manifest journal: the total shard count of the
+	// partition plan the Shard records describe. Zero everywhere else.
+	Shards int `json:"shards,omitempty"`
 	// Sum is the line checksum (FNV-1a of the record with Sum empty).
+	Sum string `json:"sum,omitempty"`
+}
+
+// Shard is one partition assignment in a manifest journal: shard Index
+// of Shards owns the flattened cell range [Lo, Hi) and journals it at
+// Path. The manifest pins the plan so a restarted supervisor recovers
+// exactly the partition its predecessor committed to.
+type Shard struct {
+	Kind   string `json:"kind"`
+	Index  int    `json:"index"`
+	Shards int    `json:"shards"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+	// Path is the shard journal file, stored as written (the planner
+	// derives it from the merged journal's path).
+	Path string `json:"path"`
+	// Sum is the line checksum.
 	Sum string `json:"sum,omitempty"`
 }
 
@@ -241,9 +272,11 @@ type Log struct {
 	// Header is the identity record, nil if the journal is empty or was
 	// truncated before the header survived.
 	Header *Header
-	// Cells and Figures are the completed records in append order.
+	// Cells, Figures and Shards are the completed records in append
+	// order.
 	Cells   []Cell
 	Figures []Figure
+	Shards  []Shard
 	// Dropped counts corrupt trailing lines that were ignored (a torn
 	// final write from a crash).
 	Dropped int
@@ -427,6 +460,12 @@ func (w *Writer) WriteFigure(f Figure) error {
 	return w.append(&f, func(s string) { f.Sum = s })
 }
 
+// WriteShard appends one partition assignment (manifest journals).
+func (w *Writer) WriteShard(s Shard) error {
+	s.Kind = KindShard
+	return w.append(&s, func(sum string) { s.Sum = sum })
+}
+
 // Err returns the first append failure, or nil.
 func (w *Writer) Err() error {
 	w.mu.Lock()
@@ -450,6 +489,27 @@ func (w *Writer) Close() error {
 		w.err = fmt.Errorf("journal: closing %s: %w", w.path, err)
 	}
 	return w.err
+}
+
+// SetAside moves a journal that cannot be trusted out of the way so a
+// fresh one can be written at its path, and returns where it went. The
+// first set-aside targets path.damaged; if that already exists the
+// suffix grows monotonically (path.damaged.1, .2, ...), so a journal
+// that is damaged repeatedly never silently clobbers the evidence of
+// an earlier damage.
+func SetAside(path string) (string, error) {
+	target := path + ".damaged"
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(target); err != nil {
+			// Missing (or unstattable — let the rename surface that).
+			break
+		}
+		target = fmt.Sprintf("%s.damaged.%d", path, n)
+	}
+	if err := os.Rename(path, target); err != nil {
+		return "", fmt.Errorf("journal: setting aside %s: %w", path, err)
+	}
+	return target, nil
 }
 
 // Read parses the journal at path without modifying it. A corrupt tail
@@ -486,6 +546,7 @@ func read(path string) (log *Log, validLen int64, tornNewline bool, err error) {
 	log = &Log{Path: path}
 	var offset int64
 	firstBad := -1
+	var firstBadOff int64
 	lineNo := 0
 	br := bufio.NewReaderSize(f, 64<<10)
 	for {
@@ -499,6 +560,7 @@ func read(path string) (log *Log, validLen int64, tornNewline bool, err error) {
 				return nil, 0, false, fmt.Errorf("journal: reading %s: line %d exceeds %d bytes", path, lineNo, maxLine)
 			}
 			terminated := raw[len(raw)-1] == '\n'
+			lineStart := offset
 			offset += int64(len(raw))
 			line := strings.TrimSpace(string(raw))
 			switch {
@@ -510,29 +572,32 @@ func read(path string) (log *Log, validLen int64, tornNewline bool, err error) {
 				if perr != nil {
 					if firstBad < 0 {
 						firstBad = lineNo
+						firstBadOff = lineStart
 					}
 					log.Dropped++
 					break
 				}
 				if firstBad >= 0 {
-					return nil, 0, false, &DamagedError{Path: path, Line: firstBad,
-						Reason: fmt.Sprintf("corrupt record at line %d followed by valid records (damaged journal, not a crash tail)", firstBad)}
+					return nil, 0, false, &DamagedError{Path: path, Line: firstBad, Offset: firstBadOff,
+						Reason: fmt.Sprintf("corrupt record at line %d (byte offset %d) followed by valid records (damaged journal, not a crash tail)", firstBad, firstBadOff)}
 				}
 				switch r := rec.(type) {
 				case *Header:
 					if log.Header != nil {
-						return nil, 0, false, &DamagedError{Path: path, Line: lineNo,
-							Reason: fmt.Sprintf("duplicate header at line %d", lineNo)}
+						return nil, 0, false, &DamagedError{Path: path, Line: lineNo, Offset: lineStart,
+							Reason: fmt.Sprintf("duplicate header at line %d (byte offset %d)", lineNo, lineStart)}
 					}
-					if len(log.Cells)+len(log.Figures) > 0 {
-						return nil, 0, false, &DamagedError{Path: path, Line: lineNo,
-							Reason: fmt.Sprintf("header at line %d after data records", lineNo)}
+					if len(log.Cells)+len(log.Figures)+len(log.Shards) > 0 {
+						return nil, 0, false, &DamagedError{Path: path, Line: lineNo, Offset: lineStart,
+							Reason: fmt.Sprintf("header at line %d (byte offset %d) after data records", lineNo, lineStart)}
 					}
 					log.Header = r
 				case *Cell:
 					log.Cells = append(log.Cells, *r)
 				case *Figure:
 					log.Figures = append(log.Figures, *r)
+				case *Shard:
+					log.Shards = append(log.Shards, *r)
 				}
 				validLen = offset
 				tornNewline = !terminated
@@ -584,6 +649,15 @@ func parseLine(line []byte) (any, error) {
 			return nil, fmt.Errorf("journal: figure checksum mismatch")
 		}
 		return &fig, nil
+	case KindShard:
+		var sh Shard
+		if err := json.Unmarshal(line, &sh); err != nil {
+			return nil, err
+		}
+		if !verify(&sh, sh.Sum, func(s string) { sh.Sum = s }) {
+			return nil, fmt.Errorf("journal: shard checksum mismatch")
+		}
+		return &sh, nil
 	default:
 		return nil, fmt.Errorf("journal: unknown record kind %q", probe.Kind)
 	}

@@ -75,16 +75,19 @@ func (s *Server) journalPath(kind, key string) string {
 }
 
 // setAside moves a journal that cannot be trusted out of the way
-// (path.damaged) so the execution can start a fresh one. Failures to
-// rename are logged and otherwise ignored: the store is an
+// (journal.SetAside: path.damaged, counter-suffixed so earlier
+// evidence is never clobbered) so the execution can start a fresh one.
+// Failures to rename are logged and otherwise ignored: the store is an
 // optimisation, never a correctness dependency.
 func (s *Server) setAside(path string, why error) {
 	s.mu.Lock()
 	s.counters.journalDamaged++
 	s.mu.Unlock()
 	s.opts.Logf("journal %s set aside: %v", path, why)
-	if err := os.Rename(path, path+".damaged"); err != nil {
+	if aside, err := journal.SetAside(path); err != nil {
 		s.opts.Logf("journal %s: %v", path, err)
+	} else {
+		s.opts.Logf("journal %s set aside to %s", path, aside)
 	}
 }
 

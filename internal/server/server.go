@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"asmp/internal/core"
+	"asmp/internal/shard"
 )
 
 // Options tunes the daemon. The zero value serves with sensible
@@ -237,6 +238,15 @@ type Stats struct {
 		Led       uint64 `json:"led"`
 		Coalesced uint64 `json:"coalesced"`
 	} `json:"flight"`
+	// Shard exposes the process-wide shard-supervision counters
+	// (internal/shard.Stats): retried counts worker respawns after a
+	// crash, resumed_shards counts spawns that resumed an existing shard
+	// journal prefix. Always present; zero until this process supervises
+	// a sharded sweep. Monotone.
+	Shard struct {
+		Retried       uint64 `json:"retried"`
+		ResumedShards uint64 `json:"resumed_shards"`
+	} `json:"shard"`
 	// Latency summarises data-endpoint wall time in milliseconds.
 	// Observability only; responses never embed wall time.
 	Latency struct {
@@ -269,6 +279,7 @@ func (s *Server) StatsSnapshot() Stats {
 	s.mu.Unlock()
 	st.Memo.Entries, st.Memo.Hits, st.Memo.Misses = core.MemoStats()
 	st.Flight.Led, st.Flight.Coalesced = core.FlightStats()
+	st.Shard.Retried, st.Shard.ResumedShards = shard.Stats()
 	return st
 }
 

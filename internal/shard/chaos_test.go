@@ -1,0 +1,331 @@
+package shard
+
+// Chaos harness: the supervisor's headline property, driven through
+// real worker processes. Workers are re-execs of this test binary
+// (TestMain diverts on chaosWorkerEnv) that SIGKILL themselves
+// mid-write at sampled byte offsets, or suffer injected sink faults.
+// Every interleaving must end in one of exactly two outcomes:
+//
+//   - the supervisor's retries converge and the merged journal is
+//     byte-identical to the unsharded reference, or
+//   - the retry budget exhausts and the sweep still completes, with
+//     the dead shard's cells degraded to typed ERR records naming it.
+//
+// No third outcome — never silently different bytes, never a hang
+// (every supervision here runs under a hard deadline). A failing
+// scenario's journals are copied to $ASMP_CRASH_ARTIFACT_DIR when set,
+// so CI uploads the exact counterexample. The default matrix is
+// sampled; ASMP_SHARD_CHAOS_FULL (make test-shard, CI) widens it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/faultio"
+	"asmp/internal/journal"
+	"asmp/internal/workload"
+	_ "asmp/internal/workload/jbb"
+)
+
+// chaosWorkerEnv carries the worker's JSON config; its presence makes
+// the test binary run one shard worker instead of the test suite.
+const chaosWorkerEnv = "ASMP_SHARD_CHAOS_WORKER"
+
+// chaosConf is the re-exec'd worker's marching orders.
+type chaosConf struct {
+	Range      string // core.ShardRange, e.g. "0/2:0-5"
+	Journal    string // shard journal path
+	Resume     bool   // resume the journal's valid prefix
+	TearAt     int64  // >0: tear the journal sink at this byte
+	Kill       bool   // with TearAt: SIGKILL self mid-write
+	FailSyncAt int    // >0: fail the n-th sync
+}
+
+func TestMain(m *testing.M) {
+	if conf := os.Getenv(chaosWorkerEnv); conf != "" {
+		os.Exit(chaosWorkerMain(conf))
+	}
+	os.Exit(m.Run())
+}
+
+// chaosExperiment is the reference sweep (3 configs × 3 runs), built
+// without a *testing.T so the worker process can construct the
+// identical experiment.
+func chaosExperiment() (core.Experiment, error) {
+	w, err := workload.New("specjbb")
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	return core.Experiment{
+		Name:     "shard test",
+		Workload: w,
+		Configs: []cpu.Config{
+			cpu.MustParseConfig("4f-0s/4"),
+			cpu.MustParseConfig("2f-2s/8"),
+			cpu.MustParseConfig("0f-4s/8"),
+		},
+		Runs:     3,
+		BaseSeed: 11,
+	}, nil
+}
+
+// chaosWorkerMain runs one shard worker per the env config. Exit codes
+// mirror the CLI worker's: 0 done, 2 typed refusal, 3 incomplete.
+func chaosWorkerMain(conf string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "chaos worker:", err)
+		return 64
+	}
+	var c chaosConf
+	if err := json.Unmarshal([]byte(conf), &c); err != nil {
+		return fail(err)
+	}
+	r, err := core.ParseShardRange(c.Range)
+	if err != nil {
+		return fail(err)
+	}
+	exp, err := chaosExperiment()
+	if err != nil {
+		return fail(err)
+	}
+	var wrap journal.WrapSink
+	if c.TearAt > 0 || c.FailSyncAt > 0 {
+		wrap = faultio.Plan{
+			Tear:       c.TearAt > 0,
+			TearAt:     c.TearAt,
+			Kill:       c.Kill,
+			FailSyncAt: c.FailSyncAt,
+		}.Wrap()
+	}
+	err = Worker(exp, r, c.Journal, c.Resume, wrap)
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, new(*journal.DamagedError)), errors.As(err, new(*core.ResumeRefusedError)):
+		fmt.Fprintln(os.Stderr, "chaos worker:", err)
+		return 2
+	default:
+		fmt.Fprintln(os.Stderr, "chaos worker:", err)
+		return 3
+	}
+}
+
+// chaosRunner spawns real worker processes: fault picks each attempt's
+// injection (zero chaosConf means a clean worker).
+func chaosRunner(fault func(shardIdx, attempt int) chaosConf) Runner {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	return func(spec Spec, resume bool) error {
+		mu.Lock()
+		attempts[spec.Range.Index]++
+		n := attempts[spec.Range.Index]
+		mu.Unlock()
+		c := fault(spec.Range.Index, n)
+		c.Range = spec.Range.String()
+		c.Journal = spec.Journal
+		c.Resume = resume
+		raw, err := json.Marshal(c)
+		if err != nil {
+			return err
+		}
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), chaosWorkerEnv+"="+string(raw))
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("worker %s: %w (stderr %q)", spec.Range, err, strings.TrimSpace(stderr.String()))
+		}
+		return nil
+	}
+}
+
+// superviseBounded enforces the no-hang half of the contract: the
+// whole supervision must finish inside the deadline.
+func superviseBounded(t *testing.T, o Options, limit time.Duration) []ShardOutcome {
+	t.Helper()
+	done := make(chan []ShardOutcome, 1)
+	go func() { done <- Supervise(o) }()
+	select {
+	case out := <-done:
+		return out
+	case <-time.After(limit):
+		t.Fatalf("supervision did not finish within %v", limit)
+		return nil
+	}
+}
+
+// saveArtifacts copies a failing scenario's journals into
+// ASMP_CRASH_ARTIFACT_DIR (when set) so CI uploads the counterexample.
+func saveArtifacts(t *testing.T, label string, paths ...string) {
+	t.Helper()
+	dir := os.Getenv("ASMP_CRASH_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		dst := filepath.Join(dir, label+"-"+filepath.Base(p))
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Logf("artifact write: %v", err)
+			continue
+		}
+		t.Logf("counterexample journal saved to %s", dst)
+	}
+}
+
+// chaosOffsets samples the byte offsets where a worker dies. The
+// interesting region is the shard journal's own extent (roughly half
+// the reference for 2 shards); offsets beyond it simply never fire and
+// the worker completes — also a valid interleaving.
+func chaosOffsets(refLen int) []int64 {
+	if os.Getenv("ASMP_SHARD_CHAOS_FULL") != "" && !testing.Short() {
+		var offs []int64
+		for off := int64(1); off < int64(refLen); off += 97 {
+			offs = append(offs, off)
+		}
+		return offs
+	}
+	return []int64{1, int64(refLen) / 8, int64(refLen) / 3, int64(refLen) / 2}
+}
+
+// TestChaosWorkerDeathConvergesByteIdentical: workers torn or
+// SIGKILLed at sampled offsets (and sync-failed) on their first
+// attempt must be respawned into a merged journal byte-identical to
+// the unsharded reference.
+func TestChaosWorkerDeathConvergesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exp := testExperiment(t)
+	dir := t.TempDir()
+	ref := referenceJournal(t, exp, dir)
+
+	type scenario struct {
+		name  string
+		fault chaosConf
+	}
+	var scenarios []scenario
+	for _, off := range chaosOffsets(len(ref)) {
+		scenarios = append(scenarios,
+			scenario{fmt.Sprintf("tear-%04d", off), chaosConf{TearAt: off}},
+			scenario{fmt.Sprintf("sigkill-%04d", off), chaosConf{TearAt: off, Kill: true}},
+		)
+	}
+	scenarios = append(scenarios,
+		scenario{"failsync-1", chaosConf{FailSyncAt: 1}},
+		scenario{"failsync-3", chaosConf{FailSyncAt: 3}},
+	)
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			path := filepath.Join(dir, sc.name+".jsonl")
+			plan, _, err := Recover(exp, 2, path, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The fault fires on every shard's first attempt only; the
+			// respawn runs clean. Retries: 3 gives headroom for a set-aside
+			// plus a resume.
+			runner := chaosRunner(func(idx, attempt int) chaosConf {
+				if attempt > 1 {
+					return chaosConf{}
+				}
+				return sc.fault
+			})
+			outcomes := superviseBounded(t, Options{Plan: plan, Run: runner, Retries: 3, Sleep: noSleep}, time.Minute)
+			journals := []string{path}
+			for _, s := range plan.Specs {
+				journals = append(journals, s.Journal)
+			}
+			for _, o := range outcomes {
+				if o.Err != nil {
+					saveArtifacts(t, sc.name, journals...)
+					t.Fatalf("shard %s did not converge: %v", o.Spec.Range, o.Err)
+				}
+			}
+			if _, err := Merge(exp, plan, outcomes, nil); err != nil {
+				saveArtifacts(t, sc.name, journals...)
+				t.Fatalf("merge: %v", err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, ref) {
+				saveArtifacts(t, sc.name, journals...)
+				t.Fatal("merged journal differs from the unsharded reference")
+			}
+		})
+	}
+}
+
+// TestChaosCrashLoopExhaustsBudgetAndDegrades: a shard whose worker
+// SIGKILLs itself on *every* attempt exhausts its budget; the sweep
+// still completes, with that shard's cells as typed ERR records naming
+// the shard — the second of the two permitted outcomes.
+func TestChaosCrashLoopExhaustsBudgetAndDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exp := testExperiment(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	plan, _, err := Recover(exp, 2, path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := chaosRunner(func(idx, attempt int) chaosConf {
+		if idx == 1 {
+			return chaosConf{TearAt: 1, Kill: true}
+		}
+		return chaosConf{}
+	})
+	outcomes := superviseBounded(t, Options{Plan: plan, Run: runner, Retries: 1, Sleep: noSleep}, time.Minute)
+	if outcomes[0].Err != nil {
+		t.Fatalf("healthy shard: %v", outcomes[0].Err)
+	}
+	if outcomes[1].Err == nil || outcomes[1].Attempts != 2 {
+		t.Fatalf("crash-loop shard: err=%v attempts=%d, want exhausted budget of 2", outcomes[1].Err, outcomes[1].Attempts)
+	}
+	log, err := Merge(exp, plan, outcomes, nil)
+	if err != nil {
+		t.Fatalf("merge must complete despite the crash loop: %v", err)
+	}
+	out, err := exp.Replay(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runs, _ := exp.Grid()
+	bad := plan.Specs[1].Range
+	for c := range out.PerConfig {
+		for r := 0; r < runs; r++ {
+			cellErr := out.PerConfig[c].Errs[r]
+			if bad.Contains(c*runs + r) {
+				if cellErr == nil || !strings.Contains(cellErr.Error(), bad.String()) {
+					t.Errorf("cell (%d,%d): err = %v, want ERR naming shard %s", c, r, cellErr, bad)
+				}
+			} else if cellErr != nil {
+				t.Errorf("healthy cell (%d,%d): %v", c, r, cellErr)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package shard
+
+// The merge: stitch per-shard journals into one canonical journal —
+// the unsharded header followed by every cell in flattened grid order,
+// last record winning within each shard. Because the journal's seal is
+// deterministic and journal.Float re-encodes finite values
+// byte-identically, the merged file is byte-for-byte the journal an
+// unsharded sequential sweep would have written; every consumer
+// downstream of it (report, digests, plain -resume) is oblivious to
+// the sharding.
+
+import (
+	"fmt"
+
+	"asmp/internal/core"
+	"asmp/internal/cpu"
+	"asmp/internal/journal"
+)
+
+// Merge stitches the plan's shard journals into the merged journal at
+// plan.Journal and returns the re-read result. outcomes are the
+// supervisor's per-shard reports, in index order: a failed shard's
+// missing cells degrade to typed ERR records naming the shard (the
+// sweep completes), while a missing or unreadable journal behind a
+// *successful* shard is an error — that contradiction must surface,
+// not silently become ERR cells.
+//
+// The returned Log is re-read from the merged file after Close, so the
+// caller replays exactly what landed on disk — under fault injection
+// (wrap) a torn merge surfaces as the read's typed error, preserving
+// the two-outcome contract across the merge step itself.
+func Merge(exp core.Experiment, plan *Plan, outcomes []ShardOutcome, wrap journal.WrapSink) (*journal.Log, error) {
+	if exp.Shard != nil {
+		return nil, fmt.Errorf("shard: merge wants the unsharded experiment")
+	}
+	if len(outcomes) != len(plan.Specs) {
+		return nil, fmt.Errorf("shard: %d outcomes for %d shards", len(outcomes), len(plan.Specs))
+	}
+	configs, runs, base := exp.Grid()
+	n := len(configs) * runs
+
+	// Collect each shard's cells (last record wins within a shard).
+	cells := make(map[int]journal.Cell, n)
+	for i, spec := range plan.Specs {
+		log, err := journal.Read(spec.Journal)
+		if err != nil {
+			if outcomes[i].Err != nil {
+				continue // failed shard: its cells degrade below
+			}
+			return nil, fmt.Errorf("shard %s reported success but its journal is unusable: %w", spec.Range, err)
+		}
+		for j := range log.Cells {
+			c := log.Cells[j]
+			idx := c.Cfg*runs + c.Run
+			if !spec.Range.Contains(idx) {
+				return nil, &core.ResumeRefusedError{Path: spec.Journal,
+					Msg: fmt.Sprintf("shard: journal %s holds cell (%d,%d) outside shard %s", spec.Journal, c.Cfg, c.Run, spec.Range)}
+			}
+			cells[idx] = c
+		}
+	}
+
+	w, err := journal.CreateVia(plan.Journal, wrap)
+	if err != nil {
+		return nil, err
+	}
+	unsharded := exp
+	unsharded.Shard = nil
+	werr := w.WriteHeader(unsharded.JournalHeader())
+	for idx := 0; idx < n && werr == nil; idx++ {
+		c, ok := cells[idx]
+		if !ok {
+			c = degradedCell(plan, outcomes, configs, runs, base, idx)
+		}
+		werr = w.WriteCell(c)
+	}
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return nil, werr
+	}
+	return journal.Read(plan.Journal)
+}
+
+// degradedCell synthesizes the ERR record for a cell its shard never
+// delivered: seed and indices are the sweep's own (so validation
+// passes), and the error names the shard and why it gave up.
+func degradedCell(plan *Plan, outcomes []ShardOutcome, configs []cpu.Config, runs int, base uint64, idx int) journal.Cell {
+	cfg, run := idx/runs, idx%runs
+	reason := "no record delivered"
+	for i, spec := range plan.Specs {
+		if spec.Range.Contains(idx) {
+			if outcomes[i].Err != nil {
+				reason = fmt.Sprintf("retry budget exhausted: %v", outcomes[i].Err)
+			}
+			reason = fmt.Sprintf("shard %s: %s", spec.Range, reason)
+			break
+		}
+	}
+	return journal.Cell{
+		Config:  configs[cfg].String(),
+		Cfg:     cfg,
+		Run:     run,
+		Attempt: 0,
+		Seed:    core.RunSeed(base, cfg, run),
+		Err:     reason,
+	}
+}

@@ -1,0 +1,245 @@
+package shard
+
+// The supervisor: one goroutine per shard spawns the worker, inspects
+// the shard journal between attempts, and respawns crashed workers
+// with capped exponential backoff — resuming the journal's valid
+// prefix, setting damaged journals aside. A shard that exhausts its
+// retry budget is reported, not fatal: the merge degrades its missing
+// cells to typed ERR records and the sweep completes.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asmp/internal/core"
+	"asmp/internal/journal"
+)
+
+// stats counts supervision events across the process lifetime, for
+// asmp-serve's /stats endpoint.
+var stats struct {
+	retried       atomic.Uint64
+	resumedShards atomic.Uint64
+}
+
+// Stats returns the process-wide supervision counters: retried is the
+// number of worker respawns (attempts beyond each shard's first), and
+// resumedShards the number of spawns that resumed an existing journal
+// prefix rather than starting fresh. Both are monotone.
+func Stats() (retried, resumedShards uint64) {
+	return stats.retried.Load(), stats.resumedShards.Load()
+}
+
+// Options configures Supervise. Plan and Run are required.
+type Options struct {
+	// Plan is the committed partition to execute.
+	Plan *Plan
+	// Run spawns one worker attempt (ExecRunner in production).
+	Run Runner
+	// Retries is the per-shard respawn budget beyond the first attempt
+	// (default 2). Exhausting it degrades the shard to ERR cells.
+	Retries int
+	// Backoff and MaxBackoff shape the capped exponential delay between
+	// respawns of the same shard (defaults 50ms and 1s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Cancel, when non-nil, stops supervision when closed: running
+	// workers are left to notice it themselves (they share the signal),
+	// and no further respawns happen.
+	Cancel <-chan struct{}
+	// Logf, when non-nil, receives supervision events (respawns,
+	// set-asides, budget exhaustion).
+	Logf func(format string, args ...any)
+	// Sleep replaces the inter-attempt delay in tests; nil means real
+	// sleeping (cancellable by Cancel).
+	Sleep func(d time.Duration)
+}
+
+// ShardOutcome reports how one shard's supervision went.
+type ShardOutcome struct {
+	// Spec is the shard this outcome describes.
+	Spec Spec
+	// Attempts is how many workers were spawned (0 if the journal was
+	// already complete).
+	Attempts int
+	// Resumed reports whether any attempt resumed an existing journal.
+	Resumed bool
+	// SetAside lists journals set aside .damaged during supervision.
+	SetAside []string
+	// Err is nil when the shard completed; otherwise the last attempt's
+	// error (budget exhausted, cancelled, or a typed refusal).
+	Err error
+}
+
+// Supervise runs every shard of the plan to completion (or budget
+// exhaustion), returning one outcome per shard in index order. It
+// never returns an error itself: per-shard failures are outcomes, and
+// the merge decides what they mean.
+func Supervise(o Options) []ShardOutcome {
+	if o.Plan == nil || o.Run == nil {
+		panic("shard: Supervise needs a Plan and a Runner")
+	}
+	retries := o.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := o.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := o.MaxBackoff
+	if maxBackoff < backoff {
+		maxBackoff = time.Second
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sleep := o.Sleep
+	if sleep == nil {
+		sleep = func(d time.Duration) {
+			t := time.NewTimer(d) //asmp:allow walltime supervision backoff, never simulation state
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-o.Cancel:
+			}
+		}
+	}
+
+	out := make([]ShardOutcome, len(o.Plan.Specs))
+	var wg sync.WaitGroup //asmp:allow goroutine one supervisor per shard, results merged deterministically
+	for i := range o.Plan.Specs {
+		wg.Add(1)
+		go func(i int) { //asmp:allow goroutine one supervisor per shard, results merged deterministically
+			defer wg.Done()
+			out[i] = superviseShard(o, o.Plan.Specs[i], retries, backoff, maxBackoff, sleep, logf)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// cancelRequested reports whether the supervisor's cancel fired.
+func (o *Options) cancelRequested() bool {
+	if o.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// superviseShard drives one shard through its attempt budget.
+func superviseShard(o Options, spec Spec, retries int, backoff, maxBackoff time.Duration, sleep func(time.Duration), logf func(string, ...any)) ShardOutcome {
+	out := ShardOutcome{Spec: spec}
+	want := o.Plan.Header // identity fields; Shard/Shards adjusted below
+	for attempt := 0; ; attempt++ {
+		resume, done, aside, err := inspect(spec, &want)
+		out.SetAside = append(out.SetAside, aside...)
+		if err != nil {
+			// The journal is unusable and could not be set aside (or is
+			// unreadable for a non-damage reason): typed pass-through.
+			out.Err = err
+			return out
+		}
+		if done {
+			// Every cell in range already recorded: nothing to spawn. This
+			// also absolves a prior attempt's crash — a worker killed after
+			// its final append completed the shard, however it exited.
+			out.Err = nil
+			return out
+		}
+		if o.cancelRequested() {
+			out.Err = fmt.Errorf("shard %s: %w", spec.Range, core.ErrCancelled)
+			return out
+		}
+		if attempt > 0 {
+			stats.retried.Add(1)
+			d := backoff << (attempt - 1)
+			if d > maxBackoff || d <= 0 {
+				d = maxBackoff
+			}
+			logf("shard %s: attempt %d/%d resuming after %v: %v",
+				spec.Range, attempt+1, retries+1, d, out.Err)
+			sleep(d)
+			if o.cancelRequested() {
+				out.Err = fmt.Errorf("shard %s: %w", spec.Range, core.ErrCancelled)
+				return out
+			}
+		}
+		if resume {
+			stats.resumedShards.Add(1)
+			out.Resumed = true
+		}
+		out.Attempts++
+		err = o.Run(spec, resume)
+		if err == nil {
+			out.Err = nil
+			return out
+		}
+		out.Err = err
+		if cancelled(err) || o.cancelRequested() {
+			return out
+		}
+		if attempt >= retries {
+			logf("shard %s: retry budget exhausted after %d attempt(s): %v",
+				spec.Range, out.Attempts, err)
+			return out
+		}
+	}
+}
+
+// inspect examines a shard journal before a spawn, deciding between
+// resuming it, starting fresh, or skipping the spawn entirely:
+//
+//   - missing file: fresh start;
+//   - damaged file, or a valid file recording a different sweep or
+//     shard: set aside (.damaged, counter suffixed), fresh start;
+//   - valid file with every in-range cell recorded: done, no spawn;
+//   - valid partial file: resume.
+//
+// A set-aside that itself fails is fatal for the shard (err non-nil).
+func inspect(spec Spec, want *journal.Header) (resume, done bool, setAside []string, err error) {
+	log, rerr := journal.Read(spec.Journal)
+	switch {
+	case errors.Is(rerr, os.ErrNotExist):
+		return false, false, nil, nil
+	case errors.As(rerr, new(*journal.DamagedError)):
+		aside, aerr := journal.SetAside(spec.Journal)
+		if aerr != nil {
+			return false, false, nil, fmt.Errorf("shard %s: cannot set aside damaged journal: %w", spec.Range, aerr)
+		}
+		return false, false, []string{aside}, nil
+	case rerr != nil:
+		return false, false, nil, fmt.Errorf("shard %s: %w", spec.Range, rerr)
+	}
+	h := log.Header
+	if h == nil || !headerIdentityEqual(h, want) || h.Shard != spec.Range.String() {
+		// Not this shard's journal (stale run, wrong shard, torn before
+		// the header): set it aside rather than resume someone else's.
+		aside, aerr := journal.SetAside(spec.Journal)
+		if aerr != nil {
+			return false, false, nil, fmt.Errorf("shard %s: cannot set aside foreign journal: %w", spec.Range, aerr)
+		}
+		return false, false, []string{aside}, nil
+	}
+	have := make(map[int]bool, len(log.Cells))
+	for i := range log.Cells {
+		c := &log.Cells[i]
+		have[c.Cfg*want.Runs+c.Run] = true
+	}
+	for idx := spec.Range.Lo; idx < spec.Range.Hi; idx++ {
+		if !have[idx] {
+			return true, false, nil, nil
+		}
+	}
+	return false, true, nil, nil
+}

@@ -1,0 +1,181 @@
+package shard
+
+// The worker side: one process executes one shard of the sweep as a
+// shard-scoped experiment (core.ShardRange), journaling only its cells.
+// Workers are spawned by the supervisor through a Runner; ExecRunner is
+// the production implementation (re-exec the binary with the hidden
+// -shardworker flag), and tests substitute in-process or fault-injected
+// runners.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+
+	"asmp/internal/core"
+	"asmp/internal/journal"
+)
+
+// IncompleteError reports a worker whose sweep finished but whose
+// journal did not: an append or close failed, so the file cannot be
+// trusted to hold every cell. The supervisor treats it like a crash
+// (the journal's valid prefix resumes fine).
+type IncompleteError struct {
+	// Path is the shard journal.
+	Path string
+	// Err is the underlying journal failure.
+	Err error
+}
+
+func (e *IncompleteError) Error() string {
+	return fmt.Sprintf("shard: journal %s is incomplete: %v", e.Path, e.Err)
+}
+
+func (e *IncompleteError) Unwrap() error { return e.Err }
+
+// Worker runs one shard to completion: the experiment restricted to r,
+// journaled at journalPath (resumed when resume is set, created fresh
+// otherwise). Per-cell failures are results, not worker failures — the
+// merge renders them as ERR cells — so Worker only errors when the
+// shard's journal cannot be trusted (typed refusals and DamagedError
+// pass through, journal write failures become *IncompleteError) or the
+// sweep was cancelled (an error matching core.ErrCancelled).
+func Worker(exp core.Experiment, r core.ShardRange, journalPath string, resume bool, wrap journal.WrapSink) error {
+	configs, runs, _ := exp.Grid()
+	if n := len(configs) * runs; r.Hi > n {
+		return fmt.Errorf("shard: range %s outside the %d-cell grid", r, n)
+	}
+	exp.Shard = &r
+
+	var out *core.Outcome
+	if resume {
+		log, w, err := journal.ResumeVia(journalPath, wrap)
+		if err != nil {
+			return err
+		}
+		exp.Journal = w
+		out, err = exp.Resume(log)
+		if err != nil {
+			// The typed refusal is the story; a close failure on this
+			// already-abandoned journal adds nothing.
+			if cerr := w.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return &IncompleteError{Path: journalPath, Err: err}
+		}
+	} else {
+		w, err := journal.CreateVia(journalPath, wrap)
+		if err != nil {
+			return err
+		}
+		exp.Journal = w
+		out = exp.Run()
+		if err := w.Close(); err != nil {
+			return &IncompleteError{Path: journalPath, Err: err}
+		}
+	}
+	if out.JournalErr != nil {
+		return &IncompleteError{Path: journalPath, Err: out.JournalErr}
+	}
+	for _, cr := range out.PerConfig {
+		if cr.Cancelled() > 0 {
+			return fmt.Errorf("shard %s: %w", r, core.ErrCancelled)
+		}
+	}
+	return nil
+}
+
+// Runner spawns one attempt of one shard and blocks until it exits; a
+// crashed or failed worker is a non-nil error. resume tells the worker
+// to resume spec.Journal's valid prefix instead of starting fresh.
+type Runner func(spec Spec, resume bool) error
+
+// WorkerEnv marks a process as a re-exec'd shard worker; ExecRunner
+// sets it so test binaries can divert into worker mode from TestMain.
+const WorkerEnv = "ASMP_SHARD_EXEC"
+
+// lockedWriter serializes writes from concurrently exiting workers
+// into the supervisor's single stderr (os/exec copies each child's
+// stderr from its own goroutine).
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// SyncWriter wraps w so concurrent writers — the supervisor's own log
+// lines and the stderr streams of exiting workers — never race on the
+// underlying writer. The supervisor's caller wraps its stderr once and
+// shares the result with Supervise's Logf and ExecRunner.
+func SyncWriter(w io.Writer) io.Writer { return &lockedWriter{w: w} }
+
+// ExecRunner returns the production Runner: re-exec bin with the
+// sweep's own arguments plus the shard's journal and the hidden
+// -shardworker flag. The workers' stderr streams are forwarded through
+// one lock (supervision messages interleave by line, never by byte);
+// their stdout — the per-shard report nobody reads — is discarded.
+func ExecRunner(bin string, baseArgs []string, stderr io.Writer) Runner {
+	shared := &lockedWriter{w: stderr}
+	return func(spec Spec, resume bool) error {
+		args := append([]string{}, baseArgs...)
+		args = append(args, "-journal", spec.Journal)
+		if resume {
+			args = append(args, "-resume")
+		}
+		args = append(args, "-shardworker", spec.Range.String())
+		cmd := exec.Command(bin, args...)
+		cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+		cmd.Stdout = io.Discard
+		cmd.Stderr = shared
+		return cmd.Run()
+	}
+}
+
+// ExtractWorker strips the hidden -shardworker flag from a CLI
+// argument list before normal flag parsing, returning the remaining
+// arguments and the shard range. Like faultio.ExtractCrashAt it is
+// invisible to -h: only the supervisor spawns it, as "-shardworker
+// index/of:lo-hi" (or the = and double-dash forms).
+func ExtractWorker(args []string) (rest []string, r core.ShardRange, ok bool, err error) {
+	rest = make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		name := strings.TrimPrefix(strings.TrimPrefix(arg, "-"), "-")
+		var spec string
+		switch {
+		case name == "shardworker":
+			i++
+			if i >= len(args) {
+				return nil, core.ShardRange{}, false, fmt.Errorf("shard: %s needs a range (index/of:lo-hi)", arg)
+			}
+			spec = args[i]
+		case strings.HasPrefix(name, "shardworker="):
+			spec = strings.TrimPrefix(name, "shardworker=")
+		default:
+			rest = append(rest, arg)
+			continue
+		}
+		r, err = core.ParseShardRange(spec)
+		if err != nil {
+			return nil, core.ShardRange{}, false, err
+		}
+		ok = true
+	}
+	return rest, r, ok, nil
+}
+
+// cancelled reports whether err marks a cancelled worker (the one
+// failure the supervisor must not retry).
+func cancelled(err error) bool { return errors.Is(err, core.ErrCancelled) }
