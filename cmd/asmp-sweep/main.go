@@ -54,8 +54,10 @@ import (
 )
 
 // exitCancelled is the exit code for an interrupted sweep (128+SIGINT,
-// the shell convention).
-const exitCancelled = 130
+// the shell convention). It aliases shard.ExitCancelled: the shard
+// supervisor recognizes this code from a dead worker and maps it back
+// to core.ErrCancelled, so the two must agree.
+const exitCancelled = shard.ExitCancelled
 
 func main() {
 	cancel := make(chan struct{})
@@ -243,6 +245,10 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 	}
 	if *shards > 0 && isWorker {
 		fmt.Fprintln(stderr, "asmp-sweep: a shard worker cannot itself be a supervisor")
+		return 2
+	}
+	if *shards > 0 && *resume {
+		fmt.Fprintln(stderr, "asmp-sweep: -resume does not combine with -shards; rerunning the same -shards command resumes automatically from the committed manifest")
 		return 2
 	}
 	var wrap journal.WrapSink

@@ -148,6 +148,13 @@ func TestShardsFlagValidation(t *testing.T) {
 		!strings.Contains(errOut, "-verify is an audit") {
 		t.Errorf("verify+shards: exit = %d, stderr = %s", code, errOut)
 	}
+	// -resume is implicit in sharded mode (the manifest resumes the
+	// sweep); passing the flag would silently do nothing, so it is
+	// rejected with the explanation instead.
+	if code, _, errOut := runCmd(sweepArgs("-shards", "2", "-journal", "x", "-resume")...); code != 2 ||
+		!strings.Contains(errOut, "-resume does not combine with -shards") {
+		t.Errorf("shards+resume: exit = %d, stderr = %s", code, errOut)
+	}
 }
 
 // TestShardWorkerHidden: -shardworker is supervisor plumbing, not a

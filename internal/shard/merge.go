@@ -21,9 +21,10 @@ import (
 // plan.Journal and returns the re-read result. outcomes are the
 // supervisor's per-shard reports, in index order: a failed shard's
 // missing cells degrade to typed ERR records naming the shard (the
-// sweep completes), while a missing or unreadable journal behind a
-// *successful* shard is an error — that contradiction must surface,
-// not silently become ERR cells.
+// sweep completes), while a missing or unreadable journal — or a
+// readable one missing in-range cells — behind a *successful* shard is
+// an error: that contradiction must surface, not silently become ERR
+// cells.
 //
 // The returned Log is re-read from the merged file after Close, so the
 // caller replays exactly what landed on disk — under fault injection
@@ -60,6 +61,21 @@ func Merge(exp core.Experiment, plan *Plan, outcomes []ShardOutcome, wrap journa
 		}
 	}
 
+	// A shard that reported success must have delivered every cell in
+	// its range: a shortfall is the same success/journal contradiction
+	// as an unreadable file, and must surface rather than degrade.
+	for i, spec := range plan.Specs {
+		if outcomes[i].Err != nil {
+			continue
+		}
+		for idx := spec.Range.Lo; idx < spec.Range.Hi; idx++ {
+			if _, ok := cells[idx]; !ok {
+				return nil, fmt.Errorf("shard %s reported success but journal %s is missing cell (%d,%d)",
+					spec.Range, spec.Journal, idx/runs, idx%runs)
+			}
+		}
+	}
+
 	w, err := journal.CreateVia(plan.Journal, wrap)
 	if err != nil {
 		return nil, err
@@ -91,8 +107,11 @@ func degradedCell(plan *Plan, outcomes []ShardOutcome, configs []cpu.Config, run
 	reason := "no record delivered"
 	for i, spec := range plan.Specs {
 		if spec.Range.Contains(idx) {
+			// The outcome's error already says why the shard gave up
+			// (budget exhausted, typed refusal, cancellation); don't
+			// second-guess it with a cause that may not have happened.
 			if outcomes[i].Err != nil {
-				reason = fmt.Sprintf("retry budget exhausted: %v", outcomes[i].Err)
+				reason = fmt.Sprintf("failed: %v", outcomes[i].Err)
 			}
 			reason = fmt.Sprintf("shard %s: %s", spec.Range, reason)
 			break

@@ -8,6 +8,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -317,13 +318,118 @@ func TestRetryBudgetExhaustionDegradesToErrCells(t *testing.T) {
 		for r := 0; r < runs; r++ {
 			err := out.PerConfig[c].Errs[r]
 			if bad.Contains(c*runs + r) {
-				if err == nil || !strings.Contains(err.Error(), bad.String()) {
+				switch {
+				case err == nil || !strings.Contains(err.Error(), bad.String()):
 					t.Errorf("cell (%d,%d): err = %v, want ERR naming shard %s", c, r, err, bad)
+				case !strings.Contains(err.Error(), "failed: simulated crash loop"):
+					// The recorded reason must be the shard's actual error,
+					// not an assumed cause like "retry budget exhausted".
+					t.Errorf("cell (%d,%d): err = %v, want the shard's own failure recorded", c, r, err)
 				}
 			} else if err != nil {
 				t.Errorf("healthy cell (%d,%d): %v", c, r, err)
 			}
 		}
+	}
+}
+
+// TestSuperviseCancelMidAttemptTypesError: when the cancel signal
+// fires while an attempt is in flight and the worker dies with an
+// untyped error (a process worker killed by the shared signal), the
+// outcome must still match core.ErrCancelled — runSharded's refusal to
+// merge and its 130 exit with the resume hint depend on it.
+func TestSuperviseCancelMidAttemptTypesError(t *testing.T) {
+	exp := testExperiment(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	plan, _, err := Recover(exp, 1, path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	runner := func(spec Spec, resume bool) error {
+		close(cancel)
+		return errors.New("signal: interrupt") // untyped, like a raw *exec.ExitError
+	}
+	outcomes := Supervise(Options{Plan: plan, Run: runner, Retries: 3, Cancel: cancel, Sleep: noSleep})
+	o := outcomes[0]
+	if o.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no respawn after cancel)", o.Attempts)
+	}
+	if !errors.Is(o.Err, core.ErrCancelled) {
+		t.Fatalf("outcome err = %v, want an error matching core.ErrCancelled", o.Err)
+	}
+	if !strings.Contains(o.Err.Error(), "signal: interrupt") {
+		t.Errorf("outcome err %q drops the attempt's own error", o.Err)
+	}
+}
+
+// TestExecRunnerTypesCancelledWorkerExit: a worker process that exits
+// 130 (the CLI's interrupted-sweep code) must come back from ExecRunner
+// as an error matching core.ErrCancelled; any other non-zero exit stays
+// the untyped *exec.ExitError.
+func TestExecRunnerTypesCancelledWorkerExit(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Range: core.ShardRange{Index: 0, Of: 1, Lo: 0, Hi: 1}, Journal: filepath.Join(dir, "s0.jsonl")}
+	for _, tc := range []struct {
+		code      int
+		cancelled bool
+	}{
+		{ExitCancelled, true},
+		{1, false},
+		{3, false},
+	} {
+		bin := filepath.Join(dir, fmt.Sprintf("worker-%d.sh", tc.code))
+		script := fmt.Sprintf("#!/bin/sh\nexit %d\n", tc.code)
+		if err := os.WriteFile(bin, []byte(script), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		err := ExecRunner(bin, nil, io.Discard)(spec, false)
+		if err == nil {
+			t.Fatalf("exit %d: runner returned nil", tc.code)
+		}
+		if got := errors.Is(err, core.ErrCancelled); got != tc.cancelled {
+			t.Errorf("exit %d: errors.Is(err, ErrCancelled) = %v, want %v (err: %v)", tc.code, got, tc.cancelled, err)
+		}
+	}
+}
+
+// TestMergeRefusesSuccessfulShardMissingCells: a readable shard journal
+// that is short an in-range cell behind a shard reporting success is
+// the same contradiction as an unreadable one — it must surface as a
+// merge error, not silently degrade to ERR cells.
+func TestMergeRefusesSuccessfulShardMissingCells(t *testing.T) {
+	exp := testExperiment(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	plan, _, err := Recover(exp, 2, path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := Supervise(Options{Plan: plan, Run: inProcess(exp), Sleep: noSleep})
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("shard %s: %v", o.Spec.Range, o.Err)
+		}
+	}
+	// Drop shard 0's last line: still a valid journal, one cell short.
+	raw, err := os.ReadFile(plan.Specs[0].Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("shard journal too short: %d lines", len(lines))
+	}
+	short := strings.Join(lines[:len(lines)-2], "")
+	if err := os.WriteFile(plan.Specs[0].Journal, []byte(short), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Merge(exp, plan, outcomes, nil)
+	if err == nil || !strings.Contains(err.Error(), "reported success") ||
+		!strings.Contains(err.Error(), plan.Specs[0].Range.String()) {
+		t.Fatalf("merge over the shortened journal: %v, want a success/journal contradiction naming shard %s",
+			err, plan.Specs[0].Range)
 	}
 }
 

@@ -186,7 +186,15 @@ func superviseShard(o Options, spec Spec, retries int, backoff, maxBackoff time.
 			return out
 		}
 		out.Err = err
-		if cancelled(err) || o.cancelRequested() {
+		if cancelled(err) {
+			return out
+		}
+		if o.cancelRequested() {
+			// The cancel fired but the attempt's error is untyped (e.g. a
+			// worker that died to the shared signal without exiting 130):
+			// type the outcome so runSharded's errors.Is check still sees
+			// the cancellation and refuses to merge.
+			out.Err = fmt.Errorf("shard %s: %w (last attempt: %v)", spec.Range, core.ErrCancelled, err)
 			return out
 		}
 		if attempt >= retries {

@@ -101,6 +101,15 @@ type Runner func(spec Spec, resume bool) error
 // sets it so test binaries can divert into worker mode from TestMain.
 const WorkerEnv = "ASMP_SHARD_EXEC"
 
+// ExitCancelled is the exit code of a cancelled worker (128+SIGINT,
+// the shell convention — the same code the CLI uses for an interrupted
+// sweep). ExecRunner maps it back to an error wrapping
+// core.ErrCancelled, so cancellation stays typed across the exec
+// boundary and the supervisor's contract (no respawn, no merge, exit
+// with the resume hint) holds for process workers exactly as it does
+// for in-process ones.
+const ExitCancelled = 130
+
 // lockedWriter serializes writes from concurrently exiting workers
 // into the supervisor's single stderr (os/exec copies each child's
 // stderr from its own goroutine).
@@ -139,7 +148,12 @@ func ExecRunner(bin string, baseArgs []string, stderr io.Writer) Runner {
 		cmd.Env = append(os.Environ(), WorkerEnv+"=1")
 		cmd.Stdout = io.Discard
 		cmd.Stderr = shared
-		return cmd.Run()
+		err := cmd.Run()
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && ee.ExitCode() == ExitCancelled {
+			return fmt.Errorf("shard %s: worker exited %d: %w", spec.Range, ExitCancelled, core.ErrCancelled)
+		}
+		return err
 	}
 }
 
