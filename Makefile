@@ -5,6 +5,7 @@
 # Extras:
 #
 #   make lint         # determinism lint suite only (cmd/asmp-lint)
+#   make lint-fix     # apply the suite's machine-applicable fixes in place
 #   make test-race    # full test suite under the race detector
 #   make test-crash   # crash-consistency matrix, every byte-prefix (DESIGN.md §9)
 #   make test-shard   # shard-supervision chaos matrix, SIGKILLed workers (DESIGN.md §11)
@@ -15,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test test-race test-crash test-shard serve-smoke bench bench-hot golden
+.PHONY: check vet lint lint-fix test test-race test-crash test-shard serve-smoke bench bench-hot golden
 
 check: vet lint test
 
@@ -28,6 +29,13 @@ vet:
 # DESIGN.md §7 for the invariant catalog and `asmp-lint -list`.
 lint:
 	$(GO) run ./cmd/asmp-lint ./...
+
+# Apply machine-applicable fixes (chain-erasing %v → %w, == sentinel
+# compares → errors.Is, stale //asmp:allow removal). Idempotent and
+# gofmt-stable; `-diff` previews the same rewrites. CI's drift gate
+# fails if running this would change the committed tree.
+lint-fix:
+	$(GO) run ./cmd/asmp-lint -fix ./...
 
 test:
 	$(GO) build ./...

@@ -1,15 +1,20 @@
 // Command asmp-lint statically enforces the simulator's reproducibility
-// invariants: no wall-clock time, no unseeded randomness, no map-order-
-// dependent emission, no stray concurrency in deterministic packages,
-// no dropped journal-write errors. It is the static half of the story
-// whose runtime half is the run digest machinery (internal/digest,
+// invariants: no wall-clock time or unseeded randomness reaching an
+// artifact (even laundered through helpers), no map-order-dependent
+// emission, no stray concurrency in deterministic packages, no dropped
+// journal-write errors, no retained recycled-event pointers, no journal
+// I/O outside the seam, no chain-erasing error handling at boundaries,
+// and pure identity/memo-key functions. It is the static half of the
+// story whose runtime half is the run digest machinery (internal/digest,
 // core.VerifyDeterminism); DESIGN.md §7 catalogues the rules.
 //
 // Usage:
 //
 //	asmp-lint ./...          # lint the whole module (the make lint gate)
 //	asmp-lint ./internal/... # lint a subtree
-//	asmp-lint -list          # describe every rule
+//	asmp-lint -list          # describe every rule, grouped by tier
+//	asmp-lint -fix ./...     # apply machine-applicable fixes in place
+//	asmp-lint -diff ./...    # preview what -fix would change
 //
 // Diagnostics print as "file:line:col: message [rule]"; findings that
 // carry suggested-fix metadata add an indented "fix:" line. Intentional
@@ -18,9 +23,12 @@
 //	//asmp:allow <rule>[,<rule>...] [justification]
 //
 // on the offending line or the line directly above. Unknown rule names
-// in a pragma are themselves lint errors, so suppressions cannot rot.
+// in a pragma are themselves lint errors, and so is a pragma that no
+// longer suppresses anything, so suppressions cannot rot; -fix removes
+// stale pragmas.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// Exit status: 0 clean (or all findings fixed), 1 findings remain,
+// 2 usage or load failure.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"asmp/internal/analysis"
 )
@@ -42,19 +51,23 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("asmp-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	list := fs.Bool("list", false, "list the analyzer suite by tier and exit")
+	fix := fs.Bool("fix", false, "apply machine-applicable fixes in place (idempotent)")
+	diff := fs.Bool("diff", false, "preview the changes -fix would make, without writing")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: asmp-lint [-list] [pattern ...]   (default pattern ./...)")
+		fmt.Fprintln(stderr, "usage: asmp-lint [-list] [-fix | -diff] [pattern ...]   (default pattern ./...)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *fix && *diff {
+		fmt.Fprintln(stderr, "asmp-lint: -fix and -diff are mutually exclusive")
+		return 2
+	}
 	analyzers := analysis.All()
 	if *list {
-		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
-		}
+		listRules(stdout, analyzers)
 		return 0
 	}
 	patterns := fs.Args()
@@ -75,6 +88,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	diags := analysis.Run(pkgs, analyzers)
 	cwd, _ := os.Getwd()
+
+	if *fix || *diff {
+		fixed, err := analysis.ApplyFixes(loader.Fset, diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "asmp-lint:", err)
+			return 2
+		}
+		files := make([]string, 0, len(fixed))
+		for f := range fixed {
+			files = append(files, f)
+		}
+		// ApplyFixes keys by absolute path; print deterministically.
+		sort.Strings(files)
+		if *diff {
+			for _, f := range files {
+				old, err := os.ReadFile(f)
+				if err != nil {
+					fmt.Fprintln(stderr, "asmp-lint:", err)
+					return 2
+				}
+				fmt.Fprint(stdout, analysis.Diff(relativize(cwd, f), old, fixed[f]))
+			}
+			if len(files) > 0 {
+				fmt.Fprintf(stderr, "asmp-lint: -fix would rewrite %d file(s)\n", len(files))
+				return 1
+			}
+		}
+		if *fix {
+			for _, f := range files {
+				if err := os.WriteFile(f, fixed[f], 0o644); err != nil {
+					fmt.Fprintln(stderr, "asmp-lint:", err)
+					return 2
+				}
+				fmt.Fprintf(stderr, "fixed %s\n", relativize(cwd, f))
+			}
+			if len(files) > 0 {
+				// Re-lint so the exit code reflects what fixes could not
+				// resolve (and so a cascade, if any, converges now).
+				loader2, err := analysis.NewLoader(".")
+				if err != nil {
+					fmt.Fprintln(stderr, "asmp-lint:", err)
+					return 2
+				}
+				pkgs, err = loader2.Load(patterns...)
+				if err != nil {
+					fmt.Fprintln(stderr, "asmp-lint:", err)
+					return 2
+				}
+				diags = analysis.Run(pkgs, analyzers)
+			}
+		}
+	}
+
 	for _, d := range diags {
 		d.Pos.Filename = relativize(cwd, d.Pos.Filename)
 		fmt.Fprintln(stdout, d.String())
@@ -87,6 +153,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// listRules prints the suite grouped by tier, each rule with its
+// DESIGN §7 row (invariant + why it protects digests/journals).
+func listRules(stdout io.Writer, analyzers []*analysis.Analyzer) {
+	tiers := []struct{ key, title string }{
+		{analysis.TierSyntactic, "Syntactic rules (per-file AST/type checks)"},
+		{analysis.TierInterprocedural, "Interprocedural rules (call-graph, taint and purity summaries)"},
+	}
+	for i, tier := range tiers {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "%s:\n", tier.title)
+		for _, a := range analyzers {
+			if a.Tier != tier.key {
+				continue
+			}
+			fmt.Fprintf(stdout, "  %-14s %s\n", a.Name, a.Doc)
+			if a.Invariant != "" {
+				fmt.Fprintf(stdout, "  %-14s invariant: %s\n", "", a.Invariant)
+			}
+			if a.Why != "" {
+				fmt.Fprintf(stdout, "  %-14s why: %s\n", "", a.Why)
+			}
+		}
+	}
 }
 
 // relativize shortens an absolute diagnostic path to be relative to the

@@ -113,3 +113,130 @@ func writeFile(t *testing.T, path, content string) {
 		t.Fatal(err)
 	}
 }
+
+// fixableMain carries one autofixable violation (%v on an error) and
+// one that is not (a bare time.Now with no rewrite).
+const fixableMain = `package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errStop = errors.New("stop")
+
+func main() {
+	fmt.Println(fmt.Errorf("run failed: %v", errStop))
+}
+`
+
+func writeFixable(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintdemo\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), fixableMain)
+	return dir
+}
+
+func TestDiffPreviewsWithoutWriting(t *testing.T) {
+	dir := writeFixable(t)
+	before, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCmd(t, dir, "-diff", "./...")
+	if code != 1 {
+		t.Fatalf("-diff with pending fixes exit = %d, want 1\n%s", code, out)
+	}
+	for _, frag := range []string{"--- main.go", "+++ main.go (fixed)", "%w"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("-diff output missing %q:\n%s", frag, out)
+		}
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("-diff rewrote the file; it must only preview")
+	}
+}
+
+func TestFixRewritesAndReports(t *testing.T) {
+	dir := writeFixable(t)
+	code, out, errOut := runCmd(t, dir, "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("-fix exit = %d, want 0 (all findings fixable)\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "fixed ") {
+		t.Errorf("-fix did not report the rewritten file on stderr: %q", errOut)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "%w") || strings.Contains(string(src), "%v") {
+		t.Errorf("-fix did not rewrite %%v to %%w:\n%s", src)
+	}
+	// The fixed tree is clean: a second run finds nothing and -diff agrees.
+	if code, out, _ := runCmd(t, dir, "./..."); code != 0 {
+		t.Errorf("tree not clean after -fix: exit %d\n%s", code, out)
+	}
+	if code, _, _ := runCmd(t, dir, "-diff", "./..."); code != 0 {
+		t.Errorf("-diff still pending after -fix: exit %d", code)
+	}
+}
+
+func TestFixLeavesUnfixableFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintdemo\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "main.go"), `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`)
+	code, out, _ := runCmd(t, dir, "-fix", "./...")
+	if code != 1 {
+		t.Fatalf("-fix with an unfixable finding exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[nowalltime]") {
+		t.Errorf("unfixable finding not re-reported after -fix:\n%s", out)
+	}
+}
+
+func TestFixAndDiffAreExclusive(t *testing.T) {
+	if code, _, errOut := runCmd(t, "", "-fix", "-diff", "./..."); code != 2 || !strings.Contains(errOut, "-fix and -diff") {
+		t.Errorf("-fix -diff: exit = %d, stderr = %q, want exit 2 naming the conflict", code, errOut)
+	}
+}
+
+func TestListGroupsByTier(t *testing.T) {
+	code, out, _ := runCmd(t, "", "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	synIdx := strings.Index(out, "Syntactic rules")
+	interIdx := strings.Index(out, "Interprocedural rules")
+	if synIdx < 0 || interIdx < 0 || interIdx < synIdx {
+		t.Fatalf("-list does not group rules by tier:\n%s", out)
+	}
+	for rule, inter := range map[string]bool{
+		"refdiscipline": false, "sinkseam": false, "typederr": false,
+		"purity": true, "nowalltime": true,
+	} {
+		idx := strings.Index(out, rule)
+		if idx < 0 {
+			t.Errorf("-list missing rule %s", rule)
+			continue
+		}
+		if got := idx > interIdx; got != inter {
+			t.Errorf("rule %s listed in wrong tier group", rule)
+		}
+	}
+	for _, frag := range []string{"invariant:", "why:"} {
+		if strings.Count(out, frag) < 9 {
+			t.Errorf("-list shows %q %d times, want one per rule (9)", frag, strings.Count(out, frag))
+		}
+	}
+}

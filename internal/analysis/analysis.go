@@ -7,8 +7,16 @@
 // after the fact. This package is the static half: it *prevents* the
 // classic ways divergence is introduced — wall-clock reads, unseeded
 // randomness, map-iteration order reaching a trace or report, stray
-// concurrency in deterministic code, and dropped journal write errors —
-// before the code ever runs. DESIGN.md §7 catalogues the invariants.
+// concurrency in deterministic code, dropped journal write errors,
+// retained recycled-event pointers, journal-seam bypasses, untyped
+// boundary errors and impure identity functions — before the code ever
+// runs. DESIGN.md §7 catalogues the invariants.
+//
+// Rules come in two tiers. Syntactic rules inspect one file at a time.
+// Interprocedural rules sit on the module substrate (module.go): a
+// package-level call graph over go/types objects with value-taint and
+// sink-writer summaries, so a wall-clock read laundered through two
+// helper functions is still caught when its value reaches a digest.
 //
 // The engine is deliberately zero-dependency: packages are loaded and
 // type-checked with the standard library only (see Loader), so the lint
@@ -22,8 +30,9 @@
 //	//asmp:allow <rule>[,<rule>...] [justification]
 //
 // on the offending line or the line directly above it. Unknown rule
-// names in a pragma are themselves lint errors, so suppressions cannot
-// silently rot when rules are renamed or removed.
+// names in a pragma are themselves lint errors, and so is a pragma that
+// no longer suppresses any diagnostic, so suppressions cannot silently
+// rot when rules are renamed, removed, or the code under them is fixed.
 package analysis
 
 import (
@@ -34,6 +43,15 @@ import (
 	"sort"
 )
 
+// Analyzer tiers: how much of the module a rule needs to see.
+const (
+	// TierSyntactic rules inspect one type-checked file at a time.
+	TierSyntactic = "syntactic"
+	// TierInterprocedural rules consult the module substrate — the call
+	// graph and taint/sink/purity summaries over the whole package set.
+	TierInterprocedural = "interprocedural"
+)
+
 // An Analyzer is one lint rule: a named check over a type-checked
 // package.
 type Analyzer struct {
@@ -42,6 +60,12 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `asmp-lint -list`.
 	Doc string
+	// Tier is TierSyntactic or TierInterprocedural; -list groups by it.
+	Tier string
+	// Invariant and Why are the rule's DESIGN.md §7 row: the invariant
+	// it enforces and why that protects digests and journals.
+	Invariant string
+	Why       string
 	// Applies reports whether the rule is in force for a package with
 	// the given import path. A nil Applies means every package.
 	Applies func(importPath string) bool
@@ -49,9 +73,13 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the syntactic
+// tier first, then the interprocedural tier.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallTime, NoRand, MapOrder, NoGoroutine, JournalErr}
+	return []*Analyzer{
+		NoWallTime, NoRand, MapOrder, NoGoroutine, JournalErr,
+		RefDiscipline, SinkSeam, TypedErr, Purity,
+	}
 }
 
 // A Pass carries one analyzer's view of one loaded package.
@@ -64,6 +92,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Mod is the interprocedural substrate, nil under RunSyntactic.
+	// Tier-2 checks must no-op when it is nil.
+	Mod *Module
 
 	report func(Diagnostic)
 }
@@ -85,6 +116,29 @@ func (p *Pass) ReportFix(pos token.Pos, suggestion, format string, args ...any) 
 	})
 }
 
+// ReportEdits records a diagnostic carrying machine-applicable edits:
+// `asmp-lint -fix` applies them, `-diff` previews them. suggestion
+// describes the change for the human-readable listing.
+func (p *Pass) ReportEdits(pos token.Pos, suggestion string, edits []TextEdit, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:        p.Fset.Position(pos),
+		Rule:       p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: suggestion,
+		Edits:      edits,
+	})
+}
+
+// A TextEdit is one contiguous source replacement: the bytes in
+// [Pos, End) are replaced by New. Edits carried by one diagnostic are
+// applied atomically; overlapping edits across diagnostics are applied
+// first-wins (see ApplyFixes).
+type TextEdit struct {
+	Pos token.Pos
+	End token.Pos
+	New string
+}
+
 // A Diagnostic is one lint finding at a concrete source position.
 type Diagnostic struct {
 	Pos     token.Position
@@ -93,6 +147,10 @@ type Diagnostic struct {
 	// Suggestion, when non-empty, is suggested-fix metadata: how to
 	// mechanically resolve the finding.
 	Suggestion string
+	// Edits, when non-empty, make the suggestion machine-applicable:
+	// asmp-lint -fix rewrites the source through them (go/format-stable,
+	// idempotent).
+	Edits []TextEdit
 }
 
 // String formats the diagnostic as "file:line:col: message [rule]", the
@@ -102,18 +160,53 @@ func (d Diagnostic) String() string {
 		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
 }
 
-// Run applies analyzers to pkgs and returns every unsuppressed
-// diagnostic plus any pragma errors (unknown rule names, empty rule
-// lists), sorted by position. Analyzers whose Applies rejects a
-// package's import path are skipped for that package; pragma validation
-// always runs, so a stale suppression is reported even in packages no
-// rule currently covers.
+// Run applies the full suite semantics to pkgs: both tiers of every
+// analyzer (interprocedural checks see a module substrate built over
+// the whole package set), pragma validation, and stale-pragma
+// detection — an //asmp:allow that suppressed nothing across the entire
+// run is itself reported. Diagnostics return sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkgs, analyzers, true)
+}
+
+// RunSyntactic applies only the syntactic halves of analyzers: no
+// module substrate is built, so interprocedural checks (taint-to-sink,
+// purity, transitive map-order) are inert, and stale-pragma detection
+// is skipped (a pragma suppressing an interprocedural finding would
+// look stale). It exists for the tier-1-only regression pins and for
+// callers that want the cheap subset.
+func RunSyntactic(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkgs, analyzers, false)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, interproc bool) []Diagnostic {
 	known := knownRules(analyzers)
 	var diags []Diagnostic
+
+	// One pragma index across the whole package set: interprocedural
+	// rules report at positions in other packages' files, and staleness
+	// is a whole-run property.
+	idx := newPragmaIndex()
+	seenFile := map[string]bool{}
 	for _, pkg := range pkgs {
-		idx, pragmaDiags := indexPragmas(pkg.Fset, pkg.Files, known)
-		diags = append(diags, pragmaDiags...)
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			files = append(files, f)
+		}
+		diags = append(diags, idx.index(pkg.Fset, files, known)...)
+	}
+
+	var mod *Module
+	if interproc {
+		mod = buildModule(pkgs)
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(pkg.Path) {
 				continue
@@ -125,6 +218,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				Mod:      mod,
 			}
 			pass.report = func(d Diagnostic) {
 				if !idx.allows(d.Pos.Filename, d.Pos.Line, a.Name) {
@@ -134,6 +228,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+
+	if interproc {
+		diags = append(diags, idx.staleDiagnostics()...)
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -185,3 +284,13 @@ var errorType = types.Universe.Lookup("error").Type()
 
 // isErrorType reports whether t is exactly the built-in error type.
 func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// importsPath reports whether file imports the given path.
+func importsPath(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"`+path+`"` {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes materializes the machine-applicable edits carried by diags
+// against the files on disk and returns the rewritten contents, keyed
+// by filename — only files that actually change appear. Nothing is
+// written back; callers decide (asmp-lint -fix writes, -diff previews,
+// the CI drift gate asserts the map is empty).
+//
+// Semantics:
+//   - A diagnostic's edits are applied atomically: if any of them
+//     overlaps an edit already accepted from an earlier diagnostic, the
+//     whole diagnostic is skipped (first-wins, in the engine's sorted
+//     diagnostic order — deterministic).
+//   - Pure deletions that leave a line holding only whitespace swallow
+//     the line, so removing a stale pragma does not strand a blank line.
+//   - Every rewritten file is passed through go/format, making the fix
+//     output stable: fixing a fixed tree is a no-op (idempotency is
+//     asserted by tests).
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := map[string][]edit{}
+	accepted := map[string][]edit{} // for overlap detection
+
+	overlaps := func(file string, start, end int) bool {
+		for _, e := range accepted[file] {
+			if start < e.end && e.start < end {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		if len(d.Edits) == 0 {
+			continue
+		}
+		batch := make(map[string][]edit)
+		ok := true
+		for _, te := range d.Edits {
+			if !te.Pos.IsValid() || !te.End.IsValid() || te.End < te.Pos {
+				ok = false
+				break
+			}
+			pos := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if pos.Filename != end.Filename || pos.Filename == "" {
+				ok = false
+				break
+			}
+			if overlaps(pos.Filename, pos.Offset, end.Offset) {
+				ok = false
+				break
+			}
+			batch[pos.Filename] = append(batch[pos.Filename], edit{pos.Offset, end.Offset, te.New})
+		}
+		if !ok {
+			continue
+		}
+		for file, es := range batch {
+			perFile[file] = append(perFile[file], es...)
+			accepted[file] = append(accepted[file], es...)
+		}
+	}
+
+	out := map[string][]byte{}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		buf := append([]byte(nil), src...)
+		for _, e := range edits {
+			start, end := e.start, e.end
+			if start > len(buf) || end > len(buf) {
+				return nil, fmt.Errorf("analysis: edit out of range in %s", file)
+			}
+			if e.text == "" {
+				start, end = swallowBlankLine(buf, start, end)
+			}
+			buf = append(buf[:start], append([]byte(e.text), buf[end:]...)...)
+		}
+		formatted, err := format.Source(buf)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixed %s does not parse: %w", file, err)
+		}
+		if !bytes.Equal(formatted, src) {
+			out[file] = formatted
+		}
+	}
+	return out, nil
+}
+
+// swallowBlankLine widens a pure deletion: trailing whitespace before
+// the deleted span is always absorbed (a line-end comment leaves no
+// dangling spaces), and when nothing but whitespace would remain on the
+// line, the whole line goes, newline included.
+func swallowBlankLine(buf []byte, start, end int) (int, int) {
+	ns := start
+	for ns > 0 && (buf[ns-1] == ' ' || buf[ns-1] == '\t') {
+		ns--
+	}
+	lineStart := ns == 0 || buf[ns-1] == '\n'
+	ne := end
+	for ne < len(buf) && (buf[ne] == ' ' || buf[ne] == '\t') {
+		ne++
+	}
+	if lineStart && ne < len(buf) && buf[ne] == '\n' {
+		return ns, ne + 1
+	}
+	if lineStart && ne == len(buf) {
+		return ns, ne
+	}
+	return ns, end
+}
+
+// Diff renders a compact line diff between old and new contents of one
+// file: the common prefix and suffix are elided, the changed middle is
+// shown with -/+ markers. It is a preview format, not a patch.
+func Diff(path string, oldSrc, newSrc []byte) string {
+	if bytes.Equal(oldSrc, newSrc) {
+		return ""
+	}
+	oldLines := splitLines(oldSrc)
+	newLines := splitLines(newSrc)
+
+	p := 0
+	for p < len(oldLines) && p < len(newLines) && oldLines[p] == newLines[p] {
+		p++
+	}
+	s := 0
+	for s < len(oldLines)-p && s < len(newLines)-p &&
+		oldLines[len(oldLines)-1-s] == newLines[len(newLines)-1-s] {
+		s++
+	}
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "--- %s\n+++ %s (fixed)\n", path, path)
+	fmt.Fprintf(&b, "@@ line %d @@\n", p+1)
+	for _, l := range oldLines[p : len(oldLines)-s] {
+		fmt.Fprintf(&b, "-%s\n", l)
+	}
+	for _, l := range newLines[p : len(newLines)-s] {
+		fmt.Fprintf(&b, "+%s\n", l)
+	}
+	return b.String()
+}
+
+func splitLines(src []byte) []string {
+	var lines []string
+	for _, l := range bytes.Split(src, []byte("\n")) {
+		lines = append(lines, string(l))
+	}
+	// Drop the phantom element after a trailing newline.
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	return lines
+}

@@ -12,9 +12,12 @@ import (
 // were complete. The Writer is sticky on error precisely so callers can
 // surface the first failure — but only if they look at it.
 var JournalErr = &Analyzer{
-	Name: "journalerr",
-	Doc:  "require every internal/journal call's error result to be checked",
-	Run:  runJournalErr,
+	Name:      "journalerr",
+	Doc:       "require every internal/journal call's error result to be checked",
+	Tier:      TierSyntactic,
+	Invariant: "every internal/journal call's error result is observed",
+	Why:       "a dropped journal-write error leaves a journal that looks resumable but is missing records, so a resume replays an incomplete sweep as complete",
+	Run:       runJournalErr,
 }
 
 // journalPkg is the package whose error results must never be dropped.

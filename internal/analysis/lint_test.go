@@ -91,9 +91,12 @@ func TestCleanTree(t *testing.T) {
 }
 
 // TestSuiteDocumented pins the analyzer set the docs and Makefile
-// promise.
+// promise, and that every rule carries its tier and DESIGN §7 row.
 func TestSuiteDocumented(t *testing.T) {
-	want := []string{"nowalltime", "norand", "maporder", "nogoroutine", "journalerr"}
+	want := []string{
+		"nowalltime", "norand", "maporder", "nogoroutine", "journalerr",
+		"refdiscipline", "sinkseam", "typederr", "purity",
+	}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
@@ -104,6 +107,12 @@ func TestSuiteDocumented(t *testing.T) {
 		}
 		if a.Doc == "" {
 			t.Errorf("analyzer %s has no doc line", a.Name)
+		}
+		if a.Tier != analysis.TierSyntactic && a.Tier != analysis.TierInterprocedural {
+			t.Errorf("analyzer %s has tier %q, want syntactic or interprocedural", a.Name, a.Tier)
+		}
+		if a.Invariant == "" || a.Why == "" {
+			t.Errorf("analyzer %s is missing its DESIGN §7 row (invariant/why)", a.Name)
 		}
 	}
 }

@@ -14,13 +14,18 @@ import (
 // every downstream digest comparison fails. The fix is always the same:
 // collect the keys, sort them, iterate the sorted slice.
 //
-// The check is lexical within the range body — a sink reached through a
-// helper call is not seen — but in exchange it has no false positives
-// on the sorted-keys idiom, which ranges a slice.
+// The syntactic tier is lexical within the range body; under a full run
+// the module's sink-writer summaries extend it through helper calls, so
+// a range body that calls emitRow — which itself writes the report — is
+// flagged with the path (emitRow → (*report.Table).AddRow). The
+// sorted-keys idiom still has no false positives: it ranges a slice.
 var MapOrder = &Analyzer{
-	Name: "maporder",
-	Doc:  "forbid ranging over a map while writing to a tracer/digest/journal/report/printer sink",
-	Run:  runMapOrder,
+	Name:      "maporder",
+	Doc:       "forbid ranging over a map while writing to a tracer/digest/journal/report/printer sink",
+	Tier:      TierInterprocedural,
+	Invariant: "no map iteration feeds an order-sensitive sink, directly or through helper functions",
+	Why:       "Go randomizes map order per run, so rows/events/hash inputs emitted inside a map range diverge between identical (config, seed) cells",
+	Run:       runMapOrder,
 }
 
 // sinkPkgs are the asmp packages whose calls are order-sensitive sinks:
@@ -46,7 +51,7 @@ func runMapOrder(p *Pass) {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if sink, found := firstSink(p.Info, rng.Body); found {
+			if sink, found := firstSink(p.Info, p.Mod, rng.Body); found {
 				p.ReportFix(rng.Pos(),
 					"collect the keys, sort them (sort.Slice/sort.Strings), and range the sorted slice",
 					"map iteration order reaches %s: emission order differs between identical runs",
@@ -57,9 +62,11 @@ func runMapOrder(p *Pass) {
 	}
 }
 
-// firstSink returns a description of the first order-sensitive sink call
-// lexically inside body, if any.
-func firstSink(info *types.Info, body *ast.BlockStmt) (string, bool) {
+// firstSink returns a description of the first order-sensitive sink
+// inside body: a direct sink call, or — when the module substrate is
+// available — a call to a function whose summary says it transitively
+// writes to one.
+func firstSink(info *types.Info, mod *Module, body *ast.BlockStmt) (string, bool) {
 	var sink string
 	ast.Inspect(body, func(n ast.Node) bool {
 		if sink != "" {
@@ -72,6 +79,12 @@ func firstSink(info *types.Info, body *ast.BlockStmt) (string, bool) {
 		if s, ok := sinkCall(info, call); ok {
 			sink = s
 			return false
+		}
+		if callee := calleeFunc(info, call); callee != nil {
+			if cf := mod.facts(callee); cf != nil && cf.sink != "" {
+				sink = callee.Name() + " → " + cf.sink
+				return false
+			}
 		}
 		return true
 	})

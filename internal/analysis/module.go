@@ -1,0 +1,495 @@
+package analysis
+
+// The interprocedural substrate: a package-level call graph over
+// go/types function objects, value-taint summaries (which functions
+// return wall-clock- or randomness-derived values), and sink-writer
+// summaries (which functions transitively emit to an order-sensitive
+// sink). The syntactic tier sees one file at a time; this module view
+// is what lets nowalltime, norand and maporder follow a tainted value
+// through helper functions, and what purity walks to audit everything
+// reachable from an Identity method.
+//
+// Precision contract (documented, deliberate):
+//
+//   - Call resolution is static only: calls through interface methods
+//     and function-typed variables produce no edge. Implementations of
+//     interesting interfaces (workload.Identifier) are audited as roots
+//     in their own right, so the interface gap does not hide them.
+//   - Value taint is flow-insensitive within a function: a local
+//     variable assigned a tainted value anywhere is tainted everywhere.
+//     This over-approximates (no false negatives from reassignment) at
+//     the cost of rare conservative findings, which pragmas resolve.
+//   - Taint propagates through return values, not through pointer
+//     arguments or struct fields. A helper that *stores* a wall-clock
+//     read into shared state is still caught at the read itself by the
+//     syntactic tier.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taintKind is a bitmask of taint sources a value may derive from.
+type taintKind uint8
+
+const (
+	taintWall taintKind = 1 << iota // derived from the wall clock (time.Now, Since, ...)
+	taintRand                       // derived from banned randomness (math/rand, crypto/rand)
+)
+
+// taintedRandPkgs are the packages whose return values carry rand taint.
+var taintedRandPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// funcFacts is the module's summary of one declared function.
+type funcFacts struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	// calls are the statically resolved module-local callees, in first-
+	// occurrence AST order (deduplicated).
+	calls []*types.Func
+
+	// retTaint is the taint mask of the function's return values after
+	// the module fixpoint; wallWhy/randWhy name one witness path.
+	retTaint taintKind
+	wallWhy  string
+	randWhy  string
+
+	// sink is non-empty when the function lexically writes to an
+	// order-sensitive sink or calls (transitively) a function that does;
+	// it describes the path ("(*report.Table).AddRow" or
+	// "emitRow → fmt.Fprintf").
+	sink string
+}
+
+// Module carries the interprocedural facts for one Run over a package
+// set. A nil *Module (syntactic-only runs) disables every tier-2 check.
+type Module struct {
+	fns map[*types.Func]*funcFacts
+
+	// purityReported dedupes purity diagnostics by position when two
+	// roots reach the same impure statement.
+	purityReported map[token.Pos]bool
+}
+
+// facts returns the summary for fn, or nil for functions outside the
+// analyzed set (stdlib, interface methods, packages not loaded).
+func (m *Module) facts(fn *types.Func) *funcFacts {
+	if m == nil || fn == nil {
+		return nil
+	}
+	return m.fns[fn]
+}
+
+// buildModule indexes every declared function in pkgs, resolves the
+// static call graph, and runs the taint and sink fixpoints.
+func buildModule(pkgs []*Package) *Module {
+	m := &Module{
+		fns:            map[*types.Func]*funcFacts{},
+		purityReported: map[token.Pos]bool{},
+	}
+	// Pass 1: index declarations.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				m.fns[obj] = &funcFacts{decl: fd, pkg: pkg}
+			}
+		}
+	}
+	// Pass 2: call edges (static, first-occurrence order).
+	for _, facts := range m.fns {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(facts.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(facts.pkg.Info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := m.fns[callee]; local {
+				seen[callee] = true
+				facts.calls = append(facts.calls, callee)
+			}
+			return true
+		})
+	}
+	m.taintFixpoint()
+	m.sinkFixpoint()
+	return m
+}
+
+// taintFixpoint iterates return-taint summaries until stable: a
+// function is tainted when any of its return values derives from a
+// taint source or from a call to an already-tainted function.
+func (m *Module) taintFixpoint() {
+	for changed := true; changed; {
+		changed = false
+		for fn, facts := range m.fns {
+			lt := newLocalTaint(m, facts.pkg)
+			mask, why := lt.returnTaint(facts.decl)
+			if mask&taintWall != 0 && facts.retTaint&taintWall == 0 {
+				facts.retTaint |= taintWall
+				facts.wallWhy = fn.Name() + " ← " + why[taintWall]
+				changed = true
+			}
+			if mask&taintRand != 0 && facts.retTaint&taintRand == 0 {
+				facts.retTaint |= taintRand
+				facts.randWhy = fn.Name() + " ← " + why[taintRand]
+				changed = true
+			}
+		}
+	}
+}
+
+// sinkFixpoint iterates sink-writer summaries until stable: a function
+// writes to a sink when its body lexically contains a sink call or a
+// call to a function already known to write to one.
+func (m *Module) sinkFixpoint() {
+	for changed := true; changed; {
+		changed = false
+		for _, facts := range m.fns {
+			if facts.sink != "" {
+				continue
+			}
+			if s := m.firstSinkPath(facts); s != "" {
+				facts.sink = s
+				changed = true
+			}
+		}
+	}
+}
+
+// firstSinkPath returns a description of the first sink facts' body
+// reaches (directly or through an already-summarized callee), in AST
+// order, or "".
+func (m *Module) firstSinkPath(facts *funcFacts) string {
+	var found string
+	ast.Inspect(facts.decl.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := sinkCall(facts.pkg.Info, call); ok {
+			found = s
+			return false
+		}
+		if callee := calleeFunc(facts.pkg.Info, call); callee != nil {
+			if cf := m.facts(callee); cf != nil && cf.sink != "" {
+				found = callee.Name() + " → " + cf.sink
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- local value-taint analysis ----
+
+// localTaint computes, for one function body, which local variables and
+// expressions carry taint. Flow-insensitive: variable taint is the
+// fixpoint over all assignments in the body.
+type localTaint struct {
+	m    *Module
+	pkg  *Package
+	vars map[*types.Var]taintKind
+	// why names a witness source per kind for diagnostics.
+	why map[taintKind]string
+}
+
+func newLocalTaint(m *Module, pkg *Package) *localTaint {
+	return &localTaint{
+		m:    m,
+		pkg:  pkg,
+		vars: map[*types.Var]taintKind{},
+		why:  map[taintKind]string{},
+	}
+}
+
+// analyze runs the variable fixpoint over body.
+func (lt *localTaint) analyze(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = lt.assign(n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				if len(n.Values) > 0 {
+					lhs := make([]ast.Expr, len(n.Names))
+					for i, id := range n.Names {
+						lhs[i] = id
+					}
+					changed = lt.assign(lhs, n.Values) || changed
+				}
+			case *ast.RangeStmt:
+				if k := lt.exprTaint(n.X); k != 0 {
+					if n.Key != nil {
+						changed = lt.mark(n.Key, k) || changed
+					}
+					if n.Value != nil {
+						changed = lt.mark(n.Value, k) || changed
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// assign folds one (possibly multi-value) assignment into the variable
+// taint set, reporting whether anything new became tainted.
+func (lt *localTaint) assign(lhs, rhs []ast.Expr) bool {
+	changed := false
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// x, y := f(): the whole tuple shares the call's taint.
+		if k := lt.exprTaint(rhs[0]); k != 0 {
+			for _, l := range lhs {
+				changed = lt.mark(l, k) || changed
+			}
+		}
+		return changed
+	}
+	for i := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		if k := lt.exprTaint(rhs[i]); k != 0 {
+			changed = lt.mark(lhs[i], k) || changed
+		}
+	}
+	return changed
+}
+
+// mark taints the variable behind an assignable expression, if any.
+func (lt *localTaint) mark(e ast.Expr, k taintKind) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := lt.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = lt.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if lt.vars[v]&k == k {
+		return false
+	}
+	lt.vars[v] |= k
+	return true
+}
+
+// exprTaint computes the taint mask of one expression.
+func (lt *localTaint) exprTaint(e ast.Expr) taintKind {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		if v, ok := lt.pkg.Info.Uses[e].(*types.Var); ok {
+			return lt.vars[v]
+		}
+		return 0
+	case *ast.ParenExpr:
+		return lt.exprTaint(e.X)
+	case *ast.CallExpr:
+		return lt.callTaint(e)
+	case *ast.SelectorExpr:
+		// A field of a tainted value is tainted; a plain pkg.Name
+		// selector resolves through Uses below.
+		if v, ok := lt.pkg.Info.Uses[e.Sel].(*types.Var); ok && lt.vars[v] != 0 {
+			return lt.vars[v]
+		}
+		return lt.exprTaint(e.X)
+	case *ast.BinaryExpr:
+		return lt.exprTaint(e.X) | lt.exprTaint(e.Y)
+	case *ast.UnaryExpr:
+		return lt.exprTaint(e.X)
+	case *ast.StarExpr:
+		return lt.exprTaint(e.X)
+	case *ast.IndexExpr:
+		return lt.exprTaint(e.X) | lt.exprTaint(e.Index)
+	case *ast.SliceExpr:
+		return lt.exprTaint(e.X)
+	case *ast.TypeAssertExpr:
+		return lt.exprTaint(e.X)
+	case *ast.CompositeLit:
+		var k taintKind
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				k |= lt.exprTaint(kv.Value)
+			} else {
+				k |= lt.exprTaint(el)
+			}
+		}
+		return k
+	}
+	return 0
+}
+
+// callTaint computes the taint of a call (or conversion) result and
+// records a witness for diagnostics.
+func (lt *localTaint) callTaint(call *ast.CallExpr) taintKind {
+	// Conversions propagate operand taint: Time(now()) stays tainted.
+	if tv, ok := lt.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		var k taintKind
+		for _, a := range call.Args {
+			k |= lt.exprTaint(a)
+		}
+		return k
+	}
+	// A method of a tainted value yields a tainted result:
+	// time.Now().UnixNano() stays tainted even though UnixNano itself is
+	// not a taint source. (A package qualifier contributes nothing: its
+	// Ident resolves to a PkgName, not a Var.)
+	var recvTaint taintKind
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvTaint = lt.exprTaint(sel.X)
+	}
+	fn := calleeFunc(lt.pkg.Info, call)
+	if fn == nil {
+		// Calls through variables or interfaces: propagate argument
+		// taint conservatively (f(now()) yields a suspect value).
+		k := recvTaint
+		for _, a := range call.Args {
+			k |= lt.exprTaint(a)
+		}
+		return k
+	}
+	if p := fn.Pkg(); p != nil {
+		switch {
+		case p.Path() == "time" && wallClockNames[fn.Name()]:
+			lt.witness(taintWall, "time."+fn.Name())
+			return taintWall
+		case taintedRandPkgs[p.Path()]:
+			lt.witness(taintRand, p.Path()+"."+fn.Name())
+			return taintRand
+		}
+	}
+	if facts := lt.m.facts(fn); facts != nil && facts.retTaint != 0 {
+		if facts.retTaint&taintWall != 0 {
+			lt.witness(taintWall, facts.wallWhy)
+		}
+		if facts.retTaint&taintRand != 0 {
+			lt.witness(taintRand, facts.randWhy)
+		}
+		return facts.retTaint | recvTaint
+	}
+	// Unknown pure-ish call: a function of tainted inputs is tainted.
+	k := recvTaint
+	for _, a := range call.Args {
+		k |= lt.exprTaint(a)
+	}
+	return k
+}
+
+// witness records the first source description seen for a taint kind.
+func (lt *localTaint) witness(k taintKind, desc string) {
+	if lt.why[k] == "" {
+		lt.why[k] = desc
+	}
+}
+
+// returnTaint analyzes decl and reports the taint mask of its return
+// values plus witness descriptions per kind. Nested function literals
+// are part of the variable analysis but their return statements do not
+// count as decl's.
+func (lt *localTaint) returnTaint(decl *ast.FuncDecl) (taintKind, map[taintKind]string) {
+	lt.analyze(decl.Body)
+	var mask taintKind
+	// Named results: taint assigned to a named result var is returned.
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				if v, ok := lt.pkg.Info.Defs[name].(*types.Var); ok {
+					mask |= lt.vars[v]
+				}
+			}
+		}
+	}
+	var walk func(n ast.Node) bool
+	depth := 0
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			depth++
+			ast.Inspect(n.Body, walk)
+			depth--
+			return false
+		case *ast.ReturnStmt:
+			if depth == 0 {
+				for _, r := range n.Results {
+					mask |= lt.exprTaint(r)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+	return mask, lt.why
+}
+
+// checkTaintedSinkArgs walks every function body in pass's package and
+// reports, through report, each call into a tier-2 sink package
+// (digest, journal, trace, report) that receives a value tainted by
+// kind. It is the shared engine behind the interprocedural halves of
+// nowalltime and norand.
+func checkTaintedSinkArgs(p *Pass, kind taintKind, format string) {
+	if p.Mod == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lt := newLocalTaint(p.Mod, passPackage(p))
+			lt.analyze(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil || fn.Pkg() == nil || !sinkPkgs[fn.Pkg().Path()] {
+					return true
+				}
+				for _, a := range call.Args {
+					if lt.exprTaint(a)&kind == 0 {
+						continue
+					}
+					p.Reportf(call.Pos(), format,
+						fn.Pkg().Name()+"."+fn.Name(), lt.why[kind])
+					break
+				}
+				return true
+			})
+		}
+	}
+}
+
+// passPackage adapts a Pass back to the Package shape localTaint needs.
+func passPackage(p *Pass) *Package {
+	return &Package{Path: p.Path, Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+}

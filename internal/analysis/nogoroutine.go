@@ -14,10 +14,13 @@ import "go/ast"
 // parallelism *across* independent cells (core.Experiment) is
 // intentional and annotated //asmp:allow goroutine.
 var NoGoroutine = &Analyzer{
-	Name:    "nogoroutine",
-	Doc:     "forbid go statements and sync primitives in deterministic packages (outside the harness packages sim and server)",
-	Applies: noGoroutineScope,
-	Run:     runNoGoroutine,
+	Name:      "nogoroutine",
+	Doc:       "forbid go statements and sync primitives in deterministic packages (outside the harness packages sim and server)",
+	Tier:      TierSyntactic,
+	Invariant: "the deterministic core is single-threaded: no go statements or sync primitives outside the harness packages",
+	Why:       "host-scheduler interleaving is not replayable from a seed; every interleaving decision must come from the event loop",
+	Applies:   noGoroutineScope,
+	Run:       runNoGoroutine,
 }
 
 func runNoGoroutine(p *Pass) {

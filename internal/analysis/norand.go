@@ -11,10 +11,13 @@ import "strconv"
 // seed, so adding a consumer of randomness in one module never perturbs
 // the draws seen by another.
 var NoRand = &Analyzer{
-	Name:    "norand",
-	Doc:     "forbid math/rand and crypto/rand — randomness flows through internal/xrand seeded streams",
-	Applies: notXRand,
-	Run:     runNoRand,
+	Name:      "norand",
+	Doc:       "forbid math/rand and crypto/rand — randomness flows through internal/xrand seeded streams",
+	Tier:      TierInterprocedural,
+	Invariant: "no unseeded-randomness-derived value, direct or via helper returns, reaches a digest/journal/trace/report sink",
+	Why:       "a draw outside xrand's seeded streams perturbs every downstream draw and silently splits run digests",
+	Applies:   notXRand,
+	Run:       runNoRand,
 }
 
 // bannedRandPkgs maps forbidden import paths to why they break
@@ -42,4 +45,9 @@ func runNoRand(p *Pass) {
 				path, why)
 		}
 	}
+	// Tier 2: randomness laundered through a helper in another package
+	// (which legitimately imports math/rand under a pragma, say) is still
+	// flagged where its value reaches an artifact sink.
+	checkTaintedSinkArgs(p, taintRand,
+		"randomness-derived value reaches %s (taint path: %s): draws must come from xrand streams split from the run seed")
 }

@@ -10,9 +10,12 @@ import "go/ast"
 // legitimate wall-clock use is CLI progress timing that never reaches
 // an artifact, annotated //asmp:allow walltime.
 var NoWallTime = &Analyzer{
-	Name: "nowalltime",
-	Doc:  "forbid wall-clock time (time.Now, time.Sleep, timers) — simulated time only",
-	Run:  runNoWallTime,
+	Name:      "nowalltime",
+	Doc:       "forbid wall-clock time (time.Now, time.Sleep, timers) — simulated time only",
+	Tier:      TierInterprocedural,
+	Invariant: "no wall-clock read, direct or laundered through helpers, reaches a digest/journal/trace/report sink",
+	Why:       "a time.Now in any artifact path makes every figure irreproducible; the taint tier catches the one-line wrapper the call-site check cannot",
+	Run:       runNoWallTime,
 }
 
 // wallClockNames are the package-time identifiers that read or schedule
@@ -46,4 +49,9 @@ func runNoWallTime(p *Pass) {
 			return true
 		})
 	}
+	// Tier 2: a wall-clock-derived value that reaches an artifact sink
+	// through any number of helper returns is still a violation, even
+	// when each individual time.Now call site was pragma'd as CLI-only.
+	checkTaintedSinkArgs(p, taintWall,
+		"wall-clock-derived value reaches %s (taint path: %s): artifacts must depend only on (config, seed)")
 }

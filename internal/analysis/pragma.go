@@ -15,15 +15,17 @@ import (
 // placed either at the end of the offending line or on its own line
 // directly above it. The rule list is one comma-separated token of
 // canonical analyzer names (nowalltime, norand, maporder, nogoroutine,
-// journalerr) or their documented shorthands (walltime, rand,
-// goroutine); everything after the first token is a free-text
-// justification. A rule name the engine does not know is itself a lint
-// error ([pragma]), so suppressions cannot silently rot when analyzers
-// are renamed or retired.
+// journalerr, refdiscipline, sinkseam, typederr, purity) or their
+// documented shorthands (walltime, rand, goroutine); everything after
+// the first token is a free-text justification. A rule name the engine
+// does not know is itself a lint error ([pragma]), and so is a pragma
+// that suppresses nothing across a full run — so suppressions cannot
+// silently rot when analyzers are renamed, retired, or the code under
+// them is fixed.
 const pragmaPrefix = "//asmp:allow"
 
-// pragmaRule is the reserved rule name under which pragma-syntax errors
-// are reported. It cannot itself be suppressed.
+// pragmaRule is the reserved rule name under which pragma-syntax and
+// stale-pragma errors are reported. It cannot itself be suppressed.
 const pragmaRule = "pragma"
 
 // pragmaAliases maps accepted shorthand rule names to canonical ones.
@@ -49,28 +51,51 @@ func knownRules(analyzers []*Analyzer) map[string]string {
 	return known
 }
 
-// pragmaIndex records, per file and line, which rules an //asmp:allow
-// pragma on that line suppresses.
+// pragmaEntry is one rule named by one //asmp:allow comment.
+type pragmaEntry struct {
+	file    string
+	line    int
+	rule    string // canonical name
+	spelled string // as written (possibly an alias)
+	comment *ast.Comment
+	fset    *token.FileSet
+	used    bool
+}
+
+// pragmaIndex records every //asmp:allow pragma seen across a run: per
+// file and line, which rules are suppressed there, and — after the
+// analyzers have run — which pragma entries never suppressed anything.
 type pragmaIndex struct {
-	byFile map[string]map[int]map[string]bool
+	byFile  map[string]map[int]map[string]*pragmaEntry
+	entries []*pragmaEntry
+}
+
+func newPragmaIndex() *pragmaIndex {
+	return &pragmaIndex{byFile: map[string]map[int]map[string]*pragmaEntry{}}
 }
 
 // allows reports whether a diagnostic of rule at file:line is covered by
-// a pragma on the same line or the line directly above.
+// a pragma on the same line or the line directly above, marking the
+// covering entry as used.
 func (x *pragmaIndex) allows(file string, line int, rule string) bool {
 	lines := x.byFile[file]
 	if lines == nil {
 		return false
 	}
-	return lines[line][rule] || lines[line-1][rule]
+	for _, l := range [2]int{line, line - 1} {
+		if e := lines[l][rule]; e != nil {
+			e.used = true
+			return true
+		}
+	}
+	return false
 }
 
-// indexPragmas scans every comment in files for //asmp:allow pragmas,
-// returning the suppression index plus a diagnostic for each malformed
+// index scans every comment in files for //asmp:allow pragmas, folding
+// them into the index and returning a diagnostic for each malformed
 // pragma (empty rule list, unknown rule name). known maps accepted rule
 // spellings to canonical names.
-func indexPragmas(fset *token.FileSet, files []*ast.File, known map[string]string) (*pragmaIndex, []Diagnostic) {
-	idx := &pragmaIndex{byFile: map[string]map[int]map[string]bool{}}
+func (x *pragmaIndex) index(fset *token.FileSet, files []*ast.File, known map[string]string) []Diagnostic {
 	var diags []Diagnostic
 	badPragma := func(pos token.Pos, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -98,14 +123,14 @@ func indexPragmas(fset *token.FileSet, files []*ast.File, known map[string]strin
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := idx.byFile[pos.Filename]
+				lines := x.byFile[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx.byFile[pos.Filename] = lines
+					lines = map[int]map[string]*pragmaEntry{}
+					x.byFile[pos.Filename] = lines
 				}
 				rules := lines[pos.Line]
 				if rules == nil {
-					rules = map[string]bool{}
+					rules = map[string]*pragmaEntry{}
 					lines[pos.Line] = rules
 				}
 				for _, name := range strings.Split(fields[0], ",") {
@@ -115,12 +140,96 @@ func indexPragmas(fset *token.FileSet, files []*ast.File, known map[string]strin
 							name, pragmaPrefix, strings.Join(sortedRules(known), ", "))
 						continue
 					}
-					rules[canon] = true
+					e := &pragmaEntry{
+						file: pos.Filename, line: pos.Line,
+						rule: canon, spelled: name,
+						comment: c, fset: fset,
+					}
+					rules[canon] = e
+					x.entries = append(x.entries, e)
 				}
 			}
 		}
 	}
-	return idx, diags
+	return diags
+}
+
+// staleDiagnostics reports every pragma entry that suppressed nothing
+// across the run, each carrying edits that delete the stale rule from
+// its comment (or the whole comment when every rule in it is stale).
+// Call only after all analyzers have run under the full suite.
+func (x *pragmaIndex) staleDiagnostics() []Diagnostic {
+	// Group entries by comment so a fully-stale pragma is deleted whole.
+	byComment := map[*ast.Comment][]*pragmaEntry{}
+	var comments []*ast.Comment
+	for _, e := range x.entries {
+		if _, seen := byComment[e.comment]; !seen {
+			comments = append(comments, e.comment)
+		}
+		byComment[e.comment] = append(byComment[e.comment], e)
+	}
+	var diags []Diagnostic
+	for _, c := range comments {
+		entries := byComment[c]
+		var stale, live []*pragmaEntry
+		for _, e := range entries {
+			if e.used {
+				live = append(live, e)
+			} else {
+				stale = append(stale, e)
+			}
+		}
+		if len(stale) == 0 {
+			continue
+		}
+		fset := entries[0].fset
+		var edits []TextEdit
+		if len(live) == 0 {
+			// Whole comment is dead: delete it (ApplyFixes swallows the
+			// line when nothing else remains on it).
+			edits = []TextEdit{{Pos: c.Pos(), End: c.End(), New: ""}}
+		} else {
+			// Rewrite just the rule list, keeping live rules as spelled.
+			spelled := make([]string, 0, len(live))
+			for _, e := range live {
+				spelled = append(spelled, e.spelled)
+			}
+			if start, end, ok := ruleListSpan(c); ok {
+				edits = []TextEdit{{Pos: start, End: end, New: strings.Join(spelled, ",")}}
+			}
+		}
+		names := make([]string, 0, len(stale))
+		for _, e := range stale {
+			names = append(names, e.spelled)
+		}
+		sort.Strings(names)
+		diags = append(diags, Diagnostic{
+			Pos:  fset.Position(c.Pos()),
+			Rule: pragmaRule,
+			Message: fmt.Sprintf("stale %s %s: it suppresses no diagnostic; remove it (or fix the rule name)",
+				pragmaPrefix, strings.Join(names, ",")),
+			Suggestion: "delete the stale pragma (asmp-lint -fix does this)",
+			Edits:      edits,
+		})
+	}
+	return diags
+}
+
+// ruleListSpan locates the rule-list token inside a pragma comment,
+// returning its position span.
+func ruleListSpan(c *ast.Comment) (start, end token.Pos, ok bool) {
+	rest, found := strings.CutPrefix(c.Text, pragmaPrefix)
+	if !found {
+		return 0, 0, false
+	}
+	trimmed := strings.TrimLeft(rest, " \t")
+	lead := len(rest) - len(trimmed)
+	token0 := trimmed
+	if i := strings.IndexAny(trimmed, " \t"); i >= 0 {
+		token0 = trimmed[:i]
+	}
+	start = c.Pos() + token.Pos(len(pragmaPrefix)+lead)
+	return start, start + token.Pos(len(token0)), true
 }
 
 // sortedRules lists the canonical rule names of known, sorted, for error

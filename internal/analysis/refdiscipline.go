@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RefDiscipline enforces the PR 4 handle contract: simtime recycles
+// payload events through a free list, so a bare *simtime.Event that
+// outlives the call that produced it can silently alias a *different*
+// logical event after recycling — cancel the wrong work, observe the
+// wrong payload. The generation-checked simtime.Ref exists precisely so
+// stored handles fail closed (Scheduled/CancelRef compare generations).
+//
+// The rule: outside internal/simtime itself, a bare *simtime.Event may
+// live only as a call-local value — never in a struct field, a
+// package-level variable, a collection element type, or a function
+// result (returning one hands the caller a handle with no generation to
+// check). Parameters and locals are fine: within one call frame the
+// event cannot have been recycled out from under you.
+var RefDiscipline = &Analyzer{
+	Name:      "refdiscipline",
+	Doc:       "forbid retaining bare *simtime.Event handles (struct fields, globals, collections, results) — store generation-checked simtime.Ref",
+	Tier:      TierSyntactic,
+	Invariant: "recycled event pointers are never retained: stored handles are generation-checked Refs, bare *simtime.Event stays call-local",
+	Why:       "the free list recycles events, so a stored bare pointer can alias a different logical event and cancel or observe the wrong work",
+	Applies:   notSimtime,
+	Run:       runRefDiscipline,
+}
+
+func runRefDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if where := eventPtrIn(p.Info, field.Type); where != "" {
+						p.ReportFix(field.Type.Pos(),
+							"store a simtime.Ref (generation-checked) and resolve it per use with Scheduled/CancelRef",
+							"struct field retains %s: the free list recycles events, a stored bare pointer can alias a different logical event",
+							where)
+					}
+				}
+			case *ast.GenDecl:
+				// Package-level vars only: locals arrive as *ast.DeclStmt →
+				// GenDecl, but those inside function bodies are reached with
+				// a containing FuncDecl ancestor; distinguish via scope.
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || vs.Type == nil {
+						continue
+					}
+					if !isPackageLevelVar(p, vs) {
+						continue
+					}
+					if where := eventPtrIn(p.Info, vs.Type); where != "" {
+						p.ReportFix(vs.Type.Pos(),
+							"store a simtime.Ref (generation-checked) and resolve it per use",
+							"package-level variable retains %s: a global event pointer outlives every recycling boundary",
+							where)
+					}
+				}
+			case *ast.FuncType:
+				if n.Results == nil {
+					return true
+				}
+				for _, field := range n.Results.List {
+					if where := eventPtrIn(p.Info, field.Type); where != "" {
+						p.ReportFix(field.Type.Pos(),
+							"return a simtime.Ref so callers hold a generation-checked handle",
+							"function result hands out %s: the caller receives a handle with no generation to check",
+							where)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// eventPtrIn reports how the type expression retains a bare
+// *simtime.Event — directly, or as a slice/array/map/channel element —
+// and returns a description of the retaining shape ("" when clean).
+// Ref itself, values, and pointers to other types pass.
+func eventPtrIn(info *types.Info, typeExpr ast.Expr) string {
+	tv, ok := info.Types[typeExpr]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return eventPtrInType(tv.Type, 0)
+}
+
+func eventPtrInType(t types.Type, depth int) string {
+	if depth > 4 {
+		return ""
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		if named, ok := t.Elem().(*types.Named); ok && isSimtimeEvent(named) {
+			return "*simtime.Event"
+		}
+	case *types.Slice:
+		if s := eventPtrInType(t.Elem(), depth+1); s != "" {
+			return "[]" + s
+		}
+	case *types.Array:
+		if s := eventPtrInType(t.Elem(), depth+1); s != "" {
+			return "[...]" + s
+		}
+	case *types.Map:
+		if s := eventPtrInType(t.Elem(), depth+1); s != "" {
+			return "map[...]" + s
+		}
+		if s := eventPtrInType(t.Key(), depth+1); s != "" {
+			return "map[" + s + "]..."
+		}
+	case *types.Chan:
+		if s := eventPtrInType(t.Elem(), depth+1); s != "" {
+			return "chan " + s
+		}
+	}
+	return ""
+}
+
+// isSimtimeEvent reports whether named is simtime's Event type.
+func isSimtimeEvent(named *types.Named) bool {
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Event" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == simtimePkg
+}
+
+const simtimePkg = "asmp/internal/simtime"
+
+// notSimtime scopes refdiscipline: simtime itself owns the free list and
+// must traffic in bare pointers.
+func notSimtime(importPath string) bool {
+	return importPath != simtimePkg && !strings.HasPrefix(importPath, simtimePkg+"/")
+}
+
+// isPackageLevelVar reports whether the ValueSpec declares package-level
+// variables (as opposed to a declaration statement inside a function).
+func isPackageLevelVar(p *Pass, vs *ast.ValueSpec) bool {
+	for _, name := range vs.Names {
+		if obj := p.Info.Defs[name]; obj != nil {
+			if v, ok := obj.(*types.Var); ok {
+				return v.Parent() == p.Pkg.Scope()
+			}
+		}
+	}
+	return false
+}

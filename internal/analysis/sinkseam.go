@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SinkSeam enforces the PR 5 I/O seam: journal bytes reach disk only
+// through internal/journal (which owns atomic rename-into-place and the
+// Sink abstraction) and internal/faultio (the fault-injection shim the
+// crash tests interpose). A package that works with journals but opens,
+// writes or renames files with os directly bypasses both — exactly the
+// class of bug PR 7 fixed in server/exec.go, where a direct rename left
+// a half-written journal visible under its final name.
+//
+// Scope: files that import internal/journal (they are journal-adjacent
+// by construction), in every package except journal and faultio
+// themselves. Read-only os calls (Open, Stat, ReadFile) pass; mutating
+// calls and *os.File write methods are flagged.
+var SinkSeam = &Analyzer{
+	Name:      "sinkseam",
+	Doc:       "forbid direct os file mutation (Create/Rename/WriteFile, *os.File writes) in journal-adjacent code outside internal/journal and internal/faultio",
+	Tier:      TierSyntactic,
+	Invariant: "journal bytes reach disk only through the journal/faultio seam; journal-adjacent code never mutates files via os directly",
+	Why:       "direct writes bypass atomic rename-into-place and the crash-test fault shim, so a crash can expose a half-written journal as complete",
+	Applies:   sinkSeamScope,
+	Run:       runSinkSeam,
+}
+
+// seamPkgs own the I/O seam and are exempt.
+var seamPkgs = []string{
+	"asmp/internal/journal",
+	"asmp/internal/faultio",
+}
+
+func sinkSeamScope(importPath string) bool {
+	for _, p := range seamPkgs {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// mutatingOSFuncs are the package-os functions that create, alter or
+// remove filesystem entries.
+var mutatingOSFuncs = map[string]bool{
+	"Create":    true,
+	"OpenFile":  true,
+	"WriteFile": true,
+	"Rename":    true,
+	"Remove":    true,
+	"RemoveAll": true,
+	"Truncate":  true,
+	"Mkdir":     true,
+	"MkdirAll":  true,
+	"Link":      true,
+	"Symlink":   true,
+	"Chtimes":   true,
+}
+
+// fileWriteMethods are the *os.File methods that mutate the file.
+var fileWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Truncate":    true,
+	"Sync":        true,
+}
+
+func runSinkSeam(p *Pass) {
+	for _, f := range p.Files {
+		// Only journal-adjacent files: importing internal/journal is the
+		// signal that this file traffics in journal paths.
+		if !importsPath(f, journalPkg) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPathOf(p.Info, sel) == "os" && mutatingOSFuncs[sel.Sel.Name] {
+				p.ReportFix(sel.Pos(),
+					"route the write through journal.Sink / faultio (atomic rename-into-place, crash-test interposable); non-journal artifact I/O may be annotated //asmp:allow sinkseam",
+					"os.%s in journal-adjacent code: direct file mutation bypasses the journal/faultio seam",
+					sel.Sel.Name)
+				return true
+			}
+			if fn := calleeFunc(p.Info, call); fn != nil && fileWriteMethods[fn.Name()] && isOSFileRecv(fn) {
+				p.ReportFix(sel.Pos(),
+					"write through a journal.Sink so the crash-test shim sees every byte",
+					"(*os.File).%s in journal-adjacent code: direct file writes bypass the journal/faultio seam",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isOSFileRecv reports whether fn is a method on *os.File.
+func isOSFileRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "File" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os"
+}

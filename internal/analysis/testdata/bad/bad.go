@@ -10,9 +10,11 @@ package lintbad
 import (
 	"fmt"
 	_ "math/rand" // seed:norand
+	"os"
 	"time"
 
 	"asmp/internal/journal"
+	"asmp/internal/simtime"
 )
 
 func wall() time.Time {
@@ -31,4 +33,23 @@ func spawn(done chan struct{}) {
 
 func drop(w *journal.Writer, c journal.Cell) {
 	w.WriteCell(c) // seed:journalerr
+}
+
+type holder struct {
+	ev *simtime.Event // seed:refdiscipline
+}
+
+func bypass(dir string) error {
+	return os.Rename(dir+"/journal.tmp", dir+"/journal") // seed:sinkseam
+}
+
+func erase(err error) error {
+	return fmt.Errorf("worker failed: %v", err) // seed:typederr
+}
+
+type counter struct{ n int }
+
+func (c *counter) Identity() string {
+	c.n++ // seed:purity
+	return fmt.Sprint(c.n)
 }

@@ -3,7 +3,10 @@
 // pragma's own comment line, which a line comment cannot share).
 package pragmax
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 func typo() time.Time {
 	//asmp:allow nowalltme meant nowalltime: must NOT suppress, and is itself an error
@@ -20,9 +23,9 @@ func aliased() time.Time {
 	return time.Now()
 }
 
-func multi(m map[string]int) time.Time {
-	//asmp:allow walltime,maporder a comma-separated list suppresses several rules
-	return time.Now()
+func multi(m map[string]int) {
+	//asmp:allow walltime,maporder a comma-separated list suppresses several rules at once
+	for k := range m { fmt.Println(k, time.Now()) }
 }
 
 // asmp:allowance — not a pragma (no comment marker match), ignored.

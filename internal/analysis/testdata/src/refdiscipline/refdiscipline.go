@@ -1,0 +1,30 @@
+// Corpus for refdiscipline: bare *simtime.Event handles may not be
+// retained outside internal/simtime — struct fields, package-level
+// variables, collection element types and function results must hold
+// the generation-checked simtime.Ref instead. Parameters and locals
+// stay legal: within one call frame the event cannot be recycled out
+// from under the caller.
+package refcorpus
+
+import "asmp/internal/simtime"
+
+type timer struct {
+	pending *simtime.Event // want refdiscipline "struct field retains \*simtime\.Event"
+	handle  simtime.Ref    // ok: generation-checked
+	when    simtime.Time   // ok: plain value
+}
+
+var armed *simtime.Event // want refdiscipline "package-level variable retains \*simtime\.Event"
+
+type pool struct {
+	events []*simtime.Event // want refdiscipline "struct field retains \[\]\*simtime\.Event"
+}
+
+func leak() *simtime.Event { // want refdiscipline "function result hands out \*simtime\.Event"
+	return nil
+}
+
+func localOnly(e *simtime.Event) {
+	var held *simtime.Event = e // ok: params and locals are call-local
+	_ = held
+}

@@ -1,0 +1,34 @@
+// Corpus for sinkseam: this file is journal-adjacent by construction
+// (it imports internal/journal), so direct os file mutation and
+// *os.File writes are violations — journal bytes reach disk only
+// through the journal/faultio seam. Reads stay legal.
+package seamcorpus
+
+import (
+	"os"
+
+	_ "asmp/internal/journal"
+)
+
+func swap(dir string) error {
+	f, err := os.Create(dir + "/journal.tmp") // want sinkseam "os\.Create in journal-adjacent code"
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("{}\n"); err != nil { // want sinkseam "\(\*os\.File\)\.WriteString in journal-adjacent code"
+		return err
+	}
+	if err := f.Close(); err != nil { // ok: closing is not a seam bypass by itself
+		return err
+	}
+	return os.Rename(dir+"/journal.tmp", dir+"/journal") // want sinkseam "os\.Rename in journal-adjacent code"
+}
+
+func read(dir string) ([]byte, error) {
+	return os.ReadFile(dir + "/journal") // ok: reads do not bypass the seam
+}
+
+func artifact(dir string) error {
+	//asmp:allow sinkseam figure artifact output, not journal state
+	return os.MkdirAll(dir, 0o755)
+}

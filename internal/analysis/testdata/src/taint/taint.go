@@ -1,0 +1,25 @@
+// The wrapper-hole regression corpus: a wall-clock read laundered
+// through two helper functions into a digest sink. The time.Now call
+// itself is suppressed as "CLI progress timing", so the PR 3 syntactic
+// tier sees a clean file — TestTaintRegressionPin asserts exactly that,
+// and that the full interprocedural run still flags the sink.
+package taintcorpus
+
+import (
+	"time"
+
+	"asmp/internal/digest"
+)
+
+func stamp() int64 {
+	//asmp:allow walltime claimed to be CLI-only progress timing; the laundering below is the bug
+	return time.Now().UnixNano()
+}
+
+func helper1() int64 { return stamp() }
+
+func helper2() int64 { return helper1() / 1000 }
+
+func hashRun(h *digest.Hasher) {
+	h.Uint64(uint64(helper2())) // want nowalltime "wall-clock-derived value reaches digest.Uint64"
+}

@@ -1,0 +1,39 @@
+// Corpus for typederr: errors crossing boundaries must stay
+// errors.Is-able. fmt.Errorf without %w erases the chain; == / !=
+// against a sentinel misses it once wrapped.
+package errcorpus
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errCancelled = errors.New("cancelled")
+
+func wrapErase(err error) error {
+	return fmt.Errorf("worker: %v", err) // want typederr "fmt\.Errorf formats an error without %w"
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("worker: %w", err) // ok: the chain survives
+}
+
+func wrapNoErr(n int) error {
+	return fmt.Errorf("bad shard count %d", n) // ok: no error argument to lose
+}
+
+func compare(err error) bool {
+	return err == errCancelled // want typederr "error compared with =="
+}
+
+func compareNeq(err error) bool {
+	return err != errCancelled // want typederr "error compared with !="
+}
+
+func compareOK(err error) bool {
+	return errors.Is(err, errCancelled) // ok
+}
+
+func nilCheck(err error) bool {
+	return err != nil // ok: nil checks are not sentinel comparisons
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+)
+
+// TypedErr enforces the PR 7 cancellation contract at its root cause:
+// errors that cross process, worker, or flight boundaries must stay
+// errors.Is-able against the typed set (core.ErrCancelled and friends).
+// The shipped bug was exactly this shape — a raw *exec.ExitError
+// formatted with %v swallowed core.ErrCancelled, so the supervisor
+// retried work the user had cancelled.
+//
+// Two checks, both with machine-applicable fixes:
+//
+//  1. fmt.Errorf whose arguments include an error but whose format
+//     contains no %w erases the chain: errors.Is on the result finds
+//     nothing. The fix rewrites the error arguments' %v/%s verbs to %w.
+//  2. err == sentinel (or !=) compares identity, not the chain: it
+//     misses the same sentinel arriving wrapped. The fix rewrites to
+//     errors.Is(err, sentinel) when the file already imports "errors".
+var TypedErr = &Analyzer{
+	Name:      "typederr",
+	Doc:       "require error chains to survive boundaries: fmt.Errorf wraps with %w, sentinel comparison uses errors.Is",
+	Tier:      TierSyntactic,
+	Invariant: "errors crossing exec/worker/flight boundaries stay errors.Is-able: Errorf wraps with %w, sentinels are matched with errors.Is",
+	Why:       "a %v-formatted or ==-compared error hides core.ErrCancelled inside a wrapper, so boundaries misclassify cancellation as failure and retry cancelled work",
+	Run:       runTypedErr,
+}
+
+func runTypedErr(p *Pass) {
+	for _, f := range p.Files {
+		hasErrorsImport := importsPath(f, "errors")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkErrorfWrap(n)
+			case *ast.BinaryExpr:
+				p.checkSentinelCompare(n, hasErrorsImport)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// without any %w in a literal format string.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" || pkgPathOf(p.Info, sel) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // non-literal format: nothing to reason about
+	}
+	verbs, explicit := printfVerbs(lit.Value)
+	for _, v := range verbs {
+		if v.verb == 'w' {
+			return // already wraps
+		}
+	}
+	// Find error-typed arguments and the verbs that consume them.
+	var fixable []printfVerb
+	hasErrArg := false
+	for _, v := range verbs {
+		argIdx := 1 + v.arg // call.Args[0] is the format
+		if argIdx >= len(call.Args) {
+			continue
+		}
+		t := p.Info.TypeOf(call.Args[argIdx])
+		if t == nil || !implementsError(t) {
+			continue
+		}
+		hasErrArg = true
+		if v.verb == 'v' || v.verb == 's' {
+			fixable = append(fixable, v)
+		}
+	}
+	if !hasErrArg {
+		return
+	}
+	var edits []TextEdit
+	if len(fixable) > 0 && !explicit {
+		newVal := []byte(lit.Value)
+		for _, v := range fixable {
+			newVal[v.offset] = 'w'
+		}
+		edits = []TextEdit{{Pos: lit.Pos(), End: lit.End(), New: string(newVal)}}
+	}
+	p.ReportEdits(call.Pos(),
+		"wrap with %w so errors.Is still sees the typed set through the boundary",
+		edits,
+		"fmt.Errorf formats an error without %%w: the chain is erased, errors.Is(core.ErrCancelled) fails across the boundary")
+}
+
+// checkSentinelCompare flags err == sentinel / err != sentinel where
+// both sides are errors and neither is nil.
+func (p *Pass) checkSentinelCompare(bin *ast.BinaryExpr, hasErrorsImport bool) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	tx, ty := p.Info.Types[bin.X], p.Info.Types[bin.Y]
+	if tx.Type == nil || ty.Type == nil || tx.IsNil() || ty.IsNil() {
+		return
+	}
+	if !implementsError(tx.Type) || !implementsError(ty.Type) {
+		return
+	}
+	var edits []TextEdit
+	if hasErrorsImport {
+		x, okx := renderExpr(p.Fset, bin.X)
+		y, oky := renderExpr(p.Fset, bin.Y)
+		if okx && oky {
+			repl := "errors.Is(" + x + ", " + y + ")"
+			if bin.Op == token.NEQ {
+				repl = "!" + repl
+			}
+			edits = []TextEdit{{Pos: bin.Pos(), End: bin.End(), New: repl}}
+		}
+	}
+	p.ReportEdits(bin.Pos(),
+		"use errors.Is so the sentinel is matched through wrapping",
+		edits,
+		"error compared with %s: identity comparison misses the sentinel once it arrives wrapped; use errors.Is", bin.Op)
+}
+
+// implementsError reports whether t is the error interface or a type
+// implementing it.
+func implementsError(t types.Type) bool {
+	if isErrorType(t) {
+		return true
+	}
+	iface, _ := errorType.Underlying().(*types.Interface)
+	return iface != nil && types.Implements(t, iface)
+}
+
+// renderExpr prints an expression back to source text.
+func renderExpr(fset *token.FileSet, e ast.Expr) (string, bool) {
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, e); err != nil {
+		return "", false
+	}
+	return buf.String(), true
+}
+
+// printfVerb is one verb in a printf format literal: the index of the
+// operand it consumes, the verb character, and the verb character's byte
+// offset within the literal's source text (quotes included).
+type printfVerb struct {
+	arg    int
+	verb   byte
+	offset int
+}
+
+// printfVerbs scans a format string literal's source text (lit.Value,
+// quotes and escapes as written) and maps verbs to operand indices.
+// explicit reports that the format uses explicit argument indexes
+// (%[n]v), in which case offsets are still correct but arg numbering is
+// not tracked and callers should not auto-rewrite.
+func printfVerbs(value string) (verbs []printfVerb, explicit bool) {
+	arg := 0
+	for i := 0; i < len(value); i++ {
+		if value[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(value) {
+			break
+		}
+		if value[i] == '%' {
+			continue
+		}
+		// flags, width, precision — a '*' consumes an operand.
+		for i < len(value) {
+			c := value[i]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '[' {
+				explicit = true
+				for i < len(value) && value[i] != ']' {
+					i++
+				}
+				if i < len(value) {
+					i++ // skip ']'
+				}
+				continue
+			}
+			break
+		}
+		if i >= len(value) {
+			break
+		}
+		verbs = append(verbs, printfVerb{arg: arg, verb: value[i], offset: i})
+		arg++
+	}
+	return verbs, explicit
+}

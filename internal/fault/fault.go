@@ -247,7 +247,7 @@ func parseEvent(text string) (Event, error) {
 	fields := strings.Split(rest, ":")
 	at, err := parseDuration(fields[0])
 	if err != nil {
-		return Event{}, fmt.Errorf("fault: %q: bad time: %v", text, err)
+		return Event{}, fmt.Errorf("fault: %q: bad time: %w", text, err)
 	}
 	e := Event{At: at, Kind: kind, Core: -1}
 	arity := map[Kind]int{Throttle: 3, Restore: 2, Offline: 2, Online: 2, Stall: 2}[kind]
@@ -258,20 +258,20 @@ func parseEvent(text string) (Event, error) {
 	case Throttle, Restore, Offline, Online:
 		core, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return Event{}, fmt.Errorf("fault: %q: bad core: %v", text, err)
+			return Event{}, fmt.Errorf("fault: %q: bad core: %w", text, err)
 		}
 		e.Core = core
 		if kind == Throttle {
 			duty, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return Event{}, fmt.Errorf("fault: %q: bad duty: %v", text, err)
+				return Event{}, fmt.Errorf("fault: %q: bad duty: %w", text, err)
 			}
 			e.Duty = duty
 		}
 	case Stall:
 		dur, err := parseDuration(fields[1])
 		if err != nil {
-			return Event{}, fmt.Errorf("fault: %q: bad duration: %v", text, err)
+			return Event{}, fmt.Errorf("fault: %q: bad duration: %w", text, err)
 		}
 		e.Dur = dur
 	}

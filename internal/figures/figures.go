@@ -144,8 +144,8 @@ func pmap(n int, f func(i int)) {
 		workers = 1
 	}
 	var (
-		wg        sync.WaitGroup //asmp:allow goroutine harness parallelism across independent cells
-		panicOnce sync.Once      //asmp:allow goroutine records the first worker panic for re-raise on the caller
+		wg        sync.WaitGroup
+		panicOnce sync.Once
 		panicked  any
 	)
 	call := func(i int) {
@@ -159,7 +159,7 @@ func pmap(n int, f func(i int)) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() { //asmp:allow goroutine harness parallelism across independent cells
+		go func() {
 			defer wg.Done()
 			for i := range next {
 				call(i)

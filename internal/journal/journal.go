@@ -20,6 +20,7 @@ package journal
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -551,7 +552,7 @@ func read(path string) (log *Log, validLen int64, tornNewline bool, err error) {
 	br := bufio.NewReaderSize(f, 64<<10)
 	for {
 		raw, rerr := br.ReadBytes('\n')
-		if rerr != nil && rerr != io.EOF {
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
 			return nil, 0, false, fmt.Errorf("journal: reading %s: %w", path, rerr)
 		}
 		if len(raw) > 0 {
@@ -603,7 +604,7 @@ func read(path string) (log *Log, validLen int64, tornNewline bool, err error) {
 				tornNewline = !terminated
 			}
 		}
-		if rerr == io.EOF {
+		if errors.Is(rerr, io.EOF) {
 			return log, validLen, tornNewline, nil
 		}
 	}

@@ -502,7 +502,7 @@ func decodeBody(r *http.Request, into any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		return fmt.Errorf("bad request body: %v", err)
+		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
 }

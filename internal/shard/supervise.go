@@ -112,10 +112,10 @@ func Supervise(o Options) []ShardOutcome {
 	}
 
 	out := make([]ShardOutcome, len(o.Plan.Specs))
-	var wg sync.WaitGroup //asmp:allow goroutine one supervisor per shard, results merged deterministically
+	var wg sync.WaitGroup
 	for i := range o.Plan.Specs {
 		wg.Add(1)
-		go func(i int) { //asmp:allow goroutine one supervisor per shard, results merged deterministically
+		go func(i int) {
 			defer wg.Done()
 			out[i] = superviseShard(o, o.Plan.Specs[i], retries, backoff, maxBackoff, sleep, logf)
 		}(i)

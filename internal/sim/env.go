@@ -124,11 +124,15 @@ func (e *Env) Now() simtime.Time { return e.queue.Now() }
 func (e *Env) Rand() *xrand.Rand { return e.rand }
 
 // After schedules fn to run in kernel context d from now.
+//
+//asmp:allow refdiscipline closure events are never recycled through the free list (simtime recycles only payload events), so the bare pointer stays valid for the simulation's lifetime
 func (e *Env) After(d simtime.Duration, fn func()) *simtime.Event {
 	return e.queue.After(d, fn)
 }
 
 // At schedules fn to run in kernel context at time t.
+//
+//asmp:allow refdiscipline closure events are never recycled through the free list, so the bare pointer stays valid for the simulation's lifetime
 func (e *Env) At(t simtime.Time, fn func()) *simtime.Event {
 	return e.queue.Schedule(t, fn)
 }

@@ -124,6 +124,7 @@ func (b *Benchmark) Name() string { return "specjbb" }
 func (b *Benchmark) Identity() string {
 	o := b.opt
 	o.Heap = nil
+	//asmp:allow purity the Heap pointer field is nilled on the local copy above, so %+v prints "heap=<nil>" — the resolved config is appended separately by value
 	return fmt.Sprintf("specjbb|%+v|heap=%+v", o, b.opt.heapConfig())
 }
 
