@@ -9,14 +9,16 @@
 #   make test-race    # full test suite under the race detector
 #   make test-crash   # crash-consistency matrix, every byte-prefix (DESIGN.md §9)
 #   make test-shard   # shard-supervision chaos matrix, SIGKILLed workers (DESIGN.md §11)
+#   make test-cache   # result-cache corruption matrix, every byte and bit (DESIGN.md §12)
 #   make serve-smoke  # asmp-serve end-to-end: coalesce, drain, resume (DESIGN.md §10)
 #   make bench        # one pass over every figure/ablation benchmark
 #   make bench-hot    # the engine hot-path benchmarks (see BENCH_4.json)
+#   make bench-cache  # cold- vs warm-cache execution benchmarks (see BENCH_9.json)
 #   make golden       # regenerate the committed seed-1 artifacts
 
 GO ?= go
 
-.PHONY: check vet lint lint-fix test test-race test-crash test-shard serve-smoke bench bench-hot golden
+.PHONY: check vet lint lint-fix test test-race test-crash test-shard test-cache serve-smoke bench bench-hot bench-cache golden
 
 check: vet lint test
 
@@ -64,6 +66,18 @@ test-crash:
 test-shard:
 	ASMP_SHARD_CHAOS_FULL=1 $(GO) test -race -v -run 'TestChaos|TestSupervise|TestSharded|TestRetryBudget' ./internal/shard ./cmd/asmp-sweep
 
+# The result-cache corruption matrix (DESIGN.md §12): every byte-prefix
+# truncation and every single-bit flip of a cache entry must either be
+# refused with a typed *resultcache.DamagedError (bytes set aside as
+# .damaged, cell re-simulated byte-identically) or degrade to a plain
+# miss — a wrong result must never be served. The regular suite samples
+# the matrix; ASMP_CACHE_FULL walks all of it. Runs under -race because
+# the cache is shared mutable state, plus the cross-process publish
+# stress and the warm-respawn chaos test. Set ASMP_CRASH_ARTIFACT_DIR to
+# keep the corrupted entry when the property breaks.
+test-cache:
+	ASMP_CACHE_FULL=1 $(GO) test -race -v -run 'TestCacheCorruption|TestCorrupt|TestMultiProcessPublish|TestDiskCache|TestChaosRespawnWarmHits' ./internal/resultcache ./internal/core ./internal/shard
+
 # The asmp-serve end-to-end smoke: builds the real binaries, starts the
 # daemon, proves duplicate concurrent sweeps coalesce (via /stats),
 # checks server-rendered figure bytes against asmp-run's, SIGTERMs the
@@ -80,6 +94,12 @@ bench:
 # target and compares against the baseline with benchstat.
 bench-hot:
 	$(GO) test -bench 'Fig0(1a|2a|4a)' -benchmem .
+
+# The disk result-cache benchmarks (BENCH_9.json holds the committed
+# record): cold simulate-and-publish vs warm verified-hit per cell, and
+# a full figure regenerated cold vs warm.
+bench-cache:
+	$(GO) test -bench 'Cache' -benchmem ./internal/resultcache .
 
 golden:
 	$(GO) run ./cmd/asmp-run -all > results/figures-full.txt

@@ -1,0 +1,67 @@
+// Benchmarks for the disk result cache (DESIGN.md §12, BENCH_9.json):
+// one full figure regenerated uncached, cold (simulate + publish every
+// cell) and warm (every cell a verified disk hit). The memo is reset
+// each iteration so the disk cache — not the in-process memo — is what
+// serves the warm runs, exactly as a fresh process would experience it.
+package asmp_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asmp/internal/core"
+	"asmp/internal/figures"
+)
+
+// benchCacheFigure regenerates figure 4a once (quick, seed 1) — the
+// cheapest figure whose cells run through core.Execute.
+func benchCacheFigure(b *testing.B) {
+	b.Helper()
+	f, ok := figures.Get("4a")
+	if !ok {
+		b.Fatal("figure 4a not registered")
+	}
+	f.Run(figures.Options{Quick: true, Seed: 1})
+}
+
+func BenchmarkDiskCacheUncachedFigure(b *testing.B) {
+	core.SetResultCache(nil)
+	for i := 0; i < b.N; i++ {
+		core.ResetMemo()
+		benchCacheFigure(b)
+	}
+}
+
+func BenchmarkDiskCacheColdFigure(b *testing.B) {
+	root := b.TempDir()
+	defer core.SetResultCache(nil)
+	for i := 0; i < b.N; i++ {
+		core.ResetMemo()
+		dir := filepath.Join(root, fmt.Sprintf("c%d", i))
+		if err := core.AttachResultCache(dir, 0); err != nil {
+			b.Fatal(err)
+		}
+		benchCacheFigure(b)
+		os.RemoveAll(dir)
+	}
+}
+
+func BenchmarkDiskCacheWarmFigure(b *testing.B) {
+	defer core.SetResultCache(nil)
+	core.ResetMemo()
+	if err := core.AttachResultCache(b.TempDir(), 0); err != nil {
+		b.Fatal(err)
+	}
+	benchCacheFigure(b) // publish every cell
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ResetMemo() // a fresh process: disk is the only warm layer
+		benchCacheFigure(b)
+	}
+	b.StopTimer()
+	if st := core.MemoStats().Disk; st.Hits == 0 || st.Refused != 0 {
+		b.Fatalf("warm loop was not served from disk: %+v", st)
+	}
+}

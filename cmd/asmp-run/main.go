@@ -35,6 +35,7 @@ import (
 	"asmp/internal/figures"
 	"asmp/internal/journal"
 	"asmp/internal/profiling"
+	"asmp/internal/resultcache"
 )
 
 // exitCancelled is the exit code for an interrupted run (128+SIGINT,
@@ -88,6 +89,9 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (observability only; output is unaffected)")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 		workers  = fs.Int("workers", 0, "host worker-pool size for figure regeneration: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
+		cacheDir = fs.String("cache-dir", resultcache.DirFromEnv(), "disk result-cache directory shared across processes (default $ASMP_CACHE_DIR; empty = no cache; results are identical either way)")
+		noCache  = fs.Bool("no-cache", false, "ignore -cache-dir and $ASMP_CACHE_DIR: simulate every cell")
+		cacheMax = fs.Int("cache-max-mb", resultcache.MaxMBFromEnv(), "size cap for -cache-dir in MiB, enforced LRU (default $ASMP_CACHE_MAX_MB; 0 = uncapped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +109,10 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		return 2
 	}
 	core.SetDefaultWorkers(*workers)
+	if err := attachCache(*cacheDir, *noCache, *cacheMax); err != nil {
+		fmt.Fprintln(stderr, "asmp-run:", err)
+		return 2
+	}
 	var wrap journal.WrapSink
 	if crashSet {
 		if *journalP == "" {
@@ -218,6 +226,19 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		}
 	}
 	return code
+}
+
+// attachCache attaches (or, with noCache or an empty dir, detaches)
+// the process-wide disk result cache. Always called, so repeated
+// in-process invocations (tests) never inherit a previous run's cache.
+// Caching is a pure wall-clock optimisation: stdout, figures, journals
+// and digests are byte-identical with a cold cache, a warm cache, or
+// -no-cache (DESIGN.md §12).
+func attachCache(dir string, noCache bool, maxMB int) error {
+	if noCache {
+		dir = ""
+	}
+	return core.AttachResultCache(dir, maxMB)
 }
 
 // validateHeader checks a resumed journal was written by asmp-run with

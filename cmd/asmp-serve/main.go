@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"asmp/internal/core"
+	"asmp/internal/resultcache"
 	"asmp/internal/server"
 )
 
@@ -61,6 +62,9 @@ func runWith(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int 
 		maxDeadline  = fs.Duration("max-deadline", 5*time.Minute, "hard cap on any request's deadline")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "how long a drain lets in-flight work finish before cancelling it")
 		journalDir   = fs.String("journal-dir", "", "durable store: journal every sweep/figure here and serve or resume them across restarts")
+		cacheDir     = fs.String("cache-dir", resultcache.DirFromEnv(), "disk result-cache directory shared with CLIs and other daemons (default $ASMP_CACHE_DIR; empty = no cache; responses are identical either way)")
+		noCache      = fs.Bool("no-cache", false, "ignore -cache-dir and $ASMP_CACHE_DIR: simulate every cell")
+		cacheMax     = fs.Int("cache-max-mb", resultcache.MaxMBFromEnv(), "size cap for -cache-dir in MiB, enforced LRU (default $ASMP_CACHE_MAX_MB; 0 = uncapped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,6 +100,18 @@ func runWith(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int 
 		}
 	}
 	core.SetDefaultWorkers(*workers)
+	// The disk result cache survives daemon restarts (unlike the
+	// in-memory memo), so a restarted daemon warm-hits cells its
+	// predecessor simulated; /stats exposes the hit/miss/refused
+	// counters. Detached with -no-cache or no dir.
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
+	}
+	if err := core.AttachResultCache(dir, *cacheMax); err != nil {
+		fmt.Fprintln(stderr, "asmp-serve:", err)
+		return 1
+	}
 
 	srv := server.New(server.Options{
 		Workers:         *workers,

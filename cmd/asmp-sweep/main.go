@@ -39,6 +39,7 @@ import (
 	"asmp/internal/journal"
 	"asmp/internal/profiling"
 	"asmp/internal/report"
+	"asmp/internal/resultcache"
 	"asmp/internal/sched"
 	"asmp/internal/shard"
 	"asmp/internal/sim"
@@ -122,6 +123,9 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		workers  = fs.Int("workers", 0, "host worker-pool size for cell execution: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (observability only; output is unaffected)")
 		memProf  = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		cacheDir = fs.String("cache-dir", resultcache.DirFromEnv(), "disk result-cache directory shared across processes and shard workers (default $ASMP_CACHE_DIR; empty = no cache; results are identical either way)")
+		noCache  = fs.Bool("no-cache", false, "ignore -cache-dir and $ASMP_CACHE_DIR: simulate every cell")
+		cacheMax = fs.Int("cache-max-mb", resultcache.MaxMBFromEnv(), "size cap for -cache-dir in MiB, enforced LRU (default $ASMP_CACHE_MAX_MB; 0 = uncapped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -178,6 +182,21 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		return 2
 	}
 	core.SetDefaultWorkers(*workers)
+	// Attach (or, with -no-cache or no dir, detach) the disk result
+	// cache. Always set, so repeated in-process invocations (tests)
+	// never inherit a previous run's cache. Caching only changes wall
+	// time: reports, journals and digests are byte-identical either way
+	// (DESIGN.md §12). Shard workers inherit the supervisor's dir via
+	// $ASMP_CACHE_DIR (shard.ExecRunner exports it), which is what lets
+	// a respawned worker warm-hit its dead predecessor's cells.
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
+	}
+	if err := core.AttachResultCache(dir, *cacheMax); err != nil {
+		fmt.Fprintln(stderr, "asmp-sweep:", err)
+		return 2
+	}
 
 	var pol sched.Policy
 	switch *policy {
@@ -385,6 +404,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 	} else {
 		fmt.Fprintln(stdout, t.String())
 	}
+	logCacheStats(stderr, "asmp-sweep")
 	cancelled := 0
 	for i := range out.PerConfig {
 		cancelled += out.PerConfig[i].Cancelled()
@@ -401,6 +421,19 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		return 1
 	}
 	return 0
+}
+
+// logCacheStats reports the disk result-cache counters on stderr when a
+// cache is attached (observability only — stdout is the report). Shard
+// workers call it too; their forwarded lines let a sharded sweep show
+// per-worker cross-process hits.
+func logCacheStats(stderr io.Writer, prefix string) {
+	if core.ResultCache() == nil {
+		return
+	}
+	d := core.MemoStats().Disk
+	fmt.Fprintf(stderr, "%s: cache hits=%d misses=%d stored=%d refused=%d evicted=%d\n",
+		prefix, d.Hits, d.Misses, d.Stored, d.Refused, d.Evicted)
 }
 
 // runVerify executes the determinism self-audit: every configuration of

@@ -34,6 +34,10 @@ const (
 // supervisor reads the journal, not the worker's stdout.
 func runWorker(exp core.Experiment, r core.ShardRange, journalPath string, resume bool, wrap journal.WrapSink, stderr io.Writer) int {
 	err := shard.Worker(exp, r, journalPath, resume, wrap)
+	// Each worker reports its own disk-cache counters; the supervisor
+	// forwards the line, so a sharded sweep's stderr shows exactly which
+	// shards were served cross-process hits (BENCH_9.json records this).
+	logCacheStats(stderr, fmt.Sprintf("asmp-sweep: shard %s", r))
 	if err == nil {
 		return 0
 	}

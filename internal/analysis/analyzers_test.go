@@ -157,6 +157,13 @@ func TestNoGoroutineExemptsServer(t *testing.T) {
 	checkHarnessExemption(t, "asmp/internal/server/lintcorpus", "server")
 }
 
+func TestNoGoroutineExemptsResultcache(t *testing.T) {
+	// internal/resultcache is a harness package (see harnessPackages):
+	// its counters and GC are concurrent bookkeeping, never simulation
+	// state, and every entry it serves is digest-verified first.
+	checkHarnessExemption(t, "asmp/internal/resultcache/lintcorpus", "resultcache")
+}
+
 // checkHarnessExemption asserts the nogoroutine corpus produces no
 // nogoroutine findings under a harness import path — only the stale-
 // pragma finding for the suppression the harness scope made redundant.
@@ -217,6 +224,19 @@ func TestSinkSeamExemptsJournal(t *testing.T) {
 			continue
 		}
 		t.Errorf("unexpected diagnostic under journal: %s", d)
+	}
+}
+
+func TestSinkSeamExemptsResultcache(t *testing.T) {
+	// The result cache owns its own seam (atomic temp+fsync+rename
+	// publish, .damaged set-aside), and verify-on-read degrades any torn
+	// write to a typed refusal — so the same file that fires under shard
+	// is clean under resultcache, modulo the now-stale corpus pragma.
+	for _, d := range runCorpus(t, "sinkseam", "asmp/internal/resultcache/seamcorpus") {
+		if d.Rule == "pragma" && strings.Contains(d.Message, "stale") {
+			continue
+		}
+		t.Errorf("unexpected diagnostic under resultcache: %s", d)
 	}
 }
 

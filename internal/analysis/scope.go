@@ -18,6 +18,7 @@ var deterministicPrefixes = []string{
 	"asmp/internal/simtime",
 	"asmp/internal/server",
 	"asmp/internal/shard",
+	"asmp/internal/resultcache",
 }
 
 // harnessPackages are deterministic-scope packages whose *artifacts*
@@ -37,6 +38,11 @@ var harnessPackages = map[string]string{
 	// worker lifecycles, never simulation state, and the merged journal
 	// is a pure function of the partition plan and the cell seeds.
 	"asmp/internal/shard": "supervision goroutines are harness, not simulation",
+	// The disk result cache is shared mutable state between harness
+	// goroutines and processes; its counters and GC are concurrent
+	// machinery, while every entry it serves is verified against the
+	// deterministic run digest before any caller sees it.
+	"asmp/internal/resultcache": "cache bookkeeping is harness; served entries are digest-verified",
 }
 
 // Deterministic reports whether importPath is inside the deterministic

@@ -28,10 +28,15 @@ var SinkSeam = &Analyzer{
 	Run:       runSinkSeam,
 }
 
-// seamPkgs own the I/O seam and are exempt.
+// seamPkgs own the I/O seam and are exempt. resultcache qualifies the
+// same way journal does: it owns its own atomic publish (temp + fsync
+// + rename-into-place) and set-aside discipline, and its verify-on-read
+// means a torn or bypassed write degrades to a typed refusal plus
+// re-simulation, never to corrupt output.
 var seamPkgs = []string{
 	"asmp/internal/journal",
 	"asmp/internal/faultio",
+	"asmp/internal/resultcache",
 }
 
 func sinkSeamScope(importPath string) bool {

@@ -80,6 +80,15 @@ func Execute(spec RunSpec) workload.Result {
 		case flightServed:
 			return res
 		case flightLead:
+			// Leader-only disk read: the whole flight coalesced behind
+			// this caller, so one verified disk hit serves every waiter
+			// without any of them simulating. Store-before-retire holds
+			// exactly as for a simulated result.
+			if hit, ok := diskLookup(key); ok {
+				memoStore(key, hit)
+				finishFlight(key, hit, true)
+				return hit
+			}
 			return executeLead(spec, key)
 		}
 		// flightRetry: the leader failed or our cancel fired while
@@ -95,6 +104,7 @@ func Execute(spec RunSpec) workload.Result {
 	pl.Close()
 	if memoizable {
 		memoStore(key, res)
+		diskStore(key, res)
 	}
 	return res
 }
@@ -113,6 +123,7 @@ func executeLead(spec RunSpec, key memoKey) (res workload.Result) {
 	// the memo under the flight lock, closing the window where a new
 	// arrival would find neither the flight nor the cached Result.
 	memoStore(key, res)
+	diskStore(key, res)
 	ok = true
 	return res
 }
@@ -145,6 +156,11 @@ func executeOn(spec RunSpec, pl *workload.Platform) workload.Result {
 		spec.Fault.Schedule(pl.Env, pl.Sched)
 	}
 	res := spec.Workload.Run(pl)
+	// Capture the pre-metrics digest state before the final fold: the
+	// disk result cache stores it beside the metrics so a read can
+	// refold them and check the equation Digest == Events ⊕ metrics
+	// without re-simulating (resultcache's verify-on-read).
+	res.Events = h.Sum()
 	h.Result(res.Metric, res.Value, res.HigherIsBetter, res.Extras)
 	res.Digest = h.Sum()
 	if spec.Observe != nil {
@@ -176,6 +192,13 @@ func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
 			// runs last: waiters are only released once the Result is in
 			// the memo (or the failure is final).
 			defer func() { finishFlight(key, res, err == nil) }()
+			// Leader-only disk read, as in Execute: a verified hit is
+			// stored in the memo here and published to the waiters by
+			// the deferred finishFlight above.
+			if hit, ok := diskLookup(key); ok {
+				memoStore(key, hit)
+				return hit, nil
+			}
 		}
 		// flightRetry falls through: execute directly, deterministically
 		// reproducing the leader's failure or our own cancellation.
@@ -194,6 +217,7 @@ func ExecuteSafe(spec RunSpec) (res workload.Result, err error) {
 			// Success only, after teardown: failures stay uncached so they
 			// re-execute (deterministically) and report the same error.
 			memoStore(key, res)
+			diskStore(key, res)
 		}
 	}()
 	res = executeOn(spec, pl)

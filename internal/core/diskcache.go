@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"asmp/internal/resultcache"
+	"asmp/internal/workload"
+)
+
+// Disk result cache (internal/resultcache) — the cell memo's
+// cross-process extension. When a cache is attached, the memo becomes
+// read-through/write-through: a flight leader consults the disk before
+// simulating, and every Result the memo stores is also published to
+// disk, so shard workers, server restarts and back-to-back CLI
+// invocations warm-hit cells an earlier process already paid for.
+//
+// The placement keeps disk I/O off the common paths: in-memory hits
+// never touch the disk, and concurrent cold callers coalesce into one
+// flight whose leader does a single disk read for all of them. The
+// contract is unchanged from the memo's (DESIGN.md §12): a verified
+// disk hit is bit-identical to a fresh simulation, and every other
+// disk outcome — miss, refusal, I/O error — falls back to simulating,
+// so attaching a cache can never alter output bytes.
+
+// diskCache is the process-wide attached cache (nil = bypassed).
+var diskCache struct {
+	mu  sync.Mutex //asmp:allow goroutine guards a process-wide knob set once at startup; reads are ordinary lookups
+	c   *resultcache.Cache
+	dir string
+}
+
+// SetResultCache attaches (or, with nil, detaches) the process-wide
+// disk result cache that Execute and ExecuteSafe read and write
+// through. Detached is the default: without a cache every process
+// simulates its own cells, exactly as before.
+func SetResultCache(c *resultcache.Cache) {
+	diskCache.mu.Lock()
+	defer diskCache.mu.Unlock()
+	diskCache.c = c
+	if c != nil {
+		diskCache.dir = c.Dir()
+	} else {
+		diskCache.dir = ""
+	}
+}
+
+// AttachResultCache opens a cache at dir (creating it as needed,
+// capped at maxMB mebibytes, 0 = uncapped) and attaches it. An empty
+// dir detaches.
+func AttachResultCache(dir string, maxMB int) error {
+	if dir == "" {
+		SetResultCache(nil)
+		return nil
+	}
+	c, err := resultcache.Open(dir, int64(maxMB)<<20)
+	if err != nil {
+		return err
+	}
+	SetResultCache(c)
+	return nil
+}
+
+// ResultCache returns the attached cache, or nil.
+func ResultCache() *resultcache.Cache {
+	diskCache.mu.Lock()
+	defer diskCache.mu.Unlock()
+	return diskCache.c
+}
+
+// ResultCacheDir returns the attached cache's directory, or "".
+// The shard supervisor exports it (resultcache.EnvDir) to re-exec'd
+// workers so a respawned worker warm-hits its predecessor's cells.
+func ResultCacheDir() string {
+	diskCache.mu.Lock()
+	defer diskCache.mu.Unlock()
+	return diskCache.dir
+}
+
+// cacheKeyFor renders a memoKey's canonical identity string and
+// derives its content address. Every field of every component is
+// rendered explicitly — workload identity, config, each scheduler
+// option, seed, fault plan, each watchdog limit — so the string (and
+// therefore the address) changes exactly when an input that reaches
+// the simulation changes. Floats render in hex float form: exact,
+// locale-free, and distinguishing every bit pattern the digest would.
+func cacheKeyFor(key memoKey) resultcache.Key {
+	var b strings.Builder
+	field := func(s string) {
+		// Length-prefix each field so field boundaries cannot be forged
+		// by crafted contents (an Identity containing "|").
+		fmt.Fprintf(&b, "%d:%s|", len(s), s)
+	}
+	f64 := func(v float64) { field(strconv.FormatFloat(v, 'x', -1, 64)) }
+	field("cell/v1")
+	field(key.workload)
+	field(key.config)
+	field(key.sched.Policy.String())
+	f64(float64(key.sched.Timeslice))
+	f64(float64(key.sched.BalanceInterval))
+	f64(key.sched.MigrationCost)
+	field(strconv.FormatBool(key.sched.RandomWakeups))
+	field(strconv.Itoa(key.sched.StealThreshold))
+	field(strconv.FormatBool(key.sched.NoForcedMigration))
+	field(strconv.FormatUint(key.seed, 10))
+	field(key.fault)
+	f64(float64(key.limits.MaxVirtualTime))
+	field(strconv.Itoa(key.limits.MaxEvents))
+	field(strconv.FormatBool(key.limits.DetectDeadlock))
+	return resultcache.KeyOf(b.String())
+}
+
+// diskLookup consults the attached cache for key. Only verified
+// entries are served; misses, refusals (the entry is set aside as
+// .damaged by the cache) and I/O problems all report !ok and the
+// caller simulates.
+func diskLookup(key memoKey) (workload.Result, bool) {
+	c := ResultCache()
+	if c == nil {
+		return workload.Result{}, false
+	}
+	return c.Get(cacheKeyFor(key))
+}
+
+// diskStore publishes a successful run's Result beside its memoStore.
+// Best-effort: a failed publish never fails the run. Results without
+// an Events digest state (journal replays) cannot be verified on a
+// future read and are skipped by the cache itself.
+func diskStore(key memoKey, res workload.Result) {
+	c := ResultCache()
+	if c == nil {
+		return
+	}
+	c.Put(cacheKeyFor(key), res)
+}

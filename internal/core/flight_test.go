@@ -63,7 +63,7 @@ func TestFlightConcurrentIdenticalSpecsExecuteOnce(t *testing.T) {
 	if led != 1 {
 		t.Fatalf("flights led = %d, want 1", led)
 	}
-	_, hits, _ := MemoStats()
+	hits := MemoStats().Hits
 	// Everybody but the leader was served either by waiting on the
 	// flight or, if it arrived after the flight retired, by the memo.
 	if coalesced+hits != uint64(n-1) {
@@ -139,7 +139,7 @@ func TestFlightLeaderFailureNeverShared(t *testing.T) {
 		t.Fatalf("failures = %d, want %d (a leader's failure must never be served to waiters as success)", got, n)
 	}
 	// Failures re-execute deterministically; none may be cached.
-	if entries, _, _ := MemoStats(); entries != 0 {
+	if entries := MemoStats().Entries; entries != 0 {
 		t.Fatalf("memo entries after failing herd = %d, want 0", entries)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"asmp/internal/resultcache"
 	"asmp/internal/sched"
 	"asmp/internal/sim"
 	"asmp/internal/workload"
@@ -146,13 +147,35 @@ func cloneResult(r workload.Result) workload.Result {
 	return r
 }
 
+// MemoReport is a snapshot of the process-wide cell-cache counters:
+// the in-memory memo's, plus the attached disk cache's (all zero when
+// no cache is attached).
+type MemoReport struct {
+	// Entries is the number of Results the in-memory memo holds.
+	Entries int
+	// Hits and Misses count in-memory lookups. Non-memoizable runs
+	// count as neither; a disk hit counts as a memo miss first (the
+	// memo was consulted and had nothing).
+	Hits, Misses uint64
+	// Disk holds the attached disk cache's counters (resultcache).
+	Disk resultcache.Stats
+}
+
 // MemoStats reports the process-wide cell-cache counters: entries held,
-// lookups served from cache and lookups that missed. Non-memoizable runs
-// count as neither.
-func MemoStats() (entries int, hits, misses uint64) {
+// lookups served from cache and lookups that missed, plus the disk
+// cache's counters when one is attached.
+func MemoStats() MemoReport {
 	memoCache.mu.Lock()
-	defer memoCache.mu.Unlock()
-	return len(memoCache.m), memoCache.hits, memoCache.misses
+	r := MemoReport{
+		Entries: len(memoCache.m),
+		Hits:    memoCache.hits,
+		Misses:  memoCache.misses,
+	}
+	memoCache.mu.Unlock()
+	if c := ResultCache(); c != nil {
+		r.Disk = c.Stats()
+	}
+	return r
 }
 
 // ResetMemo empties the cell cache and zeroes its counters, including

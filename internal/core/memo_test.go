@@ -226,12 +226,12 @@ func TestMemoStatsAndReset(t *testing.T) {
 	spec := memoSpec("stats", &execs)
 	Execute(spec)
 	Execute(spec)
-	entries, hits, misses := MemoStats()
-	if entries != 1 || hits != 1 || misses != 1 {
-		t.Fatalf("stats = (%d entries, %d hits, %d misses), want (1, 1, 1)", entries, hits, misses)
+	st := MemoStats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = (%d entries, %d hits, %d misses), want (1, 1, 1)", st.Entries, st.Hits, st.Misses)
 	}
 	ResetMemo()
-	if entries, hits, misses := MemoStats(); entries != 0 || hits != 0 || misses != 0 {
-		t.Fatalf("post-reset stats = (%d, %d, %d), want zeros", entries, hits, misses)
+	if st := MemoStats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("post-reset stats = (%d, %d, %d), want zeros", st.Entries, st.Hits, st.Misses)
 	}
 }

@@ -58,6 +58,14 @@ type Hasher struct {
 // New returns a Hasher at the FNV-1a offset basis.
 func New() *Hasher { return &Hasher{h: offset64} }
 
+// NewFrom returns a Hasher resumed at a previously captured digest
+// state, so a fold can be continued without replaying everything that
+// produced d. The result cache uses this to verify a stored Result:
+// folding the stored metrics onto the entry's pre-metrics state
+// (workload.Result.Events) must reproduce the entry's run digest
+// exactly, or the entry is corrupt.
+func NewFrom(d Digest) *Hasher { return &Hasher{h: uint64(d)} }
+
 // Byte folds one byte.
 func (h *Hasher) Byte(b byte) { h.h = (h.h ^ uint64(b)) * prime64 }
 

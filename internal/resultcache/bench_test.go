@@ -1,0 +1,60 @@
+package resultcache_test
+
+// Micro-benchmarks for the cache's three steady-state paths (the
+// figure-level cold/warm numbers live in BENCH_9.json, produced by the
+// root bench_cache_test.go): publishing a cell, serving a verified hit
+// (decode + checksum + digest refold + LRU touch), and a clean miss.
+
+import (
+	"fmt"
+	"testing"
+
+	"asmp/internal/resultcache"
+)
+
+func BenchmarkCachePut(b *testing.B) {
+	c, err := resultcache.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := fakeResult("bench-put")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put(resultcache.KeyOf(fmt.Sprintf("bench-put-%d", i)), res)
+	}
+	if st := c.Stats(); st.Stored != uint64(b.N) || st.StoreErrors != 0 {
+		b.Fatalf("stored %d/%d with %d errors", st.Stored, b.N, st.StoreErrors)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c, err := resultcache.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := resultcache.KeyOf("bench-hit")
+	want := fakeResult("bench-hit")
+	c.Put(key, want)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, ok := c.Get(key)
+		if !ok || res.Digest != want.Digest {
+			b.Fatal("verified hit failed")
+		}
+	}
+}
+
+func BenchmarkCacheGetMiss(b *testing.B) {
+	c, err := resultcache.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := resultcache.KeyOf("bench-absent")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); ok {
+			b.Fatal("absent key hit")
+		}
+	}
+}

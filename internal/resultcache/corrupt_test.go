@@ -1,0 +1,197 @@
+package resultcache_test
+
+// The corruption property (ISSUE 9, DESIGN.md §12): for EVERY
+// byte-prefix truncation and EVERY single-bit flip of a cache entry,
+// a lookup has exactly two acceptable outcomes —
+//
+//   - it serves nothing (plain miss or typed refusal with the damaged
+//     bytes set aside), after which the caller re-simulates and output
+//     is byte-identical to the uncached run; or
+//   - it serves a hit, which is only acceptable when the decoded
+//     Result is exactly the one originally published (possible only
+//     when the "corruption" reproduced the original bytes).
+//
+// There is no third outcome: a wrong Result must never be served, and
+// a refusal must always be typed (*resultcache.DamagedError) with the
+// evidence set aside. The regular suite samples the matrix; make
+// test-cache (ASMP_CACHE_FULL=1) walks every byte and every bit. On a
+// violation the corrupted entry is saved to $ASMP_CRASH_ARTIFACT_DIR
+// for replay.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asmp/internal/resultcache"
+)
+
+// saveArtifact writes the failing corruption to ASMP_CRASH_ARTIFACT_DIR
+// (if set) and returns a note for the failure message.
+func saveArtifact(t *testing.T, label string, data []byte) string {
+	dir := os.Getenv("ASMP_CRASH_ARTIFACT_DIR")
+	if dir == "" {
+		return "(set ASMP_CRASH_ARTIFACT_DIR to keep the corrupted entry)"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Sprintf("(could not create artifact dir: %v)", err)
+	}
+	path := filepath.Join(dir, "resultcache-"+label+".cell")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Sprintf("(could not save artifact: %v)", err)
+	}
+	return "corrupted entry saved to " + path
+}
+
+// checkOutcome asserts the two-outcome property for one corrupted
+// entry currently installed at the cache's path for key.
+func checkOutcome(t *testing.T, c *resultcache.Cache, key resultcache.Key, label string, corrupted []byte) {
+	t.Helper()
+	got, ok, err := c.GetChecked(key)
+	want := fakeResult("property-cell")
+	switch {
+	case ok:
+		// A hit must be the original result, bit for bit. (With the
+		// checksum and digest refold in the way this only happens when
+		// the corrupted bytes equal the published bytes.)
+		if !sameResult(got, want) {
+			t.Fatalf("%s: corrupt entry SERVED a wrong result %+v; %s",
+				label, got, saveArtifact(t, label, corrupted))
+		}
+	case err != nil:
+		// A refusal must be typed and must have quarantined the bytes.
+		var de *resultcache.DamagedError
+		if !errors.As(err, &de) {
+			t.Fatalf("%s: refusal is untyped (%T: %v); %s",
+				label, err, err, saveArtifact(t, label, corrupted))
+		}
+		if de.SetAside == "" {
+			t.Fatalf("%s: refusal did not set the entry aside (%v); %s",
+				label, de, saveArtifact(t, label, corrupted))
+		}
+		aside, rerr := os.ReadFile(de.SetAside)
+		if rerr != nil || string(aside) != string(corrupted) {
+			t.Fatalf("%s: set-aside does not preserve the damaged bytes (err=%v); %s",
+				label, rerr, saveArtifact(t, label, corrupted))
+		}
+	default:
+		// A plain miss is fine — the caller re-simulates — as long as
+		// nothing was served.
+	}
+	// Whatever the outcome, the cell must be servable again after a
+	// re-publish: the damage never wedges the slot.
+	c.Put(key, want)
+	if res, ok, err := c.GetChecked(key); !ok || err != nil || !sameResult(res, want) {
+		t.Fatalf("%s: slot wedged after corruption (ok=%v err=%v); %s",
+			label, ok, err, saveArtifact(t, label, corrupted))
+	}
+}
+
+// cleanDamaged removes set-aside files between iterations so the full
+// matrix does not accumulate thousands of .damaged artifacts.
+func cleanDamaged(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		if strings.Contains(de.Name(), ".damaged") {
+			os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+}
+
+func TestCacheCorruptionMatrix(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := resultcache.KeyOf("property-cell")
+	c.Put(key, fakeResult("property-cell"))
+	path := c.EntryPath(key)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sampled by default; every byte and every bit under ASMP_CACHE_FULL
+	// (the make test-cache configuration).
+	full := os.Getenv("ASMP_CACHE_FULL") != ""
+	stride := 17
+	if full {
+		stride = 1
+	}
+
+	install := func(data []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every byte-prefix truncation, torn exactly as a crashed writer
+	// that bypassed the atomic publish would tear it.
+	for n := 0; n < len(pristine); n += stride {
+		prefix := append([]byte{}, pristine[:n]...)
+		install(prefix)
+		checkOutcome(t, c, key, fmt.Sprintf("prefix-%d", n), prefix)
+		cleanDamaged(t, dir)
+	}
+
+	// Every single-bit flip (each bit of each sampled byte).
+	for i := 0; i < len(pristine); i += stride {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte{}, pristine...)
+			flipped[i] ^= 1 << bit
+			install(flipped)
+			checkOutcome(t, c, key, fmt.Sprintf("flip-%d-%d", i, bit), flipped)
+			cleanDamaged(t, dir)
+		}
+	}
+
+	if st := c.Stats(); st.Refused == 0 {
+		t.Fatal("the corruption matrix never triggered a refusal — the verify-on-read path was not exercised")
+	}
+}
+
+// TestCacheCorruptionNeverAltersServedValue drives the same property
+// through the hit path specifically: a flipped metric byte must never
+// survive the digest refold. The metric value lives in the JSON
+// "value" field; flipping characters inside it produces entries that
+// still parse but whose checksum (and digest equation) are broken.
+func TestCacheCorruptionValueFieldTargeted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := resultcache.KeyOf("property-cell")
+	c.Put(key, fakeResult("property-cell"))
+	path := c.EntryPath(key)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(string(pristine), `"value"`)
+	if idx < 0 {
+		t.Fatal("entry has no value field")
+	}
+	for i := idx; i < idx+20 && i < len(pristine); i++ {
+		mutated := append([]byte{}, pristine...)
+		if mutated[i] >= '0' && mutated[i] < '9' {
+			mutated[i]++
+		} else {
+			mutated[i] ^= 0x01
+		}
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		checkOutcome(t, c, key, fmt.Sprintf("value-%d", i), mutated)
+		cleanDamaged(t, dir)
+	}
+}

@@ -1,0 +1,79 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// tempMaxAge is how old an orphaned ".put-*" temp file must be before
+// GC reclaims it. Young temps may be mid-publish in another process;
+// old ones are debris from a crash between CreateTemp and Rename.
+const tempMaxAge = time.Hour
+
+// gcEntry is one candidate file in a GC pass.
+type gcEntry struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// GC enforces the size cap: it scans the cache directory, removes
+// orphaned publish temps older than tempMaxAge, and — when the total
+// entry size exceeds the cap — evicts entries least-recently-used
+// first (by mtime, which verified hits refresh; name breaks ties so
+// the eviction order is deterministic for equal times). It returns
+// the number of entries evicted. A zero cap never evicts.
+//
+// GC races harmlessly with readers and writers in other processes: a
+// removed entry is a future miss (re-simulated, republished), and an
+// entry republished mid-pass simply survives to the next pass.
+func (c *Cache) GC() (int, error) {
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now() //asmp:allow walltime GC age threshold for orphaned publish temps; affects reclamation only, never simulation state or output
+	var entries []gcEntry
+	var total int64
+	for _, de := range names {
+		name := de.Name()
+		info, err := de.Info()
+		if err != nil {
+			continue // vanished mid-scan: another process's GC or publish
+		}
+		switch {
+		case strings.HasPrefix(name, ".put-"):
+			if now.Sub(info.ModTime()) > tempMaxAge {
+				os.Remove(filepath.Join(c.dir, name))
+			}
+		case strings.HasSuffix(name, entryExt):
+			entries = append(entries, gcEntry{name: name, size: info.Size(), mtime: info.ModTime()})
+			total += info.Size()
+		}
+	}
+	if c.maxBytes <= 0 || total <= c.maxBytes {
+		return 0, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].name < entries[j].name
+	})
+	evicted := 0
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(c.dir, e.name)); err != nil {
+			continue // already gone, or a permission oddity: skip, recount next pass
+		}
+		total -= e.size
+		evicted++
+	}
+	c.evicted.Add(uint64(evicted))
+	return evicted, nil
+}

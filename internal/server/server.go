@@ -234,6 +234,18 @@ type Stats struct {
 		Hits    uint64 `json:"hits"`
 		Misses  uint64 `json:"misses"`
 	} `json:"memo"`
+	// Cache exposes the disk result cache's counters (core's attached
+	// resultcache; all zero when the daemon runs with -no-cache or no
+	// cache dir). Refused counts corrupt entries set aside as .damaged
+	// — always served by re-simulation, never by the damaged bytes.
+	Cache struct {
+		Hits        uint64 `json:"hits"`
+		Misses      uint64 `json:"misses"`
+		Refused     uint64 `json:"refused"`
+		Stored      uint64 `json:"stored"`
+		StoreErrors uint64 `json:"storeErrors"`
+		Evicted     uint64 `json:"evicted"`
+	} `json:"cache"`
 	Flight struct {
 		Led       uint64 `json:"led"`
 		Coalesced uint64 `json:"coalesced"`
@@ -277,7 +289,10 @@ func (s *Server) StatsSnapshot() Stats {
 	st.Latency.TotalMs = s.counters.latencyTotalMs
 	st.Latency.MaxMs = s.counters.latencyMaxMs
 	s.mu.Unlock()
-	st.Memo.Entries, st.Memo.Hits, st.Memo.Misses = core.MemoStats()
+	ms := core.MemoStats()
+	st.Memo.Entries, st.Memo.Hits, st.Memo.Misses = ms.Entries, ms.Hits, ms.Misses
+	st.Cache.Hits, st.Cache.Misses, st.Cache.Refused = ms.Disk.Hits, ms.Disk.Misses, ms.Disk.Refused
+	st.Cache.Stored, st.Cache.StoreErrors, st.Cache.Evicted = ms.Disk.Stored, ms.Disk.StoreErrors, ms.Disk.Evicted
 	st.Flight.Led, st.Flight.Coalesced = core.FlightStats()
 	st.Shard.Retried, st.Shard.ResumedShards = shard.Stats()
 	return st

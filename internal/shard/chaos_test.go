@@ -50,6 +50,8 @@ type chaosConf struct {
 	TearAt     int64  // >0: tear the journal sink at this byte
 	Kill       bool   // with TearAt: SIGKILL self mid-write
 	FailSyncAt int    // >0: fail the n-th sync
+	CacheDir   string // attach the disk result cache here (ISSUE 9)
+	StatsFile  string // write the worker's final cache counters here
 }
 
 func TestMain(m *testing.M) {
@@ -99,6 +101,11 @@ func chaosWorkerMain(conf string) int {
 	if err != nil {
 		return fail(err)
 	}
+	if c.CacheDir != "" {
+		if err := core.AttachResultCache(c.CacheDir, 0); err != nil {
+			return fail(err)
+		}
+	}
 	var wrap journal.WrapSink
 	if c.TearAt > 0 || c.FailSyncAt > 0 {
 		wrap = faultio.Plan{
@@ -109,6 +116,19 @@ func chaosWorkerMain(conf string) int {
 		}.Wrap()
 	}
 	err = Worker(exp, r, c.Journal, c.Resume, wrap)
+	// Report this worker's disk-cache counters to the supervisor side
+	// of the harness. A SIGKILLed attempt never gets here — only the
+	// surviving attempt's counters land in the file, which is exactly
+	// what the respawn test wants to inspect.
+	if c.StatsFile != "" {
+		raw, merr := json.Marshal(core.MemoStats().Disk)
+		if merr == nil {
+			merr = os.WriteFile(c.StatsFile, raw, 0o644)
+		}
+		if merr != nil {
+			return fail(merr)
+		}
+	}
 	switch {
 	case err == nil:
 		return 0
@@ -275,6 +295,99 @@ func TestChaosWorkerDeathConvergesByteIdentical(t *testing.T) {
 				t.Fatal("merged journal differs from the unsharded reference")
 			}
 		})
+	}
+}
+
+// TestChaosRespawnWarmHitsPredecessorCells (ISSUE 9, satellite 2): a
+// worker SIGKILLed mid-journal leaves its already-executed cells in the
+// shared disk cache (write-through happens at Execute time, before the
+// journal write that killed it). The respawned worker must resume the
+// journal's valid prefix AND serve the re-executed remainder from
+// verified cache hits — without simulating those cells again — and the
+// merged journal must still be byte-identical to the unsharded
+// reference.
+func TestChaosRespawnWarmHitsPredecessorCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	exp := testExperiment(t)
+	dir := t.TempDir()
+	ref := referenceJournal(t, exp, dir)
+	cacheDir := filepath.Join(dir, "cache")
+
+	path := filepath.Join(dir, "run.jsonl")
+	plan, _, err := Recover(exp, 2, path, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsFile := func(idx int) string {
+		return filepath.Join(dir, fmt.Sprintf("stats-%d.json", idx))
+	}
+	// Every shard's first attempt SIGKILLs itself mid-write, deep enough
+	// into the journal that several cells completed (and were published)
+	// first; respawns run clean with the same cache.
+	runner := chaosRunner(func(idx, attempt int) chaosConf {
+		c := chaosConf{CacheDir: cacheDir, StatsFile: statsFile(idx)}
+		if attempt == 1 {
+			c.TearAt = int64(len(ref)) / 3
+			c.Kill = true
+		}
+		return c
+	})
+	_, resumedBefore := Stats()
+	outcomes := superviseBounded(t, Options{Plan: plan, Run: runner, Retries: 3, Sleep: noSleep}, time.Minute)
+	journals := []string{path}
+	for _, s := range plan.Specs {
+		journals = append(journals, s.Journal)
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			saveArtifacts(t, "respawn-warm", journals...)
+			t.Fatalf("shard %s did not converge: %v", o.Spec.Range, o.Err)
+		}
+	}
+	if _, resumedAfter := Stats(); resumedAfter == resumedBefore {
+		t.Error("shard.resumed counter did not advance across the respawns")
+	}
+
+	// The cache counters prove the respawn was warm: at minimum the cell
+	// that was mid-write when the SIGKILL landed had already been
+	// published, so the worker that finished each shard saw disk hits.
+	sawHits := false
+	for _, s := range plan.Specs {
+		raw, err := os.ReadFile(statsFile(s.Range.Index))
+		if err != nil {
+			t.Fatalf("shard %d reported no cache stats: %v", s.Range.Index, err)
+		}
+		var st struct {
+			Hits    uint64 `json:"hits"`
+			Refused uint64 `json:"refused"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Refused != 0 {
+			t.Errorf("shard %d refused %d cache entries (atomic publish must not tear)", s.Range.Index, st.Refused)
+		}
+		if st.Hits > 0 {
+			sawHits = true
+		}
+	}
+	if !sawHits {
+		t.Error("no respawned worker served a single disk hit — the cache was not shared across attempts")
+	}
+
+	if _, err := Merge(exp, plan, outcomes, nil); err != nil {
+		saveArtifacts(t, "respawn-warm", journals...)
+		t.Fatalf("merge: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, ref) {
+		saveArtifacts(t, "respawn-warm", journals...)
+		t.Fatal("merged journal over a shared cache differs from the unsharded reference")
 	}
 }
 

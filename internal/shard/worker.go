@@ -18,6 +18,7 @@ import (
 
 	"asmp/internal/core"
 	"asmp/internal/journal"
+	"asmp/internal/resultcache"
 )
 
 // IncompleteError reports a worker whose sweep finished but whose
@@ -145,7 +146,15 @@ func ExecRunner(bin string, baseArgs []string, stderr io.Writer) Runner {
 		}
 		args = append(args, "-shardworker", spec.Range.String())
 		cmd := exec.Command(bin, args...)
-		cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+		// Export the supervisor's disk result-cache directory so every
+		// worker — first spawns and post-crash respawns alike — shares
+		// one cache: a respawned worker warm-hits the cells its dead
+		// predecessor already published instead of re-simulating them.
+		// Appended last, the entry overrides any inherited value, so a
+		// cache-less supervisor (empty dir) also disables its workers'.
+		cmd.Env = append(os.Environ(),
+			WorkerEnv+"=1",
+			resultcache.EnvDir+"="+core.ResultCacheDir())
 		cmd.Stdout = io.Discard
 		cmd.Stderr = shared
 		err := cmd.Run()

@@ -57,6 +57,14 @@ type Result struct {
 	// seed) must produce the same digest; core.VerifyDeterminism audits
 	// exactly that. Zero for results not produced through core.Execute.
 	Digest digest.Digest
+	// Events is the digest state after the identity and event-stream
+	// folds but before the final metrics fold: Digest equals Events
+	// evolved by Hasher.Result over the metrics below. The disk result
+	// cache (internal/resultcache) stores it so a read can recompute
+	// Digest from the stored metrics and refuse any entry whose bytes
+	// have drifted. Zero for results not produced through core.Execute
+	// (journal-replayed cells included — they are never re-published).
+	Events digest.Digest
 }
 
 // Extra returns a secondary metric (0 if absent).
