@@ -14,11 +14,12 @@
 #   make bench        # one pass over every figure/ablation benchmark
 #   make bench-hot    # the engine hot-path benchmarks (see BENCH_4.json)
 #   make bench-cache  # cold- vs warm-cache execution benchmarks (see BENCH_9.json)
+#   make bench-policies # per-policy sweep wall-clock benchmarks (see BENCH_10.json)
 #   make golden       # regenerate the committed seed-1 artifacts
 
 GO ?= go
 
-.PHONY: check vet lint lint-fix test test-race test-crash test-shard test-cache serve-smoke bench bench-hot bench-cache golden
+.PHONY: check vet lint lint-fix test test-race test-crash test-shard test-cache serve-smoke bench bench-hot bench-cache bench-policies golden
 
 check: vet lint test
 
@@ -101,6 +102,14 @@ bench-hot:
 bench-cache:
 	$(GO) test -bench 'Cache' -benchmem ./internal/resultcache .
 
+# The policy-zoo sweep benchmarks (BENCH_10.json holds the committed
+# record): per-policy cold sweep wall-clock over the nine
+# configurations, plus the same column under a dynamic duty trace.
+bench-policies:
+	$(GO) test -bench 'ExtensionPolicySweep' -benchtime=1x -benchmem .
+
 golden:
 	$(GO) run ./cmd/asmp-run -all > results/figures-full.txt
 	$(GO) run ./cmd/asmp-run -fig fault -out results > /dev/null
+	$(GO) run ./cmd/asmp-run -fig policies -out results > /dev/null
+	$(GO) run ./cmd/asmp-run -fig policies-dyn -out results > /dev/null

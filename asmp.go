@@ -5,7 +5,8 @@
 // It re-exports the stable surface of the internal packages:
 //
 //   - machine configurations in the paper's nf-ms/scale notation,
-//   - the two kernel scheduling policies (stock and asymmetry-aware),
+//   - the six kernel scheduling policies (the paper's stock and
+//     asymmetry-aware pair plus the related-work policy zoo),
 //   - the eight workload models by name (plus the multiprog extension),
 //   - the experiment framework (repeated runs, predictability and
 //     scalability analysis, Table-1 classification), and
@@ -64,8 +65,9 @@ func StandardConfigs() []Config {
 // Policy selects the OS scheduler model.
 type Policy = sched.Policy
 
-// The scheduling policies: the study's two, plus the rank-only
-// extension that tests the paper's point-4 conjecture.
+// The scheduling policies: the study's two, the rank-only extension
+// that tests the paper's point-4 conjecture, and the related-work
+// policy zoo (criticality-aware, type-aware, conservative big.LITTLE).
 const (
 	// PolicyNaive is the stock, asymmetry-agnostic kernel scheduler.
 	PolicyNaive = sched.PolicyNaive
@@ -75,7 +77,23 @@ const (
 	// PolicyRankAware knows only the ordering of core speeds, not their
 	// magnitudes (the paper's point-4 conjecture).
 	PolicyRankAware = sched.PolicyRankAware
+	// PolicyCriticalityAware steers critical-path bursts to the fastest
+	// cores (arXiv:2009.00915).
+	PolicyCriticalityAware = sched.PolicyCriticalityAware
+	// PolicyTypeAware classifies tasks compute- vs memory-stall-bound
+	// and parks the latter on slow cores (Thread Director style).
+	PolicyTypeAware = sched.PolicyTypeAware
+	// PolicyBigLittle is CFS-like weighted fair placement with
+	// asymmetric capacity weights (arXiv:1509.02058).
+	PolicyBigLittle = sched.PolicyBigLittle
 )
+
+// AllPolicies returns every scheduling policy in declaration order.
+func AllPolicies() []Policy { return sched.AllPolicies() }
+
+// ParsePolicy maps a policy name — short CLI form or Policy.String()
+// form — to its Policy.
+func ParsePolicy(name string) (Policy, error) { return sched.ParsePolicy(name) }
 
 // SchedOptions configures the scheduler model (timeslice, balance
 // interval, migration cost, ...).

@@ -533,6 +533,61 @@ func BenchmarkExtensionFaultInjection(b *testing.B) {
 	}
 }
 
+// ExtensionPolicySweep: per-policy sweep wall-clock for the full policy
+// zoo (see BENCH_10.json for the committed record). Each sub-benchmark
+// sweeps SPECjbb over the nine configurations under one policy with the
+// memo reset each iteration, so the number reported is the cold cost of
+// a whole sweep column — the quantity `make bench-policies` tracks. The
+// CoV metric doubles as a sanity check that the policy actually ran
+// (naive is unstable on the asymmetric configs; the rest are not).
+func BenchmarkExtensionPolicySweep(b *testing.B) {
+	w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+	for _, pol := range sched.AllPolicies() {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			coldCache()
+			for i := 0; i < b.N; i++ {
+				out := experiment(w, pol, 3, uint64(1+i))
+				b.ReportMetric(out.MaxCoV(true), "asym-CoV")
+			}
+		})
+	}
+}
+
+// ExtensionPolicySweepDynamic: the same sweep column under a dynamic
+// duty trace (thermal square wave + random-walk throttle), exercising
+// every policy's SetDuty reaction path on top of placement.
+func BenchmarkExtensionPolicySweepDynamic(b *testing.B) {
+	plan, err := asmp.ParseFaultPlan("wave@1s:500ms:0:0.125:4,walk@1s:250ms:1:42:12")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := jbb.New(jbb.Options{Warehouses: 12, GC: gc.ConcurrentGenerational})
+	for _, pol := range sched.AllPolicies() {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			coldCache()
+			for i := 0; i < b.N; i++ {
+				o := core.Experiment{
+					Workload: w,
+					Configs:  []cpu.Config{cpu.MustParseConfig("4f-0s")},
+					Runs:     3,
+					Sched:    sched.Defaults(pol),
+					BaseSeed: uint64(1 + i),
+					Fault:    plan,
+					Limits:   sim.Limits{MaxVirtualTime: simtime.Minute},
+				}.Run()
+				cr := o.PerConfig[0]
+				if cr.Failed() > 0 {
+					b.Fatalf("%d run(s) failed: %v", cr.Failed(), o.Errors()[0])
+				}
+				b.ReportMetric(cr.Summary.Mean, "txn/s")
+				b.ReportMetric(cr.Summary.CoV, "CoV")
+			}
+		})
+	}
+}
+
 // ExtensionDeterminismAudit: the run-integrity subsystem's self-audit —
 // execute SPECjbb twice on the asymmetric 2f-2s/8 under the aware
 // policy and verify the replay reproduces the baseline run digest

@@ -109,7 +109,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		list     = fs.Bool("list", false, "list registered workloads")
 		configs  = fs.String("configs", "", "comma-separated nf-ms/scale configs (default: the paper's nine)")
 		runs     = fs.Int("runs", 3, "repetitions per configuration")
-		policy   = fs.String("policy", "naive", "scheduler policy: naive, aware or rank")
+		policy   = fs.String("policy", "naive", "scheduler policy: "+sched.PolicyUsage)
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		csv      = fs.Bool("csv", false, "emit CSV")
 		faultStr = fs.String("fault", "", `fault plan injected into every run, e.g. "throttle@1.5s:0:0.125,restore@3.5s:0"`)
@@ -198,16 +198,9 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) (c
 		return 2
 	}
 
-	var pol sched.Policy
-	switch *policy {
-	case "naive":
-		pol = sched.PolicyNaive
-	case "aware":
-		pol = sched.PolicyAsymmetryAware
-	case "rank":
-		pol = sched.PolicyRankAware
-	default:
-		fmt.Fprintf(stderr, "asmp-sweep: unknown policy %q (naive|aware|rank)\n", *policy)
+	pol, err := sched.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(stderr, "asmp-sweep:", err)
 		return 2
 	}
 

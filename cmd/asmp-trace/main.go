@@ -74,7 +74,7 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 	var (
 		name     = fs.String("workload", "specjbb", "registered workload name")
 		cfgName  = fs.String("config", "2f-2s/8", "machine configuration (nf-ms/scale)")
-		policy   = fs.String("policy", "naive", "scheduler policy: naive, aware or rank")
+		policy   = fs.String("policy", "naive", "scheduler policy: "+sched.PolicyUsage)
 		seed     = fs.Uint64("seed", 1, "random seed")
 		events   = fs.Bool("events", false, "print the raw event log (last -buffer events)")
 		kindSel  = fs.String("kind", "", "with -events: only this kind (migrate, steal, forced-migrate, ...)")
@@ -100,16 +100,9 @@ func runWith(args []string, stdout, stderr io.Writer, cancel <-chan struct{}) in
 		fmt.Fprintln(stderr, "asmp-trace:", err)
 		return 2
 	}
-	var pol sched.Policy
-	switch *policy {
-	case "naive":
-		pol = sched.PolicyNaive
-	case "aware":
-		pol = sched.PolicyAsymmetryAware
-	case "rank":
-		pol = sched.PolicyRankAware
-	default:
-		fmt.Fprintf(stderr, "asmp-trace: unknown policy %q (naive|aware|rank)\n", *policy)
+	pol, err := sched.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(stderr, "asmp-trace:", err)
 		return 2
 	}
 	if *bufCap < 1 {

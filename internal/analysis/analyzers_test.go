@@ -183,6 +183,17 @@ func checkHarnessExemption(t *testing.T, importPath, label string) {
 	}
 }
 
+func TestNoGoroutineFiresInFault(t *testing.T) {
+	// internal/fault joined the deterministic scope when its trace
+	// generators started feeding run identity (wave/walk/stairs expand
+	// into the plan that keys digests and cache entries). It is not a
+	// harness package, so the nogoroutine corpus must fire there.
+	diags := runCorpus(t, "nogoroutine", "asmp/internal/fault/lintcorpus")
+	if len(diags) == 0 {
+		t.Fatal("nogoroutine corpus produced no diagnostics under fault: the package is missing from the deterministic scope")
+	}
+}
+
 func TestNoGoroutineStillFiresInsideDeterministicCore(t *testing.T) {
 	// The harness exemption is an allowlist, not a scope retreat: the
 	// corpus still fires under core, which sits in the deterministic

@@ -11,6 +11,7 @@ import "strings"
 var deterministicPrefixes = []string{
 	"asmp/internal/sim",
 	"asmp/internal/sched",
+	"asmp/internal/fault",
 	"asmp/internal/core",
 	"asmp/internal/workload",
 	"asmp/internal/digest",

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"asmp/internal/cpu"
+	"asmp/internal/fault"
+	"asmp/internal/sched"
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+	"asmp/internal/workload"
+)
+
+// zooProbe is an Identifier workload with real scheduler contention:
+// six threads issuing seed-dependent bursts, a third of them with
+// memory-stall components, so every policy's placement, stealing,
+// balancing and classification paths all run.
+type zooProbe struct {
+	id string
+}
+
+func (w zooProbe) Name() string     { return "zoo-probe" }
+func (w zooProbe) Identity() string { return "zoo-probe|" + w.id }
+
+func (w zooProbe) Run(pl *workload.Platform) workload.Result {
+	for i := 0; i < 6; i++ {
+		i := i
+		pl.Env.Go("worker", func(p *sim.Proc) {
+			rng := p.Rand()
+			for b := 0; b < 12; b++ {
+				cycles := rng.Range(5e6, 5e7)
+				if i%3 == 0 {
+					p.ComputeMem(cycles/4, simtime.Duration(rng.Range(1, 5))*simtime.Millisecond)
+				} else {
+					p.Compute(cycles)
+				}
+				p.Sleep(simtime.Duration(rng.Range(0.1, 2)) * simtime.Millisecond)
+			}
+		})
+	}
+	pl.Env.Run()
+	return workload.Result{Metric: "runtime (s)", Value: float64(pl.Env.Now()), HigherIsBetter: false}
+}
+
+// zooPlans are the fault scenarios of the cross-policy determinism
+// matrix: a static throttle + hot-unplug plan and a dynamic duty trace
+// combining all three generators.
+var zooPlans = []string{
+	"throttle@2ms:0:0.125,restore@30ms:0,offline@10ms:1,online@40ms:1",
+	"wave@2ms:10ms:0:0.25:3,walk@5ms:5ms:1:7:8,stairs@3ms:10ms:2:0.125:3",
+}
+
+// TestCrossPolicyDeterminismMatrix runs every policy crossed with a
+// static fault plan and a dynamic duty trace, twice per cell with the
+// same seed, and requires byte-identical digests plus a clean
+// VerifyDeterminism self-audit. The cold re-execution is forced by
+// resetting the memo between runs, so this pins the engine, not the
+// cache.
+func TestCrossPolicyDeterminismMatrix(t *testing.T) {
+	for _, pol := range sched.AllPolicies() {
+		for _, planText := range zooPlans {
+			plan, err := fault.Parse(planText)
+			if err != nil {
+				t.Fatalf("parse %q: %v", planText, err)
+			}
+			spec := RunSpec{
+				Workload: zooProbe{id: "determinism-matrix"},
+				Config:   cpu.MustParseConfig("2f-2s/8"),
+				Sched:    sched.Defaults(pol),
+				Seed:     42,
+				Fault:    plan,
+			}
+			ResetMemo()
+			first := Execute(spec)
+			ResetMemo()
+			second := Execute(spec)
+			if first.Digest != second.Digest || first.Value != second.Value {
+				t.Errorf("%v × %q: cold re-run diverged: %v/%v vs %v/%v",
+					pol, planText, first.Value, first.Digest, second.Value, second.Digest)
+			}
+			if err := VerifyDeterminism(spec, 2); err != nil {
+				t.Errorf("%v × %q: VerifyDeterminism: %v", pol, planText, err)
+			}
+		}
+	}
+}
+
+// TestPoliciesDistinctCacheIdentity proves two policies with otherwise
+// identical specs never share a cache entry: every policy pair gets
+// distinct in-process memo keys and distinct disk-cache keys, and a
+// cache-warm Execute under a different policy re-executes instead of
+// serving the other policy's result.
+func TestPoliciesDistinctCacheIdentity(t *testing.T) {
+	policies := sched.AllPolicies()
+	specFor := func(p sched.Policy, execs *atomic.Int64) RunSpec {
+		return RunSpec{
+			Workload: memoProbe{id: "policy-identity", execs: execs},
+			Config:   cpu.MustParseConfig("2f-2s/8"),
+			Sched:    sched.Defaults(p),
+			Seed:     7,
+		}
+	}
+
+	memoKeys := map[memoKey]sched.Policy{}
+	diskKeys := map[string]sched.Policy{}
+	for _, p := range policies {
+		key, ok := memoKeyFor(specFor(p, new(atomic.Int64)))
+		if !ok {
+			t.Fatalf("%v: spec unexpectedly not memoizable", p)
+		}
+		if prev, dup := memoKeys[key]; dup {
+			t.Fatalf("policies %v and %v share a memo key", prev, p)
+		}
+		memoKeys[key] = p
+		dk := cacheKeyFor(key)
+		if prev, dup := diskKeys[dk.Desc]; dup {
+			t.Fatalf("policies %v and %v share a disk cache key", prev, p)
+		}
+		diskKeys[dk.Desc] = p
+	}
+
+	// Warm the cache under one policy, then ask under every other: each
+	// must execute for itself rather than cross-serve.
+	var execs atomic.Int64
+	for i, p := range policies {
+		Execute(specFor(p, &execs))
+		if got := execs.Load(); got != int64(i+1) {
+			t.Fatalf("%v: executions = %d, want %d (must not be served from another policy's entry)", p, got, i+1)
+		}
+	}
+	Execute(specFor(policies[0], &execs))
+	if got := execs.Load(); got != int64(len(policies)) {
+		t.Fatalf("repeat under %v re-executed (%d): same-policy hit must still work", policies[0], got)
+	}
+}
+
+// TestExecuteSafeRejectsNonFiniteDutyPlan pins the NaN-duty bug at the
+// execution boundary: a plan whose throttle duty is non-finite
+// (constructed directly, bypassing Parse) must be refused by the
+// validation layer as a typed *fault.DutyError through ExecuteSafe and
+// never reach rate accounting. (The runtime backstop behind it —
+// sched.SetDuty panicking a typed *sched.DutyError — is pinned by the
+// sched package's own regression tests.)
+func TestExecuteSafeRejectsNonFiniteDutyPlan(t *testing.T) {
+	for _, duty := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		plan := &fault.Plan{Events: []fault.Event{fault.ThrottleAt(1*simtime.Millisecond, 0, duty)}}
+		_, err := ExecuteSafe(RunSpec{
+			Workload: zooProbe{id: "nan-duty"},
+			Config:   cpu.MustParseConfig("2f-2s/8"),
+			Sched:    sched.Defaults(sched.PolicyAsymmetryAware),
+			Seed:     1,
+			Fault:    plan,
+		})
+		var de *fault.DutyError
+		if !errors.As(err, &de) {
+			t.Fatalf("duty %v: err = %v, want *fault.DutyError", duty, err)
+		}
+		if !(math.IsNaN(de.Duty) && math.IsNaN(duty)) && de.Duty != duty {
+			t.Errorf("DutyError.Duty = %v, want %v", de.Duty, duty)
+		}
+	}
+}

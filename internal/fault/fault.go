@@ -13,6 +13,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -149,8 +150,8 @@ func (p *Plan) Validate(numCores int) error {
 		}
 		switch e.Kind {
 		case Throttle:
-			if e.Duty <= 0 || e.Duty > 1 {
-				return fmt.Errorf("%s: duty %g out of (0, 1]", prefix, e.Duty)
+			if err := checkDuty(e.Duty); err != nil {
+				return fmt.Errorf("%s: %w", prefix, err)
 			}
 			fallthrough
 		case Restore, Offline, Online:
@@ -207,7 +208,21 @@ func (p *Plan) Schedule(env *sim.Env, s *sched.Scheduler) {
 //	online@3.5s:CORE          re-plug CORE
 //	stall@2s:50ms             stall the whole machine for the duration
 //
-// Times and durations take the suffixes ns, us, ms, s and min.
+// plus the dynamic-asymmetry duty-trace generators (see traces.go),
+// each of which expands at parse time into plain throttle/restore
+// events:
+//
+//	wave@1s:500ms:CORE:DUTY:N     N-cycle thermal square wave: throttle
+//	                              to DUTY for half of each 500ms period
+//	walk@1s:500ms:CORE:SEED:N     N-step random walk over the hardware
+//	                              duty steps, seeded by SEED, then restore
+//	stairs@1s:500ms:CORE:FLOOR:N  staged degradation to FLOOR in N equal
+//	                              stages, one every 500ms (no recovery)
+//
+// Times and durations take the suffixes ns, us, ms, s and min. Because
+// generators expand to plain events, Plan.String() of a parsed trace
+// renders the expansion — which round-trips through Parse and gives
+// every distinct trace a distinct run identity.
 func Parse(text string) (*Plan, error) {
 	text = strings.TrimSpace(text)
 	if text == "" {
@@ -215,7 +230,16 @@ func Parse(text string) (*Plan, error) {
 	}
 	var p Plan
 	for _, part := range strings.Split(text, ",") {
-		e, err := parseEvent(strings.TrimSpace(part))
+		part = strings.TrimSpace(part)
+		if isTrace(part) {
+			events, err := parseTrace(part)
+			if err != nil {
+				return nil, err
+			}
+			p.Events = append(p.Events, events...)
+			continue
+		}
+		e, err := parseEvent(part)
 		if err != nil {
 			return nil, err
 		}
@@ -265,6 +289,13 @@ func parseEvent(text string) (Event, error) {
 			duty, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
 				return Event{}, fmt.Errorf("fault: %q: bad duty: %w", text, err)
+			}
+			// ParseFloat happily produces NaN and ±Inf; refuse them at
+			// the syntax layer so a poisoned duty never propagates.
+			// Finite out-of-range values are Validate's job, like core
+			// indices.
+			if math.IsNaN(duty) || math.IsInf(duty, 0) {
+				return Event{}, fmt.Errorf("fault: %q: %w", text, &DutyError{Duty: duty})
 			}
 			e.Duty = duty
 		}

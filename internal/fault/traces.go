@@ -1,0 +1,183 @@
+// Duty traces: generators for *dynamic* asymmetry scenarios, where a
+// machine's speed shape varies mid-run instead of being fixed at t=0.
+// Each generator is a pure function of its arguments that expands into
+// plain Throttle/Restore events, so everything downstream — Validate,
+// Schedule, Plan.String(), the memo and disk-cache identities — works
+// on traces unchanged, and two distinct traces can never share a run
+// identity. The random walk derives its throttle sequence from an
+// explicit in-plan seed through xrand, never from ambient randomness,
+// keeping plans seed-reproducible by construction.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"asmp/internal/cpu"
+	"asmp/internal/simtime"
+	"asmp/internal/xrand"
+)
+
+// DutyError is the typed validation error for a duty-cycle value that
+// is non-finite or outside (0, 1]. Parse and Plan.Validate wrap it, so
+// callers can errors.As for it; the runtime layer's counterpart is
+// sched.DutyError.
+type DutyError struct {
+	Duty float64
+}
+
+func (e *DutyError) Error() string {
+	return fmt.Sprintf("duty %v outside finite (0, 1]", e.Duty)
+}
+
+// checkDuty refuses non-finite duty cycles (NaN, ±Inf) as well as
+// values outside (0, 1]. NaN compares false on both sides of a plain
+// range check, which is exactly how it used to slip through.
+func checkDuty(duty float64) error {
+	if math.IsNaN(duty) || math.IsInf(duty, 0) || duty <= 0 || duty > 1 {
+		return &DutyError{Duty: duty}
+	}
+	return nil
+}
+
+// maxTraceSteps bounds a single generator's expansion so a typo'd step
+// count cannot balloon a plan into millions of events.
+const maxTraceSteps = 10000
+
+// Wave returns the events of a periodic thermal square wave on one
+// core: starting at start, each period begins with a throttle to duty
+// and restores at the half-period, for cycles periods — the repeating
+// stop-clock pattern of a machine riding its thermal limit (§2 of the
+// paper, made periodic).
+func Wave(start simtime.Time, period simtime.Duration, core int, duty float64, cycles int) []Event {
+	events := make([]Event, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		at := start + simtime.Time(i)*simtime.Time(period)
+		events = append(events,
+			ThrottleAt(at, core, duty),
+			RestoreAt(at+simtime.Time(period)/2, core))
+	}
+	return events
+}
+
+// RandomWalk returns the events of a seeded random walk over the
+// hardware duty steps (cpu.DutySteps) on one core: starting from full
+// speed, every step moves one duty step up or down (clamped), with a
+// throttle event per step and a final restore after the last — a
+// machine whose thermal environment drifts unpredictably but
+// reproducibly. The walk is a pure function of (seed, steps).
+func RandomWalk(start simtime.Time, step simtime.Duration, core int, seed uint64, steps int) []Event {
+	rng := xrand.New(seed)
+	idx := len(cpu.DutySteps) - 1 // full speed
+	events := make([]Event, 0, steps+1)
+	for i := 0; i < steps; i++ {
+		if rng.Intn(2) == 0 {
+			idx--
+		} else {
+			idx++
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > len(cpu.DutySteps)-1 {
+			idx = len(cpu.DutySteps) - 1
+		}
+		at := start + simtime.Time(i)*simtime.Time(step)
+		events = append(events, ThrottleAt(at, core, cpu.DutySteps[idx]))
+	}
+	events = append(events, RestoreAt(start+simtime.Time(steps)*simtime.Time(step), core))
+	return events
+}
+
+// Stairs returns the events of a staged degradation on one core: the
+// duty cycle steps down in equal stages from just below full speed to
+// floor, one stage every step, and never recovers — a part ageing or
+// overheating toward a permanent slow state.
+func Stairs(start simtime.Time, step simtime.Duration, core int, floor float64, steps int) []Event {
+	events := make([]Event, 0, steps)
+	for i := 0; i < steps; i++ {
+		duty := floor + (1-floor)*float64(steps-1-i)/float64(steps)
+		at := start + simtime.Time(i)*simtime.Time(step)
+		events = append(events, ThrottleAt(at, core, duty))
+	}
+	return events
+}
+
+// isTrace reports whether the plan term is a duty-trace generator.
+func isTrace(text string) bool {
+	kind, _, ok := strings.Cut(text, "@")
+	if !ok {
+		return false
+	}
+	switch kind {
+	case "wave", "walk", "stairs":
+		return true
+	}
+	return false
+}
+
+// parseTrace expands one generator term — wave@, walk@ or stairs@, all
+// with five colon-separated fields — into its events.
+func parseTrace(text string) ([]Event, error) {
+	kind, rest, _ := strings.Cut(text, "@")
+	fields := strings.Split(rest, ":")
+	if len(fields) != 5 {
+		return nil, fmt.Errorf("fault: %q: want %s@START:STEP:CORE:%s:N, got %d fields", text, kind, traceArg(kind), len(fields))
+	}
+	start, err := parseDuration(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("fault: %q: bad start: %w", text, err)
+	}
+	step, err := parseDuration(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("fault: %q: bad step: %w", text, err)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("fault: %q: non-positive step", text)
+	}
+	core, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, fmt.Errorf("fault: %q: bad core: %w", text, err)
+	}
+	steps, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return nil, fmt.Errorf("fault: %q: bad step count: %w", text, err)
+	}
+	if steps < 1 || steps > maxTraceSteps {
+		return nil, fmt.Errorf("fault: %q: step count %d out of [1, %d]", text, steps, maxTraceSteps)
+	}
+	switch kind {
+	case "wave", "stairs":
+		duty, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %q: bad duty: %w", text, err)
+		}
+		if err := checkDuty(duty); err != nil {
+			return nil, fmt.Errorf("fault: %q: %w", text, err)
+		}
+		if kind == "wave" {
+			return Wave(start, simtime.Duration(step), core, duty, steps), nil
+		}
+		return Stairs(start, simtime.Duration(step), core, duty, steps), nil
+	case "walk":
+		seed, err := strconv.ParseUint(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %q: bad seed: %w", text, err)
+		}
+		return RandomWalk(start, simtime.Duration(step), core, seed, steps), nil
+	}
+	return nil, fmt.Errorf("fault: %q: unknown trace kind %q", text, kind)
+}
+
+// traceArg names a generator's fourth field for error messages.
+func traceArg(kind string) string {
+	if kind == "walk" {
+		return "SEED"
+	}
+	if kind == "stairs" {
+		return "FLOOR"
+	}
+	return "DUTY"
+}

@@ -77,6 +77,39 @@ func TestGoldenFaultArtifact(t *testing.T) {
 	}
 }
 
+// TestGoldenPoliciesArtifact regenerates the policy-zoo extension
+// figures at full resolution and requires byte-identical output to
+// their committed seed-1 artifacts — the drift gate for the three
+// related-work policies and the dynamic-asymmetry duty traces:
+//
+//	go run ./cmd/asmp-run -fig policies -out results
+//	go run ./cmd/asmp-run -fig policies-dyn -out results
+func TestGoldenPoliciesArtifact(t *testing.T) {
+	for _, id := range []string{"policies", "policies-dyn"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			path := filepath.Join(filepath.Dir(goldenPath(t)), "fig-"+id+".txt")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Skipf("golden artifact not available: %v", err)
+			}
+			golden := string(raw)
+			f, ok := Get(id)
+			if !ok {
+				t.Fatalf("figure %s missing", id)
+			}
+			for ti, tb := range f.Run(Options{Seed: 1}) {
+				s := tb.String()
+				if !strings.Contains(golden, s) {
+					t.Errorf("%s figure table %d diverged from results/fig-%s.txt;\n"+
+						"if the model change is intentional, regenerate the artifact\n"+
+						"regenerated:\n%s", id, ti, id, s)
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenFullArtifact regenerates EVERY figure at full resolution
 // with seed 1 and requires the committed results/figures-full.txt to
 // match line for line (only the wall-clock "[figure ...]" status lines

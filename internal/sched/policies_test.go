@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"asmp/internal/sim"
+	"asmp/internal/simtime"
+)
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range AllPolicies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+}
+
+func TestParsePolicyShortForms(t *testing.T) {
+	for name, want := range map[string]Policy{
+		"naive":     PolicyNaive,
+		"aware":     PolicyAsymmetryAware,
+		"rank":      PolicyRankAware,
+		"crit":      PolicyCriticalityAware,
+		"type":      PolicyTypeAware,
+		"little":    PolicyBigLittle,
+		"biglittle": PolicyBigLittle,
+	} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(\"bogus\") succeeded, want error")
+	}
+	if _, err := ParsePolicy(""); err == nil {
+		t.Error("ParsePolicy(\"\") succeeded, want error (\"\"-as-naive is the server's mapping, not the parser's)")
+	}
+}
+
+// TestSetDutyRejectsNonFinite is the runtime-layer regression for the
+// NaN-duty bug: duty <= 0 || duty > 1 is false on both sides for NaN,
+// so a non-finite duty used to reach rate accounting and poison every
+// downstream metric. SetDuty must panic a typed *DutyError instead.
+func TestSetDutyRejectsNonFinite(t *testing.T) {
+	for _, duty := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.5, 1.5} {
+		func() {
+			_, s := newRig(t, 1, PolicyAsymmetryAware, 1.0, 0.5)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("SetDuty(1, %v) did not panic", duty)
+					return
+				}
+				err, ok := r.(error)
+				if !ok {
+					t.Errorf("SetDuty(1, %v) panicked %v, want an error value", duty, r)
+					return
+				}
+				var de *DutyError
+				if !errors.As(err, &de) {
+					t.Errorf("SetDuty(1, %v) panicked %v, want *DutyError", duty, err)
+					return
+				}
+				if de.Core != 1 {
+					t.Errorf("DutyError.Core = %d, want 1", de.Core)
+				}
+			}()
+			s.SetDuty(1, duty)
+		}()
+	}
+}
+
+// zooLoad drives a contended mixed workload: nProcs threads, every
+// third one memory-stall-heavy, with seed-dependent burst sizes.
+func zooLoad(env *sim.Env, nProcs, bursts int) {
+	for i := 0; i < nProcs; i++ {
+		i := i
+		env.Go("w", func(p *sim.Proc) {
+			rng := p.Rand()
+			for b := 0; b < bursts; b++ {
+				cycles := rng.Range(1e6, 2e7)
+				if i%3 == 0 {
+					p.ComputeMem(cycles/8, simtime.Duration(rng.Range(1, 3))*simtime.Millisecond)
+				} else {
+					p.Compute(cycles)
+				}
+				p.Sleep(simtime.Duration(rng.Range(0.05, 0.5)) * simtime.Millisecond)
+			}
+		})
+	}
+}
+
+// TestZooPoliciesRunAndCount smoke-tests each new policy on an
+// asymmetric rig under contention and checks that its distinguishing
+// stats counter moves: criticality-aware steers critical bursts to the
+// fast core, type-aware parks and reclassifies, and all three keep the
+// work conserved (every dispatch eventually completes).
+func TestZooPoliciesRunAndCount(t *testing.T) {
+	duties := []float64{1, 1, 0.125, 0.125}
+	t.Run("criticality-aware", func(t *testing.T) {
+		env, s := newRig(t, 3, PolicyCriticalityAware, duties...)
+		zooLoad(env, 6, 30)
+		env.Run()
+		if s.Stats().CriticalPlacements == 0 {
+			t.Error("CriticalPlacements stayed zero under contention")
+		}
+	})
+	t.Run("type-aware", func(t *testing.T) {
+		env, s := newRig(t, 3, PolicyTypeAware, duties...)
+		zooLoad(env, 6, 30)
+		env.Run()
+		st := s.Stats()
+		if st.ParkedPlacements == 0 {
+			t.Error("ParkedPlacements stayed zero with memory-stall-bound procs in the mix")
+		}
+	})
+	t.Run("big-little", func(t *testing.T) {
+		env, s := newRig(t, 3, PolicyBigLittle, duties...)
+		zooLoad(env, 6, 30)
+		env.Run()
+		st := s.Stats()
+		if st.Dispatches == 0 {
+			t.Error("no dispatches")
+		}
+		if st.ForcedMigrations != 0 {
+			t.Errorf("ForcedMigrations = %d, want 0 (the conservative policy never force-migrates)", st.ForcedMigrations)
+		}
+	})
+}
+
+// TestZooDefaults pins the option surface of the new policies.
+func TestZooDefaults(t *testing.T) {
+	for _, p := range []Policy{PolicyCriticalityAware, PolicyTypeAware, PolicyBigLittle} {
+		opt := Defaults(p)
+		if opt.Policy != p {
+			t.Errorf("%v: Defaults sets policy %v", p, opt.Policy)
+		}
+		if opt.StealThreshold != 1 {
+			t.Errorf("%v: StealThreshold = %d, want 1", p, opt.StealThreshold)
+		}
+	}
+}
+
+// TestTypeAwareParksMemoryBound pins the type policy's core promise on
+// a deterministic two-core rig: once classified, a memory-stall-bound
+// task waking with both cores idle lands on the slow core, leaving the
+// fast core for compute work.
+func TestTypeAwareParksMemoryBound(t *testing.T) {
+	env, s := newRig(t, 1, PolicyTypeAware, 1.0, 0.125)
+	env.Go("mem", func(p *sim.Proc) {
+		for b := 0; b < 5; b++ {
+			p.ComputeMem(1e3, 2*simtime.Millisecond)
+			p.Sleep(simtime.Millisecond)
+		}
+	})
+	env.Run()
+	st := s.Stats()
+	// Classification happens at issue, before placement, so every one
+	// of the five wakeups parks on the slow core 1.
+	if st.ParkedPlacements != 5 {
+		t.Errorf("ParkedPlacements = %d, want 5", st.ParkedPlacements)
+	}
+	if st.BusySeconds[1] <= st.BusySeconds[0] {
+		t.Errorf("slow core busy %.4fs <= fast core %.4fs; memory-bound task was not parked",
+			st.BusySeconds[1], st.BusySeconds[0])
+	}
+}

@@ -3,7 +3,7 @@
 // queues with timeslice rotation, sticky wakeup placement, idle work
 // stealing and periodic load balancing.
 //
-// Two policies are provided, matching the paper:
+// Six policies are provided. The first two match the paper:
 //
 //   - PolicyNaive mirrors a stock Linux 2.4/2.6 scheduler. It balances
 //     queue *lengths* and is agnostic to core speed: a runnable thread
@@ -17,6 +17,12 @@
 //     slower cores have work, wakeups prefer the fastest idle core, and a
 //     thread running on a slow core is explicitly migrated to a faster
 //     core that would otherwise go idle.
+//
+// The remaining four come from the related scheduling literature:
+// PolicyRankAware (the paper's point-4 conjecture), and the policy zoo
+// in policies.go — PolicyCriticalityAware, PolicyTypeAware and
+// PolicyBigLittle; see their constant docs for the one-line versions
+// and policies.go for the mechanisms.
 package sched
 
 import (
@@ -47,6 +53,23 @@ const (
 	// placement and balancing use plain runnable counts with a
 	// faster-rank tie-break instead of speed-normalised pressure.
 	PolicyRankAware
+	// PolicyCriticalityAware steers critical-path tasks of fork-join
+	// workloads to the fastest cores (arXiv:2009.00915): a task whose
+	// current burst is at least the decayed machine-wide mean burst is
+	// "critical" and placed aware-style (fastest idle core first), while
+	// sub-critical tasks yield the fast cores and prefer slow idle ones.
+	PolicyCriticalityAware
+	// PolicyTypeAware is Thread Director-style P/E-core classification:
+	// each task is continuously reclassified from its observed burst
+	// composition; compute-bound tasks prefer fast cores, memory-stall-
+	// bound tasks are parked on slow cores where the lost clock barely
+	// matters.
+	PolicyTypeAware
+	// PolicyBigLittle is a conservative big.LITTLE-era conventional
+	// scheduler (arXiv:1509.02058): CFS-like weighted fair placement and
+	// balancing where each core's capacity weight is its duty cycle, with
+	// sticky wake affinity and no forced migration.
+	PolicyBigLittle
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +81,12 @@ func (p Policy) String() string {
 		return "asymmetry-aware"
 	case PolicyRankAware:
 		return "rank-aware"
+	case PolicyCriticalityAware:
+		return "criticality-aware"
+	case PolicyTypeAware:
+		return "type-aware"
+	case PolicyBigLittle:
+		return "big-little"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -97,7 +126,9 @@ type Options struct {
 // Defaults returns the standard options for the given policy.
 func Defaults(p Policy) Options {
 	st := 2
-	if p == PolicyAsymmetryAware || p == PolicyRankAware {
+	if p != PolicyNaive {
+		// Every asymmetry-conscious policy idle-pulls single waiting
+		// tasks; only the naive kernel waits for a visible imbalance.
 		st = 1
 	}
 	return Options{
@@ -140,6 +171,17 @@ type Stats struct {
 	// while a strictly slower core had waiting (not running) work — the
 	// invariant the aware policy is meant to keep at zero.
 	FastIdleSlowBusy float64
+	// CriticalPlacements counts wakeups the criticality-aware policy
+	// steered to the fastest online core because the task's burst was at
+	// or above the decayed machine-wide mean.
+	CriticalPlacements int
+	// ParkedPlacements counts wakeups the type-aware policy parked on a
+	// strictly-slower-than-max core because the task classified as
+	// memory-stall-bound.
+	ParkedPlacements int
+	// Reclassifications counts type-aware compute<->memory class flips
+	// after a task's first classification.
+	Reclassifications int
 }
 
 // Scheduler is the OS scheduler model. Create one with New; it registers
@@ -180,6 +222,11 @@ type Scheduler struct {
 	// spawning N procs costs N/32 allocations instead of N. Slots are
 	// never recycled; the slab just batches the backing allocations.
 	taskSlab []task
+
+	// burstMean is the decayed machine-wide mean burst size (cycles),
+	// the criticality threshold of PolicyCriticalityAware. Updated only
+	// at Compute issue, so it is a pure function of the issue sequence.
+	burstMean float64
 }
 
 // balanceSlot pairs a core with its sampled load average inside one
@@ -221,6 +268,14 @@ type task struct {
 	inflight  bool
 	lastCore  int // core the task last ran on; -1 if never ran
 	queuedOn  int // core whose runq holds the task; -1 if running or not queued
+
+	// Classification state for the policy zoo (see policies.go). Updated
+	// only at Compute issue — a deterministic point — and persistent
+	// across bursts, so a task's history survives sleeps.
+	burstSize  float64 // cycles of the current/latest burst (criticality)
+	memShare   float64 // EWMA of the memory-stall share of issued bursts
+	classified bool    // memShare has at least one observation
+	memBound   bool    // current type-aware class: memory-stall-bound
 }
 
 // New builds a scheduler for machine inside env and installs it as the
@@ -300,8 +355,10 @@ func (s *Scheduler) SetDuty(core int, duty float64) {
 	if core < 0 || core >= len(s.cores) {
 		panic(fmt.Sprintf("sched: SetDuty on unknown core %d", core))
 	}
-	if duty <= 0 || duty > 1 {
-		panic(fmt.Sprintf("sched: duty cycle %v out of (0, 1]", duty))
+	if !finiteDuty(duty) {
+		// A typed panic value: core.ExecuteSafe recovers error panics
+		// into wrapped errors, so callers can errors.As for *DutyError.
+		panic(&DutyError{Core: core, Duty: duty})
 	}
 	c := s.cores[core]
 	// Fold the piecewise-constant interval at the old speed into the
@@ -317,7 +374,7 @@ func (s *Scheduler) SetDuty(core int, duty float64) {
 	if c.running != nil {
 		s.scheduleCoreEvent(c)
 	}
-	if (s.opt.Policy == PolicyAsymmetryAware || s.opt.Policy == PolicyRankAware) && !s.stalled {
+	if s.opt.Policy.speedSensitive() && !s.stalled {
 		// A speed change re-ranks the cores. Idle cores that were
 		// correctly idle a moment ago may now sit above a newly slowed
 		// core with work, so give every idle core a pull pass and re-arm
@@ -528,6 +585,9 @@ func (s *Scheduler) Compute(p *sim.Proc, cycles, memSeconds float64) {
 	t.remaining = cycles
 	t.remMem = memSeconds
 	t.inflight = true
+	if s.opt.Policy.classifies() {
+		s.observeBurst(t, cycles, memSeconds)
+	}
 	s.observeInvariant()
 	s.place(t)
 	s.armBalance()
@@ -597,6 +657,12 @@ func (s *Scheduler) chooseCore(t *task) int {
 		return s.chooseCoreAware(t)
 	case PolicyRankAware:
 		return s.chooseCoreRank(t)
+	case PolicyCriticalityAware:
+		return s.chooseCoreCrit(t)
+	case PolicyTypeAware:
+		return s.chooseCoreType(t)
+	case PolicyBigLittle:
+		return s.chooseCoreBigLittle(t)
 	default:
 		return s.chooseCoreNaive(t)
 	}
@@ -933,8 +999,7 @@ func (s *Scheduler) onIdle(c *coreState) {
 	if s.stealWaiting(c) {
 		return
 	}
-	if (s.opt.Policy == PolicyAsymmetryAware || s.opt.Policy == PolicyRankAware) &&
-		!s.opt.NoForcedMigration {
+	if s.opt.Policy.forcedMigration() && !s.opt.NoForcedMigration {
 		s.migrateRunningFromSlower(c)
 	}
 }
@@ -958,11 +1023,19 @@ func (s *Scheduler) stealWaiting(c *coreState) bool {
 			continue
 		}
 		switch s.opt.Policy {
-		case PolicyAsymmetryAware, PolicyRankAware:
+		case PolicyAsymmetryAware, PolicyRankAware, PolicyCriticalityAware, PolicyTypeAware:
 			// Prefer relieving the slowest, most loaded core. Ordering
-			// needs only ranks, so the rank policy shares this path.
+			// needs only ranks, so the rank policy shares this path; the
+			// criticality and type policies inherit it because waiting
+			// work on a slow core is exactly what they exist to unstick.
 			if v.core.Duty < victim.core.Duty ||
 				(v.core.Duty == victim.core.Duty && len(v.runq) > len(victim.runq)) {
+				victim = v
+			}
+		case PolicyBigLittle:
+			// CFS-style: relieve the highest capacity-weighted queue
+			// pressure (queue length over duty), first-wins on ties.
+			if float64(len(v.runq))/v.core.Duty > float64(len(victim.runq))/victim.core.Duty {
 				victim = v
 			}
 		default:
@@ -1023,6 +1096,9 @@ func (s *Scheduler) migrateRunningFromSlower(c *coreState) {
 		if !v.running.allowed(id) {
 			continue
 		}
+		if !s.worthPulling(v.running) {
+			continue
+		}
 		if victim == nil || v.core.Duty < victim.core.Duty {
 			victim = v
 		}
@@ -1074,10 +1150,16 @@ func (s *Scheduler) balanceTick() {
 	}
 	s.observeInvariant()
 	switch s.opt.Policy {
-	case PolicyAsymmetryAware:
+	case PolicyAsymmetryAware, PolicyCriticalityAware, PolicyTypeAware:
+		// The criticality and type policies differentiate at wakeup
+		// placement and in what forced migration may move; their periodic
+		// pass shares the aware policy's speed-normalised pressure
+		// levelling.
 		s.balanceAware()
 	case PolicyRankAware:
 		s.balanceRank()
+	case PolicyBigLittle:
+		s.balanceBigLittle()
 	default:
 		s.balanceNaive()
 	}

@@ -507,16 +507,13 @@ func decodeBody(r *http.Request, into any) error {
 	return nil
 }
 
-// parsePolicy mirrors the CLIs' -policy flag ("" = naive).
+// parsePolicy mirrors the CLIs' -policy flag ("" = naive); every named
+// policy defers to sched.ParsePolicy, the single source of truth, so
+// the server accepts exactly what the CLIs accept — short and
+// canonical String() forms alike.
 func parsePolicy(s string) (sched.Policy, error) {
-	switch s {
-	case "", "naive":
+	if s == "" {
 		return sched.PolicyNaive, nil
-	case "aware":
-		return sched.PolicyAsymmetryAware, nil
-	case "rank":
-		return sched.PolicyRankAware, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (naive|aware|rank)", s)
 	}
+	return sched.ParsePolicy(s)
 }
